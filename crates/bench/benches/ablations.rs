@@ -1,0 +1,59 @@
+//! Ablation substrate: partitioning algorithm quality/speed tradeoffs on
+//! synthetic graphs (KL vs agglomerative vs MFMC), and flat vs multilevel
+//! KL.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use nfc_graphpart::{agglomerative, kl, maxflow, Objective, PartGraph};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn random_graph(n: usize, seed: u64) -> PartGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = PartGraph::new();
+    for i in 0..n {
+        let cpu = rng.gen_range(5.0..50.0);
+        let gpu = if i % 2 == 0 { cpu / 8.0 } else { cpu * 3.0 };
+        g.add_node(cpu, gpu);
+    }
+    for i in 1..n {
+        g.add_edge(i - 1, i, rng.gen_range(0.1..2.0));
+        if i % 5 == 0 {
+            let j = rng.gen_range(0..i);
+            if j != i - 1 {
+                g.add_edge(j, i, rng.gen_range(0.1..2.0));
+            }
+        }
+    }
+    g
+}
+
+fn partitioners(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("ablation_partitioners");
+    for n in [64usize, 256] {
+        let g = random_graph(n, 7);
+        grp.bench_with_input(BenchmarkId::new("kl_multilevel", n), &g, |b, g| {
+            b.iter(|| black_box(kl::partition(g, kl::KlOptions::default())))
+        });
+        grp.bench_with_input(BenchmarkId::new("kl_flat", n), &g, |b, g| {
+            b.iter(|| black_box(kl::partition_flat(g, kl::KlOptions::default())))
+        });
+        grp.bench_with_input(BenchmarkId::new("agglomerative", n), &g, |b, g| {
+            b.iter(|| {
+                let seeds = agglomerative::default_seeds(g);
+                black_box(agglomerative::partition(g, &seeds, Objective::default()))
+            })
+        });
+        grp.bench_with_input(BenchmarkId::new("mfmc", n), &g, |b, g| {
+            b.iter(|| {
+                let unary: Vec<(f64, f64)> = (0..g.len())
+                    .map(|v| (g.weight(v)[0], g.weight(v)[1]))
+                    .collect();
+                black_box(maxflow::mfmc_assign(&unary, g.edges()))
+            })
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(benches, partitioners);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 14 substrate: NF synthesis and XOR branch merging.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use nfc_core::orchestrator::merge_branch_batches;
+use nfc_core::synthesizer::synthesize;
+use nfc_nf::Nf;
+use nfc_packet::traffic::{SizeDist, TrafficGenerator, TrafficSpec};
+
+fn synthesis(c: &mut Criterion) {
+    let fw = Nf::firewall("fw", 200, 1);
+    let ids = Nf::ids("ids");
+    let dpi = Nf::dpi("dpi");
+    c.bench_function("fig14_synthesize_fw_ids_dpi", |b| {
+        b.iter(|| black_box(synthesize(&[&fw, &ids, &dpi])))
+    });
+}
+
+fn xor_merge(c: &mut Criterion) {
+    let mut gen = TrafficGenerator::new(TrafficSpec::udp(SizeDist::Fixed(256)), 3);
+    let original = gen.batch(256);
+    // Two branches: one modifies a payload byte, one passes through.
+    let mut branch_a = original.clone();
+    for p in branch_a.iter_mut() {
+        if let Ok(pl) = p.l4_payload_mut() {
+            if !pl.is_empty() {
+                pl[0] ^= 0xFF;
+            }
+        }
+    }
+    let branch_b = original.clone();
+    let mut g = c.benchmark_group("fig14_xor_merge");
+    g.throughput(Throughput::Elements(256));
+    g.bench_function("merge_2_branches_256", |b| {
+        b.iter(|| {
+            black_box(merge_branch_batches(
+                black_box(&original),
+                black_box(&[branch_a.clone(), branch_b.clone()]),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, synthesis, xor_merge);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 15 substrate: profiling, expansion and graph partitioning.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nfc_core::allocator::{allocate, PartitionAlgo};
+use nfc_core::expansion::Expansion;
+use nfc_core::profiler::Profiler;
+use nfc_hetero::{CostModel, GpuMode, PlatformConfig};
+use nfc_nf::Nf;
+use nfc_packet::traffic::{SizeDist, TrafficGenerator, TrafficSpec};
+
+fn gta(c: &mut Criterion) {
+    // Profile a representative NF once.
+    let nf = Nf::dpi("dpi");
+    let mut run = nf.graph().clone().compile().expect("compiles");
+    let mut gen = TrafficGenerator::new(TrafficSpec::udp(SizeDist::Fixed(512)), 1);
+    for _ in 0..8 {
+        run.push_merged(nf.entry(), gen.batch(256));
+    }
+    let model = CostModel::new(PlatformConfig::hpca18());
+    let weights = Profiler::new(model, GpuMode::Persistent).measure(&run);
+
+    c.bench_function("fig15_expand_delta10", |b| {
+        b.iter(|| black_box(Expansion::expand(nf.graph(), &weights, 0.1)))
+    });
+    for algo in [
+        PartitionAlgo::Kl,
+        PartitionAlgo::Agglomerative,
+        PartitionAlgo::Mfmc,
+    ] {
+        c.bench_function(&format!("fig15_allocate_{algo:?}"), |b| {
+            b.iter(|| black_box(allocate(nf.graph(), &weights, algo, 0.1)))
+        });
+    }
+}
+
+criterion_group!(benches, gta);
+criterion_main!(benches);

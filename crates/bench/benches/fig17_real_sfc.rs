@@ -1,0 +1,37 @@
+//! Figure 17 substrate: ACL classification cost vs rule count.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use nfc_nf::acl::{synth, AclTable, Action};
+use nfc_packet::traffic::{SizeDist, TrafficGenerator, TrafficSpec};
+
+fn acl_scaling(c: &mut Criterion) {
+    let mut gen = TrafficGenerator::new(TrafficSpec::udp(SizeDist::Fixed(64)), 1);
+    let tuples: Vec<_> = gen
+        .batch(256)
+        .iter()
+        .map(|p| p.five_tuple().expect("valid"))
+        .collect();
+    let mut g = c.benchmark_group("fig17_acl_classify");
+    for rules in [200usize, 1_000, 10_000] {
+        let acl = AclTable::new(synth::generate(rules, 21), Action::Allow);
+        g.bench_with_input(
+            BenchmarkId::new("classify_256pkts", rules),
+            &acl,
+            |b, acl| {
+                b.iter(|| {
+                    let mut denied = 0u32;
+                    for t in &tuples {
+                        if acl.classify(black_box(t)).rule.is_some() {
+                            denied += 1;
+                        }
+                    }
+                    black_box(denied)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, acl_scaling);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 5 substrate: the real cost of batch split/merge re-organization.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use nfc_packet::traffic::{SizeDist, TrafficGenerator, TrafficSpec};
+use nfc_packet::Batch;
+
+fn batch_reorg(c: &mut Criterion) {
+    let mut gen = TrafficGenerator::new(TrafficSpec::udp(SizeDist::Fixed(64)), 1);
+    let batch = gen.batch(256);
+    let mut g = c.benchmark_group("fig5_batch_split");
+    g.throughput(Throughput::Elements(256));
+    g.bench_function("split_2way_256", |b| {
+        b.iter(|| {
+            let parts = batch.clone().split_by(2, |i, _| i % 2);
+            black_box(parts)
+        })
+    });
+    g.bench_function("split_then_merge_ordered_256", |b| {
+        b.iter(|| {
+            let parts = batch.clone().split_by(2, |i, _| i % 2);
+            black_box(Batch::merge_ordered(parts))
+        })
+    });
+    g.bench_function("passthrough_clone_256", |b| {
+        b.iter(|| black_box(batch.clone()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, batch_reorg);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 6 substrate: the offload-ratio cost model sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nfc_click::{KernelClass, WorkProfile};
+use nfc_hetero::{CoRunContext, CostModel, ElementLoad, GpuMode, PlatformConfig};
+
+fn ratio_sweep(c: &mut Criterion) {
+    let model = CostModel::new(PlatformConfig::hpca18());
+    let load = ElementLoad::new(
+        WorkProfile::new(150.0, 22.0),
+        Some(KernelClass::Crypto),
+        256,
+        256 * 64,
+    );
+    let solo = CoRunContext::solo();
+    c.bench_function("fig6_ratio_sweep_11pts", |b| {
+        b.iter(|| {
+            let mut best = (0.0f64, 0.0f64);
+            for i in 0..=10 {
+                let r = i as f64 / 10.0;
+                let t =
+                    model.offload_throughput_gbps(black_box(&load), r, GpuMode::Persistent, &solo);
+                if t > best.1 {
+                    best = (r, t);
+                }
+            }
+            black_box(best)
+        })
+    });
+}
+
+criterion_group!(benches, ratio_sweep);
+criterion_main!(benches);

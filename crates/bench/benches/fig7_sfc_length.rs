@@ -1,0 +1,30 @@
+//! Figure 7 substrate: dependency analysis and chain re-organization.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nfc_core::{ReorgSfc, Sfc};
+use nfc_nf::Nf;
+
+fn reorg(c: &mut Criterion) {
+    let chain = |n: usize| -> Sfc {
+        Sfc::new(
+            "mixed",
+            (0..n)
+                .map(|i| match i % 4 {
+                    0 => Nf::firewall(format!("fw{i}"), 100, 1),
+                    1 => Nf::ids(format!("ids{i}")),
+                    2 => Nf::probe(format!("p{i}")),
+                    _ => Nf::load_balancer(format!("lb{i}"), 2),
+                })
+                .collect(),
+        )
+    };
+    for n in [4usize, 8, 16] {
+        let sfc = chain(n);
+        c.bench_function(&format!("fig7_reorg_analyze_{n}nfs"), |b| {
+            b.iter(|| black_box(ReorgSfc::analyze(&sfc, 4)))
+        });
+    }
+}
+
+criterion_group!(benches, reorg);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Figure 8 substrate: real DPI matching under no-match vs full-match
+//! traffic and the CPU cost model's batch-size behaviour.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nfc_click::element::RunCtx;
+use nfc_click::Element;
+use nfc_nf::Nf;
+use nfc_packet::traffic::{PayloadPolicy, SizeDist, TrafficGenerator, TrafficSpec};
+
+fn dpi_match_ratio(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_dpi_traffic_pattern");
+    for (label, ratio) in [("no_match", 0.0), ("full_match", 1.0)] {
+        let spec =
+            TrafficSpec::udp(SizeDist::Fixed(1024)).with_payload(PayloadPolicy::MatchRatio {
+                patterns: Nf::default_ids_signatures(),
+                ratio,
+            });
+        let mut gen = TrafficGenerator::new(spec, 1);
+        let batch = gen.batch(256);
+        g.throughput(Throughput::Bytes(batch.total_bytes() as u64));
+        g.bench_with_input(BenchmarkId::new("dpi_batch", label), &batch, |b, batch| {
+            let nf = Nf::dpi("dpi");
+            let mut run = nf.graph().clone().compile().expect("compiles");
+            b.iter(|| {
+                let out = run.push_merged(nf.entry(), black_box(batch.clone()));
+                black_box(out)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ipsec_batch_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_ipsec_batch_size");
+    for batch_size in [32usize, 256] {
+        let mut gen = TrafficGenerator::new(TrafficSpec::udp(SizeDist::Fixed(256)), 2);
+        let batch = gen.batch(batch_size);
+        g.throughput(Throughput::Elements(batch_size as u64));
+        g.bench_with_input(
+            BenchmarkId::new("encrypt_batch", batch_size),
+            &batch,
+            |b, batch| {
+                let mut enc =
+                    nfc_nf::elements::IpsecEncrypt::new(nfc_nf::elements::IpsecSa::example());
+                let mut ctx = RunCtx::default();
+                b.iter(|| {
+                    let out = enc.process(black_box(batch.clone()), &mut ctx);
+                    black_box(out)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, dpi_match_ratio, ipsec_batch_sizes);
+criterion_main!(benches);

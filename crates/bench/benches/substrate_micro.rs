@@ -1,0 +1,99 @@
+//! Microbenchmarks of the real packet-processing substrates: crypto,
+//! pattern matching, route lookup, checksums, batch operations.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use nfc_nf::ac::AhoCorasick;
+use nfc_nf::crypto::{hmac_sha1, Aes128, Sha1};
+use nfc_nf::dfa::Dfa;
+use nfc_nf::lpm::{Dir24_8, WaldvogelV6};
+use nfc_nf::{catalog, Nf};
+use nfc_packet::checksum;
+
+fn crypto_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    let aes = Aes128::new(b"nfcompass-aeskey");
+    let payload_1k = vec![0xA5u8; 1024];
+    g.throughput(Throughput::Bytes(16));
+    g.bench_function("aes128_block", |b| {
+        let mut block = [0u8; 16];
+        b.iter(|| {
+            aes.encrypt_block(black_box(&mut block));
+        })
+    });
+    g.throughput(Throughput::Bytes(1024));
+    g.bench_function("aes128_ctr_1k", |b| {
+        let mut buf = payload_1k.clone();
+        b.iter(|| aes.ctr_apply(1, 42, black_box(&mut buf)))
+    });
+    g.bench_function("sha1_1k", |b| {
+        b.iter(|| Sha1::digest(black_box(&payload_1k)))
+    });
+    g.bench_function("hmac_sha1_1k", |b| {
+        b.iter(|| hmac_sha1(b"key", black_box(&payload_1k)))
+    });
+    g.finish();
+}
+
+fn matching_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matching");
+    let ac = AhoCorasick::new(Nf::default_ids_signatures());
+    let dfa = Dfa::compile(r"GET /[\w/]*\.php\?\w+=").expect("compiles");
+    let clean = vec![b'x'; 1460];
+    let mut dirty = clean.clone();
+    dirty[700..716].copy_from_slice(b"ATTACK_SHELLCODE");
+    g.throughput(Throughput::Bytes(1460));
+    g.bench_function("ac_no_match_1460", |b| {
+        b.iter(|| ac.is_match(black_box(&clean)))
+    });
+    g.bench_function("ac_match_1460", |b| {
+        b.iter(|| ac.find_all(black_box(&dirty)))
+    });
+    g.bench_function("dfa_no_match_1460", |b| {
+        b.iter(|| dfa.is_match(black_box(&clean)))
+    });
+    g.finish();
+}
+
+fn lookup_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lookup");
+    let routes = catalog::synth_routes_v4(10_000, 1);
+    let dir = Dir24_8::from_routes(&routes, 20);
+    let v6 = WaldvogelV6::build(&catalog::synth_routes_v6(5_000, 2));
+    g.bench_function("dir24_8_lookup", |b| {
+        let mut a = 0x0A00_0001u32;
+        b.iter(|| {
+            a = a.wrapping_add(2654435761);
+            dir.lookup(black_box(a))
+        })
+    });
+    g.bench_function("waldvogel_v6_lookup", |b| {
+        let mut a = 0x2001_0000u128 << 96;
+        b.iter(|| {
+            a = a.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            v6.lookup(black_box(a))
+        })
+    });
+    g.finish();
+}
+
+fn checksum_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checksum");
+    let buf = vec![0x5Au8; 1500];
+    g.throughput(Throughput::Bytes(1500));
+    g.bench_function("internet_checksum_1500", |b| {
+        b.iter(|| checksum::checksum(black_box(&buf)))
+    });
+    g.bench_function("incremental_update32", |b| {
+        b.iter(|| checksum::update32(black_box(0x1234), 0xC0A8_0001, 0xCB00_7101))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    crypto_benches,
+    matching_benches,
+    lookup_benches,
+    checksum_benches
+);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p nfc-bench --bin figures -- all [--quick]
+//! cargo run --release -p nfc-bench --bin figures -- fig6 fig15
+//! ```
+//!
+//! Results print to stdout in the paper's row/series layout and are
+//! written as JSON under `results/`.
+
+use nfc_bench::experiments as exp;
+use nfc_bench::util::ExperimentResult;
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut wanted: Vec<String> = args.into_iter().filter(|a| a != "--quick").collect();
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        wanted = [
+            "table2",
+            "table3",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig8e",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig17",
+            "ablations",
+            "churn",
+            "corun_sim",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+    let out_dir = Path::new("results");
+    let mut ran = 0usize;
+    for w in &wanted {
+        let result: ExperimentResult = match w.as_str() {
+            "table2" => exp::table2(),
+            "table3" => exp::table3(),
+            "fig5" => exp::fig5(quick),
+            "fig6" => exp::fig6(quick),
+            "fig7" => exp::fig7(quick),
+            "fig8" => exp::fig8(quick),
+            "fig8e" => exp::fig8e(),
+            "fig13" => exp::fig13_structure(),
+            "fig14" => exp::fig14(quick),
+            "fig15" => exp::fig15(quick),
+            "fig17" => exp::fig17(quick),
+            "ablations" => exp::ablations(quick),
+            "churn" => exp::churn(quick),
+            "corun_sim" => exp::corun_sim(quick),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                continue;
+            }
+        };
+        if let Err(e) = result.save(out_dir) {
+            eprintln!("warning: could not save {}: {e}", result.id);
+        }
+        ran += 1;
+    }
+    println!(
+        "\n{ran} experiments regenerated; JSON written to {}",
+        out_dir.display()
+    );
+}

@@ -1,0 +1,87 @@
+//! Table printing and result persistence helpers.
+
+use serde_json::Value;
+use std::fs;
+use std::path::Path;
+
+/// One experiment's regenerated data.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Experiment id, e.g. `fig6`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Data rows.
+    pub rows: Vec<Value>,
+}
+
+impl ExperimentResult {
+    /// Creates a result.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        ExperimentResult {
+            id: id.into(),
+            title: title.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: Value) {
+        self.rows.push(row);
+    }
+
+    /// Writes `results/<id>.json`.
+    pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let payload = serde_json::json!({
+            "experiment": self.id,
+            "title": self.title,
+            "rows": self.rows,
+        });
+        fs::write(
+            dir.join(format!("{}.json", self.id)),
+            serde_json::to_string_pretty(&payload).expect("serializable"),
+        )
+    }
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n==== {title} ====");
+}
+
+/// Formats Gbps with two decimals.
+pub fn gbps(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats nanoseconds as microseconds.
+pub fn us(ns: f64) -> String {
+    format!("{:.1}", ns / 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn save_writes_readable_json() {
+        let dir = std::env::temp_dir().join("nfc-bench-util-test");
+        let mut res = ExperimentResult::new("t1", "test experiment");
+        res.push(json!({"a": 1}));
+        res.push(json!({"b": 2.5}));
+        res.save(&dir).expect("save succeeds");
+        let raw = std::fs::read_to_string(dir.join("t1.json")).expect("file exists");
+        let parsed: serde_json::Value = serde_json::from_str(&raw).expect("valid json");
+        assert_eq!(parsed["experiment"], "t1");
+        assert_eq!(parsed["rows"].as_array().expect("rows").len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(gbps(12.3456), "12.35");
+        assert_eq!(us(1500.0), "1.5");
+    }
+}

@@ -1,0 +1,599 @@
+//! Element graphs: validated DAGs with a push-based batch engine.
+
+use crate::element::{Element, RunCtx};
+use nfc_packet::Batch;
+use std::collections::HashMap;
+
+/// Identifier of a node (element instance) within one graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A directed connection from an output port of one element to another
+/// element's input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Upstream node.
+    pub from: NodeId,
+    /// Output port on the upstream node.
+    pub port: usize,
+    /// Downstream node.
+    pub to: NodeId,
+}
+
+/// Errors from graph construction and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A referenced node does not exist.
+    UnknownNode(NodeId),
+    /// An output port index is out of range for the element.
+    BadPort {
+        /// Offending node.
+        node: NodeId,
+        /// Requested port.
+        port: usize,
+        /// Ports available.
+        available: usize,
+    },
+    /// The same output port was wired twice.
+    PortAlreadyWired {
+        /// Offending node.
+        node: NodeId,
+        /// Port wired twice.
+        port: usize,
+    },
+    /// The graph contains a cycle through the named node.
+    Cycle(NodeId),
+    /// The graph has no nodes.
+    Empty,
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            GraphError::BadPort {
+                node,
+                port,
+                available,
+            } => write!(
+                f,
+                "node {node} has {available} ports, port {port} requested"
+            ),
+            GraphError::PortAlreadyWired { node, port } => {
+                write!(f, "output port {port} of {node} is already wired")
+            }
+            GraphError::Cycle(n) => write!(f, "graph has a cycle through {n}"),
+            GraphError::Empty => write!(f, "graph has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A buildable element graph.
+///
+/// Unwired output ports are *graph egress*: batches emitted there are
+/// returned to the caller of [`CompiledGraph::push`] (the convention a
+/// `ToDevice` element would otherwise provide). Explicit drops use
+/// [`crate::elements::Discard`].
+#[derive(Debug, Default)]
+pub struct ElementGraph {
+    nodes: Vec<Box<dyn Element>>,
+    edges: Vec<Edge>,
+}
+
+impl Clone for ElementGraph {
+    fn clone(&self) -> Self {
+        ElementGraph {
+            nodes: self.nodes.clone(),
+            edges: self.edges.clone(),
+        }
+    }
+}
+
+impl ElementGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        ElementGraph::default()
+    }
+
+    /// Adds an element, returning its node id.
+    pub fn add<E: Element + 'static>(&mut self, element: E) -> NodeId {
+        self.add_boxed(Box::new(element))
+    }
+
+    /// Adds an already-boxed element.
+    pub fn add_boxed(&mut self, element: Box<dyn Element>) -> NodeId {
+        self.nodes.push(element);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Connects `from`'s output `port` to `to`'s input.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either node is unknown, the port is out of range, or the
+    /// port is already wired.
+    pub fn connect(&mut self, from: NodeId, port: usize, to: NodeId) -> Result<(), GraphError> {
+        let n_out = self
+            .nodes
+            .get(from.0)
+            .ok_or(GraphError::UnknownNode(from))?
+            .n_outputs();
+        if to.0 >= self.nodes.len() {
+            return Err(GraphError::UnknownNode(to));
+        }
+        if port >= n_out {
+            return Err(GraphError::BadPort {
+                node: from,
+                port,
+                available: n_out,
+            });
+        }
+        if self.edges.iter().any(|e| e.from == from && e.port == port) {
+            return Err(GraphError::PortAlreadyWired { node: from, port });
+        }
+        self.edges.push(Edge { from, port, to });
+        Ok(())
+    }
+
+    /// Connects a simple chain: `node[i]` port 0 -> `node[i+1]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ElementGraph::connect`] errors.
+    pub fn connect_chain(&mut self, chain: &[NodeId]) -> Result<(), GraphError> {
+        for pair in chain.windows(2) {
+            self.connect(pair[0], 0, pair[1])?;
+        }
+        Ok(())
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// The element at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in this graph.
+    pub fn element(&self, id: NodeId) -> &dyn Element {
+        self.nodes[id.0].as_ref()
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Applies `f` to every element mutably (profiling-window control).
+    pub fn for_each_element_mut<F: FnMut(&mut dyn Element)>(&mut self, mut f: F) {
+        for n in &mut self.nodes {
+            f(n.as_mut());
+        }
+    }
+
+    /// Nodes with no incoming edges (graph entries).
+    pub fn entries(&self) -> Vec<NodeId> {
+        let mut has_in = vec![false; self.nodes.len()];
+        for e in &self.edges {
+            has_in[e.to.0] = true;
+        }
+        (0..self.nodes.len())
+            .filter(|&i| !has_in[i])
+            .map(NodeId)
+            .collect()
+    }
+
+    /// Topological order of nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Cycle`] if the graph is cyclic.
+    pub fn topo_order(&self) -> Result<Vec<NodeId>, GraphError> {
+        let n = self.nodes.len();
+        let mut indeg = vec![0usize; n];
+        for e in &self.edges {
+            indeg[e.to.0] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            order.push(NodeId(u));
+            for e in self.edges.iter().filter(|e| e.from.0 == u) {
+                indeg[e.to.0] -= 1;
+                if indeg[e.to.0] == 0 {
+                    queue.push(e.to.0);
+                }
+            }
+        }
+        if order.len() != n {
+            let stuck = (0..n).find(|&i| indeg[i] > 0).unwrap_or(0);
+            return Err(GraphError::Cycle(NodeId(stuck)));
+        }
+        Ok(order)
+    }
+
+    /// Validates the graph and produces an executable [`CompiledGraph`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Empty`] for empty graphs and
+    /// [`GraphError::Cycle`] for cyclic ones.
+    pub fn compile(self) -> Result<CompiledGraph, GraphError> {
+        if self.nodes.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        let order = self.topo_order()?;
+        // Per-node, per-port wiring table.
+        let mut wiring: Vec<Vec<Option<(NodeId, usize)>>> = self
+            .nodes
+            .iter()
+            .map(|n| vec![None; n.n_outputs()])
+            .collect();
+        for (idx, e) in self.edges.iter().enumerate() {
+            wiring[e.from.0][e.port] = Some((e.to, idx));
+        }
+        let stats = GraphStats::new(self.nodes.len(), self.edges.len());
+        Ok(CompiledGraph {
+            graph: self,
+            order,
+            wiring,
+            stats,
+        })
+    }
+}
+
+/// Per-node counters accumulated by the engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Packets entering the element.
+    pub packets_in: u64,
+    /// Packets leaving on all output ports.
+    pub packets_out: u64,
+    /// Bytes entering the element.
+    pub bytes_in: u64,
+    /// Packets the element dropped (in minus out, for single-copy
+    /// elements; duplicating elements can make this negative-free by
+    /// reporting zero).
+    pub dropped: u64,
+    /// Batches processed.
+    pub batches: u64,
+}
+
+/// Traffic statistics for one compiled graph — the measurement substrate of
+/// the paper's runtime profiler (§IV-C2 samples next-element destinations
+/// to obtain per-edge traffic intensities).
+#[derive(Debug, Clone, Default)]
+pub struct GraphStats {
+    nodes: Vec<NodeStats>,
+    edge_packets: Vec<u64>,
+    edge_bytes: Vec<u64>,
+    /// Packets dropped because they were emitted on an unwired port of a
+    /// multi-output element that also has wired ports... never happens with
+    /// egress semantics; kept for split accounting symmetry.
+    pub egress_packets: u64,
+}
+
+impl GraphStats {
+    fn new(n_nodes: usize, n_edges: usize) -> Self {
+        GraphStats {
+            nodes: vec![NodeStats::default(); n_nodes],
+            edge_packets: vec![0; n_edges],
+            edge_bytes: vec![0; n_edges],
+            egress_packets: 0,
+        }
+    }
+
+    /// Counters for one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> NodeStats {
+        self.nodes[id.0]
+    }
+
+    /// Packets that traversed edge `idx` (index into
+    /// [`ElementGraph::edges`]).
+    pub fn edge_packets(&self, idx: usize) -> u64 {
+        self.edge_packets[idx]
+    }
+
+    /// Bytes that traversed edge `idx`.
+    pub fn edge_bytes(&self, idx: usize) -> u64 {
+        self.edge_bytes[idx]
+    }
+
+    /// Total packets dropped anywhere in the graph.
+    pub fn total_dropped(&self) -> u64 {
+        self.nodes.iter().map(|n| n.dropped).sum()
+    }
+
+    /// Resets all counters (used between profiling windows).
+    pub fn reset(&mut self) {
+        for n in &mut self.nodes {
+            *n = NodeStats::default();
+        }
+        self.edge_packets.iter_mut().for_each(|c| *c = 0);
+        self.edge_bytes.iter_mut().for_each(|c| *c = 0);
+        self.egress_packets = 0;
+    }
+}
+
+/// A batch that left the graph through an unwired output port.
+#[derive(Debug)]
+pub struct Egress {
+    /// Node the batch left from.
+    pub node: NodeId,
+    /// Output port.
+    pub port: usize,
+    /// The batch itself.
+    pub batch: Batch,
+}
+
+/// A validated, executable element graph.
+#[derive(Debug, Clone)]
+pub struct CompiledGraph {
+    graph: ElementGraph,
+    order: Vec<NodeId>,
+    wiring: Vec<Vec<Option<(NodeId, usize)>>>,
+    stats: GraphStats,
+}
+
+impl CompiledGraph {
+    /// The underlying graph (structure and elements).
+    pub fn graph(&self) -> &ElementGraph {
+        &self.graph
+    }
+
+    /// Topological execution order.
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &GraphStats {
+        &self.stats
+    }
+
+    /// Resets accumulated statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Starts a fresh profiling window on every element (see
+    /// [`Element::begin_profile_window`]).
+    pub fn begin_profile_window(&mut self) {
+        self.graph
+            .for_each_element_mut(|el| el.begin_profile_window());
+    }
+
+    /// Pushes a batch into `entry` and runs the graph to quiescence,
+    /// returning all egress batches in deterministic (topological, then
+    /// port) order.
+    pub fn push(&mut self, entry: NodeId, batch: Batch) -> Vec<Egress> {
+        self.push_at(entry, batch, 0)
+    }
+
+    /// Like [`CompiledGraph::push`] with an explicit simulated timestamp
+    /// handed to stateful elements.
+    pub fn push_at(&mut self, entry: NodeId, batch: Batch, now_ns: u64) -> Vec<Egress> {
+        let mut ctx = RunCtx { now_ns };
+        let mut inbox: HashMap<usize, Vec<Batch>> = HashMap::new();
+        inbox.entry(entry.0).or_default().push(batch);
+        let mut egress = Vec::new();
+        for &nid in &self.order.clone() {
+            let Some(batches) = inbox.remove(&nid.0) else {
+                continue;
+            };
+            let mut input = Batch::merge_ordered(batches);
+            if input.is_empty() {
+                continue;
+            }
+            // merge_ordered counted a merge even for the single-batch
+            // common case; only charge real merges.
+            if input.lineage.merges > 0 {
+                input.lineage.merges -= 1;
+            }
+            let in_pkts = input.len() as u64;
+            let in_bytes = input.total_bytes() as u64;
+            let outputs = self.graph.nodes[nid.0].process(input, &mut ctx);
+            debug_assert_eq!(
+                outputs.len(),
+                self.graph.nodes[nid.0].n_outputs(),
+                "element {} returned wrong port count",
+                self.graph.nodes[nid.0].name()
+            );
+            let out_pkts: u64 = outputs.iter().map(|b| b.len() as u64).sum();
+            let st = &mut self.stats.nodes[nid.0];
+            st.packets_in += in_pkts;
+            st.bytes_in += in_bytes;
+            st.packets_out += out_pkts;
+            st.dropped += in_pkts.saturating_sub(out_pkts);
+            st.batches += 1;
+            for (port, out) in outputs.into_iter().enumerate() {
+                if out.is_empty() {
+                    continue;
+                }
+                match self.wiring[nid.0].get(port).copied().flatten() {
+                    Some((to, edge_idx)) => {
+                        self.stats.edge_packets[edge_idx] += out.len() as u64;
+                        self.stats.edge_bytes[edge_idx] += out.total_bytes() as u64;
+                        inbox.entry(to.0).or_default().push(out);
+                    }
+                    None => {
+                        self.stats.egress_packets += out.len() as u64;
+                        egress.push(Egress {
+                            node: nid,
+                            port,
+                            batch: out,
+                        });
+                    }
+                }
+            }
+        }
+        egress
+    }
+
+    /// Convenience: pushes a batch and merges every egress batch back into
+    /// one order-preserved batch (what a downstream NF in an SFC sees).
+    /// A single egress batch passes through without a (costed) merge.
+    pub fn push_merged(&mut self, entry: NodeId, batch: Batch) -> Batch {
+        let mut parts = self.push(entry, batch);
+        if parts.len() == 1 {
+            return parts.pop().expect("checked length").batch;
+        }
+        Batch::merge_ordered(parts.into_iter().map(|e| e.batch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elements::{Counter, Discard, ProtocolClassifier, Tee};
+    use nfc_packet::{headers::ip_proto, Packet};
+
+    fn pkt_udp(seq: u64) -> Packet {
+        let mut p = Packet::ipv4_udp([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, b"u");
+        p.meta.seq = seq;
+        p
+    }
+
+    fn pkt_tcp(seq: u64) -> Packet {
+        let mut p = Packet::ipv4_tcp([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, b"t", 0);
+        p.meta.seq = seq;
+        p
+    }
+
+    #[test]
+    fn chain_counts_and_egress() {
+        let mut g = ElementGraph::new();
+        let a = g.add(Counter::new("a"));
+        let b = g.add(Counter::new("b"));
+        g.connect(a, 0, b).unwrap();
+        let mut run = g.compile().unwrap();
+        let out = run.push(a, (0..5).map(pkt_udp).collect());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].batch.len(), 5);
+        assert_eq!(out[0].node, b);
+        assert_eq!(run.stats().node(a).packets_in, 5);
+        assert_eq!(run.stats().node(b).packets_in, 5);
+        assert_eq!(run.stats().edge_packets(0), 5);
+    }
+
+    #[test]
+    fn classifier_splits_and_discard_drops() {
+        let mut g = ElementGraph::new();
+        let cl = g.add(ProtocolClassifier::new("cl", vec![ip_proto::TCP]));
+        let keep = g.add(Counter::new("tcp"));
+        let drop = g.add(Discard::new());
+        g.connect(cl, 0, keep).unwrap();
+        g.connect(cl, 1, drop).unwrap();
+        let mut run = g.compile().unwrap();
+        let mixed: Batch = (0..10)
+            .map(|i| if i % 2 == 0 { pkt_tcp(i) } else { pkt_udp(i) })
+            .collect();
+        let out = run.push(cl, mixed);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].batch.len(), 5);
+        assert_eq!(run.stats().node(drop).dropped, 5);
+        assert_eq!(run.stats().total_dropped(), 5);
+        // Split lineage recorded.
+        assert_eq!(out[0].batch.lineage.splits, 1);
+    }
+
+    #[test]
+    fn tee_duplicates_and_merge_preserves_order() {
+        let mut g = ElementGraph::new();
+        let tee = g.add(Tee::new("tee", 2));
+        let x = g.add(Counter::new("x"));
+        let y = g.add(Counter::new("y"));
+        let join = g.add(Counter::new("join"));
+        g.connect(tee, 0, x).unwrap();
+        g.connect(tee, 1, y).unwrap();
+        g.connect(x, 0, join).unwrap();
+        g.connect(y, 0, join).unwrap();
+        let mut run = g.compile().unwrap();
+        let out = run.push(tee, (0..4).map(pkt_udp).collect());
+        // join received both copies: 8 packets.
+        assert_eq!(run.stats().node(join).packets_in, 8);
+        assert_eq!(out[0].batch.len(), 8);
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let mut g = ElementGraph::new();
+        let a = g.add(Counter::new("a"));
+        let b = g.add(Counter::new("b"));
+        g.connect(a, 0, b).unwrap();
+        g.connect(b, 0, a).unwrap();
+        assert!(matches!(g.compile(), Err(GraphError::Cycle(_))));
+    }
+
+    #[test]
+    fn bad_wiring_is_rejected() {
+        let mut g = ElementGraph::new();
+        let a = g.add(Counter::new("a"));
+        let b = g.add(Counter::new("b"));
+        assert!(matches!(
+            g.connect(a, 3, b),
+            Err(GraphError::BadPort { port: 3, .. })
+        ));
+        g.connect(a, 0, b).unwrap();
+        assert!(matches!(
+            g.connect(a, 0, b),
+            Err(GraphError::PortAlreadyWired { .. })
+        ));
+        assert!(matches!(
+            g.connect(NodeId(9), 0, b),
+            Err(GraphError::UnknownNode(NodeId(9)))
+        ));
+    }
+
+    #[test]
+    fn empty_graph_is_rejected() {
+        assert!(matches!(
+            ElementGraph::new().compile(),
+            Err(GraphError::Empty)
+        ));
+    }
+
+    #[test]
+    fn entries_finds_roots() {
+        let mut g = ElementGraph::new();
+        let a = g.add(Counter::new("a"));
+        let b = g.add(Counter::new("b"));
+        let c = g.add(Counter::new("c"));
+        g.connect(a, 0, c).unwrap();
+        g.connect(b, 0, c).unwrap();
+        assert_eq!(g.entries(), vec![a, b]);
+    }
+
+    #[test]
+    fn stats_reset_clears_counters() {
+        let mut g = ElementGraph::new();
+        let a = g.add(Counter::new("a"));
+        let mut run = g.compile().unwrap();
+        run.push(a, (0..3).map(pkt_udp).collect());
+        assert_eq!(run.stats().node(a).packets_in, 3);
+        run.reset_stats();
+        assert_eq!(run.stats().node(a).packets_in, 0);
+    }
+}

@@ -1,0 +1,321 @@
+//! Graph-partition task allocation (§IV-C3).
+//!
+//! Maps the expanded element graph onto CPU and GPU, producing per-element
+//! offload ratios. Three algorithms, matching the paper's design space:
+//! the multilevel **KL** algorithm (primary), the light-weight
+//! **seed-based agglomerative** clustering (scalable fallback), and the
+//! exact **MFMC** min-cut formulation (the model the paper cites; load-
+//! balance-blind, kept for ablation).
+
+use crate::expansion::Expansion;
+use crate::profiler::GraphWeights;
+use nfc_click::ElementGraph;
+use nfc_graphpart::{agglomerative, kl, maxflow, Objective, Partition, Side};
+use nfc_hetero::{CoRunContext, CostModel, GpuMode};
+
+/// Which partitioning algorithm the allocator runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionAlgo {
+    /// Multilevel modified Kernighan–Lin (the paper's primary scheme).
+    Kl,
+    /// Seed-based agglomerative clustering (the O(k log k) fallback).
+    Agglomerative,
+    /// Exact max-flow/min-cut on unary + cut energy (ablation).
+    Mfmc,
+}
+
+/// The allocation decision for one element graph.
+#[derive(Debug, Clone)]
+pub struct AllocationPlan {
+    /// Offload ratio per element, indexed by `NodeId.0` (0 = all CPU,
+    /// 1 = all GPU), snapped to the δ grid.
+    pub ratios: Vec<f64>,
+    /// The partitioner's predicted makespan cost, ns per batch.
+    pub predicted_cost_ns: f64,
+    /// Algorithm used.
+    pub algo: PartitionAlgo,
+}
+
+impl AllocationPlan {
+    /// An all-CPU plan for `n` elements.
+    pub fn cpu_only(n: usize) -> Self {
+        AllocationPlan {
+            ratios: vec![0.0; n],
+            predicted_cost_ns: f64::NAN,
+            algo: PartitionAlgo::Kl,
+        }
+    }
+
+    /// A plan offloading every offloadable element fully; `offloadable`
+    /// flags per element.
+    pub fn gpu_only(offloadable: &[bool]) -> Self {
+        AllocationPlan {
+            ratios: offloadable
+                .iter()
+                .map(|&o| if o { 1.0 } else { 0.0 })
+                .collect(),
+            predicted_cost_ns: f64::NAN,
+            algo: PartitionAlgo::Kl,
+        }
+    }
+
+    /// A uniform fixed ratio on offloadable elements.
+    pub fn fixed_ratio(offloadable: &[bool], ratio: f64) -> Self {
+        AllocationPlan {
+            ratios: offloadable
+                .iter()
+                .map(|&o| if o { ratio } else { 0.0 })
+                .collect(),
+            predicted_cost_ns: f64::NAN,
+            algo: PartitionAlgo::Kl,
+        }
+    }
+
+    /// Mean offload ratio over offloadable elements (reporting).
+    pub fn mean_offload(&self, offloadable: &[bool]) -> f64 {
+        let xs: Vec<f64> = self
+            .ratios
+            .iter()
+            .zip(offloadable)
+            .filter(|(_, &o)| o)
+            .map(|(&r, _)| r)
+            .collect();
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+    }
+}
+
+/// Execution-consistent cost of one stage under per-element `ratios`:
+/// mirrors the engine's scheduling (CPU side with carve/re-merge for
+/// partial ratios; GPU side with DMA, dispatch and kernels), returning the
+/// pipeline bottleneck time per batch in ns.
+pub fn stage_cost(
+    model: &CostModel,
+    weights: &GraphWeights,
+    corun: &CoRunContext,
+    ratios: &[f64],
+    mode: GpuMode,
+) -> f64 {
+    let batch = weights.entry_packets.round().max(1.0) as usize;
+    let mut cpu = 0.0;
+    let mut gpu = 0.0;
+    let mut gpu_bytes = 0.0f64;
+    let mut partial = false;
+    let mut any = false;
+    for (i, w) in weights.nodes.iter().enumerate() {
+        let r = ratios.get(i).copied().unwrap_or(0.0);
+        let r = if w.offloadable { r } else { 0.0 };
+        if r < 1.0 {
+            cpu += model.cpu_batch_ns(&w.load.fraction(1.0 - r), corun);
+        }
+        if r > 0.0 {
+            let g = model.gpu_batch_ns(&w.load.fraction(r), mode);
+            gpu += g.kernel_ns + g.dispatch_ns;
+            gpu_bytes = gpu_bytes.max(w.load.fraction(r).bytes as f64);
+            any = true;
+        }
+        if r > 0.0 && r < 1.0 {
+            partial = true;
+        }
+    }
+    if partial {
+        cpu += model.carve_ns(batch) + model.offload_merge_ns(batch);
+    }
+    if any {
+        let dma = model.platform().pcie.dma_latency_ns + gpu_bytes / model.platform().pcie.bw_gbs;
+        gpu += 2.0 * dma;
+    }
+    cpu.max(gpu)
+}
+
+/// The paper's "dynamic task adaption" (§IV-C3): coordinate descent on
+/// the δ grid refining a partitioner's ratios against the
+/// execution-consistent [`stage_cost`]. Converges in a few sweeps.
+pub fn adapt_ratios(
+    model: &CostModel,
+    weights: &GraphWeights,
+    corun: &CoRunContext,
+    plan: &mut AllocationPlan,
+    mode: GpuMode,
+    delta: f64,
+) {
+    let steps = (1.0 / delta).round().max(1.0) as i64;
+    let mut best_cost = stage_cost(model, weights, corun, &plan.ratios, mode);
+    for _ in 0..4 {
+        let mut improved = false;
+        for i in 0..plan.ratios.len() {
+            if !weights.nodes[i].offloadable {
+                continue;
+            }
+            let mut current = plan.ratios[i];
+            for s in 0..=steps {
+                let r = s as f64 / steps as f64;
+                if (r - current).abs() < 1e-9 {
+                    continue;
+                }
+                plan.ratios[i] = r;
+                let c = stage_cost(model, weights, corun, &plan.ratios, mode);
+                if c + 1e-9 < best_cost {
+                    best_cost = c;
+                    current = r;
+                    improved = true;
+                } else {
+                    plan.ratios[i] = current;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    plan.predicted_cost_ns = best_cost;
+}
+
+/// Runs the selected partitioner over the profiled, expanded graph.
+pub fn allocate(
+    graph: &ElementGraph,
+    weights: &GraphWeights,
+    algo: PartitionAlgo,
+    delta: f64,
+) -> AllocationPlan {
+    let exp = Expansion::expand(graph, weights, delta);
+    let objective = Objective::default();
+    let partition = match algo {
+        PartitionAlgo::Kl => kl::partition(
+            &exp.part,
+            kl::KlOptions {
+                objective,
+                ..Default::default()
+            },
+        ),
+        PartitionAlgo::Agglomerative => {
+            // Seed only the GPU side explicitly; the CPU-pinned I/O nodes
+            // provide the CPU anchors. Seeding both sides inside the
+            // slice mesh makes heavy-edge merging glue nearly everything
+            // to whichever seed comes first.
+            let seeds: Vec<_> = agglomerative::default_seeds(&exp.part)
+                .into_iter()
+                .filter(|s| s.side == Side::Gpu)
+                .collect();
+            agglomerative::partition(&exp.part, &seeds, objective)
+        }
+        PartitionAlgo::Mfmc => {
+            let unary: Vec<(f64, f64)> = (0..exp.part.len())
+                .map(|v| {
+                    let w = exp.part.weight(v);
+                    match exp.part.pin(v) {
+                        Some(Side::Cpu) => (w[0], f64::INFINITY),
+                        Some(Side::Gpu) => (f64::INFINITY, w[1]),
+                        None => (w[0], w[1]),
+                    }
+                })
+                .collect();
+            let edges: Vec<(usize, usize, f64)> = exp.part.edges().to_vec();
+            let labels = maxflow::mfmc_assign(&unary, &edges);
+            Partition(
+                labels
+                    .into_iter()
+                    .map(|g| if g { Side::Gpu } else { Side::Cpu })
+                    .collect(),
+            )
+        }
+    };
+    let predicted_cost_ns = objective.cost(&exp.part, &partition);
+    AllocationPlan {
+        ratios: exp.ratios(&partition),
+        predicted_cost_ns,
+        algo,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::Profiler;
+    use nfc_hetero::{CostModel, GpuMode, PlatformConfig};
+    use nfc_nf::Nf;
+    use nfc_packet::traffic::{SizeDist, TrafficGenerator, TrafficSpec};
+
+    fn weights_for(nf: &Nf, pkt: usize, batch: usize) -> GraphWeights {
+        let mut run = nf.graph().clone().compile().unwrap();
+        let mut gen = TrafficGenerator::new(TrafficSpec::udp(SizeDist::Fixed(pkt)), 3);
+        for _ in 0..8 {
+            run.push_merged(nf.entry(), gen.batch(batch));
+        }
+        let model = CostModel::new(PlatformConfig::hpca18());
+        Profiler::new(model, GpuMode::Persistent).measure(&run)
+    }
+
+    #[test]
+    fn ipsec_gets_partial_offload_from_kl() {
+        // The paper's Figure 6 behaviour must emerge from the allocator:
+        // IPsec lands at an interior offload ratio.
+        let nf = Nf::ipsec("ipsec");
+        let w = weights_for(&nf, 512, 256);
+        let plan = allocate(nf.graph(), &w, PartitionAlgo::Kl, 0.1);
+        let r = plan.ratios[nf.entry().0];
+        assert!(
+            (0.3..=1.0).contains(&r),
+            "IPsec should be mostly offloaded, got {r}"
+        );
+        assert!(plan.predicted_cost_ns.is_finite());
+    }
+
+    #[test]
+    fn ipv4_stays_on_cpu() {
+        // Figure 15: "GTA does not offload tasks to GPU at all for IPv4".
+        let nf = Nf::ipv4_forwarder("r", 100, 1);
+        let w = weights_for(&nf, 64, 256);
+        for algo in [PartitionAlgo::Kl, PartitionAlgo::Agglomerative] {
+            let plan = allocate(nf.graph(), &w, algo, 0.1);
+            let total: f64 = plan.ratios.iter().sum();
+            assert!(
+                total < 0.15,
+                "{algo:?} should keep IPv4 on CPU, ratios {:?}",
+                plan.ratios
+            );
+        }
+    }
+
+    #[test]
+    fn ratios_snap_to_delta_grid() {
+        let nf = Nf::ipsec("ipsec");
+        let w = weights_for(&nf, 512, 256);
+        let plan = allocate(nf.graph(), &w, PartitionAlgo::Kl, 0.1);
+        for r in &plan.ratios {
+            let snapped = (r * 10.0).round() / 10.0;
+            assert!((r - snapped).abs() < 1e-9, "ratio {r} not on the 10% grid");
+        }
+    }
+
+    #[test]
+    fn all_algorithms_produce_valid_plans() {
+        let nf = Nf::dpi("dpi");
+        let w = weights_for(&nf, 512, 256);
+        for algo in [
+            PartitionAlgo::Kl,
+            PartitionAlgo::Agglomerative,
+            PartitionAlgo::Mfmc,
+        ] {
+            let plan = allocate(nf.graph(), &w, algo, 0.1);
+            assert_eq!(plan.ratios.len(), nf.graph().node_count());
+            assert!(plan.ratios.iter().all(|r| (0.0..=1.0).contains(r)));
+            assert_eq!(plan.algo, algo);
+        }
+    }
+
+    #[test]
+    fn helper_plans() {
+        let offloadable = [true, false, true];
+        let gpu = AllocationPlan::gpu_only(&offloadable);
+        assert_eq!(gpu.ratios, vec![1.0, 0.0, 1.0]);
+        let cpu = AllocationPlan::cpu_only(3);
+        assert_eq!(cpu.ratios, vec![0.0; 3]);
+        let fixed = AllocationPlan::fixed_ratio(&offloadable, 0.7);
+        assert_eq!(fixed.ratios, vec![0.7, 0.0, 0.7]);
+        assert!((fixed.mean_offload(&offloadable) - 0.7).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,167 @@
+//! `nfcompass` — deploy a service function chain from the command line.
+//!
+//! ```text
+//! nfcompass --chain fw:1000,dpi,nat --policy nfcompass --pkt imix --batches 100
+//! nfcompass --chain ipsec,ids --policy cpu --pkt 256 --rate 20
+//! nfcompass --chain fw,ids --compare
+//! ```
+//!
+//! Chain NFs: `fw[:rules]`, `ids`, `dpi`, `ipsec`, `ipv4[:routes]`,
+//! `ipv6[:routes]`, `nat`, `lb[:backends]`, `probe`, `proxy`, `wanopt`,
+//! `streamids`. Policies: `cpu`, `gpu`, `fixed:<ratio>`, `nba`,
+//! `optimal`, `nfcompass`, `nfcompass-agglo`.
+
+use nfc_core::allocator::PartitionAlgo;
+use nfc_core::{Deployment, Policy, Sfc};
+use nfc_hetero::GpuMode;
+use nfc_nf::Nf;
+use nfc_packet::traffic::{SizeDist, TrafficGenerator, TrafficSpec};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: nfcompass --chain <nf[,nf...]> [--policy <p>] [--pkt <size|imix>] \
+         [--rate <gbps>] [--batch <n>] [--batches <n>] [--seed <n>] [--compare]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_nf(spec: &str, idx: usize) -> Nf {
+    let (kind, arg) = match spec.split_once(':') {
+        Some((k, a)) => (k, Some(a)),
+        None => (spec, None),
+    };
+    let num = |default: usize| -> usize { arg.and_then(|a| a.parse().ok()).unwrap_or(default) };
+    let name = format!("{kind}{idx}");
+    match kind {
+        "fw" | "firewall" => Nf::firewall(name, num(1000), 7 + idx as u64),
+        "ids" => Nf::ids(name),
+        "dpi" => Nf::dpi(name),
+        "ipsec" => Nf::ipsec(name),
+        "ipv4" | "router" => Nf::ipv4_forwarder(name, num(1000), 11 + idx as u64),
+        "ipv6" => Nf::ipv6_forwarder(name, num(500), 13 + idx as u64),
+        "nat" => Nf::nat(name, [203, 0, 113, 1]),
+        "lb" => Nf::load_balancer(name, num(4)),
+        "probe" => Nf::probe(name),
+        "proxy" => Nf::proxy(name),
+        "wanopt" => Nf::wan_optimizer(name),
+        "streamids" => Nf::stream_ids(name),
+        other => {
+            eprintln!("unknown NF: {other}");
+            usage()
+        }
+    }
+}
+
+fn parse_policy(spec: &str) -> Policy {
+    match spec {
+        "cpu" => Policy::CpuOnly,
+        "gpu" => Policy::GpuOnly {
+            mode: GpuMode::Persistent,
+        },
+        "nba" => Policy::NbaAdaptive,
+        "optimal" => Policy::Optimal,
+        "nfcompass" => Policy::nfcompass(),
+        "nfcompass-agglo" => Policy::NfCompass {
+            algo: PartitionAlgo::Agglomerative,
+            max_branches: 4,
+            synthesize: true,
+        },
+        other => {
+            if let Some(r) = other.strip_prefix("fixed:") {
+                if let Ok(ratio) = r.parse::<f64>() {
+                    return Policy::FixedRatio {
+                        ratio,
+                        mode: GpuMode::Persistent,
+                    };
+                }
+            }
+            eprintln!("unknown policy: {other}");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut chain_spec = None;
+    let mut policy = Policy::nfcompass();
+    let mut pkt = "imix".to_string();
+    let mut rate = 40.0f64;
+    let mut batch = 256usize;
+    let mut batches = 100usize;
+    let mut seed = 42u64;
+    let mut compare = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = || it.next().map(String::as_str).unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--chain" => chain_spec = Some(val().to_string()),
+            "--policy" => policy = parse_policy(val()),
+            "--pkt" => pkt = val().to_string(),
+            "--rate" => rate = val().parse().unwrap_or_else(|_| usage()),
+            "--batch" => batch = val().parse().unwrap_or_else(|_| usage()),
+            "--batches" => batches = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = val().parse().unwrap_or_else(|_| usage()),
+            "--compare" => compare = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage()
+            }
+        }
+    }
+    let Some(chain_spec) = chain_spec else {
+        usage()
+    };
+    let nfs: Vec<Nf> = chain_spec
+        .split(',')
+        .enumerate()
+        .map(|(i, s)| parse_nf(s.trim(), i))
+        .collect();
+    let sfc = Sfc::new(chain_spec.clone(), nfs);
+    println!("chain: {}", sfc.summary());
+    let size = if pkt == "imix" {
+        SizeDist::Imix
+    } else {
+        SizeDist::Fixed(pkt.parse().unwrap_or_else(|_| usage()))
+    };
+    let spec = TrafficSpec::udp(size).with_rate_gbps(rate);
+
+    let policies: Vec<Policy> = if compare {
+        vec![
+            Policy::CpuOnly,
+            Policy::GpuOnly {
+                mode: GpuMode::Persistent,
+            },
+            Policy::NbaAdaptive,
+            Policy::Optimal,
+            Policy::nfcompass(),
+        ]
+    } else {
+        vec![policy]
+    };
+    println!(
+        "{:<22} {:>9} {:>11} {:>11} {:>8} {:>6} {:>5}",
+        "policy", "Gbps", "p50 lat us", "p99 lat us", "egress", "width", "len"
+    );
+    for p in policies {
+        let mut dep = Deployment::new(sfc.clone(), p).with_batch_size(batch);
+        let mut traffic = TrafficGenerator::new(spec.clone(), seed);
+        let out = dep.run(&mut traffic, batches);
+        println!(
+            "{:<22} {:>9.2} {:>11.1} {:>11.1} {:>8} {:>6} {:>5}",
+            p.label(),
+            out.report.throughput_gbps,
+            out.report.p50_latency_ns / 1000.0,
+            out.report.p99_latency_ns / 1000.0,
+            out.egress_packets,
+            out.width,
+            out.effective_length
+        );
+        if !compare {
+            for (name, ratio) in &out.stage_offloads {
+                println!("  stage {name}: {:.0}% offloaded", ratio * 100.0);
+            }
+        }
+    }
+}

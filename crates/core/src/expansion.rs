@@ -1,0 +1,220 @@
+//! Fine-grained element expansion for graph partitioning (§IV-C1).
+//!
+//! A single offloadable element cannot carry one weight: its cost depends
+//! on how much of it is offloaded. The paper's solution (Figure 12) is to
+//! "create virtual instances of real element, where each virtual instance
+//! represents a portion of offloaded task (offload ratio increases as
+//! δ = 10 % in our design) or CPU-side task", so the partitioning phase
+//! assigns *slices* to processors and the offload ratio of an element is
+//! simply the fraction of its slices placed on the GPU.
+//!
+//! The expanded graph also contains CPU-pinned ingress/egress I/O nodes
+//! so the cut correctly prices moving batches to and from the NIC side.
+
+use crate::profiler::GraphWeights;
+use nfc_click::{ElementGraph, NodeId};
+use nfc_graphpart::{PartGraph, Partition, Side};
+
+/// Maps expanded-slice indices back to click elements.
+#[derive(Debug, Clone)]
+pub struct Expansion {
+    /// The partitioning input.
+    pub part: PartGraph,
+    /// For each part-graph node: the owning element (`None` for the I/O
+    /// nodes).
+    pub owner: Vec<Option<NodeId>>,
+    /// Slices per element, indexed by `NodeId.0` (1 for pinned elements).
+    pub n_slices: Vec<usize>,
+}
+
+impl Expansion {
+    /// Expands `graph` with profiled `weights`, slicing offloadable
+    /// elements at ratio granularity `delta` (the paper's 0.10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is not in `(0, 1]`.
+    pub fn expand(graph: &ElementGraph, weights: &GraphWeights, delta: f64) -> Self {
+        assert!(delta > 0.0 && delta <= 1.0, "delta must be in (0,1]");
+        let slices_per = (1.0 / delta).round().max(1.0) as usize;
+        let mut part = PartGraph::new();
+        let mut owner = Vec::new();
+        let mut n_slices = vec![1usize; graph.node_count()];
+        // element slice ids, indexed by NodeId.0
+        let mut slice_ids: Vec<Vec<usize>> = vec![Vec::new(); graph.node_count()];
+        for id in graph.node_ids() {
+            let w = &weights.nodes[id.0];
+            if w.offloadable && w.gpu.total().is_finite() {
+                let n = slices_per;
+                n_slices[id.0] = n;
+                // Kernel + dispatch are GPU-side costs; transfers become
+                // edge weights at the partition boundary (approximated on
+                // the I/O edges below and on cut edges).
+                let gpu_slice = (w.gpu.kernel_ns + w.gpu.dispatch_ns) / n as f64;
+                let cpu_slice = w.cpu_ns / n as f64;
+                for _ in 0..n {
+                    let pid = part.add_node(cpu_slice, gpu_slice);
+                    owner.push(Some(id));
+                    slice_ids[id.0].push(pid);
+                }
+            } else {
+                let pid = part.add_pinned(w.cpu_ns, f64::INFINITY, Side::Cpu);
+                owner.push(Some(id));
+                slice_ids[id.0].push(pid);
+            }
+        }
+        // Original edges: full mesh between slice sets, weight divided so
+        // the total cut equals the profiled transfer cost when the two
+        // elements land on different sides.
+        for (ei, e) in graph.edges().iter().enumerate() {
+            let t = weights.edge_transfer_ns[ei];
+            let from = &slice_ids[e.from.0];
+            let to = &slice_ids[e.to.0];
+            let w = t / (from.len() * to.len()) as f64;
+            for &u in from {
+                for &v in to {
+                    part.add_edge(u, v, w);
+                }
+            }
+        }
+        // Ingress/egress I/O pinned to the CPU side.
+        let entry_transfer = Self::batch_transfer_ns(weights);
+        let io_in = part.add_pinned(1.0, f64::INFINITY, Side::Cpu);
+        owner.push(None);
+        let io_out = part.add_pinned(1.0, f64::INFINITY, Side::Cpu);
+        owner.push(None);
+        for entry in graph.entries() {
+            let slices = &slice_ids[entry.0];
+            for &s in slices {
+                part.add_edge(io_in, s, entry_transfer / slices.len() as f64);
+            }
+        }
+        // Exit nodes: any node with an unwired output port.
+        let mut wired: Vec<usize> = vec![0; graph.node_count()];
+        for e in graph.edges() {
+            wired[e.from.0] += 1;
+        }
+        for id in graph.node_ids() {
+            if wired[id.0] < graph.element(id).n_outputs() || graph.element(id).n_outputs() == 0 {
+                if graph.element(id).n_outputs() == 0 {
+                    continue; // sinks keep packets; nothing returns to the NIC
+                }
+                let slices = &slice_ids[id.0];
+                for &s in slices {
+                    part.add_edge(io_out, s, entry_transfer / slices.len() as f64);
+                }
+            }
+        }
+        Expansion {
+            part,
+            owner,
+            n_slices,
+        }
+    }
+
+    fn batch_transfer_ns(weights: &GraphWeights) -> f64 {
+        // One DMA of the entry batch: priced like any profiled edge.
+        2_000.0 + weights.entry_bytes / 12.0
+    }
+
+    /// Converts a partition of the expanded graph into per-element
+    /// offload ratios (fraction of slices on the GPU), snapped to the
+    /// slice grid by construction.
+    pub fn ratios(&self, partition: &Partition) -> Vec<f64> {
+        let mut gpu_count = vec![0usize; self.n_slices.len()];
+        for (pid, owner) in self.owner.iter().enumerate() {
+            if let Some(node) = owner {
+                if partition.side(pid) == Side::Gpu {
+                    gpu_count[node.0] += 1;
+                }
+            }
+        }
+        gpu_count
+            .iter()
+            .zip(self.n_slices.iter())
+            .map(|(&g, &n)| g as f64 / n as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::Profiler;
+    use nfc_hetero::{CostModel, GpuMode, PlatformConfig};
+    use nfc_nf::Nf;
+    use nfc_packet::traffic::{SizeDist, TrafficGenerator, TrafficSpec};
+
+    fn weights_for(nf: &Nf, pkt: usize) -> (GraphWeights, ElementGraph) {
+        let mut run = nf.graph().clone().compile().unwrap();
+        let mut gen = TrafficGenerator::new(TrafficSpec::udp(SizeDist::Fixed(pkt)), 3);
+        for _ in 0..8 {
+            run.push_merged(nf.entry(), gen.batch(256));
+        }
+        let model = CostModel::new(PlatformConfig::hpca18());
+        let w = Profiler::new(model, GpuMode::Persistent).measure(&run);
+        (w, nf.graph().clone())
+    }
+
+    #[test]
+    fn offloadable_elements_get_ten_slices() {
+        let nf = Nf::ipsec("ipsec");
+        let (w, g) = weights_for(&nf, 512);
+        let exp = Expansion::expand(&g, &w, 0.1);
+        // ipsec NF = 1 offloadable element -> 10 slices + 2 io nodes.
+        assert_eq!(exp.part.len(), 12);
+        assert_eq!(exp.n_slices[nf.entry().0], 10);
+        // Slice weights sum back to the element weights.
+        let total_cpu: f64 = (0..10).map(|i| exp.part.weight(i)[0]).sum();
+        assert!((total_cpu - w.nodes[nf.entry().0].cpu_ns).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pinned_elements_stay_single() {
+        let nf = Nf::ipv4_forwarder("r", 50, 1);
+        let (w, g) = weights_for(&nf, 64);
+        let exp = Expansion::expand(&g, &w, 0.1);
+        // check(pinned) + lookup(10) + ttl(pinned) + mac(pinned) + 2 io.
+        assert_eq!(exp.part.len(), 1 + 10 + 1 + 1 + 2);
+        // Pins respected in the graph.
+        let pinned = (0..exp.part.len())
+            .filter(|&v| exp.part.pin(v).is_some())
+            .count();
+        assert_eq!(pinned, 3 + 2);
+    }
+
+    #[test]
+    fn ratios_recover_slice_assignment() {
+        let nf = Nf::ipsec("ipsec");
+        let (w, g) = weights_for(&nf, 512);
+        let exp = Expansion::expand(&g, &w, 0.1);
+        // Assign 7 of the 10 slices to the GPU by hand.
+        let mut sides = vec![Side::Cpu; exp.part.len()];
+        let mut moved = 0;
+        for (pid, owner) in exp.owner.iter().enumerate() {
+            if owner.is_some() && moved < 7 {
+                sides[pid] = Side::Gpu;
+                moved += 1;
+            }
+        }
+        let ratios = exp.ratios(&Partition(sides));
+        assert!((ratios[nf.entry().0] - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_controls_granularity() {
+        let nf = Nf::ipsec("ipsec");
+        let (w, g) = weights_for(&nf, 512);
+        assert_eq!(Expansion::expand(&g, &w, 0.2).n_slices[0], 5);
+        assert_eq!(Expansion::expand(&g, &w, 0.05).n_slices[0], 20);
+        assert_eq!(Expansion::expand(&g, &w, 1.0).n_slices[0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn bad_delta_panics() {
+        let nf = Nf::ipsec("ipsec");
+        let (w, g) = weights_for(&nf, 64);
+        Expansion::expand(&g, &w, 0.0);
+    }
+}

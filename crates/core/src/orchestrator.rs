@@ -1,0 +1,294 @@
+//! The SFC orchestrator: chain re-organization and XOR-based merging.
+//!
+//! §IV-B1: the orchestrator "analyzes the order-dependency of NFs in a
+//! SFC and examines if certain NFs could be processed in parallel",
+//! duplicating traffic to parallel branches and merging the results with
+//! exclusive-or logic: each branch's output is XORed with the original
+//! packet to extract its modified bits, the modifications are ORed
+//! together, and the aggregate is XORed back onto the original packet.
+
+use crate::depend;
+use crate::sfc::Sfc;
+use nfc_packet::{Batch, Packet};
+use std::collections::HashMap;
+
+/// A re-organized SFC: parallel branches, each a sequential sub-chain of
+/// indices into the original chain. One branch = the original sequential
+/// chain (Figure 13 a); four singleton branches = fully parallel (b);
+/// two branches of two = width-limited (c).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReorgSfc {
+    branches: Vec<Vec<usize>>,
+}
+
+impl ReorgSfc {
+    /// Re-organizes `sfc` using Table II/III dependency analysis, with at
+    /// most `max_branches` parallel branches.
+    pub fn analyze(sfc: &Sfc, max_branches: usize) -> Self {
+        let profiles: Vec<_> = sfc.nfs().iter().map(|nf| nf.action_profile()).collect();
+        let stateful: Vec<bool> = sfc.nfs().iter().map(|nf| nf.is_stateful()).collect();
+        ReorgSfc {
+            branches: depend::assign_branches(&profiles, &stateful, max_branches),
+        }
+    }
+
+    /// The unmodified sequential plan.
+    pub fn sequential(sfc: &Sfc) -> Self {
+        ReorgSfc {
+            branches: vec![(0..sfc.len()).collect()],
+        }
+    }
+
+    /// Builds a plan from explicit branches (for reproducing the paper's
+    /// fixed configurations).
+    pub fn from_branches(branches: Vec<Vec<usize>>) -> Self {
+        ReorgSfc { branches }
+    }
+
+    /// The branches (chain indices).
+    pub fn branches(&self) -> &[Vec<usize>] {
+        &self.branches
+    }
+
+    /// Effective SFC length: the longest branch (the paper's
+    /// "effective length of SFC configuration").
+    pub fn effective_length(&self) -> usize {
+        self.branches.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Number of parallel branches.
+    pub fn width(&self) -> usize {
+        self.branches.len()
+    }
+}
+
+/// Merges parallel-branch outputs for one packet, paper-style:
+/// `result = orig ^ OR_i(orig ^ out_i)`.
+///
+/// * A packet dropped by any branch (absent from `outputs`) is dropped.
+/// * If exactly one branch resized the packet and every other branch
+///   returned it unmodified, the resized packet wins.
+/// * Two branches resizing, or a resize combined with another branch's
+///   modification, is a merge conflict → packet dropped (the orchestrator
+///   only parallelizes NFs for which this cannot happen; the check is
+///   defense in depth).
+pub fn xor_merge(original: &Packet, outputs: &[Option<&Packet>]) -> Option<Packet> {
+    if outputs.iter().any(|o| o.is_none()) {
+        return None; // drop wins
+    }
+    let orig_bytes = original.data();
+    let mut resized: Option<&Packet> = None;
+    let mut agg = vec![0u8; orig_bytes.len()];
+    let mut any_same_len_mod = false;
+    for out in outputs.iter().flatten() {
+        if out.len() != original.len() {
+            match resized {
+                // Identical resized outputs agree (e.g. the paper's
+                // prescribed chains of identical NFs): accept one copy.
+                Some(prev) if prev.data() == out.data() => continue,
+                Some(_) => return None, // diverging resizers: conflict
+                None => {}
+            }
+            resized = Some(out);
+            continue;
+        }
+        for (i, (a, b)) in agg
+            .iter_mut()
+            .zip(orig_bytes.iter().zip(out.data()))
+            .enumerate()
+        {
+            let diff = b.0 ^ b.1;
+            let _ = i;
+            if diff != 0 {
+                any_same_len_mod = true;
+            }
+            *a |= diff;
+        }
+    }
+    if let Some(r) = resized {
+        if any_same_len_mod {
+            return None; // resize + modification: conflict
+        }
+        let mut merged = r.clone();
+        merged.meta = original.meta;
+        return Some(merged);
+    }
+    let mut merged = original.clone();
+    for (dst, diff) in merged.data_mut().iter_mut().zip(agg.iter()) {
+        *dst ^= diff;
+    }
+    Some(merged)
+}
+
+/// Merges per-branch output batches against the pre-duplication batch,
+/// matching packets by sequence number. Returns the merged batch in
+/// original order, plus the number of merge conflicts encountered.
+pub fn merge_branch_batches(original: &Batch, branch_outputs: &[Batch]) -> (Batch, u64) {
+    let mut by_seq: Vec<HashMap<u64, &Packet>> = branch_outputs
+        .iter()
+        .map(|b| b.iter().map(|p| (p.meta.seq, p)).collect())
+        .collect();
+    let mut merged = Batch::with_capacity(original.len());
+    let mut conflicts = 0u64;
+    for orig in original.iter() {
+        let outs: Vec<Option<&Packet>> = by_seq
+            .iter_mut()
+            .map(|m| m.remove(&orig.meta.seq))
+            .collect();
+        // A branch that dropped the packet yields None -> drop wins.
+        match xor_merge(orig, &outs) {
+            Some(p) => merged.push(p),
+            None => {
+                if outs.iter().all(|o| o.is_some()) {
+                    conflicts += 1;
+                }
+            }
+        }
+    }
+    merged.lineage = original.lineage;
+    merged.lineage.merges += 1;
+    (merged, conflicts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfc_nf::Nf;
+
+    fn pkt(seq: u64, payload: &[u8]) -> Packet {
+        let mut p = Packet::ipv4_udp([10, 0, 0, 1], [172, 16, 0, 2], 1000, 2000, payload);
+        p.meta.seq = seq;
+        p
+    }
+
+    #[test]
+    fn analyze_reduces_readonly_chain() {
+        let sfc = Sfc::new(
+            "fw4",
+            (0..4)
+                .map(|i| Nf::firewall(format!("fw{i}"), 50, 1))
+                .collect(),
+        );
+        let plan = ReorgSfc::analyze(&sfc, 4);
+        assert_eq!(plan.effective_length(), 1);
+        assert_eq!(plan.width(), 4);
+        let plan2 = ReorgSfc::analyze(&sfc, 2);
+        assert_eq!(plan2.effective_length(), 2);
+        let seq = ReorgSfc::sequential(&sfc);
+        assert_eq!(seq.effective_length(), 4);
+        assert_eq!(seq.width(), 1);
+    }
+
+    #[test]
+    fn xor_merge_combines_disjoint_writes() {
+        let orig = pkt(1, &[0u8; 8]);
+        // Branch A flips payload byte 0; branch B flips payload byte 3.
+        let mut a = orig.clone();
+        a.l4_payload_mut().unwrap()[0] = 0xAA;
+        let mut b = orig.clone();
+        b.l4_payload_mut().unwrap()[3] = 0xBB;
+        let merged = xor_merge(&orig, &[Some(&a), Some(&b)]).unwrap();
+        let pl = merged.l4_payload().unwrap();
+        assert_eq!(pl[0], 0xAA);
+        assert_eq!(pl[3], 0xBB);
+        assert_eq!(pl[1], 0);
+    }
+
+    #[test]
+    fn xor_merge_drop_wins() {
+        let orig = pkt(1, b"x");
+        let a = orig.clone();
+        assert!(xor_merge(&orig, &[Some(&a), None]).is_none());
+    }
+
+    #[test]
+    fn xor_merge_unmodified_passthrough() {
+        let orig = pkt(2, b"hello");
+        let a = orig.clone();
+        let b = orig.clone();
+        let merged = xor_merge(&orig, &[Some(&a), Some(&b)]).unwrap();
+        assert_eq!(merged.data(), orig.data());
+    }
+
+    #[test]
+    fn xor_merge_single_resizer_wins() {
+        let orig = pkt(3, b"abc");
+        let mut resized = orig.clone();
+        resized.replace_l4_payload(b"much longer payload").unwrap();
+        let reader = orig.clone();
+        let merged = xor_merge(&orig, &[Some(&reader), Some(&resized)]).unwrap();
+        assert_eq!(merged.l4_payload().unwrap(), b"much longer payload");
+        assert_eq!(merged.meta.seq, 3);
+    }
+
+    #[test]
+    fn xor_merge_conflicts_are_detected() {
+        let orig = pkt(4, b"abcdef");
+        let mut resized = orig.clone();
+        resized.replace_l4_payload(b"zz").unwrap();
+        let mut modified = orig.clone();
+        modified.l4_payload_mut().unwrap()[0] = b'X';
+        // resize + modification
+        assert!(xor_merge(&orig, &[Some(&resized), Some(&modified)]).is_none());
+        // two resizers
+        let mut r2 = orig.clone();
+        r2.replace_l4_payload(b"yyy").unwrap();
+        assert!(xor_merge(&orig, &[Some(&resized), Some(&r2)]).is_none());
+    }
+
+    #[test]
+    fn merge_batches_matches_by_seq_and_counts_conflicts() {
+        let original: Batch = (0..4).map(|i| pkt(i, &[0u8; 4])).collect();
+        // Branch 0 passes everything; branch 1 drops seq 2 and modifies 1.
+        let b0 = original.clone();
+        let mut b1 = original.clone();
+        b1.retain(|p| p.meta.seq != 2);
+        for p in b1.iter_mut() {
+            if p.meta.seq == 1 {
+                p.l4_payload_mut().unwrap()[0] = 7;
+            }
+        }
+        let (merged, conflicts) = merge_branch_batches(&original, &[b0, b1]);
+        assert_eq!(conflicts, 0);
+        let seqs: Vec<u64> = merged.iter().map(|p| p.meta.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 3]);
+        assert_eq!(merged.get(1).unwrap().l4_payload().unwrap()[0], 7);
+        assert_eq!(merged.lineage.merges, 1);
+    }
+
+    #[test]
+    fn sequential_equivalence_for_parallelizable_nfs() {
+        // Running FW | IDS in parallel with XOR merge must equal running
+        // them sequentially (both read-only, IDS drops).
+        use nfc_packet::traffic::{PayloadPolicy, SizeDist, TrafficGenerator, TrafficSpec};
+        let fw = Nf::firewall("fw", 100, 1);
+        let ids = Nf::ids("ids");
+        let spec = TrafficSpec::udp(SizeDist::Fixed(256)).with_payload(PayloadPolicy::MatchRatio {
+            patterns: Nf::default_ids_signatures(),
+            ratio: 0.3,
+        });
+        let mut gen = TrafficGenerator::new(spec, 11);
+        let batch = gen.batch(64);
+
+        // Sequential.
+        let mut fw_run = fw.graph().clone().compile().unwrap();
+        let mut ids_run = ids.graph().clone().compile().unwrap();
+        let mid = fw_run.push_merged(fw.entry(), batch.clone());
+        let seq_out = ids_run.push_merged(ids.entry(), mid);
+
+        // Parallel + merge.
+        let mut fw_run2 = fw.graph().clone().compile().unwrap();
+        let mut ids_run2 = ids.graph().clone().compile().unwrap();
+        let out_fw = fw_run2.push_merged(fw.entry(), batch.clone());
+        let out_ids = ids_run2.push_merged(ids.entry(), batch.clone());
+        let (par_out, conflicts) = merge_branch_batches(&batch, &[out_fw, out_ids]);
+
+        assert_eq!(conflicts, 0);
+        let s1: Vec<u64> = seq_out.iter().map(|p| p.meta.seq).collect();
+        let s2: Vec<u64> = par_out.iter().map(|p| p.meta.seq).collect();
+        assert_eq!(s1, s2, "same packets survive");
+        for (a, b) in seq_out.iter().zip(par_out.iter()) {
+            assert_eq!(a.data(), b.data(), "identical bytes");
+        }
+    }
+}

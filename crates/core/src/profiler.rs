@@ -1,0 +1,325 @@
+//! Runtime + offline profiling (§IV-C2).
+//!
+//! The paper combines two information sources as graph weights:
+//! *traffic-related statistics* sampled from the live element graph
+//! (per-edge packet-flow distribution and per-element utilization, which
+//! `nfc-click` accumulates in [`GraphStats`]) and *performance-related
+//! statistics* from offline profiling (per-element processing rates on
+//! CPU and GPU across packet sizes and intensities, which the calibrated
+//! [`CostModel`] supplies). NFCompass "uses a dictionary to store the
+//! profiling information, indexed by vertex ID and edge ID" — here
+//! [`GraphWeights`] plus the persistable [`ProfileDictionary`].
+//!
+//! [`GraphStats`]: nfc_click::GraphStats
+
+use nfc_click::{CompiledGraph, NodeId, Offload};
+use nfc_hetero::cost::GpuTime;
+use nfc_hetero::{CoRunContext, CostModel, ElementLoad, GpuMode};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-element profiled weight (averages per batch).
+#[derive(Debug, Clone, Copy)]
+pub struct NodeWeight {
+    /// Average load of one batch at this element.
+    pub load: ElementLoad,
+    /// CPU time per batch, ns.
+    pub cpu_ns: f64,
+    /// GPU path breakdown per batch (kernel + transfers + dispatch);
+    /// infinite kernel time for non-offloadable elements.
+    pub gpu: GpuTime,
+    /// Whether the element has a GPU implementation.
+    pub offloadable: bool,
+}
+
+/// Profiled weights for one element graph.
+#[derive(Debug, Clone)]
+pub struct GraphWeights {
+    /// Per-node weights, indexed by `NodeId.0`.
+    pub nodes: Vec<NodeWeight>,
+    /// Per-edge one-way transfer cost (ns) if the edge is cut across the
+    /// PCIe boundary; indexed like `ElementGraph::edges`.
+    pub edge_transfer_ns: Vec<f64>,
+    /// Average batch packet count at the graph entry.
+    pub entry_packets: f64,
+    /// Average batch bytes at the graph entry.
+    pub entry_bytes: f64,
+}
+
+/// Derives graph weights from live statistics and the cost model.
+#[derive(Debug, Clone, Copy)]
+pub struct Profiler {
+    /// Cost model in effect.
+    pub model: CostModel,
+    /// GPU dispatch mode assumed for GPU-side weights.
+    pub mode: GpuMode,
+}
+
+impl Profiler {
+    /// Creates a profiler.
+    pub fn new(model: CostModel, mode: GpuMode) -> Self {
+        Profiler { model, mode }
+    }
+
+    /// Computes weights from the statistics accumulated in `run`
+    /// (drive representative traffic through the compiled graph first).
+    pub fn measure(&self, run: &CompiledGraph) -> GraphWeights {
+        self.measure_with_corun(run, &CoRunContext::solo())
+    }
+
+    /// Like [`Profiler::measure`] with an explicit co-run context, so CPU
+    /// weights reflect the cache interference the element will actually
+    /// see next to its co-deployed NFs.
+    pub fn measure_with_corun(&self, run: &CompiledGraph, corun: &CoRunContext) -> GraphWeights {
+        let g = run.graph();
+        let stats = run.stats();
+        let ctx = corun.clone();
+        let mut nodes = Vec::with_capacity(g.node_count());
+        for id in g.node_ids() {
+            let el = g.element(id);
+            let st = stats.node(id);
+            let batches = st.batches.max(1) as f64;
+            let packets = (st.packets_in as f64 / batches).round() as usize;
+            let bytes = (st.bytes_in as f64 / batches).round() as usize;
+            let kernel = match el.offload() {
+                Offload::Offloadable { kernel } => Some(kernel),
+                Offload::CpuOnly => None,
+            };
+            let mut load = ElementLoad::new(el.work(), kernel, packets, bytes);
+            load.divergence = el.divergence();
+            load.match_factor = el.content_factor();
+            let cpu_ns = self.model.cpu_batch_ns(&load, &ctx);
+            let gpu = self.model.gpu_batch_ns(&load, self.mode);
+            nodes.push(NodeWeight {
+                load,
+                cpu_ns,
+                gpu,
+                offloadable: kernel.is_some(),
+            });
+        }
+        let edge_transfer_ns = (0..g.edges().len())
+            .map(|i| {
+                let batches = stats.node(g.edges()[i].from).batches.max(1) as f64;
+                let bytes = stats.edge_bytes(i) as f64 / batches;
+                self.model.platform().pcie.dma_latency_ns
+                    + bytes / self.model.platform().pcie.bw_gbs
+            })
+            .collect();
+        let entry = g.entries().first().copied().unwrap_or(NodeId(0));
+        let est = stats.node(entry);
+        let eb = est.batches.max(1) as f64;
+        GraphWeights {
+            nodes,
+            edge_transfer_ns,
+            entry_packets: est.packets_in as f64 / eb,
+            entry_bytes: est.bytes_in as f64 / eb,
+        }
+    }
+}
+
+/// One record of the offline profiling dictionary: processing rates for
+/// an element kind at a given packet size and batch size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfileRecord {
+    /// CPU-side throughput, packets per second.
+    pub cpu_pps: f64,
+    /// GPU-side throughput (kernel + transfers, persistent mode), pps.
+    pub gpu_pps: f64,
+    /// GPU transfer share of the batch time, 0–1.
+    pub gpu_transfer_share: f64,
+}
+
+/// The persistable offline profiling dictionary (paper §IV-C2: "The
+/// offline profiling collects the processing rates (packets/second) of
+/// all Click elements on CPU and GPU under various input traffic
+/// intensities ... and packet sizes").
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProfileDictionary {
+    map: HashMap<String, ProfileRecord>,
+}
+
+impl ProfileDictionary {
+    /// Builds the dictionary for a set of element kinds by sweeping
+    /// packet sizes 64–1500 B (step 64) and batch sizes 32–1024.
+    pub fn build_offline(
+        model: &CostModel,
+        kinds: &[(&str, nfc_click::WorkProfile, Option<nfc_click::KernelClass>)],
+    ) -> Self {
+        let solo = CoRunContext::solo();
+        let mut map = HashMap::new();
+        for (kind, work, kernel) in kinds {
+            for pkt in (64..=1500).step_by(64) {
+                for batch in [32usize, 64, 128, 256, 512, 1024] {
+                    let load = ElementLoad::new(*work, *kernel, batch, batch * pkt);
+                    let cpu_ns = model.cpu_batch_ns(&load, &solo);
+                    let gpu = model.gpu_batch_ns(&load, GpuMode::Persistent);
+                    let rec = ProfileRecord {
+                        cpu_pps: batch as f64 * 1e9 / cpu_ns.max(1.0),
+                        gpu_pps: if gpu.total().is_finite() {
+                            batch as f64 * 1e9 / gpu.total().max(1.0)
+                        } else {
+                            0.0
+                        },
+                        gpu_transfer_share: if gpu.total().is_finite() && gpu.total() > 0.0 {
+                            gpu.transfer_ns() / gpu.total()
+                        } else {
+                            0.0
+                        },
+                    };
+                    map.insert(Self::key(kind, pkt, batch), rec);
+                }
+            }
+        }
+        ProfileDictionary { map }
+    }
+
+    /// Dictionary key for an element kind / packet size / batch size.
+    pub fn key(kind: &str, pkt_size: usize, batch: usize) -> String {
+        format!("{kind}/{pkt_size}/{batch}")
+    }
+
+    /// Looks up a record, bucketing the packet size to the sweep grid
+    /// (64-byte steps, capped at the 1472 top bucket).
+    pub fn get(&self, kind: &str, pkt_size: usize, batch: usize) -> Option<ProfileRecord> {
+        let bucket = (((pkt_size.clamp(64, 1472) + 63) / 64) * 64).min(1472);
+        let batch_bucket = [32usize, 64, 128, 256, 512, 1024]
+            .into_iter()
+            .min_by_key(|b| b.abs_diff(batch))
+            .unwrap_or(64);
+        self.map
+            .get(&Self::key(kind, bucket, batch_bucket))
+            .copied()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Serializes to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serde errors.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serde errors.
+    pub fn from_json(s: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfc_click::{KernelClass, WorkProfile};
+    use nfc_hetero::PlatformConfig;
+    use nfc_nf::Nf;
+    use nfc_packet::traffic::{SizeDist, TrafficGenerator, TrafficSpec};
+
+    fn model() -> CostModel {
+        CostModel::new(PlatformConfig::hpca18())
+    }
+
+    #[test]
+    fn measure_reflects_traffic_and_drops() {
+        let nf = Nf::ipv4_forwarder("r", 100, 1);
+        let mut run = nf.graph().clone().compile().unwrap();
+        let mut gen = TrafficGenerator::new(TrafficSpec::udp(SizeDist::Fixed(128)), 3);
+        for _ in 0..10 {
+            let b = gen.batch(64);
+            run.push_merged(nf.entry(), b);
+        }
+        let w = Profiler::new(model(), GpuMode::Persistent).measure(&run);
+        assert_eq!(w.nodes.len(), nf.graph().node_count());
+        assert!((w.entry_packets - 64.0).abs() < 1e-9);
+        assert!(w.entry_bytes > 0.0);
+        // The lookup element is offloadable with finite GPU time; the
+        // TTL/MAC stages are CPU-pinned.
+        let offloadables: Vec<bool> = w.nodes.iter().map(|n| n.offloadable).collect();
+        assert!(offloadables.contains(&true));
+        assert!(offloadables.contains(&false));
+        for n in &w.nodes {
+            if n.offloadable {
+                assert!(n.gpu.total().is_finite());
+            }
+            assert!(n.cpu_ns > 0.0);
+        }
+        // Edge transfers priced.
+        assert_eq!(w.edge_transfer_ns.len(), nf.graph().edges().len());
+        assert!(w.edge_transfer_ns.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn ids_content_factor_reaches_weights() {
+        use nfc_packet::traffic::PayloadPolicy;
+        let nf = Nf::dpi("dpi");
+        let mut run = nf.graph().clone().compile().unwrap();
+        let spec = TrafficSpec::udp(SizeDist::Fixed(512)).with_payload(PayloadPolicy::MatchRatio {
+            patterns: Nf::default_ids_signatures(),
+            ratio: 1.0,
+        });
+        let mut gen = TrafficGenerator::new(spec, 5);
+        for _ in 0..5 {
+            run.push_merged(nf.entry(), gen.batch(64));
+        }
+        let w = Profiler::new(model(), GpuMode::Persistent).measure(&run);
+        let matcher = w
+            .nodes
+            .iter()
+            .find(|n| n.load.match_factor > 1.0)
+            .expect("full-match traffic should raise the content factor");
+        assert!(matcher.load.match_factor > 3.0);
+    }
+
+    #[test]
+    fn dictionary_roundtrip_and_lookup() {
+        let kinds = vec![
+            (
+                "ipsec",
+                WorkProfile::new(150.0, 22.0),
+                Some(KernelClass::Crypto),
+            ),
+            ("lookup", WorkProfile::per_packet(60.0), None),
+        ];
+        let dict = ProfileDictionary::build_offline(&model(), &kinds);
+        assert!(!dict.is_empty());
+        let rec = dict.get("ipsec", 777, 200).expect("bucketed lookup");
+        assert!(rec.cpu_pps > 0.0);
+        assert!(rec.gpu_pps > 0.0);
+        assert!(rec.gpu_transfer_share > 0.0 && rec.gpu_transfer_share < 1.0);
+        // Non-offloadable kind has zero GPU rate.
+        let rec = dict.get("lookup", 64, 32).unwrap();
+        assert_eq!(rec.gpu_pps, 0.0);
+        // JSON round-trip.
+        let json = dict.to_json().unwrap();
+        let back = ProfileDictionary::from_json(&json).unwrap();
+        assert_eq!(back.len(), dict.len());
+    }
+
+    #[test]
+    fn crypto_gpu_beats_cpu_in_dictionary() {
+        let kinds = vec![(
+            "ipsec",
+            WorkProfile::new(150.0, 22.0),
+            Some(KernelClass::Crypto),
+        )];
+        let dict = ProfileDictionary::build_offline(&model(), &kinds);
+        let rec = dict.get("ipsec", 1024, 1024).unwrap();
+        assert!(
+            rec.gpu_pps > rec.cpu_pps,
+            "large-batch crypto should be faster on GPU: {rec:?}"
+        );
+    }
+}

@@ -1,0 +1,1200 @@
+//! The NFCompass execution engine and the baseline deployment policies.
+//!
+//! A [`Deployment`] runs a [`Sfc`] under a [`Policy`] with a *two-layer*
+//! execution model:
+//!
+//! * **Functional layer** — every batch really flows through the NFs'
+//!   element graphs (packets are encrypted, matched, rewritten, dropped;
+//!   parallel branches are duplicated and XOR-merged), so outputs are
+//!   real and per-element traffic statistics are measured, not assumed.
+//! * **Temporal layer** — each batch's processing is scheduled on the
+//!   simulated heterogeneous platform ([`PipelineSim`]): per-NF CPU core
+//!   sets, GPU command queues with launch/persistent dispatch costs and
+//!   context switches, PCIe DMA, batch split/merge re-organization
+//!   overheads, and cache co-run interference.
+//!
+//! Policies reproduce the paper's comparison points: `CpuOnly` is the
+//! FastClick-like batched CPU baseline, `NbaAdaptive` mimics NBA's
+//! per-NF adaptive offloading (launch-per-batch kernels, local optima,
+//! no SFC re-organization), `Optimal` is the paper's manual exhaustive
+//! ratio search, and `NfCompass` applies chain parallelization, NF
+//! synthesis, graph-partition allocation and persistent kernels.
+
+use crate::allocator::{allocate, AllocationPlan, PartitionAlgo};
+use crate::orchestrator::{merge_branch_batches, ReorgSfc};
+use crate::profiler::{GraphWeights, Profiler};
+use crate::sfc::Sfc;
+use crate::synthesizer::{synthesize, SynthesisReport};
+use nfc_click::{CompiledGraph, Offload};
+use nfc_hetero::{
+    calib, CoRunContext, CostModel, GpuMode, PipelineSim, PlatformConfig, ResourceId, SimReport,
+};
+use nfc_nf::Nf;
+use nfc_packet::traffic::TrafficGenerator;
+use nfc_packet::Batch;
+
+/// How a deployment schedules work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Policy {
+    /// All work on CPU cores, batched (FastClick-like baseline).
+    CpuOnly,
+    /// Every offloadable element fully offloaded.
+    GpuOnly {
+        /// Kernel dispatch mode.
+        mode: GpuMode,
+    },
+    /// One uniform offload ratio for every offloadable element.
+    FixedRatio {
+        /// Fraction offloaded, 0–1.
+        ratio: f64,
+        /// Kernel dispatch mode.
+        mode: GpuMode,
+    },
+    /// NBA-like per-NF adaptive offloading: locally optimal ratio per
+    /// NF, launch-per-batch kernels, no SFC re-organization.
+    NbaAdaptive,
+    /// The paper's "Optimal": exhaustive per-NF ratio search with
+    /// persistent kernels (upper baseline of Figure 15).
+    Optimal,
+    /// SFC re-organization only, with a forced uniform offload ratio —
+    /// the paper's §V-B setup ("We disable our graph-partition based
+    /// task allocation in this part"): CPU-only platform = `ratio` 0,
+    /// GPU-only platform = `ratio` 1.
+    ReorgOnly {
+        /// Maximum parallel branches.
+        max_branches: usize,
+        /// Whether branches are synthesized.
+        synthesize: bool,
+        /// Uniform offload ratio on offloadable elements.
+        ratio: f64,
+        /// Kernel dispatch mode.
+        mode: GpuMode,
+    },
+    /// Full NFCompass: SFC parallelization, NF synthesis, graph-partition
+    /// allocation, persistent kernels.
+    NfCompass {
+        /// Partitioning algorithm.
+        algo: PartitionAlgo,
+        /// Maximum parallel branches for the orchestrator.
+        max_branches: usize,
+        /// Whether the NF synthesizer merges sequential runs.
+        synthesize: bool,
+    },
+}
+
+impl Policy {
+    /// The default NFCompass configuration (KL, up to 4 branches,
+    /// synthesis on).
+    pub fn nfcompass() -> Self {
+        Policy::NfCompass {
+            algo: PartitionAlgo::Kl,
+            max_branches: 4,
+            synthesize: true,
+        }
+    }
+
+    fn gpu_mode(&self) -> GpuMode {
+        match self {
+            Policy::CpuOnly => GpuMode::Persistent, // unused
+            Policy::GpuOnly { mode }
+            | Policy::FixedRatio { mode, .. }
+            | Policy::ReorgOnly { mode, .. } => *mode,
+            Policy::NbaAdaptive => GpuMode::LaunchPerBatch,
+            Policy::Optimal | Policy::NfCompass { .. } => GpuMode::Persistent,
+        }
+    }
+
+    /// Short label for experiment tables.
+    pub fn label(&self) -> String {
+        match self {
+            Policy::CpuOnly => "CPU-only".into(),
+            Policy::GpuOnly { .. } => "GPU-only".into(),
+            Policy::FixedRatio { ratio, .. } => format!("{:.0}% offload", ratio * 100.0),
+            Policy::ReorgOnly {
+                max_branches,
+                synthesize,
+                ratio,
+                ..
+            } => format!(
+                "Reorg(w{max_branches}{}{}%)",
+                if *synthesize { "+synth," } else { "," },
+                ratio * 100.0
+            ),
+            Policy::NbaAdaptive => "NBA".into(),
+            Policy::Optimal => "Optimal".into(),
+            Policy::NfCompass { algo, .. } => format!("NFCompass({algo:?})"),
+        }
+    }
+}
+
+/// Simulated platform resources shared by every SFC deployed on the
+/// machine: RX/TX I/O cores, GPU command queues (with context-switch
+/// penalties), and the PCIe DMA links.
+#[derive(Debug, Clone)]
+pub struct PlatformResources {
+    /// Ingress I/O core.
+    pub io_rx: ResourceId,
+    /// Egress I/O core.
+    pub io_tx: ResourceId,
+    /// GPU command queues (one per device).
+    pub gpu_queues: Vec<ResourceId>,
+    /// Host-to-device DMA link.
+    pub pcie_h2d: ResourceId,
+    /// Device-to-host DMA link.
+    pub pcie_d2h: ResourceId,
+}
+
+impl PlatformResources {
+    /// Registers the platform's shared resources with `sim`.
+    pub fn register(sim: &mut PipelineSim, model: &CostModel) -> Self {
+        // Separate RX and TX I/O cores (the paper's Figure 3 runs packet
+        // I/O threads on their own cores); sharing one resource would
+        // falsely serialize ingress behind egress.
+        let io_rx = sim.add_resource("io-rx", 0.0);
+        let io_tx = sim.add_resource("io-tx", 0.0);
+        let gpu_queues = (0..model.platform().gpu.count)
+            .map(|i| sim.add_resource(format!("gpu{i}"), calib::GPU_CONTEXT_SWITCH_NS))
+            .collect();
+        let pcie_h2d = sim.add_resource("pcie-h2d", 0.0);
+        let pcie_d2h = sim.add_resource("pcie-d2h", 0.0);
+        PlatformResources {
+            io_rx,
+            io_tx,
+            gpu_queues,
+            pcie_h2d,
+            pcie_d2h,
+        }
+    }
+}
+
+/// One executable NF stage (a possibly-synthesized NF bound to resources).
+struct StageExec {
+    nf: Nf,
+    run: CompiledGraph,
+    weights: Option<GraphWeights>,
+    plan: AllocationPlan,
+    cpu_res: ResourceId,
+    user: u64,
+    corun: CoRunContext,
+    /// Stage-specific cost model: a synthesized stage inherits the CPU
+    /// cores of every NF merged into it.
+    model: CostModel,
+}
+
+/// Outcome of a deployment run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Temporal results (throughput, latency, drops).
+    pub report: SimReport,
+    /// Packets that left the chain (after all functional drops).
+    pub egress_packets: u64,
+    /// Wire bytes that left the chain.
+    pub egress_bytes: u64,
+    /// Parallel width after re-organization.
+    pub width: usize,
+    /// Effective chain length after re-organization.
+    pub effective_length: usize,
+    /// Synthesis reports (one per merged branch, empty when synthesis is
+    /// off).
+    pub synthesis: Vec<SynthesisReport>,
+    /// Mean offload ratio per stage, in branch-major order.
+    pub stage_offloads: Vec<(String, f64)>,
+    /// XOR merge conflicts observed (should be zero).
+    pub merge_conflicts: u64,
+}
+
+/// A prepared deployment of one SFC under one policy.
+pub struct Deployment {
+    sfc: Sfc,
+    policy: Policy,
+    model: CostModel,
+    /// Batch size (paper uses 32–1024; default 256).
+    pub batch_size: usize,
+    /// Warm-up batches used for profiling before allocation.
+    pub warmup_batches: usize,
+    /// Offload-ratio granularity δ.
+    pub delta: f64,
+    /// Explicit branch structure overriding the analyzer (the paper's
+    /// prescribed Figure 13 configurations). Indices into the chain.
+    pub forced_branches: Option<Vec<Vec<usize>>>,
+}
+
+impl Deployment {
+    /// Creates a deployment with the paper's platform and defaults.
+    pub fn new(sfc: Sfc, policy: Policy) -> Self {
+        Self::with_model(sfc, policy, CostModel::new(PlatformConfig::hpca18()))
+    }
+
+    /// Creates a deployment with an explicit cost model.
+    pub fn with_model(sfc: Sfc, policy: Policy, model: CostModel) -> Self {
+        Deployment {
+            sfc,
+            policy,
+            model,
+            batch_size: 256,
+            warmup_batches: 4,
+            delta: 0.1,
+            forced_branches: None,
+        }
+    }
+
+    /// Sets the batch size.
+    pub fn with_batch_size(mut self, batch: usize) -> Self {
+        self.batch_size = batch.max(1);
+        self
+    }
+
+    /// Forces an explicit branch structure (overrides dependency
+    /// analysis). Use for prescribed configurations like the paper's
+    /// Figure 13; the caller asserts merge legality.
+    pub fn with_forced_branches(mut self, branches: Vec<Vec<usize>>) -> Self {
+        self.forced_branches = Some(branches);
+        self
+    }
+
+    /// The policy in effect.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// The chain being deployed.
+    pub fn sfc(&self) -> &Sfc {
+        &self.sfc
+    }
+
+    /// The cost model in effect.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Runs `n_batches` batches from `traffic` through the deployment,
+    /// returning functional and temporal results.
+    pub fn run(&mut self, traffic: &mut TrafficGenerator, n_batches: usize) -> RunOutcome {
+        let mut sim = PipelineSim::new();
+        let res = PlatformResources::register(&mut sim, &self.model);
+        let mut user_base = 1u64;
+        let mut prep = self.prepare(&mut sim, &res, traffic, &[], &mut user_base);
+        let batch_size = self.batch_size;
+        for _ in 0..n_batches {
+            let batch = traffic.batch(batch_size);
+            match prep.process_batch(&mut sim, &res, batch) {
+                BatchResult::Completed {
+                    mean_arrival,
+                    completed,
+                    out,
+                } => sim.record_completion(mean_arrival, completed, out.len(), out.total_bytes()),
+                BatchResult::Dropped { mean_arrival } => sim.record_drop(mean_arrival),
+            }
+        }
+        prep.into_outcome(sim.report())
+    }
+
+    /// Runs a sequence of traffic *phases* on one continuous timeline,
+    /// returning one outcome per phase. With `adapt`, the runtime
+    /// re-profiles and re-allocates at every phase boundary (the paper's
+    /// answer to "fast-switching network traffics"); without it, the
+    /// plan computed for the first phase is kept throughout — the
+    /// behaviour the paper criticizes in static frameworks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty.
+    pub fn run_phases(
+        &mut self,
+        phases: &mut [TrafficGenerator],
+        n_batches: usize,
+        adapt: bool,
+    ) -> Vec<RunOutcome> {
+        assert!(!phases.is_empty(), "need at least one phase");
+        let mut sim = PipelineSim::new();
+        let res = PlatformResources::register(&mut sim, &self.model);
+        let mut user_base = 1u64;
+        let (first, rest) = phases.split_first_mut().expect("non-empty");
+        let mut prep = self.prepare(&mut sim, &res, first, &[], &mut user_base);
+        let batch_size = self.batch_size;
+        let mut outcomes = Vec::with_capacity(1 + rest.len());
+        let mut clock = 0u64;
+        let run_phase = |prep: &mut PreparedSfc,
+                         sim: &mut PipelineSim,
+                         traffic: &mut TrafficGenerator|
+         -> (nfc_hetero::sim::StatsAccumulator, u64) {
+            let mut stats = nfc_hetero::sim::StatsAccumulator::new();
+            let mut last = traffic.now_ns();
+            for _ in 0..n_batches {
+                let batch = traffic.batch(batch_size);
+                match prep.process_batch(sim, &res, batch) {
+                    BatchResult::Completed {
+                        mean_arrival,
+                        completed,
+                        out,
+                    } => {
+                        last = last.max(completed as u64);
+                        stats.record_completion(
+                            mean_arrival,
+                            completed,
+                            out.len(),
+                            out.total_bytes(),
+                        );
+                    }
+                    BatchResult::Dropped { mean_arrival } => stats.record_drop(mean_arrival),
+                }
+            }
+            (stats, last)
+        };
+        let (stats, last) = run_phase(&mut prep, &mut sim, first);
+        clock = clock.max(last);
+        outcomes.push((stats, prep.current_offloads()));
+        for traffic in rest {
+            traffic.advance_to(clock);
+            if adapt {
+                prep.readapt(
+                    self.policy,
+                    self.delta,
+                    traffic,
+                    self.warmup_batches,
+                    batch_size,
+                );
+            }
+            let (stats, last) = run_phase(&mut prep, &mut sim, traffic);
+            clock = clock.max(last);
+            outcomes.push((stats, prep.current_offloads()));
+        }
+        let template = prep.into_outcome(SimReport::default());
+        outcomes
+            .into_iter()
+            .map(|(stats, offloads)| RunOutcome {
+                report: stats.report(),
+                stage_offloads: offloads,
+                ..template.clone()
+            })
+            .collect()
+    }
+
+    /// Builds the execution structure (re-organization, synthesis,
+    /// warm-up, profiling, allocation) against a — possibly shared —
+    /// simulator. `extra_corun` adds co-located NFs from *other* tenants
+    /// to every stage's interference context; `user_base` keeps workload
+    /// tags unique across tenants.
+    pub(crate) fn prepare(
+        &mut self,
+        sim: &mut PipelineSim,
+        _res: &PlatformResources,
+        traffic: &mut TrafficGenerator,
+        extra_corun: &[Option<nfc_click::KernelClass>],
+        user_base: &mut u64,
+    ) -> PreparedSfc {
+        // ---- build the execution structure --------------------------
+        let (reorg, synth_on) = match self.policy {
+            Policy::NfCompass {
+                max_branches,
+                synthesize,
+                ..
+            }
+            | Policy::ReorgOnly {
+                max_branches,
+                synthesize,
+                ..
+            } => (
+                match &self.forced_branches {
+                    Some(b) => ReorgSfc::from_branches(b.clone()),
+                    None => ReorgSfc::analyze(&self.sfc, max_branches),
+                },
+                synthesize,
+            ),
+            _ => match &self.forced_branches {
+                Some(b) => (ReorgSfc::from_branches(b.clone()), false),
+                None => (ReorgSfc::sequential(&self.sfc), false),
+            },
+        };
+        let mut synthesis = Vec::new();
+        // branches -> list of (stage NF, merged-NF count)
+        let mut branch_stages: Vec<Vec<(Nf, usize)>> = Vec::new();
+        for branch in reorg.branches() {
+            let members: Vec<&Nf> = branch.iter().map(|&i| &self.sfc.nfs()[i]).collect();
+            if synth_on && members.len() > 1 {
+                let k = members.len();
+                let (merged, report) = synthesize(&members);
+                synthesis.push(report);
+                branch_stages.push(vec![(merged, k)]);
+            } else {
+                branch_stages.push(members.into_iter().cloned().map(|nf| (nf, 1)).collect());
+            }
+        }
+        let width = branch_stages.len();
+        let effective_length = branch_stages.iter().map(Vec::len).max().unwrap_or(0);
+
+        // Co-run context per stage: the dominant kernels of all OTHER
+        // stages plus any co-deployed tenants' NFs (single-socket L3
+        // assumption, as in Figure 8e).
+        let all_kernels: Vec<Vec<Option<nfc_click::KernelClass>>> = branch_stages
+            .iter()
+            .flat_map(|b| b.iter())
+            .map(|(nf, _)| {
+                nf.graph()
+                    .node_ids()
+                    .map(|id| match nf.graph().element(id).offload() {
+                        Offload::Offloadable { kernel } => Some(kernel),
+                        Offload::CpuOnly => None,
+                    })
+                    .max_by_key(|k| k.is_some() as u8)
+                    .into_iter()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+
+        let mut stages: Vec<Vec<StageExec>> = Vec::new();
+        let mut user = *user_base;
+        let mut flat_idx = 0usize;
+        for branch in branch_stages {
+            let mut execs = Vec::new();
+            for (nf, merged_count) in branch {
+                let cpu_res = sim.add_resource(format!("cpu:{}", nf.name()), 0.0);
+                // A merged stage keeps the cores its member NFs had.
+                let stage_model = self
+                    .model
+                    .with_cores_per_nf(self.model.cores_per_nf * merged_count);
+                let run = nf
+                    .graph()
+                    .clone()
+                    .compile()
+                    .expect("catalog/synthesized graphs compile");
+                let corun = CoRunContext::new(
+                    all_kernels
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != flat_idx)
+                        .flat_map(|(_, ks)| ks.iter().copied())
+                        .chain(extra_corun.iter().copied()),
+                );
+                execs.push(StageExec {
+                    nf,
+                    run,
+                    weights: None,
+                    plan: AllocationPlan::cpu_only(0),
+                    cpu_res,
+                    user,
+                    corun,
+                    model: stage_model,
+                });
+                user += 1;
+                flat_idx += 1;
+            }
+            stages.push(execs);
+        }
+
+        // ---- warm-up + profiling + allocation ------------------------
+        let mode = self.policy.gpu_mode();
+        for _ in 0..self.warmup_batches {
+            let batch = traffic.batch(self.batch_size);
+            for branch in stages.iter_mut() {
+                let mut cur = batch.clone();
+                for stage in branch.iter_mut() {
+                    cur = stage.run.push_merged(stage.nf.entry(), cur);
+                }
+            }
+        }
+        for branch in stages.iter_mut() {
+            for stage in branch.iter_mut() {
+                plan_stage(stage, self.policy, mode, self.delta);
+            }
+        }
+        let stage_offloads: Vec<(String, f64)> = stages
+            .iter()
+            .flat_map(|b| b.iter())
+            .map(|s| {
+                let offloadable: Vec<bool> = s
+                    .weights
+                    .as_ref()
+                    .expect("profiled")
+                    .nodes
+                    .iter()
+                    .map(|n| n.offloadable)
+                    .collect();
+                (s.nf.name().to_string(), s.plan.mean_offload(&offloadable))
+            })
+            .collect();
+
+        *user_base = user;
+        PreparedSfc {
+            stages,
+            width,
+            effective_length,
+            synthesis,
+            stage_offloads,
+            mode,
+            model: self.model,
+            egress_packets: 0,
+            egress_bytes: 0,
+            merge_conflicts: 0,
+        }
+    }
+
+    /// Per-NF exhaustive ratio search on the δ grid (NBA's adaptive
+    /// balancing / the paper's manual Optimal).
+    fn grid_search_plan(
+        model: &CostModel,
+        weights: &GraphWeights,
+        mode: GpuMode,
+        corun: &CoRunContext,
+    ) -> AllocationPlan {
+        let offloadable: Vec<bool> = weights.nodes.iter().map(|n| n.offloadable).collect();
+        let batch = weights.entry_packets.round() as usize;
+        let mut best = (0.0, f64::INFINITY);
+        for i in 0..=10 {
+            let r = i as f64 / 10.0;
+            // Pipeline bottleneck: max(CPU side, GPU side), charging the
+            // CPU/GPU batch carve and ordered re-merge for partial ratios
+            // exactly as the execution engine does.
+            let mut cpu = 0.0;
+            let mut gpu = 0.0;
+            for w in &weights.nodes {
+                if w.offloadable {
+                    if r < 1.0 {
+                        cpu += model.cpu_batch_ns(&w.load.fraction(1.0 - r), corun);
+                    }
+                    if r > 0.0 {
+                        let g = model.gpu_batch_ns(&w.load.fraction(r), mode);
+                        gpu += g.total();
+                    }
+                } else {
+                    cpu += model.cpu_batch_ns(&w.load, corun);
+                }
+            }
+            if r > 0.0 && r < 1.0 {
+                cpu += model.carve_ns(batch) + model.offload_merge_ns(batch);
+            }
+            let cost = cpu.max(gpu);
+            if cost < best.1 {
+                best = (r, cost);
+            }
+        }
+        let mut plan = AllocationPlan::fixed_ratio(&offloadable, best.0);
+        plan.predicted_cost_ns = best.1;
+        plan
+    }
+}
+
+/// Profiles one stage from its accumulated statistics and computes its
+/// allocation plan under `policy` (shared by initial preparation and
+/// mid-run re-adaptation).
+fn plan_stage(stage: &mut StageExec, policy: Policy, mode: GpuMode, delta: f64) {
+    let profiler = Profiler::new(stage.model, mode);
+    let weights = profiler.measure_with_corun(&stage.run, &stage.corun);
+    let offloadable: Vec<bool> = weights.nodes.iter().map(|n| n.offloadable).collect();
+    stage.plan = match policy {
+        Policy::CpuOnly => AllocationPlan::cpu_only(weights.nodes.len()),
+        Policy::GpuOnly { .. } => AllocationPlan::gpu_only(&offloadable),
+        Policy::FixedRatio { ratio, .. } | Policy::ReorgOnly { ratio, .. } => {
+            AllocationPlan::fixed_ratio(&offloadable, ratio)
+        }
+        Policy::NbaAdaptive | Policy::Optimal => {
+            Deployment::grid_search_plan(&stage.model, &weights, mode, &stage.corun)
+        }
+        Policy::NfCompass { algo, .. } => {
+            let mut plan = allocate(stage.nf.graph(), &weights, algo, delta);
+            // Dynamic task adaption (§IV-C3) against the
+            // execution-consistent cost.
+            crate::allocator::adapt_ratios(
+                &stage.model,
+                &weights,
+                &stage.corun,
+                &mut plan,
+                mode,
+                delta,
+            );
+            plan
+        }
+    };
+    stage.run.reset_stats();
+    stage.weights = Some(weights);
+}
+
+/// Result of pushing one batch through a prepared SFC.
+pub(crate) enum BatchResult {
+    /// Batch completed; record `(mean_arrival, completed)` with the
+    /// output batch.
+    Completed {
+        /// Mean packet arrival time, ns.
+        mean_arrival: f64,
+        /// Completion time, ns.
+        completed: f64,
+        /// Surviving packets.
+        out: Batch,
+    },
+    /// Batch tail-dropped at ingress.
+    Dropped {
+        /// Mean packet arrival time, ns.
+        mean_arrival: f64,
+    },
+}
+
+/// An SFC prepared for execution: re-organized, synthesized, profiled and
+/// allocated, with its stages bound to simulator resources. Produced by
+/// [`Deployment::prepare`]; shared-platform multi-tenant runs drive
+/// several of these against one simulator.
+pub(crate) struct PreparedSfc {
+    stages: Vec<Vec<StageExec>>,
+    width: usize,
+    effective_length: usize,
+    synthesis: Vec<SynthesisReport>,
+    stage_offloads: Vec<(String, f64)>,
+    mode: GpuMode,
+    model: CostModel,
+    egress_packets: u64,
+    egress_bytes: u64,
+    merge_conflicts: u64,
+}
+
+impl PreparedSfc {
+    /// Pushes one batch through the prepared SFC, scheduling its costs on
+    /// the shared simulator.
+    pub(crate) fn process_batch(
+        &mut self,
+        sim: &mut PipelineSim,
+        res: &PlatformResources,
+        batch: Batch,
+    ) -> BatchResult {
+        let first_arrival = batch.get(0).map(|p| p.meta.arrival_ns).unwrap_or(0) as f64;
+        let arrival = batch.iter().last().map(|p| p.meta.arrival_ns).unwrap_or(0) as f64;
+        let mean_arrival = (first_arrival + arrival) / 2.0;
+        // Ingress tail-drop: bounded backlog at the first busy resource
+        // of any branch (NIC ring semantics).
+        let worst_backlog = self
+            .stages
+            .iter()
+            .filter_map(|b| b.first())
+            .map(|s| sim.backlog_ns(s.cpu_res, arrival))
+            .fold(sim.backlog_ns(res.io_rx, arrival), f64::max);
+        if worst_backlog > sim.max_queue_ns {
+            return BatchResult::Dropped { mean_arrival };
+        }
+        // Ingress I/O.
+        let t0 = sim.schedule(res.io_rx, arrival, self.model.io_batch_ns(batch.len()), 0);
+        // Duplication cost for parallel branches (packet copies).
+        let t0 = if self.width > 1 {
+            sim.schedule(
+                res.io_rx,
+                t0,
+                self.model.split_ns(batch.len(), self.width),
+                0,
+            )
+        } else {
+            t0
+        };
+        // Branches.
+        let mut branch_outputs: Vec<Batch> = Vec::with_capacity(self.width);
+        let mut t_join = t0;
+        let mode = self.mode;
+        for branch in self.stages.iter_mut() {
+            let mut cur = batch.clone();
+            let mut t = t0;
+            for stage in branch.iter_mut() {
+                let (out, done) = exec_stage(
+                    sim,
+                    stage,
+                    cur,
+                    t,
+                    mode,
+                    &res.gpu_queues,
+                    res.pcie_h2d,
+                    res.pcie_d2h,
+                );
+                cur = out;
+                t = done;
+            }
+            t_join = t_join.max(t);
+            branch_outputs.push(cur);
+        }
+        // Merge parallel branches (XOR) or take the single output.
+        let (out, t_done) = if self.width > 1 {
+            let (merged, conflicts) = merge_branch_batches(&batch, &branch_outputs);
+            self.merge_conflicts += conflicts;
+            let t = sim.schedule(res.io_tx, t_join, self.model.merge_ns(batch.len()), 0);
+            (merged, t)
+        } else {
+            (branch_outputs.pop().expect("one branch"), t_join)
+        };
+        // Egress I/O.
+        let completed = sim.schedule(res.io_tx, t_done, self.model.io_batch_ns(out.len()), 0);
+        self.egress_packets += out.len() as u64;
+        self.egress_bytes += out.total_bytes() as u64;
+        BatchResult::Completed {
+            mean_arrival,
+            completed,
+            out,
+        }
+    }
+
+    /// Re-profiles every stage against fresh traffic and recomputes its
+    /// allocation — the mid-run adaptation the paper motivates with
+    /// "fast-switching network traffics". Consumes `warmup` batches
+    /// functionally (they are not scheduled or counted).
+    pub(crate) fn readapt(
+        &mut self,
+        policy: Policy,
+        delta: f64,
+        traffic: &mut TrafficGenerator,
+        warmup: usize,
+        batch_size: usize,
+    ) {
+        for branch in self.stages.iter_mut() {
+            for stage in branch.iter_mut() {
+                stage.run.reset_stats();
+                stage.run.begin_profile_window();
+            }
+        }
+        for _ in 0..warmup {
+            let batch = traffic.batch(batch_size);
+            for branch in self.stages.iter_mut() {
+                let mut cur = batch.clone();
+                for stage in branch.iter_mut() {
+                    cur = stage.run.push_merged(stage.nf.entry(), cur);
+                }
+            }
+        }
+        let mode = self.mode;
+        for branch in self.stages.iter_mut() {
+            for stage in branch.iter_mut() {
+                plan_stage(stage, policy, mode, delta);
+            }
+        }
+    }
+
+    /// Mean offload ratio per stage (branch-major), refreshed after
+    /// re-adaptation.
+    pub(crate) fn current_offloads(&self) -> Vec<(String, f64)> {
+        self.stages
+            .iter()
+            .flat_map(|b| b.iter())
+            .map(|s| {
+                let offloadable: Vec<bool> = s
+                    .weights
+                    .as_ref()
+                    .map(|w| w.nodes.iter().map(|n| n.offloadable).collect())
+                    .unwrap_or_default();
+                (s.nf.name().to_string(), s.plan.mean_offload(&offloadable))
+            })
+            .collect()
+    }
+
+    /// Finalizes the run into a [`RunOutcome`] with the given temporal
+    /// report.
+    pub(crate) fn into_outcome(self, report: SimReport) -> RunOutcome {
+        RunOutcome {
+            report,
+            egress_packets: self.egress_packets,
+            egress_bytes: self.egress_bytes,
+            width: self.width,
+            effective_length: self.effective_length,
+            synthesis: self.synthesis,
+            stage_offloads: self.stage_offloads,
+            merge_conflicts: self.merge_conflicts,
+        }
+    }
+}
+
+/// Executes one NF stage: functional push + temporal scheduling.
+#[allow(clippy::too_many_arguments)]
+fn exec_stage(
+    sim: &mut PipelineSim,
+    stage: &mut StageExec,
+    batch: Batch,
+    t: f64,
+    mode: GpuMode,
+    gpu_queues: &[ResourceId],
+    pcie_h2d: ResourceId,
+    pcie_d2h: ResourceId,
+) -> (Batch, f64) {
+    {
+        let in_packets = batch.len();
+        let in_splits = batch.lineage.splits;
+        let in_merges = batch.lineage.merges;
+        // Functional execution.
+        let model = stage.model;
+        let out = stage.run.push_merged(stage.nf.entry(), batch);
+        let new_splits = out.lineage.splits.saturating_sub(in_splits);
+        let new_merges = out.lineage.merges.saturating_sub(in_merges);
+        let weights = stage.weights.as_ref().expect("profiled before run");
+        let in_bytes = out.total_bytes() as f64
+            + (in_packets.saturating_sub(out.len())) as f64
+                * (out.total_bytes() as f64 / out.len().max(1) as f64);
+        let pscale = if weights.entry_packets > 0.0 {
+            (in_packets as f64 / weights.entry_packets).min(4.0)
+        } else {
+            1.0
+        };
+        let bscale = if weights.entry_bytes > 0.0 {
+            (in_bytes / weights.entry_bytes).min(64.0)
+        } else {
+            1.0
+        };
+        // Temporal: CPU portion + GPU portion in parallel.
+        let mut cpu_ns = 0.0;
+        let mut kernel_ns = 0.0;
+        let mut gpu_bytes = 0.0f64;
+        let mut any_offload = false;
+        let mut partial = false;
+        for (i, w) in weights.nodes.iter().enumerate() {
+            let r = stage.plan.ratios.get(i).copied().unwrap_or(0.0);
+            // Scale the profiled per-batch load to this batch: packet
+            // count and byte volume scale independently so packet-size
+            // shifts are charged honestly.
+            let mut load = w.load;
+            load.packets = (load.packets as f64 * pscale).round() as usize;
+            load.bytes = (load.bytes as f64 * bscale).round() as usize;
+            // Traffic-content factors are read live from the element so
+            // charged costs track the current traffic, not the profiling
+            // window (the paper's fast-switching-traffic concern).
+            let el = stage.run.graph().element(nfc_click::NodeId(i));
+            load.match_factor = el.content_factor();
+            load.divergence = el.divergence();
+            if r < 1.0 {
+                let cpu_part = load.fraction(1.0 - r);
+                cpu_ns += model.cpu_batch_ns(&cpu_part, &stage.corun);
+            }
+            if r > 0.0 {
+                let gpu_part = load.fraction(r);
+                let g = model.gpu_batch_ns(&gpu_part, mode);
+                kernel_ns += g.kernel_ns + g.dispatch_ns;
+                gpu_bytes = gpu_bytes.max(gpu_part.bytes as f64);
+                any_offload = true;
+            }
+            if r > 0.0 && r < 1.0 {
+                partial = true;
+            }
+        }
+        // Batch re-organization from functional splits (Figure 5) plus
+        // the CPU/GPU carve when partially offloaded.
+        if new_splits > 0 {
+            cpu_ns += new_splits as f64 * model.split_ns(in_packets, 2);
+        }
+        if new_merges > 0 {
+            cpu_ns += new_merges as f64 * model.merge_ns(in_packets);
+        }
+        if partial {
+            cpu_ns += model.carve_ns(in_packets) + model.offload_merge_ns(in_packets);
+        }
+        let cpu_done = sim.schedule(stage.cpu_res, t, cpu_ns, stage.user);
+        let done = if any_offload {
+            // Persistent kernels partition the devices (one queue per
+            // workload); launch-per-batch kernels run in the default
+            // stream and serialize the whole device — the root of the
+            // paper's aggregated offloading overhead (Figure 7).
+            let gpu = match mode {
+                GpuMode::Persistent => gpu_queues[(stage.user as usize) % gpu_queues.len()],
+                GpuMode::LaunchPerBatch => gpu_queues[0],
+            };
+            let dma = |bytes: f64| {
+                model.platform().pcie.dma_latency_ns + bytes / model.platform().pcie.bw_gbs
+            };
+            let h = sim.schedule(pcie_h2d, t, dma(gpu_bytes), stage.user);
+            let k = sim.schedule(gpu, h, kernel_ns, stage.user);
+            let d = sim.schedule(pcie_d2h, k, dma(gpu_bytes), stage.user);
+            // Ordered release (completion-queue) once both sides finish.
+            cpu_done.max(d)
+        } else {
+            cpu_done
+        };
+        (out, done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfc_packet::traffic::{SizeDist, TrafficSpec};
+
+    fn traffic(pkt: usize, seed: u64) -> TrafficGenerator {
+        TrafficGenerator::new(TrafficSpec::udp(SizeDist::Fixed(pkt)), seed)
+    }
+
+    fn run(sfc: Sfc, policy: Policy, pkt: usize, batches: usize) -> RunOutcome {
+        let mut dep = Deployment::new(sfc, policy).with_batch_size(256);
+        dep.run(&mut traffic(pkt, 42), batches)
+    }
+
+    fn ipsec_chain(n: usize) -> Sfc {
+        Sfc::new(
+            "ipsec-chain",
+            (0..n).map(|i| Nf::ipsec(format!("ipsec{i}"))).collect(),
+        )
+    }
+
+    #[test]
+    fn cpu_only_single_nf_runs() {
+        let out = run(ipsec_chain(1), Policy::CpuOnly, 256, 30);
+        assert!(out.report.throughput_gbps > 0.0);
+        assert!(out.egress_packets > 0);
+        assert_eq!(out.width, 1);
+        assert_eq!(out.effective_length, 1);
+        assert!(out.stage_offloads.iter().all(|(_, r)| *r == 0.0));
+    }
+
+    #[test]
+    fn optimal_ipsec_uses_partial_offload_and_beats_extremes() {
+        let cpu = run(ipsec_chain(1), Policy::CpuOnly, 256, 30);
+        let gpu = run(
+            ipsec_chain(1),
+            Policy::GpuOnly {
+                mode: GpuMode::Persistent,
+            },
+            256,
+            30,
+        );
+        let opt = run(ipsec_chain(1), Policy::Optimal, 256, 30);
+        let r = opt.stage_offloads[0].1;
+        assert!(r > 0.0 && r < 1.0, "optimal IPsec ratio interior, got {r}");
+        assert!(opt.report.throughput_gbps >= cpu.report.throughput_gbps * 0.99);
+        assert!(opt.report.throughput_gbps >= gpu.report.throughput_gbps * 0.99);
+    }
+
+    #[test]
+    fn fig7_gpu_only_degrades_with_chain_length() {
+        // GPU acceleration is offset by aggregated per-NF offload
+        // overheads as the chain grows (launch-per-batch baseline).
+        let t1 = run(
+            ipsec_chain(1),
+            Policy::GpuOnly {
+                mode: GpuMode::LaunchPerBatch,
+            },
+            64,
+            30,
+        );
+        let t3 = run(
+            ipsec_chain(3),
+            Policy::GpuOnly {
+                mode: GpuMode::LaunchPerBatch,
+            },
+            64,
+            30,
+        );
+        assert!(
+            t3.report.throughput_gbps < t1.report.throughput_gbps,
+            "len-3 {} should be slower than len-1 {}",
+            t3.report.throughput_gbps,
+            t1.report.throughput_gbps
+        );
+    }
+
+    #[test]
+    fn nfcompass_parallelizes_readonly_chain() {
+        let sfc = Sfc::new(
+            "fw4",
+            (0..4)
+                .map(|i| Nf::firewall(format!("fw{i}"), 100, 1))
+                .collect(),
+        );
+        let out = run(sfc, Policy::nfcompass(), 64, 30);
+        assert_eq!(out.effective_length, 1);
+        assert_eq!(out.width, 4);
+        assert_eq!(out.merge_conflicts, 0);
+        assert!(out.egress_packets > 0);
+    }
+
+    #[test]
+    fn nfcompass_synthesizes_width_limited_chain() {
+        let sfc = Sfc::new("ids4", (0..4).map(|i| Nf::ids(format!("ids{i}"))).collect());
+        let mut dep = Deployment::new(
+            sfc,
+            Policy::NfCompass {
+                algo: PartitionAlgo::Kl,
+                max_branches: 2,
+                synthesize: true,
+            },
+        )
+        .with_batch_size(128);
+        let out = dep.run(&mut traffic(256, 9), 20);
+        assert_eq!(out.width, 2);
+        // Each branch of 2 identical IDS synthesized into one stage.
+        assert_eq!(out.effective_length, 1);
+        assert_eq!(out.synthesis.len(), 2);
+        assert!(out.synthesis.iter().all(|s| s.removed >= 1));
+    }
+
+    #[test]
+    fn nfcompass_beats_cpu_only_on_heavy_chain() {
+        let sfc = || Sfc::new("heavy", vec![Nf::ipsec("ipsec"), Nf::dpi("dpi")]);
+        let cpu = run(sfc(), Policy::CpuOnly, 512, 30);
+        let nfc = run(sfc(), Policy::nfcompass(), 512, 30);
+        assert!(
+            nfc.report.throughput_gbps > 1.2 * cpu.report.throughput_gbps,
+            "NFCompass {} vs CPU-only {}",
+            nfc.report.throughput_gbps,
+            cpu.report.throughput_gbps
+        );
+    }
+
+    #[test]
+    fn functional_outputs_are_identical_across_policies() {
+        // Scheduling must never change packet contents: CPU-only and
+        // NFCompass produce byte-identical egress for the same traffic.
+        let sfc = || Sfc::new("fw-ids", vec![Nf::firewall("fw", 100, 1), Nf::ids("ids")]);
+        let a = run(sfc(), Policy::CpuOnly, 256, 10);
+        let b = run(sfc(), Policy::nfcompass(), 256, 10);
+        assert_eq!(a.egress_packets, b.egress_packets);
+        assert_eq!(a.egress_bytes, b.egress_bytes);
+    }
+
+    #[test]
+    fn nba_uses_launch_per_batch_and_local_ratios() {
+        let out = run(ipsec_chain(2), Policy::NbaAdaptive, 256, 20);
+        assert!(out.stage_offloads.iter().all(|(_, r)| *r <= 1.0));
+        assert!(out.report.throughput_gbps > 0.0);
+    }
+
+    #[test]
+    fn overload_is_tail_dropped_with_bounded_latency() {
+        // 1500 B at 40 Gbps through a CPU-only DPI chain overloads it.
+        let sfc = Sfc::new("dpi", vec![Nf::dpi("dpi"), Nf::dpi("dpi2")]);
+        let out = run(sfc, Policy::CpuOnly, 1500, 120);
+        assert!(out.report.dropped_batches > 0, "expected overload drops");
+        // Bounded by the 50 ms admission cap plus a few batch service
+        // times of pipeline drain.
+        assert!(
+            out.report.max_latency_ns <= 55e6,
+            "latency bounded by queue, got {} ms",
+            out.report.max_latency_ns / 1e6
+        );
+    }
+
+    #[test]
+    fn policy_labels() {
+        assert_eq!(Policy::CpuOnly.label(), "CPU-only");
+        assert_eq!(
+            Policy::FixedRatio {
+                ratio: 0.7,
+                mode: GpuMode::Persistent
+            }
+            .label(),
+            "70% offload"
+        );
+        assert!(Policy::nfcompass().label().contains("NFCompass"));
+    }
+}
+
+#[cfg(test)]
+mod churn_tests {
+    use super::*;
+    use nfc_packet::traffic::{PayloadPolicy, SizeDist, TrafficSpec};
+
+    /// Traffic switches from no-match to full-match DPI load: with
+    /// adaptation the runtime re-balances; the adapted phase-2 throughput
+    /// must beat the stale plan's.
+    #[test]
+    fn adaptation_tracks_traffic_churn() {
+        let phases = || {
+            vec![
+                TrafficGenerator::new(
+                    TrafficSpec::udp(SizeDist::Fixed(512)).with_payload(
+                        PayloadPolicy::MatchRatio {
+                            patterns: nfc_nf::Nf::default_ids_signatures(),
+                            ratio: 0.0,
+                        },
+                    ),
+                    5,
+                ),
+                TrafficGenerator::new(
+                    TrafficSpec::udp(SizeDist::Fixed(512)).with_payload(
+                        PayloadPolicy::MatchRatio {
+                            patterns: nfc_nf::Nf::default_ids_signatures(),
+                            ratio: 1.0,
+                        },
+                    ),
+                    6,
+                ),
+            ]
+        };
+        let sfc = || Sfc::new("dpi", vec![nfc_nf::Nf::dpi("dpi")]);
+        let run = |adapt: bool| {
+            let mut dep = Deployment::new(sfc(), Policy::nfcompass()).with_batch_size(256);
+            let mut ph = phases();
+            dep.run_phases(&mut ph, 20, adapt)
+        };
+        let stale = run(false);
+        let adapted = run(true);
+        assert_eq!(stale.len(), 2);
+        // Phase 1 (profiled traffic) similar either way.
+        let ratio1 = adapted[0].report.throughput_gbps / stale[0].report.throughput_gbps;
+        assert!((0.8..=1.25).contains(&ratio1), "phase 1 ratio {ratio1}");
+        // Phase 2 (shifted traffic): adaptation must not lose, and should
+        // typically win.
+        assert!(
+            adapted[1].report.throughput_gbps >= 0.95 * stale[1].report.throughput_gbps,
+            "adapted {} vs stale {}",
+            adapted[1].report.throughput_gbps,
+            stale[1].report.throughput_gbps
+        );
+    }
+
+    #[test]
+    fn phases_share_a_monotonic_timeline() {
+        let mut dep = Deployment::new(Sfc::new("p", vec![nfc_nf::Nf::probe("p")]), Policy::CpuOnly)
+            .with_batch_size(64);
+        let mut phases = vec![
+            TrafficGenerator::new(TrafficSpec::udp(SizeDist::Fixed(64)), 1),
+            TrafficGenerator::new(TrafficSpec::udp(SizeDist::Fixed(128)), 2),
+        ];
+        let outs = dep.run_phases(&mut phases, 10, true);
+        assert_eq!(outs.len(), 2);
+        for o in &outs {
+            assert!(o.report.throughput_gbps > 0.0);
+            assert_eq!(o.report.offered_batches, 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_phases_panic() {
+        let mut dep = Deployment::new(Sfc::new("p", vec![nfc_nf::Nf::probe("p")]), Policy::CpuOnly);
+        dep.run_phases(&mut [], 1, true);
+    }
+}
+
+#[cfg(test)]
+mod forced_branch_tests {
+    use super::*;
+    use nfc_packet::traffic::{SizeDist, TrafficSpec};
+
+    #[test]
+    fn forced_branches_override_the_analyzer() {
+        // Two identical IPsec NFs: the analyzer would keep them
+        // sequential (WAW), but the forced structure runs them parallel
+        // and the XOR merge accepts their identical outputs.
+        let sfc = Sfc::new(
+            "ipsec2",
+            vec![nfc_nf::Nf::ipsec("a"), nfc_nf::Nf::ipsec("b")],
+        );
+        let mut dep = Deployment::new(
+            sfc,
+            Policy::ReorgOnly {
+                max_branches: 2,
+                synthesize: false,
+                ratio: 0.0,
+                mode: GpuMode::Persistent,
+            },
+        )
+        .with_batch_size(64)
+        .with_forced_branches(vec![vec![0], vec![1]]);
+        let mut t = TrafficGenerator::new(TrafficSpec::udp(SizeDist::Fixed(128)), 3);
+        let out = dep.run(&mut t, 8);
+        assert_eq!(out.width, 2);
+        assert_eq!(out.effective_length, 1);
+        assert_eq!(out.merge_conflicts, 0, "identical outputs must merge");
+        assert_eq!(out.egress_packets, 8 * 64);
+    }
+
+    #[test]
+    fn forced_sequential_matches_default_sequential() {
+        let mk = || Sfc::new("c", vec![nfc_nf::Nf::ipsec("a"), nfc_nf::Nf::dpi("b")]);
+        let run = |forced: Option<Vec<Vec<usize>>>| {
+            let mut dep = Deployment::new(mk(), Policy::CpuOnly).with_batch_size(64);
+            if let Some(b) = forced {
+                dep = dep.with_forced_branches(b);
+            }
+            let mut t = TrafficGenerator::new(TrafficSpec::udp(SizeDist::Fixed(256)), 9);
+            let o = dep.run(&mut t, 8);
+            (o.egress_packets, o.report.throughput_gbps.to_bits())
+        };
+        assert_eq!(run(None), run(Some(vec![vec![0, 1]])));
+    }
+}

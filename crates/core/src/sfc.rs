@@ -1,0 +1,79 @@
+//! Service function chains: an ordered sequence of network functions.
+
+use nfc_nf::Nf;
+
+/// A sequential service function chain (the operator-specified form; the
+/// orchestrator re-organizes it).
+#[derive(Debug, Clone)]
+pub struct Sfc {
+    name: String,
+    nfs: Vec<Nf>,
+}
+
+impl Sfc {
+    /// Creates a chain.
+    pub fn new(name: impl Into<String>, nfs: Vec<Nf>) -> Self {
+        Sfc {
+            name: name.into(),
+            nfs,
+        }
+    }
+
+    /// Chain name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The NFs, in traversal order.
+    pub fn nfs(&self) -> &[Nf] {
+        &self.nfs
+    }
+
+    /// Number of NFs (the chain length of §III-B).
+    pub fn len(&self) -> usize {
+        self.nfs.len()
+    }
+
+    /// True for an empty chain.
+    pub fn is_empty(&self) -> bool {
+        self.nfs.is_empty()
+    }
+
+    /// Appends an NF.
+    pub fn push(&mut self, nf: Nf) {
+        self.nfs.push(nf);
+    }
+
+    /// A short textual form like `FW -> IPv4 -> IPsec`.
+    pub fn summary(&self) -> String {
+        self.nfs
+            .iter()
+            .map(|nf| nf.kind().label())
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_and_len() {
+        let sfc = Sfc::new(
+            "test",
+            vec![Nf::firewall("fw", 10, 1), Nf::ipv4_forwarder("r", 10, 2)],
+        );
+        assert_eq!(sfc.len(), 2);
+        assert!(!sfc.is_empty());
+        assert_eq!(sfc.summary(), "FW -> IPv4");
+    }
+
+    #[test]
+    fn push_extends() {
+        let mut sfc = Sfc::new("t", vec![]);
+        assert!(sfc.is_empty());
+        sfc.push(Nf::probe("p"));
+        assert_eq!(sfc.len(), 1);
+    }
+}

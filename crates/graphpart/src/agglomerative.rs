@@ -1,0 +1,313 @@
+//! Seed-based agglomerative node clustering.
+//!
+//! The paper's light-weight fallback (§IV-C3): "It starts with single
+//! element graphs with seed elements. In our design we select a random GPU
+//! element and a CPU element in each SFC as the seed vertices ... The
+//! algorithm then merges two graphs at each step by choosing two vertices
+//! with lowest communication overheads. The complexity of this algorithm
+//! is O(k log k), where k is the edge number of the global graph."
+//!
+//! Merging the *heaviest* remaining inter-cluster edge first is what
+//! "lowest communication overhead" buys: the edges most expensive to cut
+//! are absorbed into clusters, so the final CPU/GPU boundary crosses only
+//! light edges. Clusters seeded with different sides never merge; after
+//! the heap drains, seedless clusters join the side that minimizes the
+//! makespan objective greedily.
+
+use crate::graph::{Objective, PartGraph, Partition, Side};
+use std::collections::BinaryHeap;
+
+/// A seed: node `v` pinned to `side` for clustering purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Seed {
+    /// Seed node.
+    pub v: usize,
+    /// Side that node anchors.
+    pub side: Side,
+}
+
+#[derive(PartialEq)]
+struct HeapEdge(f64, usize, usize);
+
+impl Eq for HeapEdge {}
+
+impl PartialOrd for HeapEdge {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEdge {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+
+/// Union-find over cluster ids.
+#[derive(Debug)]
+struct Dsu {
+    parent: Vec<usize>,
+    side: Vec<Option<Side>>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n).collect(),
+            side: vec![None; n],
+        }
+    }
+
+    fn find(&mut self, v: usize) -> usize {
+        if self.parent[v] != v {
+            let root = self.find(self.parent[v]);
+            self.parent[v] = root;
+        }
+        self.parent[v]
+    }
+
+    /// Merges if side-compatible; returns whether a merge happened.
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match (self.side[ra], self.side[rb]) {
+            (Some(x), Some(y)) if x != y => return false,
+            _ => {}
+        }
+        let side = self.side[ra].or(self.side[rb]);
+        self.parent[rb] = ra;
+        self.side[ra] = side;
+        true
+    }
+}
+
+/// Partitions `g` by seed-based agglomerative clustering.
+///
+/// `seeds` anchor clusters to sides (the paper picks one CPU and one GPU
+/// element per SFC); pinned nodes act as implicit seeds. Runs in
+/// O(k log k) heap operations over the k edges.
+pub fn partition(g: &PartGraph, seeds: &[Seed], objective: Objective) -> Partition {
+    let n = g.len();
+    if n == 0 {
+        return Partition(Vec::new());
+    }
+    let mut dsu = Dsu::new(n);
+    for v in 0..n {
+        if let Some(p) = g.pin(v) {
+            dsu.side[v] = Some(p);
+        }
+    }
+    for s in seeds {
+        let r = dsu.find(s.v);
+        if dsu.side[r].is_none() {
+            dsu.side[r] = Some(s.side);
+        }
+    }
+    // Heaviest-edge-first merging.
+    let mut heap: BinaryHeap<HeapEdge> = g
+        .edges()
+        .iter()
+        .map(|&(u, v, w)| HeapEdge(w, u, v))
+        .collect();
+    while let Some(HeapEdge(_, u, v)) = heap.pop() {
+        dsu.union(u, v);
+    }
+    // Assign: seeded clusters take their side; the rest greedily join the
+    // side minimizing incremental makespan.
+    let mut cluster_side: std::collections::HashMap<usize, Side> = std::collections::HashMap::new();
+    let mut unseeded: Vec<usize> = Vec::new();
+    for v in 0..n {
+        let r = dsu.find(v);
+        match dsu.side[r] {
+            Some(s) => {
+                cluster_side.insert(r, s);
+            }
+            None => {
+                if !unseeded.contains(&r) {
+                    unseeded.push(r);
+                }
+            }
+        }
+    }
+    let mut loads = [0.0f64; 2];
+    for v in 0..n {
+        let r = dsu.find(v);
+        if let Some(&s) = cluster_side.get(&r) {
+            loads[s.index()] += g.weight(v)[s.index()];
+        }
+    }
+    // Largest unseeded clusters first for better greedy balance.
+    let mut cluster_weight: std::collections::HashMap<usize, [f64; 2]> =
+        std::collections::HashMap::new();
+    for v in 0..n {
+        let r = dsu.find(v);
+        let e = cluster_weight.entry(r).or_insert([0.0; 2]);
+        e[0] += g.weight(v)[0];
+        e[1] += g.weight(v)[1];
+    }
+    unseeded.sort_by(|&a, &b| {
+        let wa = cluster_weight[&a][0] + cluster_weight[&a][1];
+        let wb = cluster_weight[&b][0] + cluster_weight[&b][1];
+        wb.partial_cmp(&wa).unwrap()
+    });
+    for r in unseeded {
+        let w = cluster_weight[&r];
+        let cpu_makespan = (loads[0] + w[0]).max(loads[1]);
+        let gpu_makespan = loads[0].max(loads[1] + w[1]);
+        let side = if cpu_makespan <= gpu_makespan {
+            Side::Cpu
+        } else {
+            Side::Gpu
+        };
+        cluster_side.insert(r, side);
+        loads[side.index()] += w[side.index()];
+    }
+    let _ = objective;
+    Partition((0..n).map(|v| cluster_side[&dsu.find(v)]).collect())
+}
+
+/// Picks default seeds for a graph: the node with the best GPU/CPU cost
+/// ratio seeds the GPU cluster, the best CPU/GPU ratio seeds the CPU —
+/// a deterministic stand-in for the paper's random per-SFC picks.
+pub fn default_seeds(g: &PartGraph) -> Vec<Seed> {
+    let mut best_gpu: Option<(usize, f64)> = None;
+    let mut best_cpu: Option<(usize, f64)> = None;
+    for v in 0..g.len() {
+        if g.pin(v).is_some() {
+            continue;
+        }
+        let w = g.weight(v);
+        if w[1] > 0.0 {
+            let r = w[0] / w[1];
+            if best_gpu.map(|(_, b)| r > b).unwrap_or(true) {
+                best_gpu = Some((v, r));
+            }
+        }
+        if w[0] > 0.0 {
+            let r = w[1] / w[0];
+            if best_cpu.map(|(_, b)| r > b).unwrap_or(true) {
+                best_cpu = Some((v, r));
+            }
+        }
+    }
+    let mut seeds = Vec::new();
+    if let Some((v, ratio)) = best_gpu {
+        if ratio > 1.0 {
+            seeds.push(Seed { v, side: Side::Gpu });
+        }
+    }
+    if let Some((v, ratio)) = best_cpu {
+        if ratio > 1.0 && seeds.iter().all(|s| s.v != v) {
+            seeds.push(Seed { v, side: Side::Cpu });
+        }
+    }
+    seeds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heavy_edges_stay_uncut() {
+        let mut g = PartGraph::new();
+        let a = g.add_node(100.0, 10.0);
+        let b = g.add_node(100.0, 10.0);
+        let c = g.add_node(10.0, 100.0);
+        let d = g.add_node(10.0, 100.0);
+        g.add_edge(a, b, 100.0); // heavy: must merge
+        g.add_edge(c, d, 100.0); // heavy: must merge
+        g.add_edge(b, c, 0.1); // light: can be cut
+        let seeds = vec![
+            Seed {
+                v: a,
+                side: Side::Gpu,
+            },
+            Seed {
+                v: c,
+                side: Side::Cpu,
+            },
+        ];
+        let part = partition(&g, &seeds, Objective::default());
+        assert_eq!(part.side(a), part.side(b));
+        assert_eq!(part.side(c), part.side(d));
+        assert_eq!(part.side(a), Side::Gpu);
+        assert_eq!(part.side(c), Side::Cpu);
+    }
+
+    #[test]
+    fn opposite_seeds_never_merge() {
+        let mut g = PartGraph::new();
+        let a = g.add_node(1.0, 1.0);
+        let b = g.add_node(1.0, 1.0);
+        g.add_edge(a, b, 1000.0);
+        let seeds = vec![
+            Seed {
+                v: a,
+                side: Side::Cpu,
+            },
+            Seed {
+                v: b,
+                side: Side::Gpu,
+            },
+        ];
+        let part = partition(&g, &seeds, Objective::default());
+        assert_eq!(part.side(a), Side::Cpu);
+        assert_eq!(part.side(b), Side::Gpu);
+    }
+
+    #[test]
+    fn pins_act_as_seeds() {
+        let mut g = PartGraph::new();
+        let io = g.add_pinned(1.0, f64::INFINITY, Side::Cpu);
+        let k = g.add_node(100.0, 5.0);
+        g.add_edge(io, k, 0.5);
+        let seeds = vec![Seed {
+            v: k,
+            side: Side::Gpu,
+        }];
+        let part = partition(&g, &seeds, Objective::default());
+        assert_eq!(part.side(io), Side::Cpu);
+        assert_eq!(part.side(k), Side::Gpu);
+        assert!(part.respects_pins(&g));
+    }
+
+    #[test]
+    fn seedless_clusters_balance_greedily() {
+        let mut g = PartGraph::new();
+        for _ in 0..10 {
+            g.add_node(10.0, 10.0);
+        }
+        let part = partition(&g, &[], Objective::default());
+        let obj = Objective::default();
+        let loads = obj.loads(&g, &part);
+        assert!((loads[0] - loads[1]).abs() <= 10.0, "loads {loads:?}");
+    }
+
+    #[test]
+    fn default_seeds_pick_extremes() {
+        let mut g = PartGraph::new();
+        let cpuish = g.add_node(5.0, 500.0);
+        let gpuish = g.add_node(500.0, 5.0);
+        g.add_node(10.0, 10.0);
+        let seeds = default_seeds(&g);
+        assert!(seeds.contains(&Seed {
+            v: gpuish,
+            side: Side::Gpu
+        }));
+        assert!(seeds.contains(&Seed {
+            v: cpuish,
+            side: Side::Cpu
+        }));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let part = partition(&PartGraph::new(), &[], Objective::default());
+        assert!(part.0.is_empty());
+    }
+}

@@ -1,0 +1,230 @@
+//! The two-weight partition graph and the makespan objective.
+
+/// Which processor a node is assigned to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The CPU partition.
+    Cpu,
+    /// The GPU partition.
+    Gpu,
+}
+
+impl Side {
+    /// The other side.
+    pub fn other(self) -> Side {
+        match self {
+            Side::Cpu => Side::Gpu,
+            Side::Gpu => Side::Cpu,
+        }
+    }
+
+    /// Index (CPU = 0, GPU = 1) for weight arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Side::Cpu => 0,
+            Side::Gpu => 1,
+        }
+    }
+}
+
+/// An undirected weighted graph for CPU/GPU bipartitioning.
+///
+/// Node weight `w[side]` is the node's execution time on that processor;
+/// edge weight is the transfer time paid when the edge is cut. Nodes may
+/// be *pinned* to one side (elements with no GPU implementation are pinned
+/// to the CPU).
+#[derive(Debug, Clone, Default)]
+pub struct PartGraph {
+    weights: Vec<[f64; 2]>,
+    pins: Vec<Option<Side>>,
+    adj: Vec<Vec<(usize, f64)>>,
+    edges: Vec<(usize, usize, f64)>,
+}
+
+impl PartGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        PartGraph::default()
+    }
+
+    /// Adds a node with per-side execution costs, returning its index.
+    pub fn add_node(&mut self, cpu_cost: f64, gpu_cost: f64) -> usize {
+        self.weights.push([cpu_cost, gpu_cost]);
+        self.pins.push(None);
+        self.adj.push(Vec::new());
+        self.weights.len() - 1
+    }
+
+    /// Adds a node pinned to `side` (e.g. CPU-only elements).
+    pub fn add_pinned(&mut self, cpu_cost: f64, gpu_cost: f64, side: Side) -> usize {
+        let id = self.add_node(cpu_cost, gpu_cost);
+        self.pins[id] = Some(side);
+        id
+    }
+
+    /// Adds an undirected edge with transfer weight `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range or `u == v`.
+    pub fn add_edge(&mut self, u: usize, v: usize, w: f64) {
+        assert!(u < self.len() && v < self.len(), "endpoint out of range");
+        assert_ne!(u, v, "self-loops not allowed");
+        self.adj[u].push((v, w));
+        self.adj[v].push((u, w));
+        self.edges.push((u, v, w));
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Per-side weights of node `v`.
+    pub fn weight(&self, v: usize) -> [f64; 2] {
+        self.weights[v]
+    }
+
+    /// Pin state of node `v`.
+    pub fn pin(&self, v: usize) -> Option<Side> {
+        self.pins[v]
+    }
+
+    /// Neighbours of `v` with edge weights.
+    pub fn neighbors(&self, v: usize) -> &[(usize, f64)] {
+        &self.adj[v]
+    }
+
+    /// All edges `(u, v, w)`.
+    pub fn edges(&self) -> &[(usize, usize, f64)] {
+        &self.edges
+    }
+}
+
+/// An assignment of every node to a side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition(pub Vec<Side>);
+
+impl Partition {
+    /// All nodes on one side.
+    pub fn all(n: usize, side: Side) -> Self {
+        Partition(vec![side; n])
+    }
+
+    /// The side of node `v`.
+    pub fn side(&self, v: usize) -> Side {
+        self.0[v]
+    }
+
+    /// Number of nodes assigned to `side`.
+    pub fn count(&self, side: Side) -> usize {
+        self.0.iter().filter(|&&s| s == side).count()
+    }
+
+    /// Checks that every pinned node is on its pinned side.
+    pub fn respects_pins(&self, g: &PartGraph) -> bool {
+        (0..g.len()).all(|v| g.pin(v).map(|p| p == self.0[v]).unwrap_or(true))
+    }
+}
+
+/// The optimization objective: pipeline makespan.
+///
+/// A batch's processing time is bounded by the busier processor plus the
+/// CPU↔GPU transfers on cut edges, so we minimize
+/// `max(load_cpu, load_gpu) + transfer_penalty * cut`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objective {
+    /// Multiplier on cut weight (1.0 = edge weights are already in the
+    /// same time unit as node weights).
+    pub transfer_penalty: f64,
+}
+
+impl Default for Objective {
+    fn default() -> Self {
+        Objective {
+            transfer_penalty: 1.0,
+        }
+    }
+}
+
+impl Objective {
+    /// Per-side total loads under `part`.
+    pub fn loads(&self, g: &PartGraph, part: &Partition) -> [f64; 2] {
+        let mut loads = [0.0; 2];
+        for v in 0..g.len() {
+            let s = part.side(v);
+            loads[s.index()] += g.weight(v)[s.index()];
+        }
+        loads
+    }
+
+    /// Total weight of cut edges under `part`.
+    pub fn cut(&self, g: &PartGraph, part: &Partition) -> f64 {
+        g.edges()
+            .iter()
+            .filter(|(u, v, _)| part.side(*u) != part.side(*v))
+            .map(|(_, _, w)| w)
+            .sum()
+    }
+
+    /// The makespan cost.
+    pub fn cost(&self, g: &PartGraph, part: &Partition) -> f64 {
+        let loads = self.loads(g, part);
+        loads[0].max(loads[1]) + self.transfer_penalty * self.cut(g, part)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line3() -> PartGraph {
+        let mut g = PartGraph::new();
+        let a = g.add_node(10.0, 2.0);
+        let b = g.add_node(10.0, 2.0);
+        let c = g.add_pinned(5.0, 100.0, Side::Cpu);
+        g.add_edge(a, b, 1.0);
+        g.add_edge(b, c, 4.0);
+        g
+    }
+
+    #[test]
+    fn loads_and_cut() {
+        let g = line3();
+        let obj = Objective::default();
+        let part = Partition(vec![Side::Gpu, Side::Gpu, Side::Cpu]);
+        assert_eq!(obj.loads(&g, &part), [5.0, 4.0]);
+        assert_eq!(obj.cut(&g, &part), 4.0);
+        assert_eq!(obj.cost(&g, &part), 9.0);
+        assert!(part.respects_pins(&g));
+    }
+
+    #[test]
+    fn pin_violation_detected() {
+        let g = line3();
+        let bad = Partition::all(3, Side::Gpu);
+        assert!(!bad.respects_pins(&g));
+    }
+
+    #[test]
+    fn all_cpu_has_no_cut() {
+        let g = line3();
+        let obj = Objective::default();
+        let part = Partition::all(3, Side::Cpu);
+        assert_eq!(obj.cut(&g, &part), 0.0);
+        assert_eq!(obj.cost(&g, &part), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        let mut g = PartGraph::new();
+        let a = g.add_node(1.0, 1.0);
+        g.add_edge(a, a, 1.0);
+    }
+}

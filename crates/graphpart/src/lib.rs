@@ -1,0 +1,31 @@
+//! Weighted-graph partitioning algorithms for heterogeneous task mapping.
+//!
+//! The paper's task allocator (§IV-C3) maps the expanded Click element
+//! graph onto CPU and GPU with two algorithms, both implemented here over
+//! a shared [`PartGraph`] representation in which every node carries *two*
+//! weights — its execution time on the CPU and on the GPU — and every edge
+//! carries the data-transfer time paid when its endpoints land on
+//! different processors:
+//!
+//! * [`kl`] — a modified Kernighan–Lin refinement with METIS-style
+//!   multilevel coarsening (heavy-edge matching), the paper's primary
+//!   algorithm.
+//! * [`agglomerative`] — the paper's light-weight seed-based agglomerative
+//!   clustering (O(k log k) in the edge count) for fast re-partitioning
+//!   under churn.
+//! * [`maxflow`] — a Dinic max-flow/min-cut solver, the MFMC formulation
+//!   the paper cites as the underlying model (used as an ablation
+//!   baseline: exact for cut + unary cost, oblivious to load balance).
+//!
+//! The objective treated throughout is pipeline makespan:
+//! `max(cpu_load, gpu_load) + cut_transfer_time` (see [`Objective`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agglomerative;
+pub mod graph;
+pub mod kl;
+pub mod maxflow;
+
+pub use graph::{Objective, PartGraph, Partition, Side};

@@ -1,0 +1,637 @@
+//! The NF catalog: assembles each network function as an element graph.
+//!
+//! Each constructor returns an [`Nf`] whose element graph reproduces the
+//! packet-action behaviour of the paper's Table II (validated by tests
+//! against [`NfKind::table2_profile`]). The firewall and IDS share a
+//! structurally identical leading header-classifier element so the NF
+//! synthesizer can de-duplicate it — the paper's Figure 10 example.
+
+use crate::ac::AhoCorasick;
+use crate::acl::{synth, AclTable, Action};
+use crate::dfa::Dfa;
+use crate::elements::{
+    FirewallFilter, IdsMatch, IdsMode, IpLookup, IpsecEncrypt, IpsecSa, Ipv6Lookup, LoadBalancer,
+    MacRewrite, Nat, Probe, Proxy, WanOptimizer,
+};
+use crate::lpm::{Dir24_8, RouteV4, RouteV6, WaldvogelV6};
+use nfc_click::element::config_hash;
+use nfc_click::elements::{CheckIpHeader, DecTtl, ProtocolClassifier};
+use nfc_click::{ElementActions, ElementGraph, NodeId};
+use nfc_packet::headers::{ip_proto, MacAddr};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// The network function types used across the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NfKind {
+    /// Passive traffic probe.
+    Probe,
+    /// Intrusion detection (inline: may drop).
+    Ids,
+    /// Deep packet inspection (alert-only IDS variant).
+    Dpi,
+    /// ACL firewall.
+    Firewall,
+    /// Source NAT.
+    Nat,
+    /// L4 load balancer.
+    LoadBalancer,
+    /// WAN optimizer (dedup).
+    WanOptimizer,
+    /// Application proxy.
+    Proxy,
+    /// IPv4 forwarder/router.
+    Ipv4Forwarder,
+    /// IPv6 forwarder/router.
+    Ipv6Forwarder,
+    /// IPsec encryption gateway.
+    IpsecGateway,
+}
+
+impl NfKind {
+    /// The paper's Table II action matrix for the seven NF types it lists;
+    /// rows for the characterization workloads (forwarders, IPsec) follow
+    /// their definitions. Fields: header/payload read, header/payload
+    /// write, add/remove bytes, drop.
+    pub fn table2_profile(self) -> ElementActions {
+        let mk = |rh, rp, wh, wp, rs, dr| ElementActions {
+            reads_header: rh,
+            reads_payload: rp,
+            writes_header: wh,
+            writes_payload: wp,
+            resizes: rs,
+            may_drop: dr,
+        };
+        match self {
+            NfKind::Probe => mk(true, false, false, false, false, false),
+            NfKind::Ids => mk(true, true, false, false, false, true),
+            NfKind::Dpi => mk(true, true, false, false, false, false),
+            NfKind::Firewall => mk(true, false, false, false, false, false),
+            NfKind::Nat => mk(true, false, true, false, false, false),
+            NfKind::LoadBalancer => mk(true, false, false, false, false, false),
+            NfKind::WanOptimizer => mk(true, true, true, true, true, true),
+            NfKind::Proxy => mk(true, true, false, true, false, false),
+            NfKind::Ipv4Forwarder => mk(true, false, true, false, false, true),
+            NfKind::Ipv6Forwarder => mk(true, false, true, false, false, true),
+            NfKind::IpsecGateway => mk(true, true, true, true, true, false),
+        }
+    }
+
+    /// Short display label used by experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            NfKind::Probe => "Probe",
+            NfKind::Ids => "IDS",
+            NfKind::Dpi => "DPI",
+            NfKind::Firewall => "FW",
+            NfKind::Nat => "NAT",
+            NfKind::LoadBalancer => "LB",
+            NfKind::WanOptimizer => "WanOpt",
+            NfKind::Proxy => "Proxy",
+            NfKind::Ipv4Forwarder => "IPv4",
+            NfKind::Ipv6Forwarder => "IPv6",
+            NfKind::IpsecGateway => "IPsec",
+        }
+    }
+}
+
+impl std::fmt::Display for NfKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A named network function: an element graph plus its kind.
+#[derive(Debug, Clone)]
+pub struct Nf {
+    name: String,
+    kind: NfKind,
+    graph: ElementGraph,
+}
+
+impl Nf {
+    /// Wraps an arbitrary element graph as an NF.
+    pub fn from_graph(name: impl Into<String>, kind: NfKind, graph: ElementGraph) -> Self {
+        Nf {
+            name: name.into(),
+            kind,
+            graph,
+        }
+    }
+
+    /// Instance name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// NF type.
+    pub fn kind(&self) -> NfKind {
+        self.kind
+    }
+
+    /// The element graph.
+    pub fn graph(&self) -> &ElementGraph {
+        &self.graph
+    }
+
+    /// Consumes the NF, returning its graph.
+    pub fn into_graph(self) -> ElementGraph {
+        self.graph
+    }
+
+    /// The single entry node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no entry (cannot happen for catalog NFs).
+    pub fn entry(&self) -> NodeId {
+        self.graph.entries()[0]
+    }
+
+    /// True if any element keeps cross-packet state (flow tables,
+    /// dedup caches) — used by the orchestrator's stateful-past-dropper
+    /// rule.
+    pub fn is_stateful(&self) -> bool {
+        self.graph
+            .node_ids()
+            .any(|id| self.graph.element(id).class() == nfc_click::ElementClass::Stateful)
+    }
+
+    /// Action profile derived from the graph: the union of all element
+    /// actions. For the NF types in the paper's Table II this equals
+    /// [`NfKind::table2_profile`] (asserted by tests).
+    pub fn action_profile(&self) -> ElementActions {
+        self.graph
+            .node_ids()
+            .map(|id| self.graph.element(id).actions())
+            .fold(ElementActions::default(), ElementActions::union)
+    }
+
+    // -- catalog constructors -------------------------------------------
+
+    /// A passive probe.
+    pub fn probe(name: impl Into<String>) -> Self {
+        let mut g = ElementGraph::new();
+        g.add(Probe::new());
+        Nf::from_graph(name, NfKind::Probe, g)
+    }
+
+    /// The shared leading classifier the firewall and IDS both use
+    /// (Figure 10's de-duplicable "header classifier").
+    fn header_classifier() -> ProtocolClassifier {
+        ProtocolClassifier::new("hdr-classifier", vec![ip_proto::TCP, ip_proto::UDP])
+    }
+
+    /// A firewall with `n_rules` synthetic ClassBench-style rules.
+    /// Matches the paper's evaluation setup: deny rules are counted, not
+    /// enforced (Table II: firewall Drop = N).
+    pub fn firewall(name: impl Into<String>, n_rules: usize, seed: u64) -> Self {
+        Self::firewall_with(name, synth::generate(n_rules, seed), false)
+    }
+
+    /// A firewall over explicit rules; `enforce` turns on inline dropping.
+    pub fn firewall_with(
+        name: impl Into<String>,
+        rules: Vec<crate::acl::Rule>,
+        enforce: bool,
+    ) -> Self {
+        let acl = Arc::new(AclTable::new(rules, Action::Allow));
+        let mut g = ElementGraph::new();
+        let cl = g.add(Self::header_classifier());
+        let fw = g.add(FirewallFilter::new(acl, enforce));
+        g.connect(cl, 0, fw).expect("valid wiring");
+        Nf::from_graph(name, NfKind::Firewall, g)
+    }
+
+    /// The default IDS signature set: uppercase fixed strings (so the
+    /// traffic generator's lowercase no-match filler never hits) plus two
+    /// realistic regex rules.
+    pub fn default_ids_signatures() -> Vec<Vec<u8>> {
+        [
+            "ATTACK_SHELLCODE",
+            "SQL_UNION_SELECT",
+            "CMD_EXEC_BIN_SH",
+            "XSS_SCRIPT_TAG",
+            "TRAVERSAL_DOTDOT",
+            "BOTNET_BEACON_77",
+            "RANSOM_NOTE_HDR",
+            "EXPLOIT_CVE_0DAY",
+        ]
+        .iter()
+        .map(|s| s.as_bytes().to_vec())
+        .collect()
+    }
+
+    fn default_ids_dfas() -> Vec<Dfa> {
+        vec![
+            Dfa::compile(r"GET /[\w/]*\.php\?\w+=").expect("static pattern compiles"),
+            Dfa::compile(r"USER \w+ PASS \w+").expect("static pattern compiles"),
+        ]
+    }
+
+    /// An inline IDS (drops on match) with the default rule set.
+    pub fn ids(name: impl Into<String>) -> Self {
+        Self::ids_with(
+            name,
+            Self::default_ids_signatures(),
+            Self::default_ids_dfas(),
+            IdsMode::Drop,
+        )
+    }
+
+    /// An alert-only DPI with the default rule set.
+    pub fn dpi(name: impl Into<String>) -> Self {
+        Self::ids_with(
+            name,
+            Self::default_ids_signatures(),
+            Self::default_ids_dfas(),
+            IdsMode::Alert,
+        )
+    }
+
+    /// An IDS/DPI over explicit rules.
+    pub fn ids_with(
+        name: impl Into<String>,
+        patterns: Vec<Vec<u8>>,
+        dfas: Vec<Dfa>,
+        mode: IdsMode,
+    ) -> Self {
+        let cfg = config_hash(&patterns.concat())
+            ^ config_hash(
+                dfas.iter()
+                    .flat_map(|d| d.pattern().bytes())
+                    .collect::<Vec<_>>()
+                    .as_slice(),
+            );
+        let ac = Arc::new(AhoCorasick::new(patterns));
+        let kind = if mode == IdsMode::Drop {
+            NfKind::Ids
+        } else {
+            NfKind::Dpi
+        };
+        let mut g = ElementGraph::new();
+        let cl = g.add(Self::header_classifier());
+        let ids = g.add(IdsMatch::new(ac, Arc::new(dfas), mode, cfg));
+        g.connect(cl, 0, ids).expect("valid wiring");
+        Nf::from_graph(name, kind, g)
+    }
+
+    /// A source NAT.
+    pub fn nat(name: impl Into<String>, public_ip: [u8; 4]) -> Self {
+        let mut g = ElementGraph::new();
+        g.add(Nat::new(public_ip));
+        Nf::from_graph(name, NfKind::Nat, g)
+    }
+
+    /// An L4 load balancer with `backends` outputs.
+    pub fn load_balancer(name: impl Into<String>, backends: usize) -> Self {
+        let mut g = ElementGraph::new();
+        g.add(LoadBalancer::new("lb", backends));
+        Nf::from_graph(name, NfKind::LoadBalancer, g)
+    }
+
+    /// A WAN optimizer.
+    pub fn wan_optimizer(name: impl Into<String>) -> Self {
+        let mut g = ElementGraph::new();
+        g.add(WanOptimizer::new(4096, 3));
+        Nf::from_graph(name, NfKind::WanOptimizer, g)
+    }
+
+    /// An application proxy rewriting a host token.
+    pub fn proxy(name: impl Into<String>) -> Self {
+        let mut g = ElementGraph::new();
+        g.add(Proxy::new(
+            &b"Host: origin.internal"[..],
+            &b"Host: cache.edge.net"[..],
+        ));
+        Nf::from_graph(name, NfKind::Proxy, g)
+    }
+
+    /// An IPv4 forwarder over `n_routes` synthetic routes.
+    pub fn ipv4_forwarder(name: impl Into<String>, n_routes: usize, seed: u64) -> Self {
+        Self::ipv4_forwarder_with(name, synth_routes_v4(n_routes, seed))
+    }
+
+    /// An IPv4 forwarder over explicit routes.
+    pub fn ipv4_forwarder_with(name: impl Into<String>, routes: Vec<RouteV4>) -> Self {
+        let mut cfg_bytes = Vec::new();
+        for r in &routes {
+            cfg_bytes.extend_from_slice(&r.prefix.to_be_bytes());
+            cfg_bytes.push(r.len);
+            cfg_bytes.extend_from_slice(&r.next_hop.to_be_bytes());
+        }
+        let cfg = config_hash(&cfg_bytes);
+        // 20 first-level bits: same two-access pattern as DIR-24-8 at 4 MB
+        // instead of 64 MB per table (documented in DESIGN.md).
+        let table = Arc::new(Dir24_8::from_routes(&routes, 20));
+        let mut g = ElementGraph::new();
+        let chk = g.add(CheckIpHeader::new());
+        let lk = g.add(IpLookup::new(table, cfg));
+        let ttl = g.add(DecTtl::new());
+        let mac = g.add(MacRewrite::new(MacAddr([0x02, 0, 0, 0, 0, 0x10])));
+        g.connect_chain(&[chk, lk, ttl, mac]).expect("valid wiring");
+        Nf::from_graph(name, NfKind::Ipv4Forwarder, g)
+    }
+
+    /// An IPv6 forwarder over `n_routes` synthetic routes.
+    pub fn ipv6_forwarder(name: impl Into<String>, n_routes: usize, seed: u64) -> Self {
+        let routes = synth_routes_v6(n_routes, seed);
+        let mut cfg_bytes = Vec::new();
+        for r in &routes {
+            cfg_bytes.extend_from_slice(&r.prefix.to_be_bytes());
+            cfg_bytes.push(r.len);
+        }
+        let cfg = config_hash(&cfg_bytes);
+        let table = Arc::new(WaldvogelV6::build(&routes));
+        let mut g = ElementGraph::new();
+        let chk = g.add(CheckIpHeader::new());
+        let lk = g.add(Ipv6Lookup::new(table, cfg));
+        let ttl = g.add(DecTtl::new());
+        let mac = g.add(MacRewrite::new(MacAddr([0x02, 0, 0, 0, 0, 0x11])));
+        g.connect_chain(&[chk, lk, ttl, mac]).expect("valid wiring");
+        Nf::from_graph(name, NfKind::Ipv6Forwarder, g)
+    }
+
+    /// A stateful, stream-aware IDS: TCP stream reassembly followed by a
+    /// cross-packet Aho–Corasick matcher (catches signatures split over
+    /// segment boundaries; paper §III-B1b's buffering-based stateful
+    /// processing).
+    pub fn stream_ids(name: impl Into<String>) -> Self {
+        use crate::stateful::{StreamIds, StreamReassembly};
+        let patterns = Self::default_ids_signatures();
+        let cfg = config_hash(&patterns.concat());
+        let ac = Arc::new(AhoCorasick::new(patterns));
+        let mut g = ElementGraph::new();
+        let re = g.add(StreamReassembly::new());
+        let ids = g.add(StreamIds::new(ac, cfg));
+        g.connect(re, 0, ids).expect("valid wiring");
+        Nf::from_graph(name, NfKind::Ids, g)
+    }
+
+    /// An IPsec encryption gateway with the example SA.
+    pub fn ipsec(name: impl Into<String>) -> Self {
+        Self::ipsec_with(name, IpsecSa::example())
+    }
+
+    /// An IPsec encryption gateway with an explicit SA.
+    pub fn ipsec_with(name: impl Into<String>, sa: IpsecSa) -> Self {
+        let mut g = ElementGraph::new();
+        g.add(IpsecEncrypt::new(sa));
+        Nf::from_graph(name, NfKind::IpsecGateway, g)
+    }
+}
+
+/// Generates `n` deterministic IPv4 routes covering the traffic
+/// generator's default destination pool (172.16.0.0/12) plus random
+/// prefixes, so forwarder NFs route the default workloads.
+pub fn synth_routes_v4(n: usize, seed: u64) -> Vec<RouteV4> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut routes = vec![
+        RouteV4 {
+            prefix: 0,
+            len: 0,
+            next_hop: 0,
+        },
+        RouteV4 {
+            prefix: u32::from_be_bytes([172, 16, 0, 0]),
+            len: 12,
+            next_hop: 1,
+        },
+    ];
+    routes.extend((0..n.saturating_sub(2)).map(|i| {
+        let len = *[12u8, 16, 20, 24].get(i % 4).unwrap();
+        RouteV4 {
+            prefix: rng.gen::<u32>() >> (32 - u32::from(len)) << (32 - u32::from(len)),
+            len,
+            next_hop: (i % 250) as u32 + 2,
+        }
+    }));
+    routes
+}
+
+/// Generates `n` deterministic IPv6 routes covering the traffic
+/// generator's 2001::/16 source pool.
+pub fn synth_routes_v6(n: usize, seed: u64) -> Vec<RouteV6> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let base = (0x2001u128) << 112;
+    let mut routes = vec![RouteV6 {
+        prefix: base,
+        len: 16,
+        next_hop: 1,
+    }];
+    routes.extend((0..n.saturating_sub(1)).map(|i| {
+        let len = *[24u8, 32, 40, 48, 56, 64].get(i % 6).unwrap();
+        // Random bits between the /16 base and the prefix length,
+        // top-aligned as RouteV6 requires.
+        let extra_bits = u32::from(len) - 16;
+        let rand_top: u128 = (rng.gen::<u128>() >> (128 - extra_bits)) << (128 - u32::from(len));
+        RouteV6 {
+            prefix: base | rand_top,
+            len,
+            next_hop: (i % 250) as u32 + 2,
+        }
+    }));
+    routes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfc_packet::traffic::{PayloadPolicy, SizeDist, TrafficGenerator, TrafficSpec};
+
+    fn drive(nf: &Nf, batch: nfc_packet::Batch) -> nfc_packet::Batch {
+        let mut run = nf.graph().clone().compile().expect("compiles");
+        run.push_merged(nf.entry(), batch)
+    }
+
+    #[test]
+    fn all_catalog_nfs_compile_and_run() {
+        let nfs = vec![
+            Nf::probe("p"),
+            Nf::firewall("fw", 200, 1),
+            Nf::ids("ids"),
+            Nf::dpi("dpi"),
+            Nf::nat("nat", [203, 0, 113, 1]),
+            Nf::load_balancer("lb", 4),
+            Nf::wan_optimizer("wan"),
+            Nf::proxy("proxy"),
+            Nf::ipv4_forwarder("r4", 1000, 2),
+            Nf::ipsec("ipsec"),
+        ];
+        let mut gen = TrafficGenerator::new(
+            TrafficSpec::udp(SizeDist::Imix).with_payload(PayloadPolicy::Random),
+            1,
+        );
+        for nf in &nfs {
+            let out = drive(nf, gen.batch(32));
+            // Every NF passes most traffic (drops only malformed/denied).
+            assert!(
+                nf.kind() == NfKind::Ids || out.len() >= 16,
+                "{} swallowed traffic: {} out",
+                nf.name(),
+                out.len()
+            );
+        }
+    }
+
+    #[test]
+    fn table2_profiles_match_derived_profiles() {
+        let cases = vec![
+            Nf::probe("p"),
+            Nf::firewall("fw", 100, 1),
+            Nf::ids("ids"),
+            Nf::nat("nat", [1, 2, 3, 4]),
+            Nf::load_balancer("lb", 2),
+            Nf::wan_optimizer("wan"),
+            Nf::proxy("proxy"),
+            Nf::ipsec("ipsec"),
+        ];
+        for nf in cases {
+            assert_eq!(
+                nf.action_profile(),
+                nf.kind().table2_profile(),
+                "profile mismatch for {}",
+                nf.name()
+            );
+        }
+    }
+
+    #[test]
+    fn ipv4_forwarder_routes_default_traffic() {
+        let nf = Nf::ipv4_forwarder("r4", 100, 7);
+        let mut gen = TrafficGenerator::new(TrafficSpec::udp(SizeDist::Fixed(128)), 5);
+        let batch = gen.batch(64);
+        let out = drive(&nf, batch);
+        // Default route + 172.16/12 route cover everything.
+        assert_eq!(out.len(), 64);
+        // TTL decremented, MACs rewritten.
+        let p = out.get(0).unwrap();
+        assert_eq!(p.ipv4().unwrap().ttl, 63);
+        assert_eq!(p.ethernet().unwrap().src, MacAddr([0x02, 0, 0, 0, 0, 0x10]));
+    }
+
+    #[test]
+    fn ipv6_forwarder_routes_v6_traffic() {
+        use nfc_packet::traffic::IpVersion;
+        let nf = Nf::ipv6_forwarder("r6", 100, 7);
+        let spec = TrafficSpec::udp(SizeDist::Fixed(128)).with_ip_version(IpVersion::V6);
+        let mut gen = TrafficGenerator::new(spec, 5);
+        let out = drive(&nf, gen.batch(32));
+        assert_eq!(out.len(), 32);
+        assert_eq!(out.get(0).unwrap().ipv6().unwrap().hop_limit, 63);
+    }
+
+    #[test]
+    fn ids_drops_exactly_matching_traffic() {
+        let nf = Nf::ids("ids");
+        let sigs = Nf::default_ids_signatures();
+        let spec = TrafficSpec::udp(SizeDist::Fixed(256)).with_payload(PayloadPolicy::MatchRatio {
+            patterns: sigs,
+            ratio: 0.5,
+        });
+        let mut gen = TrafficGenerator::new(spec, 9);
+        let batch = gen.batch(400);
+        let out = drive(&nf, batch);
+        let frac = out.len() as f64 / 400.0;
+        assert!((frac - 0.5).abs() < 0.08, "pass fraction {frac}");
+    }
+
+    #[test]
+    fn firewall_and_ids_share_header_classifier_signature() {
+        let fw = Nf::firewall("fw", 50, 1);
+        let ids = Nf::ids("ids");
+        let sig_of = |nf: &Nf| {
+            nf.graph()
+                .node_ids()
+                .map(|id| nf.graph().element(id).signature())
+                .find(|s| s.kind == "proto-classifier")
+                .expect("has classifier")
+        };
+        assert_eq!(sig_of(&fw), sig_of(&ids));
+    }
+
+    #[test]
+    fn synth_routes_cover_defaults() {
+        let routes = synth_routes_v4(100, 1);
+        let table = Dir24_8::from_routes(&routes, 16);
+        assert!(table.lookup(u32::from_be_bytes([172, 16, 5, 5])).is_some());
+        assert!(table.lookup(u32::from_be_bytes([8, 8, 8, 8])).is_some()); // default
+        let v6 = synth_routes_v6(50, 1);
+        let w = WaldvogelV6::build(&v6);
+        let addr = (0x2001u128) << 112 | 0xABCD;
+        assert!(w.lookup(addr).is_some());
+    }
+
+    #[test]
+    fn nf_kind_labels_are_unique() {
+        let kinds = [
+            NfKind::Probe,
+            NfKind::Ids,
+            NfKind::Dpi,
+            NfKind::Firewall,
+            NfKind::Nat,
+            NfKind::LoadBalancer,
+            NfKind::WanOptimizer,
+            NfKind::Proxy,
+            NfKind::Ipv4Forwarder,
+            NfKind::Ipv6Forwarder,
+            NfKind::IpsecGateway,
+        ];
+        let labels: std::collections::HashSet<_> = kinds.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), kinds.len());
+    }
+}
+
+#[cfg(test)]
+mod stream_ids_tests {
+    use super::*;
+    use nfc_packet::headers::tcp_flags;
+    use nfc_packet::{Batch, Packet};
+
+    fn tcp_seg(flow_port: u16, seq_no: u32, payload: &[u8], pkt_seq: u64) -> Packet {
+        let mut p = Packet::ipv4_tcp(
+            [10, 0, 0, 1],
+            [172, 16, 0, 1],
+            flow_port,
+            443,
+            payload,
+            tcp_flags::ACK,
+        );
+        let mut t = p.tcp().expect("tcp");
+        t.seq = seq_no;
+        p.set_tcp(&t).expect("set");
+        p.meta.seq = pkt_seq;
+        p
+    }
+
+    #[test]
+    fn stream_ids_nf_catches_split_signature_even_out_of_order() {
+        let nf = Nf::stream_ids("sids");
+        assert!(nf.is_stateful());
+        let mut run = nf.graph().clone().compile().expect("compiles");
+        // Signature "SQL_UNION_SELECT" split across two segments that
+        // arrive out of order; reassembly must reorder, streaming match
+        // must fire.
+        let batch: Batch = [
+            tcp_seg(1000, 8, b"_SELECTzz", 0), // future segment first
+            tcp_seg(1000, 0, b"xxSQL_UNION", 1),
+            tcp_seg(2000, 0, b"innocent data", 2),
+        ]
+        .into_iter()
+        .collect();
+        let out = run.push_merged(nf.entry(), batch);
+        // The completing segment of the malicious flow is dropped; the
+        // innocent flow and the first (not-yet-matching) segment pass.
+        let survivors: Vec<u64> = out.iter().map(|p| p.meta.seq).collect();
+        assert!(survivors.contains(&2), "innocent flow passes");
+        assert_eq!(out.len(), 2, "one segment of the malicious flow dropped");
+    }
+
+    #[test]
+    fn stream_ids_profile_is_stateful_dropper() {
+        let nf = Nf::stream_ids("sids");
+        let p = nf.action_profile();
+        assert!(p.may_drop && p.reads_payload && !p.writes_payload);
+    }
+}

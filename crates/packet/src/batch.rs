@@ -1,0 +1,274 @@
+//! Packet batches — the unit of work for elements and offload.
+//!
+//! The paper's Figure 5 characterization shows that *batch splitting* at
+//! Click branch points (a large batch re-organized into several smaller
+//! per-output batches) is a dominant SFC overhead. [`Batch`] therefore
+//! tracks split/merge bookkeeping ([`BatchLineage`]) so the simulator can
+//! charge re-organization costs, and supports order-preserving merges via
+//! packet sequence numbers (the Snap `GPUCompletionQueue` design).
+
+use crate::Packet;
+
+/// How a batch came to exist; used by the performance model to charge
+/// re-organization overheads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchLineage {
+    /// Number of split operations this batch's packets have been through.
+    pub splits: u32,
+    /// Number of merge operations this batch's packets have been through.
+    pub merges: u32,
+}
+
+/// An ordered collection of packets processed as one unit.
+///
+/// # Example
+///
+/// ```
+/// use nfc_packet::{Batch, Packet};
+///
+/// let mut batch = Batch::new();
+/// batch.push(Packet::ipv4_udp([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, b"a"));
+/// batch.push(Packet::ipv4_udp([1, 1, 1, 1], [2, 2, 2, 2], 1, 3, b"b"));
+/// let (evens, _odds): (Vec<_>, Vec<_>) = (0..2).partition(|i| i % 2 == 0);
+/// let parts = batch.split_by(2, |i, _| evens.contains(&i) as usize);
+/// assert_eq!(parts[0].len(), 1);
+/// assert_eq!(parts[1].len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Batch {
+    pkts: Vec<Packet>,
+    /// Split/merge history.
+    pub lineage: BatchLineage,
+}
+
+impl Batch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Batch::default()
+    }
+
+    /// Creates an empty batch with capacity for `n` packets.
+    pub fn with_capacity(n: usize) -> Self {
+        Batch {
+            pkts: Vec::with_capacity(n),
+            lineage: BatchLineage::default(),
+        }
+    }
+
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.pkts.len()
+    }
+
+    /// True when the batch holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.pkts.is_empty()
+    }
+
+    /// Total wire bytes across all packets.
+    pub fn total_bytes(&self) -> usize {
+        self.pkts.iter().map(Packet::len).sum()
+    }
+
+    /// Appends a packet.
+    pub fn push(&mut self, pkt: Packet) {
+        self.pkts.push(pkt);
+    }
+
+    /// Removes and returns the last packet.
+    pub fn pop(&mut self) -> Option<Packet> {
+        self.pkts.pop()
+    }
+
+    /// Borrowing iterator over packets.
+    pub fn iter(&self) -> std::slice::Iter<'_, Packet> {
+        self.pkts.iter()
+    }
+
+    /// Mutable iterator over packets.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, Packet> {
+        self.pkts.iter_mut()
+    }
+
+    /// Access by index.
+    pub fn get(&self, i: usize) -> Option<&Packet> {
+        self.pkts.get(i)
+    }
+
+    /// Mutable access by index.
+    pub fn get_mut(&mut self, i: usize) -> Option<&mut Packet> {
+        self.pkts.get_mut(i)
+    }
+
+    /// Drains all packets out of the batch.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, Packet> {
+        self.pkts.drain(..)
+    }
+
+    /// Keeps only packets satisfying `pred` (drop semantics: IDS/firewall
+    /// discards), returning how many were dropped.
+    pub fn retain<F: FnMut(&Packet) -> bool>(&mut self, pred: F) -> usize {
+        let before = self.pkts.len();
+        self.pkts.retain(pred);
+        before - self.pkts.len()
+    }
+
+    /// Splits the batch into `n_outputs` batches according to `route`,
+    /// which maps `(index, packet)` to an output port. This models the
+    /// Click-branch re-organization of Figure 5: every produced batch
+    /// carries an incremented split count.
+    ///
+    /// Packets routed to ports `>= n_outputs` are dropped (Click's
+    /// `Discard` convention for unwired ports).
+    pub fn split_by<F: FnMut(usize, &Packet) -> usize>(
+        mut self,
+        n_outputs: usize,
+        mut route: F,
+    ) -> Vec<Batch> {
+        let mut out: Vec<Batch> = (0..n_outputs)
+            .map(|_| Batch {
+                pkts: Vec::new(),
+                lineage: BatchLineage {
+                    splits: self.lineage.splits + 1,
+                    merges: self.lineage.merges,
+                },
+            })
+            .collect();
+        for (i, pkt) in self.pkts.drain(..).enumerate() {
+            let port = route(i, &pkt);
+            if port < n_outputs {
+                out[port].push(pkt);
+            }
+        }
+        out
+    }
+
+    /// Merges several batches into one, restoring the original packet order
+    /// by sequence number. This is the order-preserving release point the
+    /// paper adopts from Snap's `GPUCompletionQueue`.
+    pub fn merge_ordered<I: IntoIterator<Item = Batch>>(parts: I) -> Batch {
+        let mut pkts: Vec<Packet> = Vec::new();
+        let mut lineage = BatchLineage::default();
+        for part in parts {
+            lineage.splits = lineage.splits.max(part.lineage.splits);
+            lineage.merges = lineage.merges.max(part.lineage.merges);
+            pkts.extend(part.pkts);
+        }
+        pkts.sort_by_key(|p| p.meta.seq);
+        lineage.merges += 1;
+        Batch { pkts, lineage }
+    }
+
+    /// Splits off the first `n` packets into a new batch (used to carve
+    /// offload fractions: `n = ratio * len` packets go to the GPU).
+    pub fn split_off_front(&mut self, n: usize) -> Batch {
+        let n = n.min(self.pkts.len());
+        let rest = self.pkts.split_off(n);
+        let front = std::mem::replace(&mut self.pkts, rest);
+        Batch {
+            pkts: front,
+            lineage: self.lineage,
+        }
+    }
+}
+
+impl FromIterator<Packet> for Batch {
+    fn from_iter<I: IntoIterator<Item = Packet>>(iter: I) -> Self {
+        Batch {
+            pkts: iter.into_iter().collect(),
+            lineage: BatchLineage::default(),
+        }
+    }
+}
+
+impl Extend<Packet> for Batch {
+    fn extend<I: IntoIterator<Item = Packet>>(&mut self, iter: I) {
+        self.pkts.extend(iter);
+    }
+}
+
+impl IntoIterator for Batch {
+    type Item = Packet;
+    type IntoIter = std::vec::IntoIter<Packet>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.pkts.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Batch {
+    type Item = &'a Packet;
+    type IntoIter = std::slice::Iter<'a, Packet>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.pkts.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(seq: u64) -> Packet {
+        let mut p = Packet::ipv4_udp([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, b"x");
+        p.meta.seq = seq;
+        p
+    }
+
+    #[test]
+    fn split_routes_and_counts() {
+        let batch: Batch = (0..10).map(pkt).collect();
+        let parts = batch.split_by(2, |i, _| i % 2);
+        assert_eq!(parts[0].len(), 5);
+        assert_eq!(parts[1].len(), 5);
+        assert_eq!(parts[0].lineage.splits, 1);
+    }
+
+    #[test]
+    fn split_drops_unwired_ports() {
+        let batch: Batch = (0..6).map(pkt).collect();
+        let parts = batch.split_by(2, |i, _| i % 3);
+        assert_eq!(parts[0].len() + parts[1].len(), 4);
+    }
+
+    #[test]
+    fn merge_restores_sequence_order() {
+        let batch: Batch = (0..8).map(pkt).collect();
+        let parts = batch.split_by(3, |i, _| i % 3);
+        let merged = Batch::merge_ordered(parts);
+        assert_eq!(merged.len(), 8);
+        let seqs: Vec<u64> = merged.iter().map(|p| p.meta.seq).collect();
+        assert_eq!(seqs, (0..8).collect::<Vec<_>>());
+        assert_eq!(merged.lineage.merges, 1);
+        assert_eq!(merged.lineage.splits, 1);
+    }
+
+    #[test]
+    fn retain_reports_drop_count() {
+        let mut batch: Batch = (0..10).map(pkt).collect();
+        let dropped = batch.retain(|p| p.meta.seq % 2 == 0);
+        assert_eq!(dropped, 5);
+        assert_eq!(batch.len(), 5);
+    }
+
+    #[test]
+    fn split_off_front_takes_prefix() {
+        let mut batch: Batch = (0..10).map(pkt).collect();
+        let front = batch.split_off_front(3);
+        assert_eq!(front.len(), 3);
+        assert_eq!(batch.len(), 7);
+        assert_eq!(front.get(0).unwrap().meta.seq, 0);
+        assert_eq!(batch.get(0).unwrap().meta.seq, 3);
+        // Oversized request takes everything.
+        let all = batch.split_off_front(100);
+        assert_eq!(all.len(), 7);
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn total_bytes_sums_packets() {
+        let batch: Batch = (0..4).map(pkt).collect();
+        let one = pkt(0).len();
+        assert_eq!(batch.total_bytes(), 4 * one);
+    }
+}

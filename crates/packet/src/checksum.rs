@@ -1,0 +1,153 @@
+//! RFC 1071 Internet checksum and RFC 1624 incremental update.
+//!
+//! NFs that rewrite header fields (NAT, the IPv4/IPv6 forwarders) must keep
+//! the IPv4 header checksum and the UDP/TCP checksums consistent. The
+//! incremental form avoids re-summing the full payload after a small rewrite.
+
+/// Computes the one's-complement Internet checksum over `data`.
+///
+/// The returned value is ready to be stored in a header checksum field
+/// (i.e. it is already complemented). A checksum field inside `data` should
+/// be zeroed by the caller before calling this.
+///
+/// # Example
+///
+/// ```
+/// // Checksum of an all-zero buffer is 0xFFFF.
+/// assert_eq!(nfc_packet::checksum::checksum(&[0u8; 20]), 0xFFFF);
+/// ```
+pub fn checksum(data: &[u8]) -> u16 {
+    !fold(sum(data, 0))
+}
+
+/// Accumulates the 16-bit one's-complement sum of `data` onto `acc`.
+///
+/// Useful for pseudo-header + payload sums that span multiple buffers.
+pub fn sum(data: &[u8], acc: u32) -> u32 {
+    let mut acc = acc;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        acc += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        acc += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    acc
+}
+
+/// Folds a 32-bit accumulator into 16 bits of one's-complement sum.
+pub fn fold(mut acc: u32) -> u16 {
+    while acc > 0xFFFF {
+        acc = (acc & 0xFFFF) + (acc >> 16);
+    }
+    acc as u16
+}
+
+/// Incrementally updates `old_csum` after a 16-bit field changed from
+/// `old` to `new` (RFC 1624, eqn. 3: `HC' = ~(~HC + ~m + m')`).
+///
+/// # Example
+///
+/// ```
+/// use nfc_packet::checksum::{checksum, update16};
+///
+/// let mut buf = [0x12u8, 0x34, 0x56, 0x78];
+/// let c0 = checksum(&buf);
+/// // Rewrite the first 16-bit word and fix the checksum incrementally.
+/// buf[0] = 0xAB;
+/// buf[1] = 0xCD;
+/// let c1 = update16(c0, 0x1234, 0xABCD);
+/// assert_eq!(c1, checksum(&buf));
+/// ```
+pub fn update16(old_csum: u16, old: u16, new: u16) -> u16 {
+    let mut acc = u32::from(!old_csum) + u32::from(!old) + u32::from(new);
+    acc = u32::from(fold(acc));
+    !(acc as u16)
+}
+
+/// Incrementally updates a checksum after a 32-bit field changed (e.g. an
+/// IPv4 address rewrite by NAT).
+pub fn update32(old_csum: u16, old: u32, new: u32) -> u16 {
+    let c = update16(old_csum, (old >> 16) as u16, (new >> 16) as u16);
+    update16(c, old as u16, new as u16)
+}
+
+/// Sum of the IPv4 pseudo-header used by UDP/TCP checksums.
+pub fn pseudo_header_v4(src: [u8; 4], dst: [u8; 4], proto: u8, len: u16) -> u32 {
+    let mut acc = 0u32;
+    acc = sum(&src, acc);
+    acc = sum(&dst, acc);
+    acc += u32::from(proto);
+    acc += u32::from(len);
+    acc
+}
+
+/// Sum of the IPv6 pseudo-header used by UDP/TCP checksums.
+pub fn pseudo_header_v6(src: [u8; 16], dst: [u8; 16], proto: u8, len: u32) -> u32 {
+    let mut acc = 0u32;
+    acc = sum(&src, acc);
+    acc = sum(&dst, acc);
+    acc += len >> 16;
+    acc += len & 0xFFFF;
+    acc += u32::from(proto);
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // Example from RFC 1071 section 3: 0001 f203 f4f5 f6f7.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(fold(sum(&data, 0)), 0xddf2);
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(checksum(&[0xFF]), !0xFF00);
+    }
+
+    #[test]
+    fn empty_buffer() {
+        assert_eq!(checksum(&[]), 0xFFFF);
+    }
+
+    #[test]
+    fn incremental_matches_full_recompute_16() {
+        let mut buf = vec![0u8; 64];
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = (i * 7 + 3) as u8;
+        }
+        let c0 = checksum(&buf);
+        let old = u16::from_be_bytes([buf[10], buf[11]]);
+        let new: u16 = 0xBEEF;
+        buf[10..12].copy_from_slice(&new.to_be_bytes());
+        assert_eq!(update16(c0, old, new), checksum(&buf));
+    }
+
+    #[test]
+    fn incremental_matches_full_recompute_32() {
+        let mut buf = vec![0u8; 40];
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = (i * 13 + 1) as u8;
+        }
+        let c0 = checksum(&buf);
+        let old = u32::from_be_bytes([buf[12], buf[13], buf[14], buf[15]]);
+        let new: u32 = 0xC0A8_0101;
+        buf[12..16].copy_from_slice(&new.to_be_bytes());
+        assert_eq!(update32(c0, old, new), checksum(&buf));
+    }
+
+    #[test]
+    fn real_ipv4_header_checksum() {
+        // Classic example header from Wikipedia (checksum 0xB861).
+        let hdr: [u8; 20] = [
+            0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8,
+            0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
+        ];
+        assert_eq!(checksum(&hdr), 0xB861);
+    }
+}

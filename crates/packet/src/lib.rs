@@ -1,0 +1,84 @@
+//! Packet representation, protocol headers and synthetic traffic generation.
+//!
+//! This crate is the lowest substrate of the NFCompass reproduction. It
+//! provides:
+//!
+//! * Owned, mutable [`Packet`] buffers with parse/emit support for Ethernet,
+//!   IPv4, IPv6, UDP and TCP headers ([`headers`]).
+//! * The RFC 1071 Internet checksum with incremental update
+//!   ([`checksum`]) so NFs such as NAT can rewrite headers correctly.
+//! * Packet [`Batch`]es — the unit of work the Click layer and the GPU
+//!   offload model operate on — with split/merge bookkeeping used by the
+//!   paper's Figure 5 batch-split characterization.
+//! * Flow identification ([`flow::FiveTuple`]) and a deterministic
+//!   RSS-style hash.
+//! * Synthetic [`traffic`] generators covering every workload the paper
+//!   evaluates: fixed sizes, uniform random sizes, the Intel IMIX mix, UDP
+//!   and TCP flows, and payload policies that control the DPI match ratio
+//!   (Figure 8's full-match vs no-match traffic).
+//!
+//! # Example
+//!
+//! ```
+//! use nfc_packet::traffic::{TrafficGenerator, TrafficSpec, SizeDist, PayloadPolicy};
+//!
+//! let spec = TrafficSpec::udp(SizeDist::Imix).with_payload(PayloadPolicy::Random);
+//! let mut gen = TrafficGenerator::new(spec, 42);
+//! let batch = gen.batch(32);
+//! assert_eq!(batch.len(), 32);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod checksum;
+pub mod flow;
+pub mod headers;
+pub mod packet;
+pub mod traffic;
+
+pub use batch::Batch;
+pub use flow::FiveTuple;
+pub use packet::{Packet, PacketMeta};
+
+/// Errors produced while parsing or constructing packets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketError {
+    /// The buffer is shorter than the header that was requested.
+    Truncated {
+        /// Header or structure being parsed.
+        what: &'static str,
+        /// Bytes required.
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// A field held a value the parser cannot interpret.
+    InvalidField {
+        /// Field name.
+        field: &'static str,
+        /// Offending value.
+        value: u64,
+    },
+}
+
+impl std::fmt::Display for PacketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PacketError::Truncated {
+                what,
+                needed,
+                available,
+            } => write!(f, "truncated {what}: need {needed} bytes, have {available}"),
+            PacketError::InvalidField { field, value } => {
+                write!(f, "invalid value {value:#x} for field {field}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, PacketError>;

@@ -1,0 +1,96 @@
+//! Heterogeneous scheduling walkthrough: offload ratios and the
+//! graph-partition allocator.
+//!
+//! Part 1 sweeps the GPU offload fraction for three characteristic NFs
+//! (the paper's Figure 6): the IPv4 forwarder never benefits, IPsec
+//! peaks at a partial ratio, DPI wants most work on the GPU.
+//!
+//! Part 2 lets the graph-partition task allocator decide, comparing the
+//! KL and agglomerative algorithms against CPU-only / GPU-only / the
+//! exhaustive Optimal search on IMIX traffic (the paper's Figure 15).
+//!
+//! Run with: `cargo run --release -p nfc-core --example heterogeneous_scheduling`
+
+use nfc_core::allocator::PartitionAlgo;
+use nfc_core::{Deployment, Policy, Sfc};
+use nfc_hetero::GpuMode;
+use nfc_nf::Nf;
+use nfc_packet::traffic::{SizeDist, TrafficGenerator, TrafficSpec};
+
+fn single(kind: &str) -> Sfc {
+    let nf = match kind {
+        "IPv4" => Nf::ipv4_forwarder("r4", 1000, 2),
+        "IPsec" => Nf::ipsec("ipsec"),
+        _ => Nf::dpi("dpi"),
+    };
+    Sfc::new(kind, vec![nf])
+}
+
+fn main() {
+    println!("=== Part 1: throughput vs offload ratio (64 B / 512 B frames) ===");
+    print!("{:<8}", "ratio");
+    for r in 0..=10 {
+        print!(" {:>6.0}%", r as f64 * 10.0);
+    }
+    println!();
+    for (kind, pkt) in [("IPv4", 64), ("IPsec", 64), ("DPI", 512)] {
+        print!("{kind:<8}");
+        for r in 0..=10 {
+            let ratio = r as f64 / 10.0;
+            let policy = if ratio == 0.0 {
+                Policy::CpuOnly
+            } else {
+                Policy::FixedRatio {
+                    ratio,
+                    mode: GpuMode::Persistent,
+                }
+            };
+            let mut dep = Deployment::new(single(kind), policy).with_batch_size(256);
+            let mut t = TrafficGenerator::new(TrafficSpec::udp(SizeDist::Fixed(pkt)), 3);
+            let out = dep.run(&mut t, 40);
+            print!(" {:>7.2}", out.report.throughput_gbps);
+        }
+        println!();
+    }
+
+    println!("\n=== Part 2: allocator decisions on IMIX traffic ===");
+    println!(
+        "{:<24} {:>10} {:>12} {:>14}",
+        "policy", "Gbps", "p99 lat us", "mean offload %"
+    );
+    let chain = || Sfc::new("ipsec-ids", vec![Nf::ipsec("ipsec"), Nf::ids("ids")]);
+    let policies = vec![
+        Policy::CpuOnly,
+        Policy::GpuOnly {
+            mode: GpuMode::Persistent,
+        },
+        Policy::Optimal,
+        Policy::NfCompass {
+            algo: PartitionAlgo::Kl,
+            max_branches: 4,
+            synthesize: true,
+        },
+        Policy::NfCompass {
+            algo: PartitionAlgo::Agglomerative,
+            max_branches: 4,
+            synthesize: true,
+        },
+    ];
+    for policy in policies {
+        let mut dep = Deployment::new(chain(), policy).with_batch_size(256);
+        let mut t = TrafficGenerator::new(TrafficSpec::udp(SizeDist::Imix), 11);
+        let out = dep.run(&mut t, 60);
+        let mean_offload = if out.stage_offloads.is_empty() {
+            0.0
+        } else {
+            out.stage_offloads.iter().map(|(_, r)| r).sum::<f64>() / out.stage_offloads.len() as f64
+        };
+        println!(
+            "{:<24} {:>10.2} {:>12.1} {:>14.0}",
+            policy.label(),
+            out.report.throughput_gbps,
+            out.report.p99_latency_ns / 1000.0,
+            mean_offload * 100.0
+        );
+    }
+}

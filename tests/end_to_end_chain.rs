@@ -1,0 +1,160 @@
+//! End-to-end integration: full SFCs across crates, functional and
+//! temporal layers together.
+
+use nfc_core::allocator::PartitionAlgo;
+use nfc_core::{Deployment, Policy, Sfc};
+use nfc_hetero::GpuMode;
+use nfc_nf::Nf;
+use nfc_packet::traffic::{PayloadPolicy, SizeDist, TrafficGenerator, TrafficSpec};
+
+fn security_chain() -> Sfc {
+    Sfc::new(
+        "e2e",
+        vec![
+            Nf::firewall("fw", 500, 1),
+            Nf::ids("ids"),
+            Nf::nat("nat", [203, 0, 113, 7]),
+        ],
+    )
+}
+
+fn spec() -> TrafficSpec {
+    TrafficSpec::udp(SizeDist::Imix).with_payload(PayloadPolicy::MatchRatio {
+        patterns: Nf::default_ids_signatures(),
+        ratio: 0.15,
+    })
+}
+
+#[test]
+fn all_policies_produce_identical_functional_output() {
+    // Scheduling decisions must never change packet processing results.
+    let policies = vec![
+        Policy::CpuOnly,
+        Policy::GpuOnly {
+            mode: GpuMode::Persistent,
+        },
+        Policy::FixedRatio {
+            ratio: 0.5,
+            mode: GpuMode::LaunchPerBatch,
+        },
+        Policy::NbaAdaptive,
+        Policy::Optimal,
+        Policy::NfCompass {
+            algo: PartitionAlgo::Kl,
+            max_branches: 4,
+            synthesize: true,
+        },
+        Policy::NfCompass {
+            algo: PartitionAlgo::Agglomerative,
+            max_branches: 2,
+            synthesize: false,
+        },
+    ];
+    let mut reference: Option<(u64, u64)> = None;
+    for policy in policies {
+        let mut dep = Deployment::new(security_chain(), policy).with_batch_size(128);
+        let mut traffic = TrafficGenerator::new(spec(), 77);
+        let out = dep.run(&mut traffic, 8);
+        assert_eq!(out.merge_conflicts, 0, "{}", policy.label());
+        let key = (out.egress_packets, out.egress_bytes);
+        match &reference {
+            None => reference = Some(key),
+            Some(r) => assert_eq!(
+                *r,
+                key,
+                "policy {} changed functional output",
+                policy.label()
+            ),
+        }
+    }
+}
+
+#[test]
+fn ids_drops_scale_with_match_ratio_through_full_chain() {
+    for (ratio, lo, hi) in [(0.0, 0.97, 1.0), (0.5, 0.4, 0.65)] {
+        let s = TrafficSpec::udp(SizeDist::Fixed(512)).with_payload(PayloadPolicy::MatchRatio {
+            patterns: Nf::default_ids_signatures(),
+            ratio,
+        });
+        let mut dep = Deployment::new(security_chain(), Policy::CpuOnly).with_batch_size(128);
+        let mut traffic = TrafficGenerator::new(s, 5);
+        let out = dep.run(&mut traffic, 10);
+        let offered = 10 * 128;
+        let frac = out.egress_packets as f64 / offered as f64;
+        assert!(
+            (lo..=hi).contains(&frac),
+            "ratio {ratio}: pass fraction {frac}"
+        );
+    }
+}
+
+#[test]
+fn nfcompass_improves_throughput_and_latency_on_heavy_chain() {
+    let heavy = || {
+        Sfc::new(
+            "heavy",
+            vec![Nf::ipsec("ipsec"), Nf::dpi("dpi"), Nf::probe("probe")],
+        )
+    };
+    let run = |policy| {
+        let mut dep = Deployment::new(heavy(), policy).with_batch_size(256);
+        let mut t = TrafficGenerator::new(TrafficSpec::udp(SizeDist::Fixed(512)), 9);
+        dep.run(&mut t, 25)
+    };
+    let cpu = run(Policy::CpuOnly);
+    let nfc = run(Policy::nfcompass());
+    assert!(
+        nfc.report.throughput_gbps > 1.3 * cpu.report.throughput_gbps,
+        "NFCompass {} vs CPU {}",
+        nfc.report.throughput_gbps,
+        cpu.report.throughput_gbps
+    );
+    assert!(nfc.report.p99_latency_ns < cpu.report.p99_latency_ns);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let run = || {
+        let mut dep = Deployment::new(security_chain(), Policy::nfcompass()).with_batch_size(128);
+        let mut traffic = TrafficGenerator::new(spec(), 123);
+        let o = dep.run(&mut traffic, 10);
+        (
+            o.egress_packets,
+            o.egress_bytes,
+            o.report.throughput_gbps.to_bits(),
+            o.report.p99_latency_ns.to_bits(),
+        )
+    };
+    assert_eq!(run(), run(), "simulation must be bit-reproducible");
+}
+
+#[test]
+fn reorg_width_reported_consistently() {
+    // fw + probe + lb are mutually read-only -> full parallelization.
+    let sfc = Sfc::new(
+        "readonly",
+        vec![
+            Nf::firewall("fw", 100, 1),
+            Nf::probe("probe"),
+            Nf::load_balancer("lb", 2),
+        ],
+    );
+    let mut dep = Deployment::new(sfc, Policy::nfcompass()).with_batch_size(64);
+    let mut traffic = TrafficGenerator::new(TrafficSpec::udp(SizeDist::Fixed(64)), 3);
+    let out = dep.run(&mut traffic, 6);
+    assert_eq!(out.width, 3);
+    assert_eq!(out.effective_length, 1);
+    assert_eq!(out.merge_conflicts, 0);
+}
+
+#[test]
+fn ipv6_chain_runs_end_to_end() {
+    let sfc = Sfc::new("v6", vec![Nf::ipv6_forwarder("r6", 200, 4)]);
+    let spec =
+        TrafficSpec::udp(SizeDist::Fixed(128)).with_ip_version(nfc_packet::traffic::IpVersion::V6);
+    let mut dep = Deployment::new(sfc, Policy::Optimal).with_batch_size(128);
+    let mut traffic = TrafficGenerator::new(spec, 6);
+    let out = dep.run(&mut traffic, 10);
+    assert_eq!(out.egress_packets, 10 * 128);
+    assert!(out.report.throughput_gbps > 0.0);
+}

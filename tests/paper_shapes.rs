@@ -1,0 +1,237 @@
+//! Regression tests pinning the paper's headline result *shapes*: who
+//! wins, where optima fall, where crossovers appear. Absolute numbers are
+//! simulator-specific; these assertions are what EXPERIMENTS.md reports.
+
+use nfc_core::allocator::PartitionAlgo;
+use nfc_core::{Deployment, Policy, Sfc};
+use nfc_hetero::GpuMode;
+use nfc_nf::Nf;
+use nfc_packet::traffic::{IpVersion, SizeDist, TrafficGenerator, TrafficSpec};
+
+fn run(sfc: Sfc, policy: Policy, pkt: usize, batch: usize, n: usize) -> nfc_core::RunOutcome {
+    let mut dep = Deployment::new(sfc, policy).with_batch_size(batch);
+    let mut t = TrafficGenerator::new(TrafficSpec::udp(SizeDist::Fixed(pkt)), 42);
+    dep.run(&mut t, n)
+}
+
+fn gbps(o: &nfc_core::RunOutcome) -> f64 {
+    o.report.throughput_gbps
+}
+
+/// Figure 6 shape: IPsec has an interior offload optimum; IPv4 is best
+/// on the CPU alone.
+#[test]
+fn fig6_shape_offload_optima() {
+    let sweep = |name: &str, pkt: usize| -> Vec<f64> {
+        (0..=10)
+            .map(|r| {
+                let ratio = r as f64 / 10.0;
+                let policy = if ratio == 0.0 {
+                    Policy::CpuOnly
+                } else {
+                    Policy::FixedRatio {
+                        ratio,
+                        mode: GpuMode::Persistent,
+                    }
+                };
+                let nf = match name {
+                    "IPv4" => Nf::ipv4_forwarder("r", 500, 1),
+                    _ => Nf::ipsec("e"),
+                };
+                gbps(&run(Sfc::new(name, vec![nf]), policy, pkt, 256, 15))
+            })
+            .collect()
+    };
+    let ipsec = sweep("IPsec", 64);
+    let best = ipsec
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap();
+    assert!(
+        (5..=9).contains(&best),
+        "IPsec optimum interior near 70-80%, got {}0%: {ipsec:?}",
+        best
+    );
+    let ipv4 = sweep("IPv4", 64);
+    let best4 = ipv4
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap();
+    assert_eq!(best4, 0, "IPv4 best CPU-only: {ipv4:?}");
+}
+
+/// Figure 7 shape: GPU-only beats CPU-only for a single IPsec, but loses
+/// once the chain reaches length 3 (aggregated offload overheads).
+#[test]
+fn fig7_shape_gpu_benefit_inverts_with_length() {
+    let chain = |n: usize| {
+        Sfc::new(
+            "c",
+            (0..n)
+                .map(|i| match i % 3 {
+                    0 => Nf::ipsec(format!("e{i}")),
+                    1 => Nf::ipv4_forwarder(format!("r{i}"), 200, 1),
+                    _ => Nf::ids(format!("d{i}")),
+                })
+                .collect(),
+        )
+    };
+    let gpu = Policy::GpuOnly {
+        mode: GpuMode::LaunchPerBatch,
+    };
+    let g1 = gbps(&run(chain(1), gpu, 64, 256, 15));
+    let c1 = gbps(&run(chain(1), Policy::CpuOnly, 64, 256, 15));
+    assert!(g1 > c1, "single IPsec: GPU {g1} should beat CPU {c1}");
+    let g3 = gbps(&run(chain(3), gpu, 64, 256, 15));
+    let c3 = gbps(&run(chain(3), Policy::CpuOnly, 64, 256, 15));
+    assert!(
+        g3 < c3,
+        "length-3 chain: GPU {g3} should fall behind CPU {c3}"
+    );
+}
+
+/// Figure 8 shape: CPU DPI throughput declines past batch 256 while IPv4
+/// keeps improving (cache-footprint knee).
+#[test]
+fn fig8_shape_dpi_cache_knee() {
+    let dpi = |batch| {
+        gbps(&run(
+            Sfc::new("dpi", vec![Nf::dpi("d")]),
+            Policy::CpuOnly,
+            1024,
+            batch,
+            15,
+        ))
+    };
+    assert!(dpi(256) > dpi(1024), "DPI: {} vs {}", dpi(256), dpi(1024));
+    let v4 = |batch| {
+        gbps(&run(
+            Sfc::new("v4", vec![Nf::ipv4_forwarder("r", 200, 1)]),
+            Policy::CpuOnly,
+            64,
+            batch,
+            15,
+        ))
+    };
+    assert!(v4(1024) >= v4(64) * 0.95);
+}
+
+/// Figure 14 shape: parallelization (config b) cuts latency versus the
+/// sequential chain (config a); synthesis (config d) beats b on
+/// throughput.
+#[test]
+fn fig14_shape_reorganization_wins() {
+    let chain = || Sfc::new("ids4", (0..4).map(|i| Nf::ids(format!("i{i}"))).collect());
+    let mk = |width: usize, synth: bool| Policy::ReorgOnly {
+        max_branches: width,
+        synthesize: synth,
+        ratio: 0.0,
+        mode: GpuMode::Persistent,
+    };
+    let a = run(chain(), mk(1, false), 64, 128, 15);
+    let b = run(chain(), mk(4, false), 64, 128, 15);
+    let d = run(chain(), mk(2, true), 64, 128, 15);
+    assert!(
+        b.report.p50_latency_ns < a.report.p50_latency_ns,
+        "parallel latency {} < sequential {}",
+        b.report.p50_latency_ns,
+        a.report.p50_latency_ns
+    );
+    assert!(
+        gbps(&d) > gbps(&b),
+        "synthesis {} should beat pure parallelization {}",
+        gbps(&d),
+        gbps(&b)
+    );
+    assert_eq!(d.effective_length, 1);
+}
+
+/// Figure 15 shape: GTA reaches at least 90% of the exhaustive Optimal
+/// and never loses to both CPU-only and GPU-only.
+#[test]
+fn fig15_shape_gta_near_optimal() {
+    let gta = Policy::NfCompass {
+        algo: PartitionAlgo::Kl,
+        max_branches: 1,
+        synthesize: false,
+    };
+    for (label, nfs) in [
+        ("IPsec", vec![Nf::ipsec("e")]),
+        ("IPsec+IDS", vec![Nf::ipsec("e"), Nf::ids("d")]),
+    ] {
+        let spec = TrafficSpec::udp(SizeDist::Imix);
+        let run_p = |p: Policy| {
+            let mut dep = Deployment::new(Sfc::new(label, nfs.clone()), p).with_batch_size(256);
+            let mut t = TrafficGenerator::new(spec.clone(), 17);
+            dep.run(&mut t, 15)
+        };
+        let g = gbps(&run_p(gta));
+        let o = gbps(&run_p(Policy::Optimal));
+        let c = gbps(&run_p(Policy::CpuOnly));
+        let u = gbps(&run_p(Policy::GpuOnly {
+            mode: GpuMode::Persistent,
+        }));
+        assert!(g >= 0.9 * o, "{label}: GTA {g} < 90% of optimal {o}");
+        assert!(g >= c.min(u), "{label}: GTA {g} vs cpu {c} / gpu {u}");
+    }
+}
+
+/// Figure 17 shape: the CPU baseline's throughput collapses with ACL
+/// size while NFCompass stays nearly flat and keeps lower latency.
+#[test]
+fn fig17_shape_acl_scaling() {
+    let chain = |rules: usize| {
+        Sfc::new(
+            "real",
+            vec![
+                Nf::firewall("fw", rules, 21),
+                Nf::ipv4_forwarder("router", 500, 22),
+                Nf::nat("nat", [203, 0, 113, 1]),
+            ],
+        )
+    };
+    let fc_200 = run(chain(200), Policy::CpuOnly, 64, 256, 15);
+    let fc_10k = run(chain(10_000), Policy::CpuOnly, 64, 256, 15);
+    let nc_200 = run(chain(200), Policy::nfcompass(), 64, 256, 15);
+    let nc_10k = run(chain(10_000), Policy::nfcompass(), 64, 256, 15);
+    let fc_drop = 1.0 - gbps(&fc_10k) / gbps(&fc_200);
+    let nc_drop = 1.0 - gbps(&nc_10k) / gbps(&nc_200);
+    assert!(fc_drop > 0.5, "FastClick-like should collapse: {fc_drop}");
+    assert!(
+        nc_drop < 0.3,
+        "NFCompass should stay nearly flat: {nc_drop}"
+    );
+    assert!(
+        nc_10k.report.mean_latency_ns < fc_10k.report.mean_latency_ns / 1.4,
+        "NFCompass latency {} should be >=1.4x lower than {}",
+        nc_10k.report.mean_latency_ns,
+        fc_10k.report.mean_latency_ns
+    );
+}
+
+/// IPv6 is heavier than IPv4 per packet (7 hash probes vs 2 loads), so
+/// its CPU throughput is lower at the same offered load — the premise of
+/// the paper's IPv6 characterization.
+#[test]
+fn ipv6_costs_more_than_ipv4() {
+    let v4 = run(
+        Sfc::new("v4", vec![Nf::ipv4_forwarder("r", 500, 1)]),
+        Policy::CpuOnly,
+        64,
+        256,
+        15,
+    );
+    let spec = TrafficSpec::udp(SizeDist::Fixed(64)).with_ip_version(IpVersion::V6);
+    let mut dep = Deployment::new(
+        Sfc::new("v6", vec![Nf::ipv6_forwarder("r6", 500, 1)]),
+        Policy::CpuOnly,
+    )
+    .with_batch_size(256);
+    let mut t = TrafficGenerator::new(spec, 42);
+    let v6 = dep.run(&mut t, 15);
+    assert!(gbps(&v4) > gbps(&v6));
+}

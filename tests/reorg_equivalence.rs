@@ -1,0 +1,153 @@
+//! Property-based equivalence tests for the SFC re-organization
+//! machinery: whatever the orchestrator parallelizes and the synthesizer
+//! merges must process packets exactly like the sequential chain.
+
+use nfc_core::orchestrator::{merge_branch_batches, ReorgSfc};
+use nfc_core::synthesizer::synthesize;
+use nfc_core::Sfc;
+use nfc_nf::Nf;
+use nfc_packet::traffic::{PayloadPolicy, SizeDist, TrafficGenerator, TrafficSpec};
+use nfc_packet::Batch;
+use proptest::prelude::*;
+
+/// The pool of NFs the generator draws chains from. All are
+/// deterministic; indices match `build_nf`.
+const NF_POOL: &[&str] = &["fw", "ids", "dpi", "probe", "lb", "proxy", "nat"];
+
+fn build_nf(kind: &str, i: usize) -> Nf {
+    match kind {
+        "fw" => Nf::firewall(format!("fw{i}"), 100, 1),
+        "ids" => Nf::ids(format!("ids{i}")),
+        "dpi" => Nf::dpi(format!("dpi{i}")),
+        "probe" => Nf::probe(format!("probe{i}")),
+        "lb" => Nf::load_balancer(format!("lb{i}"), 2),
+        "proxy" => Nf::proxy(format!("proxy{i}")),
+        "nat" => Nf::nat(format!("nat{i}"), [203, 0, 113, 1]),
+        other => panic!("unknown {other}"),
+    }
+}
+
+fn drive(nf: &Nf, batch: Batch) -> Batch {
+    let mut run = nf.graph().clone().compile().expect("compiles");
+    run.push_merged(nf.entry(), batch)
+}
+
+fn run_sequential(nfs: &[Nf], batch: Batch) -> Batch {
+    let mut cur = batch;
+    for nf in nfs {
+        cur = drive(nf, cur);
+    }
+    cur
+}
+
+fn run_reorganized(nfs: &[Nf], plan: &ReorgSfc, batch: Batch) -> (Batch, u64) {
+    if plan.width() == 1 {
+        return (run_sequential(nfs, batch), 0);
+    }
+    let branch_outputs: Vec<Batch> = plan
+        .branches()
+        .iter()
+        .map(|branch| {
+            let members: Vec<Nf> = branch.iter().map(|&i| nfs[i].clone()).collect();
+            run_sequential(&members, batch.clone())
+        })
+        .collect();
+    merge_branch_batches(&batch, &branch_outputs)
+}
+
+fn traffic_batch(seed: u64, n: usize) -> Batch {
+    let spec = TrafficSpec::udp(SizeDist::Fixed(256)).with_payload(PayloadPolicy::MatchRatio {
+        patterns: Nf::default_ids_signatures(),
+        ratio: 0.3,
+    });
+    TrafficGenerator::new(spec, seed).batch(n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever branch structure the analyzer derives, running it in
+    /// parallel with XOR merge matches the sequential chain, byte for
+    /// byte — for every random chain drawn from the NF pool.
+    #[test]
+    fn analyzer_parallelization_preserves_semantics(
+        picks in proptest::collection::vec(0usize..NF_POOL.len(), 1..5),
+        width in 2usize..5,
+        seed in 0u64..1000,
+    ) {
+        let nfs: Vec<Nf> = picks
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| build_nf(NF_POOL[k], i))
+            .collect();
+        let sfc = Sfc::new("prop", nfs.clone());
+        let plan = ReorgSfc::analyze(&sfc, width);
+        let batch = traffic_batch(seed, 48);
+
+        let seq_out = run_sequential(&nfs, batch.clone());
+        // Fresh clones for the parallel run (stateful elements).
+        let nfs2: Vec<Nf> = picks
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| build_nf(NF_POOL[k], i))
+            .collect();
+        let (par_out, conflicts) = run_reorganized(&nfs2, &plan, batch);
+
+        prop_assert_eq!(conflicts, 0, "plan {:?}", plan.branches());
+        prop_assert_eq!(seq_out.len(), par_out.len(), "plan {:?}", plan.branches());
+        for (a, b) in seq_out.iter().zip(par_out.iter()) {
+            prop_assert_eq!(a.meta.seq, b.meta.seq);
+            prop_assert_eq!(a.data(), b.data());
+        }
+    }
+
+    /// Synthesizing any stateless sequential pair preserves semantics.
+    /// (NAT is excluded: its port allocation order is an internal detail
+    /// that dedup may legally change.)
+    #[test]
+    fn synthesis_preserves_semantics(
+        a in 0usize..6,
+        b in 0usize..6,
+        seed in 0u64..1000,
+    ) {
+        let x = build_nf(NF_POOL[a], 0);
+        let y = build_nf(NF_POOL[b], 1);
+        let (merged, _) = synthesize(&[&x, &y]);
+        let batch = traffic_batch(seed, 48);
+
+        let x2 = build_nf(NF_POOL[a], 0);
+        let y2 = build_nf(NF_POOL[b], 1);
+        let seq_out = drive(&y2, drive(&x2, batch.clone()));
+        let syn_out = drive(&merged, batch);
+
+        prop_assert_eq!(seq_out.len(), syn_out.len());
+        for (p, q) in seq_out.iter().zip(syn_out.iter()) {
+            prop_assert_eq!(p.meta.seq, q.meta.seq);
+            prop_assert_eq!(p.data(), q.data());
+        }
+    }
+
+    /// Branch assignment is always a permutation preserving in-branch
+    /// order, and effective length never exceeds the chain length.
+    #[test]
+    fn branch_assignment_is_well_formed(
+        picks in proptest::collection::vec(0usize..NF_POOL.len(), 1..7),
+        width in 1usize..6,
+    ) {
+        let nfs: Vec<Nf> = picks
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| build_nf(NF_POOL[k], i))
+            .collect();
+        let sfc = Sfc::new("prop", nfs);
+        let plan = ReorgSfc::analyze(&sfc, width);
+        let mut all: Vec<usize> = plan.branches().iter().flatten().copied().collect();
+        for b in plan.branches() {
+            prop_assert!(b.windows(2).all(|w| w[0] < w[1]), "order in {b:?}");
+        }
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..picks.len()).collect::<Vec<_>>());
+        prop_assert!(plan.width() <= width.max(1));
+        prop_assert!(plan.effective_length() <= picks.len());
+    }
+}

@@ -1,0 +1,118 @@
+//! Integration tests for the stateful substrate inside full deployments:
+//! stream-aware IDS chains, the stateful-past-dropper rule end to end,
+//! and degenerate-chain robustness.
+
+use nfc_core::{Deployment, Policy, ReorgSfc, Sfc};
+use nfc_nf::Nf;
+use nfc_packet::traffic::{SizeDist, TrafficGenerator, TrafficSpec};
+
+#[test]
+fn stream_ids_deploys_and_passes_clean_tcp() {
+    // Well-formed, in-order TCP flows flow through reassembly + streaming
+    // match untouched.
+    let sfc = Sfc::new("sids", vec![Nf::stream_ids("sids")]);
+    let mut dep = Deployment::new(sfc, Policy::CpuOnly).with_batch_size(64);
+    let mut traffic = TrafficGenerator::new(TrafficSpec::tcp(SizeDist::Fixed(256)), 3);
+    let out = dep.run(&mut traffic, 10);
+    // The generator emits each flow's packets with identical seq numbers
+    // (no TCP state machine), so only a flow's *first* packet is new;
+    // repeats are treated as retransmissions and dropped. Of 1024 flows,
+    // the 4 warm-up batches (256 packets) already consumed some flow
+    // firsts; among the 640 measured packets roughly half are firsts.
+    assert!(
+        (0.35..0.75).contains(&(out.egress_packets as f64 / 640.0)),
+        "flow-first fraction plausible, got {}",
+        out.egress_packets
+    );
+    assert!(out.report.throughput_gbps > 0.0);
+}
+
+#[test]
+fn stream_ids_is_never_parallelized_with_writers() {
+    // stream-ids is stateful + dropping: the analyzer keeps it sequential
+    // with a NAT that follows it.
+    let sfc = Sfc::new(
+        "chain",
+        vec![Nf::stream_ids("sids"), Nf::nat("nat", [203, 0, 113, 1])],
+    );
+    let plan = ReorgSfc::analyze(&sfc, 4);
+    assert_eq!(plan.width(), 1, "branches: {:?}", plan.branches());
+}
+
+#[test]
+fn probe_parallelizes_with_stream_ids() {
+    // A pure reader ahead of the stateful dropper is fine in parallel.
+    let sfc = Sfc::new(
+        "chain",
+        vec![Nf::probe("probe"), Nf::dpi("dpi"), Nf::firewall("fw", 50, 1)],
+    );
+    let plan = ReorgSfc::analyze(&sfc, 4);
+    assert_eq!(plan.width(), 3);
+}
+
+#[test]
+fn single_element_chains_run_under_every_policy() {
+    for policy in [Policy::CpuOnly, Policy::Optimal, Policy::nfcompass()] {
+        let sfc = Sfc::new("one", vec![Nf::probe("p")]);
+        let mut dep = Deployment::new(sfc, policy).with_batch_size(32);
+        let mut traffic = TrafficGenerator::new(TrafficSpec::udp(SizeDist::Fixed(64)), 1);
+        let out = dep.run(&mut traffic, 5);
+        assert_eq!(out.egress_packets, 5 * 32, "{}", policy.label());
+    }
+}
+
+#[test]
+fn shaper_in_chain_limits_throughput() {
+    use nfc_click::ElementGraph;
+    use nfc_nf::stateful::TokenBucketShaper;
+    // A 1 Gbps shaper in front of a probe: egress rate must respect the
+    // token bucket even though 40 Gbps is offered.
+    let mut g = ElementGraph::new();
+    // 1 Gbps sustained, 30 KB burst (small so the burst allowance does
+    // not dominate a short measurement window).
+    let shaper = g.add(TokenBucketShaper::new(125_000_000.0, 30_000.0));
+    let probe = g.add(nfc_nf::elements::Probe::new());
+    g.connect(shaper, 0, probe).expect("wiring");
+    let nf = Nf::from_graph("shaped", nfc_nf::NfKind::Probe, g);
+    let mut run = nf.graph().clone().compile().expect("compiles");
+    let mut traffic = TrafficGenerator::new(TrafficSpec::udp(SizeDist::Fixed(1500)), 7);
+    let mut offered_bytes = 0usize;
+    let mut passed_bytes = 0usize;
+    let mut last_ns = 0u64;
+    for _ in 0..50 {
+        let batch = traffic.batch(256);
+        last_ns = batch.iter().last().map(|p| p.meta.arrival_ns).unwrap_or(0);
+        offered_bytes += batch.total_bytes();
+        let out = run.push_at(nf.entry(), batch, last_ns);
+        passed_bytes += out.iter().map(|e| e.batch.total_bytes()).sum::<usize>();
+    }
+    let secs = last_ns as f64 / 1e9;
+    let egress_gbps = passed_bytes as f64 * 8.0 / secs / 1e9;
+    let offered_gbps = offered_bytes as f64 * 8.0 / secs / 1e9;
+    assert!(offered_gbps > 30.0, "offered {offered_gbps}");
+    assert!(
+        egress_gbps < 1.4,
+        "shaper must cap near 1 Gbps, got {egress_gbps}"
+    );
+}
+
+#[test]
+fn reorg_only_policy_honors_stateful_rule_by_default() {
+    // Without forced branches, ReorgOnly uses the analyzer and so keeps
+    // IDS -> NAT sequential.
+    let sfc = Sfc::new("x", vec![Nf::ids("ids"), Nf::nat("nat", [1, 2, 3, 4])]);
+    let mut dep = Deployment::new(
+        sfc,
+        Policy::ReorgOnly {
+            max_branches: 4,
+            synthesize: false,
+            ratio: 0.0,
+            mode: nfc_hetero::GpuMode::Persistent,
+        },
+    )
+    .with_batch_size(32);
+    let mut traffic = TrafficGenerator::new(TrafficSpec::udp(SizeDist::Fixed(128)), 2);
+    let out = dep.run(&mut traffic, 5);
+    assert_eq!(out.width, 1);
+    assert_eq!(out.effective_length, 2);
+}
