@@ -1,0 +1,172 @@
+//! Engine benchmark: CoW branch duplication + worker-pool execution vs
+//! the serial deep-copy baseline on a 4-branch re-organized SFC.
+//!
+//! Three configurations run the same chain on the same traffic:
+//!
+//! * `serial_deepcopy` — the pre-engine behavior: branches run one after
+//!   another and each receives an eagerly copied batch.
+//! * `serial_cow` — duplication is a refcount bump; the XOR merge skips
+//!   branches whose buffers are still shared.
+//! * `parallel_cow` — CoW plus the scoped worker pool
+//!   (`NFC_THREADS` / available parallelism).
+//!
+//! Egress must be byte-identical across all three; the measured
+//! throughputs and the speedup are recorded in `BENCH_engine.json` at
+//! the repository root.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use nfc_core::{Deployment, Duplication, ExecMode, Policy, RunOutcome, Sfc};
+use nfc_hetero::GpuMode;
+use nfc_nf::Nf;
+use nfc_packet::traffic::{SizeDist, TrafficGenerator, TrafficSpec};
+use nfc_packet::Batch;
+use serde_json::json;
+use std::time::Instant;
+
+const BATCH_SIZE: usize = 256;
+const PKT_BYTES: usize = 1024;
+
+fn configs() -> Vec<(&'static str, ExecMode, Duplication)> {
+    vec![
+        ("serial_deepcopy", ExecMode::Serial, Duplication::DeepCopy),
+        ("serial_cow", ExecMode::Serial, Duplication::Cow),
+        ("parallel_cow", ExecMode::auto(), Duplication::Cow),
+    ]
+}
+
+/// Four read-only firewalls: the analyzer re-organizes them into four
+/// parallel singleton branches (the paper's Figure 13 b shape).
+fn chain() -> Sfc {
+    Sfc::new(
+        "fw-x4",
+        (0..4)
+            .map(|i| Nf::firewall(format!("fw{i}"), 16, 1))
+            .collect(),
+    )
+}
+
+fn deployment(exec: ExecMode, dup: Duplication) -> Deployment {
+    let policy = Policy::ReorgOnly {
+        max_branches: 4,
+        synthesize: false,
+        ratio: 0.0,
+        mode: GpuMode::Persistent,
+    };
+    Deployment::new(chain(), policy)
+        .with_batch_size(BATCH_SIZE)
+        .with_exec_mode(exec)
+        .with_duplication(dup)
+}
+
+/// Pre-generates the workload once so the timed region is the engine
+/// (duplication, branch execution, merge), not the traffic synthesizer.
+fn workload(n_batches: usize) -> Vec<Batch> {
+    let mut traffic = TrafficGenerator::new(TrafficSpec::udp(SizeDist::Fixed(PKT_BYTES)), 7);
+    (0..n_batches).map(|_| traffic.batch(BATCH_SIZE)).collect()
+}
+
+fn run_config(
+    exec: ExecMode,
+    dup: Duplication,
+    batches: &[Batch],
+) -> (f64, RunOutcome, Vec<Batch>) {
+    let mut dep = deployment(exec, dup);
+    let mut traffic = TrafficGenerator::new(TrafficSpec::udp(SizeDist::Fixed(PKT_BYTES)), 7);
+    let start = Instant::now();
+    let (out, egress) = dep.run_replay(&mut traffic, batches);
+    (start.elapsed().as_secs_f64(), out, egress)
+}
+
+fn engine_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    let batches = workload(10);
+    for (label, exec, dup) in configs() {
+        let batches = &batches;
+        g.bench_function(BenchmarkId::new("4branch_x10batches", label), move |b| {
+            b.iter(|| black_box(run_config(exec, dup, batches)))
+        });
+    }
+    g.finish();
+}
+
+/// Measures all three configurations, checks functional equivalence, and
+/// writes `BENCH_engine.json` at the repository root.
+fn emit_report(full: bool) {
+    let n_batches = if full { 64 } else { 16 };
+    let reps = if full { 3 } else { 2 };
+    let batches = workload(n_batches);
+    let mut rows = Vec::new();
+    let mut reference: Option<(RunOutcome, Vec<Batch>)> = None;
+    for (label, exec, dup) in configs() {
+        let mut best = f64::INFINITY;
+        let mut kept = None;
+        for _ in 0..reps {
+            let (secs, out, egress) = run_config(exec, dup, &batches);
+            best = best.min(secs);
+            kept = Some((out, egress));
+        }
+        let (out, egress) = kept.expect("at least one rep");
+        match &reference {
+            None => reference = Some((out.clone(), egress.clone())),
+            Some((ref_out, ref_egress)) => {
+                assert_eq!(
+                    ref_egress, &egress,
+                    "{label}: egress differs from serial_deepcopy"
+                );
+                assert_eq!(
+                    ref_out.stage_stats, out.stage_stats,
+                    "{label}: per-element stats differ from serial_deepcopy"
+                );
+                assert_eq!(ref_out.merge_conflicts, out.merge_conflicts);
+            }
+        }
+        let wire_bytes = (n_batches * BATCH_SIZE * PKT_BYTES) as f64;
+        let gbps = wire_bytes * 8.0 / best / 1e9;
+        println!(
+            "{label:<18} {:>8.1} ms for {n_batches} batches  ({gbps:.2} Gbit/s offered)",
+            best * 1e3
+        );
+        rows.push((label, best, gbps, out.width));
+    }
+    let baseline = rows[0].1;
+    let cow = baseline / rows[1].1;
+    let parallel = baseline / rows[2].1;
+    println!("speedup vs serial_deepcopy: serial_cow {cow:.2}x, parallel_cow {parallel:.2}x");
+    assert!(
+        parallel >= 2.0,
+        "engine must be >= 2x over the deep-copy serial baseline, got {parallel:.2}x"
+    );
+    let mut cfgs = serde_json::Value::Object(Default::default());
+    for (label, secs, gbps, _) in &rows {
+        cfgs[*label] = json!({
+            "wall_s": secs,
+            "offered_gbps": gbps,
+            "speedup_vs_serial_deepcopy": baseline / secs,
+        });
+    }
+    let report = json!({
+        "benchmark": "engine_parallel",
+        "chain": "fw-x4 re-organized into 4 parallel branches",
+        "batch_size": BATCH_SIZE,
+        "pkt_bytes": PKT_BYTES,
+        "n_batches": n_batches,
+        "threads": ExecMode::auto().threads(),
+        "egress_byte_identical": true,
+        "configs": cfgs,
+        "speedup_parallel_cow_vs_serial_deepcopy": parallel,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&report).expect("serializes") + "\n",
+    )
+    .expect("write BENCH_engine.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--bench");
+    let mut c = Criterion::default().configure_from_args();
+    engine_benches(&mut c);
+    emit_report(full);
+}

@@ -27,7 +27,7 @@ fn gta(c: &mut Criterion) {
         PartitionAlgo::Agglomerative,
         PartitionAlgo::Mfmc,
     ] {
-        c.bench_function(&format!("fig15_allocate_{algo:?}"), |b| {
+        c.bench_function(format!("fig15_allocate_{algo:?}"), |b| {
             b.iter(|| black_box(allocate(nf.graph(), &weights, algo, 0.1)))
         });
     }

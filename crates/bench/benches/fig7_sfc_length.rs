@@ -20,7 +20,7 @@ fn reorg(c: &mut Criterion) {
     };
     for n in [4usize, 8, 16] {
         let sfc = chain(n);
-        c.bench_function(&format!("fig7_reorg_analyze_{n}nfs"), |b| {
+        c.bench_function(format!("fig7_reorg_analyze_{n}nfs"), |b| {
             b.iter(|| black_box(ReorgSfc::analyze(&sfc, 4)))
         });
     }

@@ -3,12 +3,17 @@
 //! Every function prints the same rows/series the paper reports and
 //! returns them as an [`ExperimentResult`] for persistence. A `quick`
 //! flag trades batch count for runtime; shapes are stable either way.
+//!
+//! Sweep-style figures (6, 7, 15, 17) fan their independent runs out on
+//! the execution engine's worker pool ([`nfc_core::par_map`]); results
+//! come back in sweep order and are printed after collection, so the
+//! tables and persisted rows are identical whatever `NFC_THREADS` says.
 
 use crate::util::{gbps, header, us, ExperimentResult};
 use nfc_click::elements::SyntheticWork;
 use nfc_click::ElementGraph;
 use nfc_core::allocator::PartitionAlgo;
-use nfc_core::{Deployment, Policy, ReorgSfc, Sfc};
+use nfc_core::{par_map, Deployment, ExecMode, Policy, ReorgSfc, Sfc};
 use nfc_hetero::{CoRunContext, GpuMode};
 use nfc_nf::{Nf, NfKind};
 use nfc_packet::traffic::{IpVersion, PayloadPolicy, SizeDist, TrafficGenerator, TrafficSpec};
@@ -189,11 +194,11 @@ pub fn fig6(quick: bool) -> ExperimentResult {
         print!(" {:>6.0}%", r as f64 * 10.0);
     }
     println!();
+    let exec = ExecMode::auto();
     for (name, pkt) in [("IPv4", 64), ("IPsec", 64), ("DPI", 512)] {
-        print!("{name:<8}");
-        let mut series = Vec::new();
-        for r in 0..=10 {
-            let ratio = r as f64 / 10.0;
+        // The 11 grid points are independent deployments: fan out.
+        let series: Vec<f64> = par_map(exec, (0..=10).collect(), |_, r: u32| {
+            let ratio = f64::from(r) / 10.0;
             let policy = if ratio == 0.0 {
                 Policy::CpuOnly
             } else {
@@ -203,16 +208,20 @@ pub fn fig6(quick: bool) -> ExperimentResult {
                 }
             };
             let sfc = Sfc::new(name, vec![nf_by_name(name)]);
-            let o = run(
+            run(
                 sfc,
                 policy,
                 TrafficSpec::udp(SizeDist::Fixed(pkt)),
                 256,
                 batches(quick),
                 3,
-            );
-            print!(" {:>7.2}", o.report.throughput_gbps);
-            series.push(o.report.throughput_gbps);
+            )
+            .report
+            .throughput_gbps
+        });
+        print!("{name:<8}");
+        for g in &series {
+            print!(" {g:>7.2}");
         }
         println!();
         let best = series
@@ -246,24 +255,29 @@ pub fn fig7(quick: bool) -> ExperimentResult {
         "{:<20} {:>10} {:>10} {:>10}",
         "case", "CPU-only", "GPU-only", "70% offld"
     );
-    for (label, chain) in cases {
-        let mk = || Sfc::new(label, chain.iter().map(|n| nf_by_name(n)).collect());
+    // One pool task per (case, policy); rows regroup in case order.
+    let policies = [
+        Policy::CpuOnly,
+        Policy::GpuOnly {
+            mode: GpuMode::LaunchPerBatch,
+        },
+        Policy::FixedRatio {
+            ratio: 0.7,
+            mode: GpuMode::LaunchPerBatch,
+        },
+    ];
+    let points: Vec<(&str, Vec<&str>, Policy)> = cases
+        .iter()
+        .flat_map(|(label, chain)| policies.iter().map(|p| (*label, chain.clone(), *p)))
+        .collect();
+    let flat = par_map(ExecMode::auto(), points, |_, (label, chain, p)| {
+        let sfc = Sfc::new(label, chain.iter().map(|n| nf_by_name(n)).collect());
         let spec = TrafficSpec::udp(SizeDist::Fixed(64));
-        let policies = [
-            Policy::CpuOnly,
-            Policy::GpuOnly {
-                mode: GpuMode::LaunchPerBatch,
-            },
-            Policy::FixedRatio {
-                ratio: 0.7,
-                mode: GpuMode::LaunchPerBatch,
-            },
-        ];
-        let mut row = Vec::new();
-        for p in policies {
-            let o = run(mk(), p, spec.clone(), 256, batches(quick), 7);
-            row.push(o.report.throughput_gbps);
-        }
+        run(sfc, p, spec, 256, batches(quick), 7)
+            .report
+            .throughput_gbps
+    });
+    for ((label, _), row) in cases.iter().zip(flat.chunks(policies.len())) {
         println!(
             "{:<20} {:>10} {:>10} {:>10}",
             label,
@@ -473,7 +487,8 @@ pub fn fig15(quick: bool) -> ExperimentResult {
     );
     let mut single_gains = Vec::new();
     let mut chain_gains = Vec::new();
-    for (label, chain) in setups {
+    // Each setup's four policy runs are one pool task; setups fan out.
+    let measured = par_map(ExecMode::auto(), setups, |_, (label, chain)| {
         let spec = if label == "IPv6" {
             TrafficSpec::udp(SizeDist::Imix).with_ip_version(IpVersion::V6)
         } else {
@@ -503,10 +518,13 @@ pub fn fig15(quick: bool) -> ExperimentResult {
             }
             vals.push(o.report.throughput_gbps);
         }
+        (label, chain.len(), vals, gta_p99)
+    });
+    for (label, chain_len, vals, gta_p99) in measured {
         let frac = vals[2] / vals[3].max(1e-9);
         let best_effort = vals[0].max(vals[1]);
         let gain = (vals[2] - best_effort) / best_effort.max(1e-9);
-        if chain.len() == 1 {
+        if chain_len == 1 {
             single_gains.push(gain);
         } else {
             chain_gains.push(gain);
@@ -567,37 +585,47 @@ pub fn fig17(quick: bool) -> ExperimentResult {
         "system", "ACL", "pkt", "Gbps", "mean lat us", "p99 lat us"
     );
     let mut base: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
-    for (pname, policy) in &policies {
-        for rules in [200usize, 1000, 10_000] {
-            for pkt in [64usize, 128, 1500] {
-                let o = run(
-                    mk(rules),
-                    *policy,
-                    TrafficSpec::udp(SizeDist::Fixed(pkt)),
-                    256,
-                    batches(quick),
-                    23,
-                );
-                println!(
-                    "{:<11} {:>6} {:>6} | {:>9} {:>12} {:>12}",
-                    pname,
-                    rules,
-                    pkt,
-                    gbps(o.report.throughput_gbps),
-                    us(o.report.mean_latency_ns),
-                    us(o.report.p99_latency_ns)
-                );
-                if rules == 200 {
-                    base.insert(format!("{pname}/{pkt}"), o.report.throughput_gbps);
-                }
-                res.push(json!({
-                    "system": pname, "acl": rules, "pkt": pkt,
-                    "gbps": o.report.throughput_gbps,
-                    "mean_us": o.report.mean_latency_ns / 1000.0,
-                    "p99_us": o.report.p99_latency_ns / 1000.0,
-                }));
-            }
+    // 27 independent (system, ACL, packet-size) cells fan out together.
+    let cells: Vec<(&str, Policy, usize, usize)> = policies
+        .iter()
+        .flat_map(|(pname, policy)| {
+            [200usize, 1000, 10_000].into_iter().flat_map(move |rules| {
+                [64usize, 128, 1500]
+                    .into_iter()
+                    .map(move |pkt| (*pname, *policy, rules, pkt))
+            })
+        })
+        .collect();
+    let measured = par_map(ExecMode::auto(), cells, |_, (pname, policy, rules, pkt)| {
+        let o = run(
+            mk(rules),
+            policy,
+            TrafficSpec::udp(SizeDist::Fixed(pkt)),
+            256,
+            batches(quick),
+            23,
+        );
+        (pname, rules, pkt, o.report)
+    });
+    for (pname, rules, pkt, report) in measured {
+        println!(
+            "{:<11} {:>6} {:>6} | {:>9} {:>12} {:>12}",
+            pname,
+            rules,
+            pkt,
+            gbps(report.throughput_gbps),
+            us(report.mean_latency_ns),
+            us(report.p99_latency_ns)
+        );
+        if rules == 200 {
+            base.insert(format!("{pname}/{pkt}"), report.throughput_gbps);
         }
+        res.push(json!({
+            "system": pname, "acl": rules, "pkt": pkt,
+            "gbps": report.throughput_gbps,
+            "mean_us": report.mean_latency_ns / 1000.0,
+            "p99_us": report.p99_latency_ns / 1000.0,
+        }));
     }
     // Throughput drop vs the 200-rule baseline at 64 B.
     println!("\nthroughput drop vs ACL-200 (64 B): ");

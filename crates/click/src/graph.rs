@@ -2,7 +2,6 @@
 
 use crate::element::{Element, RunCtx};
 use nfc_packet::Batch;
-use std::collections::HashMap;
 
 /// Identifier of a node (element instance) within one graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -251,11 +250,13 @@ impl ElementGraph {
             wiring[e.from.0][e.port] = Some((e.to, idx));
         }
         let stats = GraphStats::new(self.nodes.len(), self.edges.len());
+        let inbox = vec![Vec::new(); self.nodes.len()];
         Ok(CompiledGraph {
             graph: self,
             order,
             wiring,
             stats,
+            inbox,
         })
     }
 }
@@ -280,7 +281,7 @@ pub struct NodeStats {
 /// Traffic statistics for one compiled graph — the measurement substrate of
 /// the paper's runtime profiler (§IV-C2 samples next-element destinations
 /// to obtain per-edge traffic intensities).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GraphStats {
     nodes: Vec<NodeStats>,
     edge_packets: Vec<u64>,
@@ -355,6 +356,10 @@ pub struct CompiledGraph {
     order: Vec<NodeId>,
     wiring: Vec<Vec<Option<(NodeId, usize)>>>,
     stats: GraphStats,
+    /// Node-indexed scratch inbox reused across pushes. Always drained
+    /// back to empty by the end of [`CompiledGraph::push_at`]; kept here
+    /// so the steady state allocates nothing per batch.
+    inbox: Vec<Vec<Batch>>,
 }
 
 impl CompiledGraph {
@@ -396,21 +401,29 @@ impl CompiledGraph {
     /// handed to stateful elements.
     pub fn push_at(&mut self, entry: NodeId, batch: Batch, now_ns: u64) -> Vec<Egress> {
         let mut ctx = RunCtx { now_ns };
-        let mut inbox: HashMap<usize, Vec<Batch>> = HashMap::new();
-        inbox.entry(entry.0).or_default().push(batch);
+        debug_assert!(
+            self.inbox.iter().all(Vec::is_empty),
+            "scratch inbox must start drained"
+        );
+        self.inbox[entry.0].push(batch);
         let mut egress = Vec::new();
-        for &nid in &self.order.clone() {
-            let Some(batches) = inbox.remove(&nid.0) else {
-                continue;
-            };
-            let mut input = Batch::merge_ordered(batches);
-            if input.is_empty() {
+        for pos in 0..self.order.len() {
+            let nid = self.order[pos];
+            let mut slot = std::mem::take(&mut self.inbox[nid.0]);
+            if slot.is_empty() {
+                self.inbox[nid.0] = slot;
                 continue;
             }
-            // merge_ordered counted a merge even for the single-batch
-            // common case; only charge real merges.
-            if input.lineage.merges > 0 {
-                input.lineage.merges -= 1;
+            let input = if slot.len() == 1 {
+                slot.pop().expect("checked length")
+            } else {
+                Batch::merge_ordered(slot.drain(..))
+            };
+            // Hand the (now empty) allocation back so later pushes reuse
+            // its capacity instead of reallocating.
+            self.inbox[nid.0] = slot;
+            if input.is_empty() {
+                continue;
             }
             let in_pkts = input.len() as u64;
             let in_bytes = input.total_bytes() as u64;
@@ -436,7 +449,7 @@ impl CompiledGraph {
                     Some((to, edge_idx)) => {
                         self.stats.edge_packets[edge_idx] += out.len() as u64;
                         self.stats.edge_bytes[edge_idx] += out.total_bytes() as u64;
-                        inbox.entry(to.0).or_default().push(out);
+                        self.inbox[to.0].push(out);
                     }
                     None => {
                         self.stats.egress_packets += out.len() as u64;

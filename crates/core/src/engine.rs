@@ -1,0 +1,171 @@
+//! The parallel branch execution engine: a scoped worker pool that runs
+//! independent units (re-organized SFC branches, experiment sweep points)
+//! concurrently while preserving deterministic result order.
+//!
+//! The engine deliberately contains **no** simulator state. The runtime
+//! splits each stage into a *functional* phase (packets through element
+//! graphs — data-parallel across branches, dispatched through
+//! [`par_map`]) and a *temporal* phase (cost replay onto the shared
+//! [`PipelineSim`](nfc_hetero::PipelineSim) in a fixed branch-major
+//! order), so parallel and serial execution produce bit-identical
+//! functional output *and* bit-identical simulated timelines.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker count (mirrors
+/// `workspace.metadata.engine.threads-env` in the root manifest).
+pub const THREADS_ENV: &str = "NFC_THREADS";
+
+/// How the engine schedules independent work units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Run units one after another on the calling thread.
+    Serial,
+    /// Run units on a scoped worker pool of `threads` workers.
+    Parallel {
+        /// Worker count (values `<= 1` degrade to [`ExecMode::Serial`]).
+        threads: usize,
+    },
+}
+
+impl ExecMode {
+    /// Picks a mode from the environment: `NFC_THREADS=n` forces `n`
+    /// workers (0 or 1 mean serial); otherwise the host's available
+    /// parallelism decides.
+    pub fn auto() -> Self {
+        let threads = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .or_else(|| std::thread::available_parallelism().ok().map(usize::from))
+            .unwrap_or(1);
+        if threads <= 1 {
+            ExecMode::Serial
+        } else {
+            ExecMode::Parallel { threads }
+        }
+    }
+
+    /// Effective worker count (1 for serial).
+    pub fn threads(&self) -> usize {
+        match self {
+            ExecMode::Serial => 1,
+            ExecMode::Parallel { threads } => (*threads).max(1),
+        }
+    }
+}
+
+impl Default for ExecMode {
+    fn default() -> Self {
+        ExecMode::auto()
+    }
+}
+
+/// How parallel branches receive their copy of the ingress batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Duplication {
+    /// Copy-on-write: duplication is a per-packet refcount bump; a
+    /// branch's buffers are materialized only when it actually writes.
+    #[default]
+    Cow,
+    /// Eagerly copy every packet buffer (the pre-CoW engine behavior,
+    /// kept as a benchmarking baseline).
+    DeepCopy,
+}
+
+/// Applies `f` to every item, returning results in input order.
+///
+/// Under [`ExecMode::Parallel`] the items are claimed by a scoped worker
+/// pool through an atomic cursor (work-stealing by index), so load
+/// imbalance between units — the common case for heterogeneous SFC
+/// branches — never idles a worker while work remains. Result order is
+/// the input order regardless of completion order, which keeps egress
+/// merging and experiment tables deterministic.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn par_map<T, R, F>(mode: ExecMode, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = mode.threads().min(n);
+    if workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    // Slots are claimed exactly once via the cursor; the mutexes are
+    // uncontended by construction and exist to keep the pool free of
+    // unsafe code (`nfc-core` forbids it).
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let done: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("pool poisoned")
+                    .take()
+                    .expect("slot claimed once");
+                let out = f(i, item);
+                *done[i].lock().expect("pool poisoned") = Some(out);
+            });
+        }
+    });
+    done.into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("pool poisoned")
+                .expect("every slot filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree_and_preserve_order() {
+        let items: Vec<u64> = (0..57).collect();
+        let serial = par_map(ExecMode::Serial, items.clone(), |i, x| x * 3 + i as u64);
+        let parallel = par_map(ExecMode::Parallel { threads: 4 }, items, |i, x| {
+            x * 3 + i as u64
+        });
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[10], 40);
+    }
+
+    #[test]
+    fn empty_and_single_inputs_work() {
+        let none: Vec<u8> = par_map(ExecMode::Parallel { threads: 8 }, Vec::new(), |_, x| x);
+        assert!(none.is_empty());
+        let one = par_map(ExecMode::Parallel { threads: 8 }, vec![9], |_, x| x + 1);
+        assert_eq!(one, vec![10]);
+    }
+
+    #[test]
+    fn pool_handles_many_more_items_than_workers() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_map(ExecMode::Parallel { threads: 3 }, items, |_, x| x * x);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * i));
+    }
+
+    #[test]
+    fn threads_degrade_sensibly() {
+        assert_eq!(ExecMode::Serial.threads(), 1);
+        assert_eq!(ExecMode::Parallel { threads: 0 }.threads(), 1);
+        assert_eq!(ExecMode::Parallel { threads: 6 }.threads(), 6);
+    }
+}

@@ -49,6 +49,7 @@
 
 pub mod allocator;
 pub mod depend;
+pub mod engine;
 pub mod expansion;
 pub mod multi;
 pub mod orchestrator;
@@ -58,6 +59,7 @@ pub mod sfc;
 pub mod synthesizer;
 
 pub use allocator::{AllocationPlan, PartitionAlgo};
+pub use engine::{par_map, Duplication, ExecMode};
 pub use multi::MultiDeployment;
 pub use orchestrator::ReorgSfc;
 pub use runtime::{Deployment, Policy, RunOutcome};

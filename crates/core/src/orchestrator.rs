@@ -81,6 +81,11 @@ pub fn xor_merge(original: &Packet, outputs: &[Option<&Packet>]) -> Option<Packe
     let mut agg = vec![0u8; orig_bytes.len()];
     let mut any_same_len_mod = false;
     for out in outputs.iter().flatten() {
+        // CoW fast path: a branch that never wrote the packet still
+        // shares its buffer, so the diff is zero by construction.
+        if out.shares_buffer(original) {
+            continue;
+        }
         if out.len() != original.len() {
             match resized {
                 // Identical resized outputs agree (e.g. the paper's
@@ -120,27 +125,81 @@ pub fn xor_merge(original: &Packet, outputs: &[Option<&Packet>]) -> Option<Packe
     Some(merged)
 }
 
+fn is_seq_sorted(batch: &Batch) -> bool {
+    batch
+        .iter()
+        .zip(batch.iter().skip(1))
+        .all(|(a, b)| a.meta.seq <= b.meta.seq)
+}
+
 /// Merges per-branch output batches against the pre-duplication batch,
 /// matching packets by sequence number. Returns the merged batch in
 /// original order, plus the number of merge conflicts encountered.
+///
+/// Hot path: element graphs restore sequence order at every join, so the
+/// branch outputs are normally sorted subsequences of the original and a
+/// cursor sweep matches packets with no per-batch allocation; packets
+/// every branch still shares (CoW) pass straight through without XOR
+/// work. The per-branch hash maps survive only as a fallback for
+/// out-of-order outputs.
 pub fn merge_branch_batches(original: &Batch, branch_outputs: &[Batch]) -> (Batch, u64) {
-    let mut by_seq: Vec<HashMap<u64, &Packet>> = branch_outputs
-        .iter()
-        .map(|b| b.iter().map(|p| (p.meta.seq, p)).collect())
-        .collect();
     let mut merged = Batch::with_capacity(original.len());
     let mut conflicts = 0u64;
-    for orig in original.iter() {
-        let outs: Vec<Option<&Packet>> = by_seq
-            .iter_mut()
-            .map(|m| m.remove(&orig.meta.seq))
+    let sorted = is_seq_sorted(original) && branch_outputs.iter().all(is_seq_sorted);
+    if sorted {
+        let mut cursors = vec![0usize; branch_outputs.len()];
+        let mut outs: Vec<Option<&Packet>> = Vec::with_capacity(branch_outputs.len());
+        for orig in original.iter() {
+            outs.clear();
+            let mut all_shared = true;
+            for (branch, cur) in branch_outputs.iter().zip(cursors.iter_mut()) {
+                // Skip past sequence numbers the original no longer has
+                // (defensive; branches cannot normally invent packets).
+                while branch.get(*cur).is_some_and(|p| p.meta.seq < orig.meta.seq) {
+                    *cur += 1;
+                }
+                let hit = match branch.get(*cur) {
+                    Some(p) if p.meta.seq == orig.meta.seq => {
+                        *cur += 1;
+                        Some(p)
+                    }
+                    _ => None, // branch dropped this packet
+                };
+                all_shared &= hit.is_some_and(|p| p.shares_buffer(orig));
+                outs.push(hit);
+            }
+            if all_shared {
+                // No branch wrote the packet: the merge result is the
+                // original, still sharing its buffer.
+                merged.push(orig.clone());
+            } else {
+                match xor_merge(orig, &outs) {
+                    Some(p) => merged.push(p),
+                    None => {
+                        if outs.iter().all(|o| o.is_some()) {
+                            conflicts += 1;
+                        }
+                    }
+                }
+            }
+        }
+    } else {
+        let mut by_seq: Vec<HashMap<u64, &Packet>> = branch_outputs
+            .iter()
+            .map(|b| b.iter().map(|p| (p.meta.seq, p)).collect())
             .collect();
-        // A branch that dropped the packet yields None -> drop wins.
-        match xor_merge(orig, &outs) {
-            Some(p) => merged.push(p),
-            None => {
-                if outs.iter().all(|o| o.is_some()) {
-                    conflicts += 1;
+        for orig in original.iter() {
+            let outs: Vec<Option<&Packet>> = by_seq
+                .iter_mut()
+                .map(|m| m.remove(&orig.meta.seq))
+                .collect();
+            // A branch that dropped the packet yields None -> drop wins.
+            match xor_merge(orig, &outs) {
+                Some(p) => merged.push(p),
+                None => {
+                    if outs.iter().all(|o| o.is_some()) {
+                        conflicts += 1;
+                    }
                 }
             }
         }

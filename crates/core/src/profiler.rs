@@ -15,7 +15,7 @@
 use nfc_click::{CompiledGraph, NodeId, Offload};
 use nfc_hetero::cost::GpuTime;
 use nfc_hetero::{CoRunContext, CostModel, ElementLoad, GpuMode};
-use serde::{Deserialize, Serialize};
+use serde_json::{json, Value};
 use std::collections::HashMap;
 
 /// Per-element profiled weight (averages per batch).
@@ -119,7 +119,7 @@ impl Profiler {
 
 /// One record of the offline profiling dictionary: processing rates for
 /// an element kind at a given packet size and batch size.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProfileRecord {
     /// CPU-side throughput, packets per second.
     pub cpu_pps: f64,
@@ -133,7 +133,7 @@ pub struct ProfileRecord {
 /// offline profiling collects the processing rates (packets/second) of
 /// all Click elements on CPU and GPU under various input traffic
 /// intensities ... and packet sizes").
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ProfileDictionary {
     map: HashMap<String, ProfileRecord>,
 }
@@ -181,7 +181,7 @@ impl ProfileDictionary {
     /// Looks up a record, bucketing the packet size to the sweep grid
     /// (64-byte steps, capped at the 1472 top bucket).
     pub fn get(&self, kind: &str, pkt_size: usize, batch: usize) -> Option<ProfileRecord> {
-        let bucket = (((pkt_size.clamp(64, 1472) + 63) / 64) * 64).min(1472);
+        let bucket = (pkt_size.clamp(64, 1472).div_ceil(64) * 64).min(1472);
         let batch_bucket = [32usize, 64, 128, 256, 512, 1024]
             .into_iter()
             .min_by_key(|b| b.abs_diff(batch))
@@ -201,22 +201,51 @@ impl ProfileDictionary {
         self.map.is_empty()
     }
 
-    /// Serializes to JSON.
+    /// Serializes to JSON (`{"map": {key: {cpu_pps, gpu_pps,
+    /// gpu_transfer_share}}}`, matching the former derive layout).
     ///
     /// # Errors
     ///
-    /// Propagates serde errors.
+    /// Propagates serialization errors.
     pub fn to_json(&self) -> serde_json::Result<String> {
-        serde_json::to_string(self)
+        let mut records = Value::Object(Default::default());
+        for (k, r) in &self.map {
+            records[k.as_str()] = json!({
+                "cpu_pps": r.cpu_pps,
+                "gpu_pps": r.gpu_pps,
+                "gpu_transfer_share": r.gpu_transfer_share,
+            });
+        }
+        serde_json::to_string(&json!({ "map": records }))
     }
 
     /// Deserializes from JSON.
     ///
     /// # Errors
     ///
-    /// Propagates serde errors.
+    /// Fails on malformed JSON or on records missing a numeric field.
     pub fn from_json(s: &str) -> serde_json::Result<Self> {
-        serde_json::from_str(s)
+        let root = serde_json::from_str(s)?;
+        let mut map = HashMap::new();
+        let records = root["map"]
+            .as_object()
+            .ok_or_else(|| serde_json::Error::custom("missing map"))?;
+        for (k, rec) in records {
+            let field = |name: &str| {
+                rec[name].as_f64().ok_or_else(|| {
+                    serde_json::Error::custom(format!("missing field {name} in record {k}"))
+                })
+            };
+            map.insert(
+                k.clone(),
+                ProfileRecord {
+                    cpu_pps: field("cpu_pps")?,
+                    gpu_pps: field("gpu_pps")?,
+                    gpu_transfer_share: field("gpu_transfer_share")?,
+                },
+            );
+        }
+        Ok(ProfileDictionary { map })
     }
 }
 

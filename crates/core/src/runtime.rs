@@ -21,6 +21,7 @@
 //! synthesis, graph-partition allocation and persistent kernels.
 
 use crate::allocator::{allocate, AllocationPlan, PartitionAlgo};
+use crate::engine::{par_map, Duplication, ExecMode};
 use crate::orchestrator::{merge_branch_batches, ReorgSfc};
 use crate::profiler::{GraphWeights, Profiler};
 use crate::sfc::Sfc;
@@ -201,6 +202,9 @@ pub struct RunOutcome {
     pub stage_offloads: Vec<(String, f64)>,
     /// XOR merge conflicts observed (should be zero).
     pub merge_conflicts: u64,
+    /// Per-element traffic statistics per stage, in branch-major order.
+    /// Parallel and serial execution must produce identical entries.
+    pub stage_stats: Vec<nfc_click::GraphStats>,
 }
 
 /// A prepared deployment of one SFC under one policy.
@@ -217,6 +221,10 @@ pub struct Deployment {
     /// Explicit branch structure overriding the analyzer (the paper's
     /// prescribed Figure 13 configurations). Indices into the chain.
     pub forced_branches: Option<Vec<Vec<usize>>>,
+    /// How parallel branches are executed (worker pool vs. serial).
+    pub exec_mode: ExecMode,
+    /// How branches receive their copy of each ingress batch.
+    pub duplication: Duplication,
 }
 
 impl Deployment {
@@ -235,6 +243,8 @@ impl Deployment {
             warmup_batches: 4,
             delta: 0.1,
             forced_branches: None,
+            exec_mode: ExecMode::auto(),
+            duplication: Duplication::Cow,
         }
     }
 
@@ -249,6 +259,20 @@ impl Deployment {
     /// Figure 13; the caller asserts merge legality.
     pub fn with_forced_branches(mut self, branches: Vec<Vec<usize>>) -> Self {
         self.forced_branches = Some(branches);
+        self
+    }
+
+    /// Sets the branch execution mode (serial vs. worker pool). Parallel
+    /// and serial execution are bit-identical in both functional output
+    /// and simulated timeline; the mode only changes wall-clock cost.
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = mode;
+        self
+    }
+
+    /// Sets the branch duplication strategy (CoW vs. eager deep copy).
+    pub fn with_duplication(mut self, duplication: Duplication) -> Self {
+        self.duplication = duplication;
         self
     }
 
@@ -270,23 +294,75 @@ impl Deployment {
     /// Runs `n_batches` batches from `traffic` through the deployment,
     /// returning functional and temporal results.
     pub fn run(&mut self, traffic: &mut TrafficGenerator, n_batches: usize) -> RunOutcome {
+        self.run_inner(traffic, n_batches, false).0
+    }
+
+    /// Like [`Deployment::run`], additionally returning every egress
+    /// batch in completion order. Used by determinism tests and the
+    /// engine benchmark to assert byte-identical output across execution
+    /// modes; collection is a CoW refcount bump per packet.
+    pub fn run_collect(
+        &mut self,
+        traffic: &mut TrafficGenerator,
+        n_batches: usize,
+    ) -> (RunOutcome, Vec<Batch>) {
+        self.run_inner(traffic, n_batches, true)
+    }
+
+    /// Like [`Deployment::run_collect`], but processes pre-generated
+    /// `batches` instead of drawing from `traffic` (which is still used
+    /// for warm-up profiling). Lets benchmarks time the engine without
+    /// the traffic synthesizer, and replays recorded traffic exactly.
+    pub fn run_replay(
+        &mut self,
+        traffic: &mut TrafficGenerator,
+        batches: &[Batch],
+    ) -> (RunOutcome, Vec<Batch>) {
+        self.run_loop(traffic, batches.len(), true, Some(batches))
+    }
+
+    fn run_inner(
+        &mut self,
+        traffic: &mut TrafficGenerator,
+        n_batches: usize,
+        collect: bool,
+    ) -> (RunOutcome, Vec<Batch>) {
+        self.run_loop(traffic, n_batches, collect, None)
+    }
+
+    fn run_loop(
+        &mut self,
+        traffic: &mut TrafficGenerator,
+        n_batches: usize,
+        collect: bool,
+        replay: Option<&[Batch]>,
+    ) -> (RunOutcome, Vec<Batch>) {
         let mut sim = PipelineSim::new();
         let res = PlatformResources::register(&mut sim, &self.model);
         let mut user_base = 1u64;
         let mut prep = self.prepare(&mut sim, &res, traffic, &[], &mut user_base);
         let batch_size = self.batch_size;
-        for _ in 0..n_batches {
-            let batch = traffic.batch(batch_size);
+        let mut egress = Vec::new();
+        for i in 0..n_batches {
+            let batch = match replay {
+                Some(rec) => rec[i].clone(),
+                None => traffic.batch(batch_size),
+            };
             match prep.process_batch(&mut sim, &res, batch) {
                 BatchResult::Completed {
                     mean_arrival,
                     completed,
                     out,
-                } => sim.record_completion(mean_arrival, completed, out.len(), out.total_bytes()),
+                } => {
+                    sim.record_completion(mean_arrival, completed, out.len(), out.total_bytes());
+                    if collect {
+                        egress.push(out);
+                    }
+                }
                 BatchResult::Dropped { mean_arrival } => sim.record_drop(mean_arrival),
             }
         }
-        prep.into_outcome(sim.report())
+        (prep.into_outcome(sim.report()), egress)
     }
 
     /// Runs a sequence of traffic *phases* on one continuous timeline,
@@ -523,6 +599,8 @@ impl Deployment {
             stage_offloads,
             mode,
             model: self.model,
+            exec_mode: self.exec_mode,
+            duplication: self.duplication,
             egress_packets: 0,
             egress_bytes: 0,
             merge_conflicts: 0,
@@ -640,6 +718,8 @@ pub(crate) struct PreparedSfc {
     stage_offloads: Vec<(String, f64)>,
     mode: GpuMode,
     model: CostModel,
+    exec_mode: ExecMode,
+    duplication: Duplication,
     egress_packets: u64,
     egress_bytes: u64,
     merge_conflicts: u64,
@@ -681,29 +761,48 @@ impl PreparedSfc {
         } else {
             t0
         };
-        // Branches.
+        // Branches: the functional phase touches only branch-local state
+        // (each branch's element graphs and its CoW duplicate of the
+        // batch), so the worker pool runs branches concurrently. Charges
+        // are collected per stage and replayed below.
+        let mode = self.mode;
+        let dup = self.duplication;
+        let branch_refs: Vec<&mut Vec<StageExec>> = self.stages.iter_mut().collect();
+        let results: Vec<(Batch, Vec<StageCharge>)> =
+            par_map(self.exec_mode, branch_refs, |_, branch| {
+                let mut cur = match dup {
+                    Duplication::Cow => batch.clone(),
+                    Duplication::DeepCopy => batch.deep_clone(),
+                };
+                let mut charges = Vec::with_capacity(branch.len());
+                for stage in branch.iter_mut() {
+                    let (out, charge) = exec_stage_functional(stage, cur, mode);
+                    cur = out;
+                    charges.push(charge);
+                }
+                (cur, charges)
+            });
+        // Temporal replay: sequential, in fixed branch-major stage order —
+        // exactly the order the serial engine schedules in, so the
+        // simulated timeline is bit-identical regardless of ExecMode.
         let mut branch_outputs: Vec<Batch> = Vec::with_capacity(self.width);
         let mut t_join = t0;
-        let mode = self.mode;
-        for branch in self.stages.iter_mut() {
-            let mut cur = batch.clone();
+        for (branch, (out, charges)) in self.stages.iter().zip(results) {
             let mut t = t0;
-            for stage in branch.iter_mut() {
-                let (out, done) = exec_stage(
+            for (stage, charge) in branch.iter().zip(&charges) {
+                t = replay_stage(
                     sim,
                     stage,
-                    cur,
+                    charge,
                     t,
                     mode,
                     &res.gpu_queues,
                     res.pcie_h2d,
                     res.pcie_d2h,
                 );
-                cur = out;
-                t = done;
             }
             t_join = t_join.max(t);
-            branch_outputs.push(cur);
+            branch_outputs.push(out);
         }
         // Merge parallel branches (XOR) or take the single output.
         let (out, t_done) = if self.width > 1 {
@@ -789,113 +888,149 @@ impl PreparedSfc {
             synthesis: self.synthesis,
             stage_offloads: self.stage_offloads,
             merge_conflicts: self.merge_conflicts,
+            stage_stats: self
+                .stages
+                .iter()
+                .flat_map(|b| b.iter())
+                .map(|s| s.run.stats().clone())
+                .collect(),
         }
     }
 }
 
-/// Executes one NF stage: functional push + temporal scheduling.
-#[allow(clippy::too_many_arguments)]
-fn exec_stage(
-    sim: &mut PipelineSim,
+/// Temporal cost of one stage's processing of one batch, computed during
+/// the functional phase and replayed onto the simulator afterwards. The
+/// charge depends only on the batch and the stage's profile/plan — never
+/// on simulator state — which is what lets branches run functionally in
+/// parallel while the timeline stays bit-identical to serial execution.
+struct StageCharge {
+    cpu_ns: f64,
+    kernel_ns: f64,
+    gpu_bytes: f64,
+    any_offload: bool,
+}
+
+/// Executes one NF stage functionally (packets through the element
+/// graph) and computes its [`StageCharge`]. Touches only stage-local
+/// state; safe to run concurrently across branches.
+fn exec_stage_functional(
     stage: &mut StageExec,
     batch: Batch,
+    mode: GpuMode,
+) -> (Batch, StageCharge) {
+    let in_packets = batch.len();
+    let in_splits = batch.lineage.splits;
+    let in_merges = batch.lineage.merges;
+    // Functional execution.
+    let model = stage.model;
+    let out = stage.run.push_merged(stage.nf.entry(), batch);
+    let new_splits = out.lineage.splits.saturating_sub(in_splits);
+    let new_merges = out.lineage.merges.saturating_sub(in_merges);
+    let weights = stage.weights.as_ref().expect("profiled before run");
+    let in_bytes = out.total_bytes() as f64
+        + (in_packets.saturating_sub(out.len())) as f64
+            * (out.total_bytes() as f64 / out.len().max(1) as f64);
+    let pscale = if weights.entry_packets > 0.0 {
+        (in_packets as f64 / weights.entry_packets).min(4.0)
+    } else {
+        1.0
+    };
+    let bscale = if weights.entry_bytes > 0.0 {
+        (in_bytes / weights.entry_bytes).min(64.0)
+    } else {
+        1.0
+    };
+    // CPU portion + GPU portion, to be overlapped at replay.
+    let mut cpu_ns = 0.0;
+    let mut kernel_ns = 0.0;
+    let mut gpu_bytes = 0.0f64;
+    let mut any_offload = false;
+    let mut partial = false;
+    for (i, w) in weights.nodes.iter().enumerate() {
+        let r = stage.plan.ratios.get(i).copied().unwrap_or(0.0);
+        // Scale the profiled per-batch load to this batch: packet
+        // count and byte volume scale independently so packet-size
+        // shifts are charged honestly.
+        let mut load = w.load;
+        load.packets = (load.packets as f64 * pscale).round() as usize;
+        load.bytes = (load.bytes as f64 * bscale).round() as usize;
+        // Traffic-content factors are read live from the element so
+        // charged costs track the current traffic, not the profiling
+        // window (the paper's fast-switching-traffic concern).
+        let el = stage.run.graph().element(nfc_click::NodeId(i));
+        load.match_factor = el.content_factor();
+        load.divergence = el.divergence();
+        if r < 1.0 {
+            let cpu_part = load.fraction(1.0 - r);
+            cpu_ns += model.cpu_batch_ns(&cpu_part, &stage.corun);
+        }
+        if r > 0.0 {
+            let gpu_part = load.fraction(r);
+            let g = model.gpu_batch_ns(&gpu_part, mode);
+            kernel_ns += g.kernel_ns + g.dispatch_ns;
+            gpu_bytes = gpu_bytes.max(gpu_part.bytes as f64);
+            any_offload = true;
+        }
+        if r > 0.0 && r < 1.0 {
+            partial = true;
+        }
+    }
+    // Batch re-organization from functional splits (Figure 5) plus
+    // the CPU/GPU carve when partially offloaded.
+    if new_splits > 0 {
+        cpu_ns += new_splits as f64 * model.split_ns(in_packets, 2);
+    }
+    if new_merges > 0 {
+        cpu_ns += new_merges as f64 * model.merge_ns(in_packets);
+    }
+    if partial {
+        cpu_ns += model.carve_ns(in_packets) + model.offload_merge_ns(in_packets);
+    }
+    (
+        out,
+        StageCharge {
+            cpu_ns,
+            kernel_ns,
+            gpu_bytes,
+            any_offload,
+        },
+    )
+}
+
+/// Replays one stage's charge onto the shared simulator, returning the
+/// stage completion time.
+#[allow(clippy::too_many_arguments)]
+fn replay_stage(
+    sim: &mut PipelineSim,
+    stage: &StageExec,
+    charge: &StageCharge,
     t: f64,
     mode: GpuMode,
     gpu_queues: &[ResourceId],
     pcie_h2d: ResourceId,
     pcie_d2h: ResourceId,
-) -> (Batch, f64) {
-    {
-        let in_packets = batch.len();
-        let in_splits = batch.lineage.splits;
-        let in_merges = batch.lineage.merges;
-        // Functional execution.
-        let model = stage.model;
-        let out = stage.run.push_merged(stage.nf.entry(), batch);
-        let new_splits = out.lineage.splits.saturating_sub(in_splits);
-        let new_merges = out.lineage.merges.saturating_sub(in_merges);
-        let weights = stage.weights.as_ref().expect("profiled before run");
-        let in_bytes = out.total_bytes() as f64
-            + (in_packets.saturating_sub(out.len())) as f64
-                * (out.total_bytes() as f64 / out.len().max(1) as f64);
-        let pscale = if weights.entry_packets > 0.0 {
-            (in_packets as f64 / weights.entry_packets).min(4.0)
-        } else {
-            1.0
+) -> f64 {
+    let model = stage.model;
+    let cpu_done = sim.schedule(stage.cpu_res, t, charge.cpu_ns, stage.user);
+    if charge.any_offload {
+        // Persistent kernels partition the devices (one queue per
+        // workload); launch-per-batch kernels run in the default
+        // stream and serialize the whole device — the root of the
+        // paper's aggregated offloading overhead (Figure 7).
+        let gpu = match mode {
+            GpuMode::Persistent => gpu_queues[(stage.user as usize) % gpu_queues.len()],
+            GpuMode::LaunchPerBatch => gpu_queues[0],
         };
-        let bscale = if weights.entry_bytes > 0.0 {
-            (in_bytes / weights.entry_bytes).min(64.0)
-        } else {
-            1.0
+        let dma = |bytes: f64| {
+            model.platform().pcie.dma_latency_ns + bytes / model.platform().pcie.bw_gbs
         };
-        // Temporal: CPU portion + GPU portion in parallel.
-        let mut cpu_ns = 0.0;
-        let mut kernel_ns = 0.0;
-        let mut gpu_bytes = 0.0f64;
-        let mut any_offload = false;
-        let mut partial = false;
-        for (i, w) in weights.nodes.iter().enumerate() {
-            let r = stage.plan.ratios.get(i).copied().unwrap_or(0.0);
-            // Scale the profiled per-batch load to this batch: packet
-            // count and byte volume scale independently so packet-size
-            // shifts are charged honestly.
-            let mut load = w.load;
-            load.packets = (load.packets as f64 * pscale).round() as usize;
-            load.bytes = (load.bytes as f64 * bscale).round() as usize;
-            // Traffic-content factors are read live from the element so
-            // charged costs track the current traffic, not the profiling
-            // window (the paper's fast-switching-traffic concern).
-            let el = stage.run.graph().element(nfc_click::NodeId(i));
-            load.match_factor = el.content_factor();
-            load.divergence = el.divergence();
-            if r < 1.0 {
-                let cpu_part = load.fraction(1.0 - r);
-                cpu_ns += model.cpu_batch_ns(&cpu_part, &stage.corun);
-            }
-            if r > 0.0 {
-                let gpu_part = load.fraction(r);
-                let g = model.gpu_batch_ns(&gpu_part, mode);
-                kernel_ns += g.kernel_ns + g.dispatch_ns;
-                gpu_bytes = gpu_bytes.max(gpu_part.bytes as f64);
-                any_offload = true;
-            }
-            if r > 0.0 && r < 1.0 {
-                partial = true;
-            }
-        }
-        // Batch re-organization from functional splits (Figure 5) plus
-        // the CPU/GPU carve when partially offloaded.
-        if new_splits > 0 {
-            cpu_ns += new_splits as f64 * model.split_ns(in_packets, 2);
-        }
-        if new_merges > 0 {
-            cpu_ns += new_merges as f64 * model.merge_ns(in_packets);
-        }
-        if partial {
-            cpu_ns += model.carve_ns(in_packets) + model.offload_merge_ns(in_packets);
-        }
-        let cpu_done = sim.schedule(stage.cpu_res, t, cpu_ns, stage.user);
-        let done = if any_offload {
-            // Persistent kernels partition the devices (one queue per
-            // workload); launch-per-batch kernels run in the default
-            // stream and serialize the whole device — the root of the
-            // paper's aggregated offloading overhead (Figure 7).
-            let gpu = match mode {
-                GpuMode::Persistent => gpu_queues[(stage.user as usize) % gpu_queues.len()],
-                GpuMode::LaunchPerBatch => gpu_queues[0],
-            };
-            let dma = |bytes: f64| {
-                model.platform().pcie.dma_latency_ns + bytes / model.platform().pcie.bw_gbs
-            };
-            let h = sim.schedule(pcie_h2d, t, dma(gpu_bytes), stage.user);
-            let k = sim.schedule(gpu, h, kernel_ns, stage.user);
-            let d = sim.schedule(pcie_d2h, k, dma(gpu_bytes), stage.user);
-            // Ordered release (completion-queue) once both sides finish.
-            cpu_done.max(d)
-        } else {
-            cpu_done
-        };
-        (out, done)
+        let h = sim.schedule(pcie_h2d, t, dma(charge.gpu_bytes), stage.user);
+        let k = sim.schedule(gpu, h, charge.kernel_ns, stage.user);
+        let d = sim.schedule(pcie_d2h, k, dma(charge.gpu_bytes), stage.user);
+        // Ordered release (completion-queue) once both sides finish.
+        cpu_done.max(d)
+    } else {
+        cpu_done
     }
 }
 

@@ -150,9 +150,9 @@ impl Work {
                     stack.push(*t);
                 }
             }
-            for i in 0..self.nodes.len() {
-                if !reach[i] {
-                    self.nodes[i] = None;
+            for (node, ok) in self.nodes.iter_mut().zip(&reach) {
+                if !ok {
+                    *node = None;
                 }
             }
         }

@@ -182,9 +182,9 @@ fn refine(g: &PartGraph, part: &mut Partition, opts: &KlOptions) {
         let mut cut = obj.cut(g, part);
         let start_cost = loads[0].max(loads[1]) + obj.transfer_penalty * cut;
         let mut locked = vec![false; n];
-        for v in 0..n {
+        for (v, lock) in locked.iter_mut().enumerate() {
             if g.pin(v).is_some() {
-                locked[v] = true;
+                *lock = true;
             }
         }
         // Tentative move sequence.
@@ -195,8 +195,8 @@ fn refine(g: &PartGraph, part: &mut Partition, opts: &KlOptions) {
         loop {
             // Pick the unlocked node whose move most reduces the cost.
             let mut best_move: Option<(usize, f64, f64, [f64; 2])> = None;
-            for v in 0..n {
-                if locked[v] {
+            for (v, &is_locked) in locked.iter().enumerate() {
+                if is_locked {
                     continue;
                 }
                 let from = cur.side(v);

@@ -203,7 +203,7 @@ impl CostModel {
             load.raw_cycles() * self.ns_per_cycle() * divergence_factor / net_speedup;
         // Pipeline-latency floor: one packet's work on a GPU lane, times
         // the number of serialized waves beyond the parallel width.
-        let waves = (load.packets + calib::GPU_PARALLEL_WIDTH - 1) / calib::GPU_PARALLEL_WIDTH;
+        let waves = load.packets.div_ceil(calib::GPU_PARALLEL_WIDTH);
         let per_pkt_cycles = load.work.cycles(load.avg_len() as usize) * load.match_factor;
         let latency_floor =
             per_pkt_cycles * calib::GPU_LANE_SLOWDOWN * self.ns_per_cycle() * waves as f64;

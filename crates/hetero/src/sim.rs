@@ -454,7 +454,7 @@ mod tests {
         let r = sim.add_resource("r", 0.0);
         sim.schedule(r, 0.0, 10.0, 1); // [0,10]
         sim.schedule(r, 20.0, 10.0, 1); // [20,30]
-        // 15 ns does not fit in the [10,20] gap -> lands after 30.
+                                        // 15 ns does not fit in the [10,20] gap -> lands after 30.
         let done = sim.schedule(r, 0.0, 15.0, 1);
         assert_eq!(done, 45.0);
         // 5 ns fits the gap.
@@ -468,8 +468,8 @@ mod tests {
         let r = sim.add_resource("r", 100.0);
         sim.schedule(r, 0.0, 10.0, 1); // [0,10] user 1
         sim.schedule(r, 500.0, 10.0, 1); // [500,510] user 1
-        // User 2 into the gap: the context-switch penalty against the
-        // preceding user-1 interval pushes the start from 50 to 150.
+                                         // User 2 into the gap: the context-switch penalty against the
+                                         // preceding user-1 interval pushes the start from 50 to 150.
         let done = sim.schedule(r, 50.0, 10.0, 2);
         assert_eq!(done, 160.0, "start 150 (=50+100 penalty) + 10");
     }

@@ -63,8 +63,8 @@ impl Aes128 {
 
     /// Encrypts one 16-byte block in place.
     pub fn encrypt_block(&self, block: &mut [u8; 16]) {
-        for i in 0..16 {
-            block[i] ^= self.round_keys[0][i];
+        for (b, k) in block.iter_mut().zip(&self.round_keys[0]) {
+            *b ^= k;
         }
         for round in 1..11 {
             // SubBytes
@@ -90,8 +90,8 @@ impl Aes128 {
                 }
             }
             // AddRoundKey
-            for i in 0..16 {
-                block[i] ^= self.round_keys[round][i];
+            for (b, k) in block.iter_mut().zip(&self.round_keys[round]) {
+                *b ^= k;
             }
         }
     }

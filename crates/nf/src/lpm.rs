@@ -143,7 +143,7 @@ impl Dir24_8 {
             let block = *block_of.entry(bucket).or_insert_with(|| {
                 let idx = tbl2.len() / l2_block;
                 // Initialize the block with the level-1 default.
-                tbl2.extend(std::iter::repeat(tbl1[bucket]).take(l2_block));
+                tbl2.extend(std::iter::repeat_n(tbl1[bucket], l2_block));
                 tbl1[bucket] = SECOND_LEVEL_FLAG | idx as u32;
                 idx
             });

@@ -125,9 +125,12 @@ impl Batch {
         n_outputs: usize,
         mut route: F,
     ) -> Vec<Batch> {
+        // Even-routing capacity guess; skewed routes waste a little
+        // space but never reallocate more than the old empty-vec start.
+        let per_port = self.pkts.len() / n_outputs.max(1) + 1;
         let mut out: Vec<Batch> = (0..n_outputs)
             .map(|_| Batch {
-                pkts: Vec::new(),
+                pkts: Vec::with_capacity(per_port),
                 lineage: BatchLineage {
                     splits: self.lineage.splits + 1,
                     merges: self.lineage.merges,
@@ -146,17 +149,46 @@ impl Batch {
     /// Merges several batches into one, restoring the original packet order
     /// by sequence number. This is the order-preserving release point the
     /// paper adopts from Snap's `GPUCompletionQueue`.
+    ///
+    /// A single input batch is a passthrough: it moves through untouched
+    /// and no merge is counted, since nothing was re-organized. (The old
+    /// behavior counted one merge even then, and `CompiledGraph::push_at`
+    /// carried a compensating `merges -= 1`; both are gone.)
     pub fn merge_ordered<I: IntoIterator<Item = Batch>>(parts: I) -> Batch {
-        let mut pkts: Vec<Packet> = Vec::new();
-        let mut lineage = BatchLineage::default();
-        for part in parts {
+        let mut iter = parts.into_iter();
+        let Some(first) = iter.next() else {
+            return Batch::new();
+        };
+        let Some(second) = iter.next() else {
+            return first;
+        };
+        let mut lineage = first.lineage;
+        let mut pkts = first.pkts;
+        let append = |part: Batch, pkts: &mut Vec<Packet>, lineage: &mut BatchLineage| {
             lineage.splits = lineage.splits.max(part.lineage.splits);
             lineage.merges = lineage.merges.max(part.lineage.merges);
-            pkts.extend(part.pkts);
+            let mut tail = part.pkts;
+            pkts.append(&mut tail);
+        };
+        append(second, &mut pkts, &mut lineage);
+        for part in iter {
+            append(part, &mut pkts, &mut lineage);
         }
+        // Stable sort: concatenated per-branch runs are already sorted,
+        // so this is close to a linear merge in practice.
         pkts.sort_by_key(|p| p.meta.seq);
         lineage.merges += 1;
         Batch { pkts, lineage }
+    }
+
+    /// Clones the batch with every packet buffer eagerly copied, never
+    /// shared — the pre-CoW duplication behavior, kept as a benchmarking
+    /// baseline against [`Batch::clone`]'s refcount-bump duplication.
+    pub fn deep_clone(&self) -> Batch {
+        Batch {
+            pkts: self.pkts.iter().map(Packet::deep_clone).collect(),
+            lineage: self.lineage,
+        }
     }
 
     /// Splits off the first `n` packets into a new batch (used to carve
@@ -241,6 +273,18 @@ mod tests {
         assert_eq!(seqs, (0..8).collect::<Vec<_>>());
         assert_eq!(merged.lineage.merges, 1);
         assert_eq!(merged.lineage.splits, 1);
+    }
+
+    #[test]
+    fn merge_of_single_batch_is_a_passthrough() {
+        let batch: Batch = (0..4).map(pkt).collect();
+        let parts = batch.split_by(1, |_, _| 0);
+        let merged = Batch::merge_ordered(parts);
+        assert_eq!(merged.len(), 4);
+        assert_eq!(merged.lineage.merges, 0, "no merge for a single part");
+        assert_eq!(merged.lineage.splits, 1);
+        // Empty input merges to an empty batch.
+        assert!(Batch::merge_ordered(std::iter::empty()).is_empty());
     }
 
     #[test]

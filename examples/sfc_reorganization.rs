@@ -7,7 +7,6 @@
 //!
 //! Run with: `cargo run --release -p nfc-core --example sfc_reorganization`
 
-use nfc_core::allocator::PartitionAlgo;
 use nfc_core::synthesizer::synthesize;
 use nfc_core::{Deployment, Policy, ReorgSfc, Sfc};
 use nfc_nf::Nf;
@@ -69,7 +68,11 @@ fn main() {
         );
         let configs: Vec<(&str, Vec<Vec<usize>>, bool)> = vec![
             ("a: sequential", vec![vec![0, 1, 2, 3]], false),
-            ("b: parallel x4", vec![vec![0], vec![1], vec![2], vec![3]], false),
+            (
+                "b: parallel x4",
+                vec![vec![0], vec![1], vec![2], vec![3]],
+                false,
+            ),
             ("c: parallel x2", vec![vec![0, 1], vec![2, 3]], false),
             ("d: parallel x2 + synth", vec![vec![0, 1], vec![2, 3]], true),
         ];

@@ -1,0 +1,224 @@
+//! Execution-engine determinism: the worker pool and CoW duplication are
+//! pure wall-clock optimizations. Serial deep-copy, serial CoW and
+//! parallel CoW runs of the same deployment must agree on every egress
+//! byte, every per-element statistic, and every simulated timing.
+
+use nfc_core::{Deployment, Duplication, ExecMode, Policy, RunOutcome, Sfc};
+use nfc_hetero::GpuMode;
+use nfc_nf::Nf;
+use nfc_packet::traffic::{PayloadPolicy, SizeDist, TrafficGenerator, TrafficSpec};
+use nfc_packet::Batch;
+use proptest::prelude::*;
+
+/// A mixed chain the analyzer re-organizes: read-only firewall and IDS
+/// parallelize; IDS also drops, exercising drop-wins merging.
+fn mixed_chain() -> Sfc {
+    Sfc::new(
+        "fw-ids-fw",
+        vec![
+            Nf::firewall("fw-a", 64, 1),
+            Nf::ids("ids"),
+            Nf::firewall("fw-b", 64, 2),
+        ],
+    )
+}
+
+fn traffic(seed: u64, pkt: usize, match_ratio: f64) -> TrafficGenerator {
+    let spec = if match_ratio > 0.0 {
+        TrafficSpec::udp(SizeDist::Fixed(pkt)).with_payload(PayloadPolicy::MatchRatio {
+            patterns: Nf::default_ids_signatures(),
+            ratio: match_ratio,
+        })
+    } else {
+        TrafficSpec::udp(SizeDist::Fixed(pkt))
+    };
+    TrafficGenerator::new(spec, seed)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_mode(
+    sfc: Sfc,
+    policy: Policy,
+    exec: ExecMode,
+    dup: Duplication,
+    seed: u64,
+    pkt: usize,
+    match_ratio: f64,
+    n_batches: usize,
+) -> (RunOutcome, Vec<Batch>) {
+    let mut dep = Deployment::new(sfc, policy)
+        .with_batch_size(128)
+        .with_exec_mode(exec)
+        .with_duplication(dup);
+    dep.run_collect(&mut traffic(seed, pkt, match_ratio), n_batches)
+}
+
+fn assert_equivalent(label: &str, a: &(RunOutcome, Vec<Batch>), b: &(RunOutcome, Vec<Batch>)) {
+    assert_eq!(a.1, b.1, "{label}: egress batches must be byte-identical");
+    assert_eq!(
+        a.0.stage_stats, b.0.stage_stats,
+        "{label}: per-element statistics must match"
+    );
+    assert_eq!(a.0.egress_packets, b.0.egress_packets, "{label}");
+    assert_eq!(a.0.egress_bytes, b.0.egress_bytes, "{label}");
+    assert_eq!(a.0.merge_conflicts, b.0.merge_conflicts, "{label}");
+    // The temporal replay preserves schedule order, so even the
+    // simulated timeline is bit-identical.
+    assert_eq!(
+        a.0.report.throughput_gbps.to_bits(),
+        b.0.report.throughput_gbps.to_bits(),
+        "{label}: simulated throughput must be bit-identical"
+    );
+    assert_eq!(
+        a.0.report.p99_latency_ns.to_bits(),
+        b.0.report.p99_latency_ns.to_bits(),
+        "{label}: simulated latency must be bit-identical"
+    );
+}
+
+#[test]
+fn parallel_equals_serial_across_seeds() {
+    for seed in [3u64, 17, 99] {
+        let baseline = run_mode(
+            mixed_chain(),
+            Policy::nfcompass(),
+            ExecMode::Serial,
+            Duplication::DeepCopy,
+            seed,
+            256,
+            0.3,
+            12,
+        );
+        for (label, exec, dup) in [
+            ("serial/cow", ExecMode::Serial, Duplication::Cow),
+            (
+                "parallel2/cow",
+                ExecMode::Parallel { threads: 2 },
+                Duplication::Cow,
+            ),
+            (
+                "parallel8/deepcopy",
+                ExecMode::Parallel { threads: 8 },
+                Duplication::DeepCopy,
+            ),
+        ] {
+            let got = run_mode(
+                mixed_chain(),
+                Policy::nfcompass(),
+                exec,
+                dup,
+                seed,
+                256,
+                0.3,
+                12,
+            );
+            assert_equivalent(&format!("seed {seed}, {label}"), &baseline, &got);
+        }
+    }
+}
+
+#[test]
+fn forced_four_branch_join_is_deterministic_under_repetition() {
+    // Stress the branch join: four parallel branches of identical NFs,
+    // repeated with an oversubscribed pool. Every repetition must
+    // reproduce the first run exactly (no ordering or refcount races).
+    let mk = || {
+        Sfc::new(
+            "ipsec4",
+            (0..4).map(|i| Nf::ipsec(format!("ip{i}"))).collect(),
+        )
+    };
+    let policy = Policy::ReorgOnly {
+        max_branches: 4,
+        synthesize: false,
+        ratio: 0.0,
+        mode: GpuMode::Persistent,
+    };
+    let branches = vec![vec![0], vec![1], vec![2], vec![3]];
+    let run_once = |exec: ExecMode| {
+        let mut dep = Deployment::new(mk(), policy)
+            .with_batch_size(64)
+            .with_forced_branches(branches.clone())
+            .with_exec_mode(exec)
+            .with_duplication(Duplication::Cow);
+        dep.run_collect(&mut traffic(7, 512, 0.0), 6)
+    };
+    let reference = run_once(ExecMode::Serial);
+    assert_eq!(reference.0.width, 4);
+    assert_eq!(reference.0.merge_conflicts, 0, "identical NFs must merge");
+    for rep in 0..8 {
+        let got = run_once(ExecMode::Parallel { threads: 16 });
+        assert_equivalent(&format!("stress rep {rep}"), &reference, &got);
+    }
+}
+
+#[test]
+fn dropped_packets_merge_identically_in_parallel() {
+    // IDS drops matching packets inside one branch; drop-wins merging
+    // must give the same survivor set in every mode.
+    let baseline = run_mode(
+        mixed_chain(),
+        Policy::nfcompass(),
+        ExecMode::Serial,
+        Duplication::DeepCopy,
+        5,
+        512,
+        1.0,
+        8,
+    );
+    let par = run_mode(
+        mixed_chain(),
+        Policy::nfcompass(),
+        ExecMode::Parallel { threads: 4 },
+        Duplication::Cow,
+        5,
+        512,
+        1.0,
+        8,
+    );
+    assert!(
+        baseline.0.egress_packets < 8 * 128,
+        "full-match traffic must see IDS drops"
+    );
+    assert_equivalent("drop merge", &baseline, &par);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any (seed, packet size, thread count) combination: parallel CoW
+    /// execution reproduces the serial deep-copy engine exactly.
+    #[test]
+    fn engine_equivalence_holds_for_arbitrary_traffic(
+        seed in 1u64..10_000,
+        pkt in 64usize..1200,
+        threads in 2usize..9,
+    ) {
+        let a = run_mode(
+            mixed_chain(),
+            Policy::nfcompass(),
+            ExecMode::Serial,
+            Duplication::DeepCopy,
+            seed,
+            pkt,
+            0.2,
+            4,
+        );
+        let b = run_mode(
+            mixed_chain(),
+            Policy::nfcompass(),
+            ExecMode::Parallel { threads },
+            Duplication::Cow,
+            seed,
+            pkt,
+            0.2,
+            4,
+        );
+        prop_assert_eq!(&a.1, &b.1);
+        prop_assert_eq!(&a.0.stage_stats, &b.0.stage_stats);
+        prop_assert_eq!(
+            a.0.report.throughput_gbps.to_bits(),
+            b.0.report.throughput_gbps.to_bits()
+        );
+    }
+}

@@ -44,7 +44,11 @@ fn probe_parallelizes_with_stream_ids() {
     // A pure reader ahead of the stateful dropper is fine in parallel.
     let sfc = Sfc::new(
         "chain",
-        vec![Nf::probe("probe"), Nf::dpi("dpi"), Nf::firewall("fw", 50, 1)],
+        vec![
+            Nf::probe("probe"),
+            Nf::dpi("dpi"),
+            Nf::firewall("fw", 50, 1),
+        ],
     );
     let plan = ReorgSfc::analyze(&sfc, 4);
     assert_eq!(plan.width(), 3);

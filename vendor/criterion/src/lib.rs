@@ -1,0 +1,394 @@
+//! Vendored, dependency-free subset of the `criterion` API.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships the slice of `criterion` its benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`], [`black_box`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark is warmed up, the iteration count
+//! is calibrated to the configured measurement time, and the best of a
+//! few samples is reported as ns/iter (lowest-noise estimator for a
+//! shared machine). Under `cargo test` (no `--bench` flag) every
+//! benchmark body runs exactly once as a smoke test, mirroring real
+//! criterion's test mode.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units processed per iteration, used to derive throughput lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes per iteration (reported in MiB/s or GiB/s).
+    Bytes(u64),
+    /// Elements per iteration (reported in Melem/s).
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a [`BenchmarkId`], accepted wherever a benchmark
+/// name is expected.
+pub trait IntoBenchmarkId {
+    /// Converts to the concrete id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self }
+    }
+}
+
+impl IntoBenchmarkId for &String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self.clone() }
+    }
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the calibrated number of iterations and records the
+    /// wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark driver (a small subset of criterion's).
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    measurement_time: Duration,
+    samples: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: true,
+            filter: None,
+            measurement_time: Duration::from_millis(300),
+            samples: 3,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI arguments: `--bench` enables full measurement (cargo
+    /// bench passes it; cargo test does not), a bare token filters by
+    /// substring.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--profile-time" => self.test_mode = false,
+                "--test" => self.test_mode = true,
+                s if s.starts_with("--") => {
+                    // Swallow unknown flags (and a value if present).
+                    if !s.contains('=') {
+                        let _ = args.next();
+                    }
+                }
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Sets the target measurement time per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim keys sample count off
+    /// measurement time instead.
+    #[must_use]
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        self.run_one(&id.name, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    fn run_one<F>(&mut self, name: &str, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.test_mode {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            println!("test {name} ... ok");
+            return;
+        }
+
+        // Calibrate: grow the iteration count until one sample spans a
+        // meaningful fraction of the measurement budget.
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= self.measurement_time / 5 || iters >= (1 << 40) {
+                break;
+            }
+            let elapsed_ns = b.elapsed.as_nanos().max(1);
+            let target_ns = (self.measurement_time / 5).as_nanos();
+            // Overshoot slightly so the loop converges in a few rounds.
+            let scaled =
+                (u128::from(iters) * target_ns / elapsed_ns + 1).min(u128::from(u64::MAX)) as u64;
+            iters = scaled.clamp(iters * 2, iters * 128);
+        }
+
+        let mut best_ns_per_iter = f64::INFINITY;
+        for _ in 0..self.samples {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            let per = b.elapsed.as_nanos() as f64 / iters as f64;
+            if per < best_ns_per_iter {
+                best_ns_per_iter = per;
+            }
+        }
+
+        let thrpt = match throughput {
+            Some(Throughput::Bytes(n)) => {
+                let gib = n as f64 / best_ns_per_iter * 1e9 / (1024.0 * 1024.0 * 1024.0);
+                if gib >= 1.0 {
+                    format!("  thrpt: {gib:.3} GiB/s")
+                } else {
+                    format!("  thrpt: {:.3} MiB/s", gib * 1024.0)
+                }
+            }
+            Some(Throughput::Elements(n)) => {
+                format!(
+                    "  thrpt: {:.3} Melem/s",
+                    n as f64 / best_ns_per_iter * 1e9 / 1e6
+                )
+            }
+            None => String::new(),
+        };
+        println!(
+            "{name:<48} time: {:>12}{thrpt}",
+            format_ns(best_ns_per_iter)
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility (no-op in the shim).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility (no-op in the shim).
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement_time = t;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let full = format!("{}/{}", self.name, id.name);
+        self.criterion.run_one(&full, self.throughput, f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into_benchmark_id();
+        let full = format!("{}/{}", self.name, id.name);
+        self.criterion
+            .run_one(&full, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group function invoking each benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg.configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("shim_smoke", |b| b.iter(|| black_box(1u64 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Bytes(64));
+        g.bench_function("inner", |b| b.iter(|| black_box(2u64 * 3)));
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x * x))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn test_mode_runs_each_once() {
+        let mut c = Criterion::default(); // test_mode = true
+        target(&mut c);
+    }
+
+    #[test]
+    fn measured_mode_completes_quickly() {
+        let mut c = Criterion {
+            test_mode: false,
+            filter: None,
+            measurement_time: Duration::from_millis(5),
+            samples: 1,
+        };
+        target(&mut c);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            test_mode: false,
+            filter: Some("no-such-bench".into()),
+            measurement_time: Duration::from_secs(3600),
+            samples: 1,
+        };
+        // Would hang for an hour if the filter failed to skip.
+        target(&mut c);
+    }
+}

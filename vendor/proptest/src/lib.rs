@@ -1,0 +1,450 @@
+//! Vendored, dependency-free subset of the `proptest` API.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships the slice of `proptest` its tests use: the [`proptest!`] macro
+//! family (`prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`,
+//! `prop_assume!`), [`strategy::Strategy`] over ranges / `any::<T>()` /
+//! tuples / [`collection::vec`], and
+//! [`test_runner::ProptestConfig::with_cases`].
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics
+//! with its deterministic per-case seed so it can be replayed by rerun.
+//! Case streams are derived from the test name, so runs are stable
+//! across processes without `proptest-regressions` files (existing
+//! regression files are simply ignored).
+
+/// Strategies: how to generate values of a given type.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng as _;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    // Strategies compose by reference (proptest helpers sometimes pass
+    // `&strategy`).
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl<T: rand::Standard> Arbitrary for T {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen()
+        }
+    }
+
+    /// Strategy produced by [`any`].
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// The canonical strategy for `T`: uniform over its whole domain.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<T> Strategy for std::ops::Range<T>
+    where
+        T: Copy + PartialOrd,
+        std::ops::Range<T>: rand::SampleRange<T>,
+    {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for std::ops::RangeInclusive<T>
+    where
+        T: Copy + PartialOrd,
+        std::ops::RangeInclusive<T>: rand::SampleRange<T>,
+    {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A.0);
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng as _;
+
+    /// An inclusive length range for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a
+    /// [`SizeRange`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose elements come from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// The case runner: configuration, error type, and driver loop.
+pub mod test_runner {
+    /// Deterministic per-case RNG (xoshiro256++ via the vendored rand).
+    pub type TestRng = rand::rngs::SmallRng;
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An assertion failed; the whole test fails.
+        Fail(String),
+        /// `prop_assume!` filtered this case out; draw another.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Builds a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Runner configuration (subset: case count).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in s.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Drives one property: draws cases until `cfg.cases` pass, panics
+    /// on the first failure (with the replayable case seed) or when
+    /// rejection dominates.
+    pub fn run<F>(cfg: &ProptestConfig, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        use rand::SeedableRng as _;
+
+        let base = fnv1a(name);
+        let max_rejects = u64::from(cfg.cases) * 64 + 256;
+        let mut passed: u32 = 0;
+        let mut rejected: u64 = 0;
+        let mut draw: u64 = 0;
+        while passed < cfg.cases {
+            let case_seed = base ^ draw.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            draw += 1;
+            let mut rng = TestRng::seed_from_u64(case_seed);
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(why)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= max_rejects,
+                        "proptest '{name}': too many rejected cases \
+                         ({rejected}); last: {why}"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest '{name}' failed after {passed} passing \
+                         cases (case seed {case_seed:#x}): {msg}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Everything tests normally import.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests; mirrors `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases!(
+            $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Internal case muncher for [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            $crate::test_runner::run(&__cfg, stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::sample(&{ $strat }, __rng);)*
+                (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })()
+            });
+        }
+        $crate::__proptest_cases!($cfg; $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not the
+/// process) so the runner can report the case seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), l, r);
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+                    stringify!($left), stringify!($right), l, r, format!($($fmt)+));
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left), stringify!($right), l);
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "assertion failed: `{} != {}`\n  both: {:?}\n {}",
+                    stringify!($left), stringify!($right), l, format!($($fmt)+));
+            }
+        }
+    };
+}
+
+/// Discards the current case when its inputs violate a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(format!($($fmt)+)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair_strategy() -> impl Strategy<Value = Vec<(u8, u16)>> {
+        collection::vec((any::<u8>(), 1u16..=100), 1..8)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_and_vecs(
+            xs in collection::vec(any::<u32>(), 3),
+            n in 5usize..10,
+            f in 0.25f64..0.75,
+            pairs in pair_strategy(),
+        ) {
+            prop_assert_eq!(xs.len(), 3);
+            prop_assert!((5..10).contains(&n), "n out of range: {}", n);
+            prop_assert!((0.25..0.75).contains(&f));
+            prop_assert!(!pairs.is_empty() && pairs.len() < 8);
+            for (_a, b) in &pairs {
+                prop_assert!((1..=100).contains(b));
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in any::<u8>()) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x % 2, 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest 'inner' failed")]
+    fn failures_panic_with_seed() {
+        crate::test_runner::run(&ProptestConfig::with_cases(4), "inner", |rng| {
+            let v = Strategy::sample(&(0u8..10), rng);
+            crate::prop_assert!(v == 255, "v was {}", v);
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,731 @@
+//! Vendored, dependency-free subset of the `serde_json` API.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships the slice of `serde_json` it actually uses: the [`Value`] tree,
+//! the [`json!`] macro, [`to_string`] / [`to_string_pretty`] /
+//! [`from_str`] over `Value`, string-key indexing and scalar accessors.
+//! Objects use a `BTreeMap`, so emission order is deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (stored as `f64`; integers round-trip up to 2^53).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with deterministic (sorted) key order.
+    Object(BTreeMap<String, Value>),
+}
+
+/// Errors from parsing or emitting JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+
+    /// Builds an error with a caller-supplied message (mirrors
+    /// `serde::de::Error::custom`).
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+impl Value {
+    /// Borrows the string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric content as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Numeric content as `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// Numeric content as `i64`, if this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// Boolean content.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Borrows the array content.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrows the object content.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object lookup returning `Option` (non-panicking).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|o| o.get(key))
+    }
+
+    fn write_escaped(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    fn write_number(n: f64, out: &mut String) {
+        if !n.is_finite() {
+            out.push_str("null"); // matches serde_json: non-finite -> null
+        } else if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+            out.push_str(&format!("{}", n as i64));
+        } else {
+            out.push_str(&format!("{n}"));
+        }
+    }
+
+    fn emit(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => Self::write_number(*n, out),
+            Value::String(s) => Self::write_escaped(s, out),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if let Some(w) = indent {
+                        out.push('\n');
+                        out.push_str(&" ".repeat(w * (level + 1)));
+                    }
+                    item.emit(out, indent, level + 1);
+                }
+                if let Some(w) = indent {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(w * level));
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if let Some(w) = indent {
+                        out.push('\n');
+                        out.push_str(&" ".repeat(w * (level + 1)));
+                    }
+                    Self::write_escaped(k, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.emit(out, indent, level + 1);
+                }
+                if let Some(w) = indent {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(w * level));
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.emit(&mut s, None, 0);
+        f.write_str(&s)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Conversions into Value (what the json! macro leans on)
+// ---------------------------------------------------------------------
+
+macro_rules! impl_from_num {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(v as f64) }
+        }
+    )*};
+}
+impl_from_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Clone + Into<Value>> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Clone + Into<Value>, const N: usize> From<[T; N]> for Value {
+    fn from(v: [T; N]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<A: Into<Value>, B: Into<Value>> From<(A, B)> for Value {
+    fn from((a, b): (A, B)) -> Value {
+        Value::Array(vec![a.into(), b.into()])
+    }
+}
+
+// References serialize by cloning, so `json!({"k": self.field})` works
+// without consuming the field (matching real serde_json, which
+// serializes behind a reference).
+impl<T: Clone + Into<Value>> From<&T> for Value {
+    fn from(v: &T) -> Value {
+        v.clone().into()
+    }
+}
+
+/// Converts anything `Value`-convertible; the [`json!`] macro routes
+/// every interpolated expression through here by reference.
+pub fn to_value<T: Into<Value>>(v: T) -> Value {
+    v.into()
+}
+
+// ---------------------------------------------------------------------
+// Indexing
+// ---------------------------------------------------------------------
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if self.is_null() {
+            *self = Value::Object(BTreeMap::new());
+        }
+        match self {
+            Value::Object(map) => map.entry(key.to_string()).or_insert(Value::Null),
+            other => panic!("cannot index non-object value {other} by string"),
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+// Comparisons against literals (`row["pkt"] == 64`).
+macro_rules! impl_eq_num {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_f64() == Some(*other as f64)
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other.as_f64() == Some(*self as f64)
+            }
+        }
+    )*};
+}
+impl_eq_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Emission / parsing entry points
+// ---------------------------------------------------------------------
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// Infallible for [`Value`]; the `Result` mirrors the serde_json API.
+pub fn to_string<T: Into<Value> + Clone>(value: &T) -> Result<String> {
+    let v: Value = value.clone().into();
+    let mut s = String::new();
+    v.emit(&mut s, None, 0);
+    Ok(s)
+}
+
+/// Serializes a value to human-indented JSON.
+///
+/// # Errors
+///
+/// Infallible for [`Value`]; the `Result` mirrors the serde_json API.
+pub fn to_string_pretty<T: Into<Value> + Clone>(value: &T) -> Result<String> {
+    let v: Value = value.clone().into();
+    let mut s = String::new();
+    v.emit(&mut s, Some(2), 0);
+    Ok(s)
+}
+
+/// Parses JSON text into a [`Value`].
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed input.
+pub fn from_str(s: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing data at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected {:?} at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str, v: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(Error::new(format!("bad literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat_lit("null", Value::Null),
+            Some(b't') => self.eat_lit("true", Value::Bool(true)),
+            Some(b'f') => self.eat_lit("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::new(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|t| t.parse::<f64>().ok())
+            .map(Value::Number)
+            .ok_or_else(|| Error::new(format!("bad number at byte {start}")))
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return Err(Error::new("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| Error::new("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::new("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(Error::new(format!("bad escape {other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::new("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::new(format!("bad array at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.parse_value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(Error::new(format!("bad object at byte {}", self.pos))),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// json! macro (tt-muncher, adapted from serde_json's shape)
+// ---------------------------------------------------------------------
+
+/// Builds a [`Value`] from JSON-like syntax, mirroring `serde_json::json!`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => { $crate::json_array!([] $($tt)*) };
+    ({ $($tt:tt)* }) => { $crate::json_object!({} $($tt)*) };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Internal array muncher for [`json!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array {
+    // Finished (with optional trailing comma).
+    ([ $($done:expr),* ] $(,)?) => { $crate::Value::Array(vec![ $($done),* ]) };
+    // Nested structures and literals first; each arm has a
+    // comma-continues and a final form so the separator is consumed.
+    ([ $($done:expr),* ] null , $($rest:tt)*) => {
+        $crate::json_array!([ $($done,)* $crate::Value::Null ] $($rest)*)
+    };
+    ([ $($done:expr),* ] null) => {
+        $crate::json_array!([ $($done,)* $crate::Value::Null ])
+    };
+    ([ $($done:expr),* ] [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $crate::json_array!([ $($done,)* $crate::json!([ $($inner)* ]) ] $($rest)*)
+    };
+    ([ $($done:expr),* ] [ $($inner:tt)* ]) => {
+        $crate::json_array!([ $($done,)* $crate::json!([ $($inner)* ]) ])
+    };
+    ([ $($done:expr),* ] { $($inner:tt)* } , $($rest:tt)*) => {
+        $crate::json_array!([ $($done,)* $crate::json!({ $($inner)* }) ] $($rest)*)
+    };
+    ([ $($done:expr),* ] { $($inner:tt)* }) => {
+        $crate::json_array!([ $($done,)* $crate::json!({ $($inner)* }) ])
+    };
+    // Expression element (captures through the next comma).
+    ([ $($done:expr),* ] $next:expr , $($rest:tt)*) => {
+        $crate::json_array!([ $($done,)* $crate::to_value(&$next) ] $($rest)*)
+    };
+    ([ $($done:expr),* ] $next:expr) => {
+        $crate::json_array!([ $($done,)* $crate::to_value(&$next) ])
+    };
+}
+
+/// Internal object muncher for [`json!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    // Finished (with optional trailing comma).
+    ({ $($key:expr => $val:expr),* } $(,)?) => {{
+        #[allow(unused_mut)]
+        let mut map = ::std::collections::BTreeMap::new();
+        $( map.insert(::std::string::String::from($key), $val); )*
+        $crate::Value::Object(map)
+    }};
+    // key: nested array.
+    ({ $($done:expr => $dv:expr),* } $key:tt : [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $crate::json_object!(
+            { $($done => $dv,)* $key => $crate::json!([ $($inner)* ]) } $($rest)*)
+    };
+    ({ $($done:expr => $dv:expr),* } $key:tt : [ $($inner:tt)* ]) => {
+        $crate::json_object!({ $($done => $dv,)* $key => $crate::json!([ $($inner)* ]) })
+    };
+    // key: nested object.
+    ({ $($done:expr => $dv:expr),* } $key:tt : { $($inner:tt)* } , $($rest:tt)*) => {
+        $crate::json_object!(
+            { $($done => $dv,)* $key => $crate::json!({ $($inner)* }) } $($rest)*)
+    };
+    ({ $($done:expr => $dv:expr),* } $key:tt : { $($inner:tt)* }) => {
+        $crate::json_object!({ $($done => $dv,)* $key => $crate::json!({ $($inner)* }) })
+    };
+    // key: null.
+    ({ $($done:expr => $dv:expr),* } $key:tt : null , $($rest:tt)*) => {
+        $crate::json_object!({ $($done => $dv,)* $key => $crate::Value::Null } $($rest)*)
+    };
+    ({ $($done:expr => $dv:expr),* } $key:tt : null) => {
+        $crate::json_object!({ $($done => $dv,)* $key => $crate::Value::Null })
+    };
+    // key: expression up to the next comma.
+    ({ $($done:expr => $dv:expr),* } $key:tt : $val:expr , $($rest:tt)*) => {
+        $crate::json_object!(
+            { $($done => $dv,)* $key => $crate::to_value(&$val) } $($rest)*)
+    };
+    // key: final expression.
+    ({ $($done:expr => $dv:expr),* } $key:tt : $val:expr) => {
+        $crate::json_object!({ $($done => $dv,)* $key => $crate::to_value(&$val) })
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macro_builds_nested_values() {
+        let series = vec![1.0f64, 2.5];
+        let v = json!({
+            "name": "fig6",
+            "ok": true,
+            "none": null,
+            "series": series,
+            "sum": 1.0 + 2.5,
+            "nested": {"a": [1, 2, 3]},
+        });
+        assert_eq!(v["name"], "fig6");
+        assert_eq!(v["sum"], 3.5);
+        assert_eq!(v["series"].as_array().unwrap().len(), 2);
+        assert_eq!(v["nested"]["a"][2], 3);
+        assert!(v["none"].is_null());
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn round_trip_parse_emit() {
+        let v = json!({"a": 1, "b": [true, null, "x\n"], "c": {"d": -2.5}});
+        let s = to_string(&v).unwrap();
+        let back = from_str(&s).unwrap();
+        assert_eq!(v, back);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str(&pretty).unwrap(), v);
+        assert!(pretty.contains('\n'));
+    }
+
+    #[test]
+    fn index_mut_inserts() {
+        let mut row = json!({"kind": "x"});
+        row["gbps"] = json!(12.25);
+        assert_eq!(row["gbps"], 12.25);
+        assert_eq!(row["kind"], "x");
+    }
+
+    #[test]
+    fn integers_emit_without_fraction() {
+        assert_eq!(to_string(&json!(64usize)).unwrap(), "64");
+        assert_eq!(to_string(&json!(2.5f64)).unwrap(), "2.5");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str("{bad}").is_err());
+        assert!(from_str("[1, 2").is_err());
+        assert!(from_str("1 2").is_err());
+    }
+}
