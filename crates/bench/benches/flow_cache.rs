@@ -1,0 +1,214 @@
+//! Flow-aware fast-path benchmark: cache-on vs cache-off on Zipf-skewed
+//! traffic through an ACL(1k rules) + LPM + classifier chain.
+//!
+//! Both configurations replay the exact same pre-generated batches
+//! through the same chain; egress and per-element statistics must be
+//! byte-identical (the fast path is a pure wall-clock optimization).
+//! The measured throughputs, hit rate and speedup are recorded in
+//! `BENCH_flowcache.json` at the repository root.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use nfc_click::element::config_hash;
+use nfc_click::ElementGraph;
+use nfc_core::flowcache::FlowCacheMode;
+use nfc_core::{Deployment, ExecMode, Policy, RunOutcome, Sfc};
+use nfc_nf::acl::synth;
+use nfc_nf::catalog::synth_routes_v4;
+use nfc_nf::elements::IpLookup;
+use nfc_nf::lpm::Dir24_8;
+use nfc_nf::{Nf, NfKind};
+use nfc_packet::traffic::{FlowSpec, SizeDist, TrafficGenerator, TrafficSpec};
+use nfc_packet::Batch;
+use serde_json::json;
+use std::sync::Arc;
+use std::time::Instant;
+
+const BATCH_SIZE: usize = 256;
+const PKT_BYTES: usize = 512;
+const ACL_RULES: usize = 1000;
+const LPM_ROUTES: usize = 4096;
+const FLOWS: usize = 2048;
+const ZIPF_SKEW: f64 = 1.0;
+const CACHE_CAPACITY: usize = 1 << 15;
+
+/// A pure-LPM router stage (single `IpLookup` element). The catalog's
+/// full IPv4 forwarder rewrites TTL/MACs and is therefore not
+/// cache-eligible; route lookup itself is a per-flow decision.
+fn lpm_router(name: &str) -> Nf {
+    let routes = synth_routes_v4(LPM_ROUTES, 2);
+    let mut cfg_bytes = Vec::new();
+    for r in &routes {
+        cfg_bytes.extend_from_slice(&r.prefix.to_be_bytes());
+        cfg_bytes.push(r.len);
+        cfg_bytes.extend_from_slice(&r.next_hop.to_be_bytes());
+    }
+    let cfg = config_hash(&cfg_bytes);
+    let table = Arc::new(Dir24_8::from_routes(&routes, 20));
+    let mut g = ElementGraph::new();
+    g.add(IpLookup::new(table, cfg));
+    Nf::from_graph(name, NfKind::Ipv4Forwarder, g)
+}
+
+/// The issue's chain: enforcing ACL firewall (header classifier + 1k
+/// rules), LPM route lookup, and a classifier-style load balancer.
+fn chain() -> Sfc {
+    Sfc::new(
+        "acl-lpm-classify",
+        vec![
+            Nf::firewall_with("acl", synth::generate(ACL_RULES, 1), true),
+            lpm_router("rt"),
+            Nf::load_balancer("lb", 8),
+        ],
+    )
+}
+
+fn traffic() -> TrafficGenerator {
+    let spec = TrafficSpec::udp(SizeDist::Fixed(PKT_BYTES)).with_flows(FlowSpec {
+        count: FLOWS,
+        ..FlowSpec::default().with_skew(ZIPF_SKEW)
+    });
+    TrafficGenerator::new(spec, 7)
+}
+
+fn configs() -> Vec<(&'static str, FlowCacheMode)> {
+    vec![
+        ("cache_off", FlowCacheMode::Off),
+        (
+            "cache_on",
+            FlowCacheMode::On {
+                capacity: CACHE_CAPACITY,
+            },
+        ),
+    ]
+}
+
+/// Pre-generates the workload once so the timed region is the chain
+/// (ACL classification, LPM lookup, cache probes), not the synthesizer.
+fn workload(n_batches: usize) -> Vec<Batch> {
+    let mut gen = traffic();
+    (0..n_batches).map(|_| gen.batch(BATCH_SIZE)).collect()
+}
+
+fn run_config(mode: FlowCacheMode, batches: &[Batch]) -> (f64, RunOutcome, Vec<Batch>) {
+    let mut dep = Deployment::new(chain(), Policy::CpuOnly)
+        .with_batch_size(BATCH_SIZE)
+        .with_exec_mode(ExecMode::Serial)
+        .with_flow_cache(mode);
+    let mut gen = traffic();
+    let start = Instant::now();
+    let (out, egress) = dep.run_replay(&mut gen, batches);
+    (start.elapsed().as_secs_f64(), out, egress)
+}
+
+fn flow_cache_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flow_cache");
+    let batches = workload(10);
+    for (label, mode) in configs() {
+        let batches = &batches;
+        g.bench_function(
+            BenchmarkId::new("acl1k_lpm_lb_x10batches", label),
+            move |b| b.iter(|| black_box(run_config(mode, batches))),
+        );
+    }
+    g.finish();
+}
+
+/// Measures both configurations, asserts byte-identical egress and
+/// statistics, and writes `BENCH_flowcache.json` at the repository root.
+fn emit_report(full: bool) {
+    let n_batches = if full { 256 } else { 16 };
+    let reps = if full { 3 } else { 2 };
+    let batches = workload(n_batches);
+    let mut rows = Vec::new();
+    let mut reference: Option<(RunOutcome, Vec<Batch>)> = None;
+    for (label, mode) in configs() {
+        let mut best = f64::INFINITY;
+        let mut kept = None;
+        for _ in 0..reps {
+            let (secs, out, egress) = run_config(mode, &batches);
+            best = best.min(secs);
+            kept = Some((out, egress));
+        }
+        let (out, egress) = kept.expect("at least one rep");
+        match &reference {
+            None => reference = Some((out.clone(), egress.clone())),
+            Some((ref_out, ref_egress)) => {
+                assert_eq!(
+                    ref_egress, &egress,
+                    "{label}: egress differs from cache_off"
+                );
+                assert_eq!(
+                    ref_out.stage_stats, out.stage_stats,
+                    "{label}: per-element stats differ from cache_off"
+                );
+                assert_eq!(ref_out.egress_packets, out.egress_packets);
+                assert_eq!(ref_out.egress_bytes, out.egress_bytes);
+            }
+        }
+        let wire_bytes = (n_batches * BATCH_SIZE * PKT_BYTES) as f64;
+        let gbps = wire_bytes * 8.0 / best / 1e9;
+        let cc = out.flow_cache;
+        let probes = cc.hits + cc.misses;
+        let hit_rate = if probes > 0 {
+            cc.hits as f64 / probes as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{label:<10} {:>8.1} ms for {n_batches} batches  ({gbps:.2} Gbit/s offered, \
+             hit rate {:.1}%)",
+            best * 1e3,
+            hit_rate * 100.0
+        );
+        rows.push((label, best, gbps, hit_rate));
+    }
+    let speedup = rows[0].1 / rows[1].1;
+    println!("flow-cache speedup vs cache_off: {speedup:.2}x");
+    // The short smoke run has not amortized its compulsory misses
+    // (one per flow), so the throughput bar applies to the full run.
+    if full {
+        assert!(
+            rows[1].3 > 0.5,
+            "Zipf({ZIPF_SKEW}) over {FLOWS} flows must mostly hit, got {:.1}%",
+            rows[1].3 * 100.0
+        );
+        assert!(
+            speedup >= 2.0,
+            "flow cache must be >= 2x over the cache-off baseline, got {speedup:.2}x"
+        );
+    }
+    let mut cfgs = serde_json::Value::Object(Default::default());
+    for (label, secs, gbps, hit_rate) in &rows {
+        cfgs[*label] = json!({
+            "wall_s": secs,
+            "offered_gbps": gbps,
+            "hit_rate": hit_rate,
+            "speedup_vs_cache_off": rows[0].1 / secs,
+        });
+    }
+    let report = json!({
+        "benchmark": "flow_cache",
+        "chain": "ACL(1k rules) firewall + DIR-24-8 LPM + load-balancer classifier",
+        "traffic": format!("UDP {PKT_BYTES}B, {FLOWS} flows, Zipf({ZIPF_SKEW})"),
+        "batch_size": BATCH_SIZE,
+        "n_batches": n_batches,
+        "cache_capacity": CACHE_CAPACITY,
+        "egress_byte_identical": true,
+        "configs": cfgs,
+        "speedup_cache_on_vs_cache_off": speedup,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_flowcache.json");
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&report).expect("serializes") + "\n",
+    )
+    .expect("write BENCH_flowcache.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--bench");
+    let mut c = Criterion::default().configure_from_args();
+    flow_cache_benches(&mut c);
+    emit_report(full);
+}

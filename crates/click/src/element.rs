@@ -1,6 +1,6 @@
 //! The [`Element`] trait and its metadata types.
 
-use nfc_packet::Batch;
+use nfc_packet::{Batch, Packet};
 
 /// Traffic classes of Click elements, as used by the NF synthesizer's
 /// reorder rules (paper §IV-B2: "classifiers are not allowed to move across
@@ -188,6 +188,36 @@ impl WorkProfile {
     }
 }
 
+/// The flow-constant decision a verdict-capable element takes for every
+/// packet of one flow — the unit the flow-aware fast path caches.
+///
+/// A verdict must be a pure function of the packet's 5-tuple (plus the
+/// element's configuration): two packets of the same flow always receive
+/// the same verdict, and computing it must not mutate the element. That
+/// restricts verdicts to [`ElementClass::Classifier`]-like read-only
+/// elements — the compile-time check in `ElementGraph::compile` enforces
+/// it from the element's declared class and [`ElementActions`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowVerdict {
+    /// Forward every packet of the flow on this output port.
+    Forward {
+        /// Output port index.
+        port: usize,
+    },
+    /// Forward on `port` after writing `value` into metadata annotation
+    /// slot `slot` (route lookups publish their next hop this way).
+    Annotate {
+        /// Output port index.
+        port: usize,
+        /// Annotation slot written.
+        slot: usize,
+        /// Value written into the slot.
+        value: u64,
+    },
+    /// Drop every packet of the flow.
+    Drop,
+}
+
 /// Per-run context handed to elements.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RunCtx {
@@ -276,6 +306,28 @@ pub trait Element: std::fmt::Debug + Send {
     /// discard them so the next measurements reflect only upcoming
     /// traffic. Functional state (flow tables, caches) is kept.
     fn begin_profile_window(&mut self) {}
+
+    /// Declares that [`Element::flow_verdict`] is implemented, i.e. the
+    /// element's per-packet decision is a pure function of the flow and
+    /// may be memoized by the flow-aware fast path. Opt-in: the default
+    /// is `false`, and graph compilation rejects elements that claim
+    /// capability while their [`Element::class`] /
+    /// [`Element::actions`] metadata forbids caching (`Stateful` and
+    /// `Shaper` elements never qualify).
+    fn verdict_capable(&self) -> bool {
+        false
+    }
+
+    /// The element's flow-constant decision for `pkt`'s flow, mirroring
+    /// exactly what [`Element::process`] would do with the packet.
+    /// `None` means the decision cannot be derived (the packet falls back
+    /// to the slow path). Must not observe anything but the packet's
+    /// headers and the element's immutable configuration, and side-effect
+    /// counters are *not* updated — callers only consult verdicts for
+    /// packets whose flow missed the cache.
+    fn flow_verdict(&self, _pkt: &Packet) -> Option<FlowVerdict> {
+        None
+    }
 }
 
 impl Clone for Box<dyn Element> {

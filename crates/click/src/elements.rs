@@ -1,7 +1,7 @@
 //! Generic, reusable Click elements shared by all network functions.
 
 use crate::element::{
-    config_hash, Element, ElementActions, ElementClass, ElementSignature, RunCtx,
+    config_hash, Element, ElementActions, ElementClass, ElementSignature, FlowVerdict, RunCtx,
 };
 use nfc_packet::{Batch, Packet};
 
@@ -222,6 +222,17 @@ impl Element for ProtocolClassifier {
 
     fn base_cost(&self) -> f64 {
         15.0
+    }
+
+    fn verdict_capable(&self) -> bool {
+        true
+    }
+
+    fn flow_verdict(&self, pkt: &Packet) -> Option<FlowVerdict> {
+        Some(match pkt.ip_protocol() {
+            Ok(proto) if self.protos.contains(&proto) => FlowVerdict::Forward { port: 0 },
+            _ => FlowVerdict::Forward { port: 1 },
+        })
     }
 }
 

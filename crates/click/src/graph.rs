@@ -1,7 +1,7 @@
 //! Element graphs: validated DAGs with a push-based batch engine.
 
-use crate::element::{Element, RunCtx};
-use nfc_packet::Batch;
+use crate::element::{config_hash, Element, ElementClass, FlowVerdict, RunCtx};
+use nfc_packet::{Batch, Packet};
 
 /// Identifier of a node (element instance) within one graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -50,6 +50,10 @@ pub enum GraphError {
     Cycle(NodeId),
     /// The graph has no nodes.
     Empty,
+    /// An element claims [`Element::verdict_capable`] although its class
+    /// or action metadata forbids publishing flow verdicts (stateful,
+    /// shaping, payload-reading or packet-modifying elements).
+    VerdictIneligible(NodeId),
 }
 
 impl std::fmt::Display for GraphError {
@@ -69,6 +73,10 @@ impl std::fmt::Display for GraphError {
             }
             GraphError::Cycle(n) => write!(f, "graph has a cycle through {n}"),
             GraphError::Empty => write!(f, "graph has no nodes"),
+            GraphError::VerdictIneligible(n) => write!(
+                f,
+                "node {n} claims flow-verdict capability but its class/actions forbid it"
+            ),
         }
     }
 }
@@ -249,6 +257,40 @@ impl ElementGraph {
         for (idx, e) in self.edges.iter().enumerate() {
             wiring[e.from.0][e.port] = Some((e.to, idx));
         }
+        // Flow-cacheability: every node must publish verdicts, and an
+        // element may only claim capability if its declared class and
+        // action profile make the per-packet decision a pure function of
+        // the flow (read-only, non-resizing, classifier/inspector-like).
+        let mut flow_cacheable = true;
+        let mut sig_bytes = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if !node.verdict_capable() {
+                flow_cacheable = false;
+                continue;
+            }
+            let eligible = matches!(
+                node.class(),
+                ElementClass::Classifier | ElementClass::Inspector
+            ) && {
+                let a = node.actions();
+                !a.writes_header && !a.writes_payload && !a.resizes && !a.reads_payload
+            };
+            if !eligible {
+                return Err(GraphError::VerdictIneligible(NodeId(i)));
+            }
+            let sig = node.signature();
+            sig_bytes.extend_from_slice(sig.kind.as_bytes());
+            sig_bytes.extend_from_slice(&sig.config.to_be_bytes());
+            sig_bytes.extend_from_slice(&(i as u64).to_be_bytes());
+        }
+        // Wiring participates in the hash: rewiring the same elements
+        // changes cached paths and must invalidate external caches.
+        for e in &self.edges {
+            sig_bytes.extend_from_slice(&(e.from.0 as u64).to_be_bytes());
+            sig_bytes.extend_from_slice(&(e.port as u64).to_be_bytes());
+            sig_bytes.extend_from_slice(&(e.to.0 as u64).to_be_bytes());
+        }
+        let flow_config_hash = config_hash(&sig_bytes);
         let stats = GraphStats::new(self.nodes.len(), self.edges.len());
         let inbox = vec![Vec::new(); self.nodes.len()];
         Ok(CompiledGraph {
@@ -257,6 +299,8 @@ impl ElementGraph {
             wiring,
             stats,
             inbox,
+            flow_cacheable,
+            flow_config_hash,
         })
     }
 }
@@ -338,6 +382,47 @@ impl GraphStats {
     }
 }
 
+/// One step of a cached flow's walk through the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowHop {
+    /// Node the flow visited.
+    pub node: NodeId,
+    /// Output port taken, or `None` if the flow was dropped here.
+    pub port: Option<usize>,
+    /// Edge index traversed, or `None` if `port` is unwired (graph
+    /// egress) or the flow was dropped.
+    pub edge: Option<usize>,
+}
+
+/// The memoized outcome of pushing one packet of a flow through a
+/// fully verdict-capable graph: the exact node/edge walk, whether the
+/// flow is dropped, and every metadata annotation written along the way.
+///
+/// Replaying a `FlowPath` (stats via
+/// [`CompiledGraph::replay_flow_stats`], annotations applied by the
+/// caller) is bit-identical to running the slow path for that packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowPath {
+    /// Nodes visited in order, ending at a drop or a graph egress.
+    pub hops: Vec<FlowHop>,
+    /// True if the flow's packets are dropped inside the graph.
+    pub dropped: bool,
+    /// `(slot, value)` metadata annotations to apply to each packet.
+    pub annos: Vec<(usize, u64)>,
+}
+
+impl FlowPath {
+    /// The egress `(node, port)` the flow leaves through, or `None` for
+    /// dropped flows.
+    pub fn egress(&self) -> Option<(NodeId, usize)> {
+        let last = self.hops.last()?;
+        match (last.port, last.edge) {
+            (Some(p), None) => Some((last.node, p)),
+            _ => None,
+        }
+    }
+}
+
 /// A batch that left the graph through an unwired output port.
 #[derive(Debug)]
 pub struct Egress {
@@ -360,6 +445,13 @@ pub struct CompiledGraph {
     /// back to empty by the end of [`CompiledGraph::push_at`]; kept here
     /// so the steady state allocates nothing per batch.
     inbox: Vec<Vec<Batch>>,
+    /// True if every node is verdict-capable, i.e. whole-graph flow
+    /// traces ([`CompiledGraph::trace_flow`]) are available.
+    flow_cacheable: bool,
+    /// Hash over all verdict-capable elements' signatures plus the
+    /// wiring; changes whenever a configuration swap or rewire could
+    /// change cached verdicts.
+    flow_config_hash: u64,
 }
 
 impl CompiledGraph {
@@ -474,6 +566,120 @@ impl CompiledGraph {
             return parts.pop().expect("checked length").batch;
         }
         Batch::merge_ordered(parts.into_iter().map(|e| e.batch))
+    }
+
+    /// True if every element publishes flow verdicts, so
+    /// [`CompiledGraph::trace_flow`] can memoize whole-graph outcomes.
+    pub fn flow_cacheable(&self) -> bool {
+        self.flow_cacheable
+    }
+
+    /// Configuration hash covering every verdict-capable element and the
+    /// wiring. External flow caches compare this against the hash they
+    /// were filled under and invalidate on mismatch (rule-table swaps
+    /// change element signatures, hence this hash).
+    pub fn flow_config_hash(&self) -> u64 {
+        self.flow_config_hash
+    }
+
+    /// Where output `port` of `node` is wired to, as `(downstream node,
+    /// edge index)`; `None` means graph egress.
+    pub fn port_target(&self, node: NodeId, port: usize) -> Option<(NodeId, usize)> {
+        self.wiring[node.0].get(port).copied().flatten()
+    }
+
+    /// Walks one packet's flow through the graph using only element
+    /// verdicts, without mutating any element or counter.
+    ///
+    /// Returns `None` if the graph is not flow-cacheable or any element
+    /// along the walk declines to produce a verdict for this packet —
+    /// callers fall back to the slow path.
+    pub fn trace_flow(&self, entry: NodeId, pkt: &Packet) -> Option<FlowPath> {
+        if !self.flow_cacheable {
+            return None;
+        }
+        let mut hops = Vec::with_capacity(4);
+        let mut annos = Vec::new();
+        let mut node = entry;
+        loop {
+            let port = match self.graph.nodes[node.0].flow_verdict(pkt)? {
+                FlowVerdict::Drop => {
+                    hops.push(FlowHop {
+                        node,
+                        port: None,
+                        edge: None,
+                    });
+                    return Some(FlowPath {
+                        hops,
+                        dropped: true,
+                        annos,
+                    });
+                }
+                FlowVerdict::Forward { port } => port,
+                FlowVerdict::Annotate { port, slot, value } => {
+                    annos.push((slot, value));
+                    port
+                }
+            };
+            match self.wiring[node.0].get(port).copied().flatten() {
+                Some((to, edge)) => {
+                    hops.push(FlowHop {
+                        node,
+                        port: Some(port),
+                        edge: Some(edge),
+                    });
+                    node = to;
+                }
+                None => {
+                    hops.push(FlowHop {
+                        node,
+                        port: Some(port),
+                        edge: None,
+                    });
+                    return Some(FlowPath {
+                        hops,
+                        dropped: false,
+                        annos,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Accounts one packet of `bytes` wire bytes travelling `path`, as if
+    /// the slow path had processed it: per-node packet/byte/drop counters
+    /// and per-edge counters advance identically. The byte count is
+    /// constant along the path because verdict-capable elements never
+    /// modify or resize packets. Batch counters are *not* touched — see
+    /// [`CompiledGraph::note_batch`].
+    pub fn replay_flow_stats(&mut self, path: &FlowPath, bytes: u64) {
+        for hop in &path.hops {
+            let st = &mut self.stats.nodes[hop.node.0];
+            st.packets_in += 1;
+            st.bytes_in += bytes;
+            match hop.port {
+                None => st.dropped += 1,
+                Some(_) => st.packets_out += 1,
+            }
+            match hop.edge {
+                Some(e) => {
+                    self.stats.edge_packets[e] += 1;
+                    self.stats.edge_bytes[e] += bytes;
+                }
+                None => {
+                    if hop.port.is_some() {
+                        self.stats.egress_packets += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Advances the batch counter of `node` by one — used by the fast
+    /// path when cache hits stand in for a batch the slow path would
+    /// have delivered to the node.
+    pub fn note_batch(&mut self, node: NodeId) {
+        self.stats.nodes[node.0].batches += 1;
     }
 }
 
@@ -597,6 +803,102 @@ mod tests {
         g.connect(a, 0, c).unwrap();
         g.connect(b, 0, c).unwrap();
         assert_eq!(g.entries(), vec![a, b]);
+    }
+
+    #[test]
+    fn flow_trace_matches_slow_path() {
+        // classifier -> (tcp: out) / (other: out) — every node
+        // verdict-capable, so the graph is flow-cacheable.
+        let mut g = ElementGraph::new();
+        let cl = g.add(ProtocolClassifier::new("cl", vec![ip_proto::TCP]));
+        let mut run = g.compile().unwrap();
+        assert!(run.flow_cacheable());
+
+        let tcp = pkt_tcp(0);
+        let udp = pkt_udp(1);
+        let t_path = run.trace_flow(cl, &tcp).unwrap();
+        let u_path = run.trace_flow(cl, &udp).unwrap();
+        assert!(!t_path.dropped && !u_path.dropped);
+        assert_eq!(t_path.egress(), Some((cl, 0)));
+        assert_eq!(u_path.egress(), Some((cl, 1)));
+
+        // Replaying the trace's stats matches a real push of the same
+        // packet (modulo the batch counter, which note_batch covers).
+        let mut replayed = run.clone();
+        let bytes = tcp.len() as u64;
+        replayed.replay_flow_stats(&t_path, bytes);
+        replayed.note_batch(cl);
+        run.push(cl, std::iter::once(tcp).collect());
+        assert_eq!(run.stats(), replayed.stats());
+    }
+
+    #[test]
+    fn non_capable_graph_is_not_cacheable() {
+        let mut g = ElementGraph::new();
+        let a = g.add(Counter::new("a"));
+        let run = g.compile().unwrap();
+        assert!(!run.flow_cacheable());
+        assert_eq!(run.trace_flow(a, &pkt_udp(0)), None);
+    }
+
+    #[test]
+    fn ineligible_verdict_claim_is_rejected() {
+        // An element that claims capability while declaring itself a
+        // payload-writing modifier must be rejected at compile time.
+        use crate::element::ElementActions;
+        #[derive(Debug, Clone)]
+        struct BogusVerdict;
+        impl Element for BogusVerdict {
+            fn name(&self) -> &str {
+                "bogus"
+            }
+            fn class(&self) -> ElementClass {
+                ElementClass::Modifier
+            }
+            fn actions(&self) -> ElementActions {
+                ElementActions::read_header().with_payload_write()
+            }
+            fn process(&mut self, batch: Batch, _ctx: &mut RunCtx) -> Vec<Batch> {
+                vec![batch]
+            }
+            fn clone_box(&self) -> Box<dyn Element> {
+                Box::new(self.clone())
+            }
+            fn verdict_capable(&self) -> bool {
+                true
+            }
+        }
+        let mut g = ElementGraph::new();
+        g.add(BogusVerdict);
+        assert!(matches!(
+            g.compile(),
+            Err(GraphError::VerdictIneligible(NodeId(0)))
+        ));
+    }
+
+    #[test]
+    fn flow_config_hash_tracks_config_and_wiring() {
+        let build = |protos: Vec<u8>, wire_drop: bool| {
+            let mut g = ElementGraph::new();
+            let cl = g.add(ProtocolClassifier::new("cl", protos));
+            if wire_drop {
+                let d = g.add(Discard::new());
+                g.connect(cl, 1, d).unwrap();
+            }
+            g.compile().unwrap().flow_config_hash()
+        };
+        assert_eq!(
+            build(vec![ip_proto::TCP], false),
+            build(vec![ip_proto::TCP], false)
+        );
+        assert_ne!(
+            build(vec![ip_proto::TCP], false),
+            build(vec![ip_proto::UDP], false)
+        );
+        assert_ne!(
+            build(vec![ip_proto::TCP], false),
+            build(vec![ip_proto::TCP], true)
+        );
     }
 
     #[test]

@@ -45,6 +45,9 @@ pub mod elements;
 pub mod graph;
 
 pub use element::{
-    Element, ElementActions, ElementClass, ElementSignature, KernelClass, Offload, WorkProfile,
+    Element, ElementActions, ElementClass, ElementSignature, FlowVerdict, KernelClass, Offload,
+    WorkProfile,
 };
-pub use graph::{CompiledGraph, Edge, ElementGraph, GraphError, GraphStats, NodeId};
+pub use graph::{
+    CompiledGraph, Edge, ElementGraph, FlowHop, FlowPath, GraphError, GraphStats, NodeId,
+};

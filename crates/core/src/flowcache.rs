@@ -1,0 +1,395 @@
+//! The flow-aware fast path: batch-level flow caching over compiled
+//! element graphs.
+//!
+//! For stages whose element graph is fully verdict-capable (see
+//! `nfc_click::Element::verdict_capable`), the first packet of each flow
+//! walks the slow path while its whole-graph outcome — the exact
+//! node/edge walk, annotations and drop decision — is memoized as a
+//! [`FlowPath`] keyed by the packet's [`FlowKey`]. Subsequent packets of
+//! the flow skip straight to the verdict: statistics are replayed, the
+//! same annotations applied, and the packet forwarded or dropped without
+//! touching any element. Egress bytes and per-element [`GraphStats`] are
+//! bit-identical to the slow path; only elements' private telemetry
+//! (e.g. the firewall's denied counter) and the temporal simulation can
+//! diverge.
+//!
+//! Invalidation is generation-based and configuration-hashed: the cache
+//! stamps itself with the graph's `flow_config_hash` (which covers every
+//! element signature — ACL rule tables hash their rules — plus the
+//! wiring) and bulk-invalidates in O(1) whenever the stamp mismatches,
+//! so mid-stream rule-table swaps can never serve stale verdicts.
+//!
+//! [`GraphStats`]: nfc_click::GraphStats
+
+use nfc_click::{CompiledGraph, FlowPath, NodeId};
+use nfc_nf::flowcache::{CacheCounters, ClockTable};
+use nfc_packet::batch::BatchLineage;
+use nfc_packet::{Batch, FlowKey, Packet};
+
+/// Environment variable toggling the flow cache (`NFC_FLOW_CACHE`):
+/// unset/`0`/`off`/`false` disables (the differential baseline), `1`/
+/// `on`/`true` enables with the default capacity, a number enables with
+/// that capacity.
+pub const FLOW_CACHE_ENV: &str = "NFC_FLOW_CACHE";
+
+/// Default flow-table capacity when enabled without an explicit size.
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// Whether deployments run the flow-aware fast path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowCacheMode {
+    /// Every batch takes the slow path (baseline).
+    Off,
+    /// Cache-eligible stages memoize per-flow verdicts.
+    On {
+        /// Flow-table capacity per stage (entries).
+        capacity: usize,
+    },
+}
+
+impl FlowCacheMode {
+    /// Reads the mode from [`FLOW_CACHE_ENV`]; defaults to off.
+    pub fn auto() -> Self {
+        match std::env::var(FLOW_CACHE_ENV) {
+            Ok(v) => match v.trim() {
+                "" | "0" | "off" | "false" => FlowCacheMode::Off,
+                "1" | "on" | "true" => FlowCacheMode::On {
+                    capacity: DEFAULT_CAPACITY,
+                },
+                other => match other.parse::<usize>() {
+                    Ok(n) => FlowCacheMode::On { capacity: n.max(1) },
+                    Err(_) => FlowCacheMode::Off,
+                },
+            },
+            Err(_) => FlowCacheMode::Off,
+        }
+    }
+
+    /// True when the fast path is enabled.
+    pub fn is_on(&self) -> bool {
+        matches!(self, FlowCacheMode::On { .. })
+    }
+}
+
+/// Outcome of [`StageFlowCache::process`].
+#[derive(Debug)]
+pub struct CachedRun {
+    /// The stage's egress batch (bit-identical to the slow path).
+    pub out: Batch,
+    /// Packets served from the cache.
+    pub hits: u64,
+    /// Packets that traversed the slow path (and filled the cache).
+    pub misses: u64,
+    /// Wire bytes of the miss partition.
+    pub miss_bytes: u64,
+    /// Batch splits incurred by the miss partition's slow-path walk.
+    pub miss_new_splits: u32,
+    /// Batch merges incurred by the miss partition's slow-path walk.
+    pub miss_new_merges: u32,
+    /// True when the whole batch took the slow path (non-cacheable
+    /// graph, non-IP packets, or an element declined a verdict).
+    pub fell_back: bool,
+}
+
+/// One stage's flow table: a bounded CLOCK cache of whole-graph
+/// [`FlowPath`]s stamped with the graph configuration it was filled
+/// under.
+#[derive(Debug, Clone)]
+pub struct StageFlowCache {
+    table: ClockTable<FlowKey, FlowPath>,
+    config_hash: u64,
+    // Scratch reused across batches so the steady state allocates
+    // nothing per batch.
+    keys: Vec<FlowKey>,
+    traced: Vec<Option<FlowPath>>,
+    miss_pkts: Vec<Packet>,
+    hit_pkts: Vec<Packet>,
+    node_traffic: Vec<NodeTraffic>,
+    edge_traffic: Vec<bool>,
+    /// `(node, port)` egress exits with at least one packet this batch.
+    egress_live: Vec<(usize, usize)>,
+}
+
+/// Which partition(s) reached a node in the current batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct NodeTraffic {
+    by_hit: bool,
+    by_miss: bool,
+}
+
+impl StageFlowCache {
+    /// Creates a cache for `run` with room for `capacity` flows.
+    pub fn new(capacity: usize, run: &CompiledGraph) -> Self {
+        StageFlowCache {
+            table: ClockTable::with_capacity(capacity),
+            config_hash: run.flow_config_hash(),
+            keys: Vec::new(),
+            traced: Vec::new(),
+            miss_pkts: Vec::new(),
+            hit_pkts: Vec::new(),
+            node_traffic: vec![NodeTraffic::default(); run.graph().node_count()],
+            edge_traffic: vec![false; run.graph().edges().len()],
+            egress_live: Vec::new(),
+        }
+    }
+
+    /// Aggregate hit/miss/eviction counters.
+    pub fn counters(&self) -> CacheCounters {
+        self.table.counters()
+    }
+
+    /// Live cached flows.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True if no flows are cached.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Pushes `batch` through `run` via the fast path: cache hits skip
+    /// straight to their memoized verdict, misses traverse the slow path
+    /// together as one batch. Egress packets, their order, and `run`'s
+    /// [`nfc_click::GraphStats`] are bit-identical to pushing the whole
+    /// batch through the slow path.
+    pub fn process(&mut self, run: &mut CompiledGraph, entry: NodeId, batch: Batch) -> CachedRun {
+        if !run.flow_cacheable() {
+            return Self::fall_back(run, entry, batch);
+        }
+        // Configuration swap (rule-table reload, rewire): O(1) bulk
+        // invalidation, then restamp.
+        if self.config_hash != run.flow_config_hash() {
+            self.table.invalidate_all();
+            self.config_hash = run.flow_config_hash();
+        }
+        let mut batch = batch;
+        // ---- pass 1: flow keys (memoized on the packet) -------------
+        self.keys.clear();
+        for p in batch.iter_mut() {
+            match p.flow_key() {
+                Ok(k) => self.keys.push(k),
+                // Non-IP traffic: the whole batch takes the slow path so
+                // ordering against its flow-mates is trivially preserved.
+                Err(_) => return Self::fall_back(run, entry, batch),
+            }
+        }
+        // ---- pass 2: classify hit/miss, trace misses ----------------
+        // Nothing below mutates graph stats until every packet has a
+        // resolution, so a mid-batch fallback stays consistent.
+        self.traced.clear();
+        for (i, key) in self.keys.iter().enumerate() {
+            let hash = u64::from(key.hash());
+            if self.table.get(hash, key).is_some() {
+                self.traced.push(None);
+            } else {
+                match run.trace_flow(entry, batch.get(i).expect("index in range")) {
+                    Some(path) => self.traced.push(Some(path)),
+                    None => return Self::fall_back(run, entry, batch),
+                }
+            }
+        }
+        // ---- pass 3: apply hits, collect misses ---------------------
+        let lineage_in = batch.lineage;
+        self.node_traffic
+            .iter_mut()
+            .for_each(|t| *t = NodeTraffic::default());
+        self.edge_traffic.iter_mut().for_each(|t| *t = false);
+        self.egress_live.clear();
+        self.miss_pkts.clear();
+        self.hit_pkts.clear();
+        let mut miss_bytes = 0u64;
+        for (i, mut pkt) in batch.into_iter().enumerate() {
+            let key = self.keys[i];
+            let hash = u64::from(key.hash());
+            match &self.traced[i] {
+                Some(path) => {
+                    mark_traffic(
+                        path,
+                        false,
+                        &mut self.node_traffic,
+                        &mut self.edge_traffic,
+                        &mut self.egress_live,
+                    );
+                    miss_bytes += pkt.len() as u64;
+                    self.miss_pkts.push(pkt);
+                }
+                None => {
+                    let path = self
+                        .table
+                        .peek(hash, &key)
+                        .expect("hit classified in pass 2");
+                    mark_traffic(
+                        path,
+                        true,
+                        &mut self.node_traffic,
+                        &mut self.edge_traffic,
+                        &mut self.egress_live,
+                    );
+                    run.replay_flow_stats(path, pkt.len() as u64);
+                    for &(slot, value) in &path.annos {
+                        pkt.meta.anno[slot] = value;
+                    }
+                    if !path.dropped {
+                        self.hit_pkts.push(pkt);
+                    }
+                }
+            }
+        }
+        // Insert the freshly traced paths only now: inserting inside the
+        // loop above could evict a same-set entry that a later hit
+        // packet (classified against the pre-batch table state) still
+        // needs to peek.
+        for (i, slot) in self.traced.iter_mut().enumerate() {
+            if let Some(path) = slot.take() {
+                let key = self.keys[i];
+                self.table.insert(u64::from(key.hash()), key, path);
+            }
+        }
+        let hits = (self.keys.len() - self.miss_pkts.len()) as u64;
+        let misses = self.miss_pkts.len() as u64;
+        // ---- miss partition: one slow-path batch --------------------
+        let (mut miss_new_splits, mut miss_new_merges) = (0, 0);
+        let mut out_pkts = std::mem::take(&mut self.hit_pkts);
+        if !self.miss_pkts.is_empty() {
+            let mut miss_batch: Batch = self.miss_pkts.drain(..).collect();
+            miss_batch.lineage = lineage_in;
+            let miss_out = run.push_merged(entry, miss_batch);
+            miss_new_splits = miss_out.lineage.splits.saturating_sub(lineage_in.splits);
+            miss_new_merges = miss_out.lineage.merges.saturating_sub(lineage_in.merges);
+            out_pkts.extend(miss_out);
+        }
+        // Batch counters: the slow path counts one batch per node that
+        // receives non-empty input. The miss push covered miss-reached
+        // nodes; hit-only nodes get their batch now.
+        for (i, t) in self.node_traffic.iter().enumerate() {
+            if t.by_hit && !t.by_miss {
+                run.note_batch(NodeId(i));
+            }
+        }
+        // Restore slow-path packet order (batches are seq-sorted
+        // throughout the engine; verdict-capable graphs never duplicate
+        // packets, so seq order is total).
+        out_pkts.sort_by_key(|p| p.meta.seq);
+        let mut out: Batch = out_pkts.drain(..).collect();
+        out.lineage = self.simulate_lineage(run, entry, lineage_in);
+        self.hit_pkts = out_pkts; // hand the allocation back
+        CachedRun {
+            out,
+            hits,
+            misses,
+            miss_bytes,
+            miss_new_splits,
+            miss_new_merges,
+            fell_back: false,
+        }
+    }
+
+    /// Slow-path fallback for a whole batch.
+    fn fall_back(run: &mut CompiledGraph, entry: NodeId, batch: Batch) -> CachedRun {
+        let out = run.push_merged(entry, batch);
+        CachedRun {
+            out,
+            hits: 0,
+            misses: 0,
+            miss_bytes: 0,
+            miss_new_splits: 0,
+            miss_new_merges: 0,
+            fell_back: true,
+        }
+    }
+
+    /// Computes the lineage the slow path would stamp on this batch's
+    /// egress, from the per-node/per-edge traffic of the whole batch
+    /// (hits and misses alike): split counts bump at multi-output nodes,
+    /// merges at nodes fed by several live edges and at the final
+    /// egress merge — exactly `CompiledGraph::push_merged`'s accounting.
+    fn simulate_lineage(
+        &self,
+        run: &CompiledGraph,
+        entry: NodeId,
+        lineage_in: BatchLineage,
+    ) -> BatchLineage {
+        let edges = run.graph().edges();
+        let mut l_out: Vec<Option<BatchLineage>> = vec![None; self.node_traffic.len()];
+        let mut egress_parts: Vec<BatchLineage> = Vec::new();
+        for &nid in run.order() {
+            let t = self.node_traffic[nid.0];
+            if !t.by_hit && !t.by_miss {
+                continue;
+            }
+            // Inbound lineages: the entry batch plus every live in-edge.
+            let mut l_in: Option<BatchLineage> = (nid == entry).then_some(lineage_in);
+            let mut merged = false;
+            for (e_idx, e) in edges.iter().enumerate() {
+                if e.to != nid || !self.edge_traffic[e_idx] {
+                    continue;
+                }
+                let up = l_out[e.from.0].expect("topological order");
+                l_in = Some(match l_in {
+                    None => up,
+                    Some(cur) => {
+                        merged = true;
+                        BatchLineage {
+                            splits: cur.splits.max(up.splits),
+                            merges: cur.merges.max(up.merges),
+                        }
+                    }
+                });
+            }
+            let mut l = l_in.expect("reached node has inbound traffic");
+            if merged {
+                l.merges += 1;
+            }
+            // Multi-output verdict-capable elements route via split_by,
+            // which stamps every part with one more split.
+            if run.graph().element(nid).n_outputs() > 1 {
+                l.splits += 1;
+            }
+            l_out[nid.0] = Some(l);
+            // Live unwired ports of this node are egress parts.
+            for port in 0..run.graph().element(nid).n_outputs() {
+                if run.port_target(nid, port).is_none() && self.egress_live.contains(&(nid.0, port))
+                {
+                    egress_parts.push(l);
+                }
+            }
+        }
+        match egress_parts.len() {
+            0 => BatchLineage::default(),
+            1 => egress_parts[0],
+            _ => BatchLineage {
+                splits: egress_parts.iter().map(|l| l.splits).max().unwrap_or(0),
+                merges: egress_parts.iter().map(|l| l.merges).max().unwrap_or(0) + 1,
+            },
+        }
+    }
+}
+
+/// Marks the nodes, edges and egress exits one packet's path touches.
+fn mark_traffic(
+    path: &FlowPath,
+    hit: bool,
+    node_traffic: &mut [NodeTraffic],
+    edge_traffic: &mut [bool],
+    egress_live: &mut Vec<(usize, usize)>,
+) {
+    for hop in &path.hops {
+        let t = &mut node_traffic[hop.node.0];
+        if hit {
+            t.by_hit = true;
+        } else {
+            t.by_miss = true;
+        }
+        match (hop.port, hop.edge) {
+            (_, Some(e)) => edge_traffic[e] = true,
+            (Some(port), None) => {
+                let exit = (hop.node.0, port);
+                if !egress_live.contains(&exit) {
+                    egress_live.push(exit);
+                }
+            }
+            (None, None) => {} // dropped here
+        }
+    }
+}

@@ -51,6 +51,7 @@ pub mod allocator;
 pub mod depend;
 pub mod engine;
 pub mod expansion;
+pub mod flowcache;
 pub mod multi;
 pub mod orchestrator;
 pub mod profiler;
@@ -60,6 +61,7 @@ pub mod synthesizer;
 
 pub use allocator::{AllocationPlan, PartitionAlgo};
 pub use engine::{par_map, Duplication, ExecMode};
+pub use flowcache::{FlowCacheMode, StageFlowCache};
 pub use multi::MultiDeployment;
 pub use orchestrator::ReorgSfc;
 pub use runtime::{Deployment, Policy, RunOutcome};

@@ -22,6 +22,7 @@
 
 use crate::allocator::{allocate, AllocationPlan, PartitionAlgo};
 use crate::engine::{par_map, Duplication, ExecMode};
+use crate::flowcache::{FlowCacheMode, StageFlowCache};
 use crate::orchestrator::{merge_branch_batches, ReorgSfc};
 use crate::profiler::{GraphWeights, Profiler};
 use crate::sfc::Sfc;
@@ -30,6 +31,7 @@ use nfc_click::{CompiledGraph, Offload};
 use nfc_hetero::{
     calib, CoRunContext, CostModel, GpuMode, PipelineSim, PlatformConfig, ResourceId, SimReport,
 };
+use nfc_nf::flowcache::CacheCounters;
 use nfc_nf::Nf;
 use nfc_packet::traffic::TrafficGenerator;
 use nfc_packet::Batch;
@@ -180,6 +182,9 @@ struct StageExec {
     /// Stage-specific cost model: a synthesized stage inherits the CPU
     /// cores of every NF merged into it.
     model: CostModel,
+    /// Flow-aware fast path, present iff the deployment enables it and
+    /// this stage's graph is fully verdict-capable.
+    flow_cache: Option<StageFlowCache>,
 }
 
 /// Outcome of a deployment run.
@@ -205,6 +210,9 @@ pub struct RunOutcome {
     /// Per-element traffic statistics per stage, in branch-major order.
     /// Parallel and serial execution must produce identical entries.
     pub stage_stats: Vec<nfc_click::GraphStats>,
+    /// Aggregate flow-cache counters over every cache-eligible stage
+    /// (all zeros when the fast path is off or no stage qualifies).
+    pub flow_cache: CacheCounters,
 }
 
 /// A prepared deployment of one SFC under one policy.
@@ -225,6 +233,9 @@ pub struct Deployment {
     pub exec_mode: ExecMode,
     /// How branches receive their copy of each ingress batch.
     pub duplication: Duplication,
+    /// Flow-aware fast path: cache-eligible stages memoize per-flow
+    /// verdicts (egress stays bit-identical either way).
+    pub flow_cache: FlowCacheMode,
 }
 
 impl Deployment {
@@ -245,6 +256,7 @@ impl Deployment {
             forced_branches: None,
             exec_mode: ExecMode::auto(),
             duplication: Duplication::Cow,
+            flow_cache: FlowCacheMode::auto(),
         }
     }
 
@@ -273,6 +285,14 @@ impl Deployment {
     /// Sets the branch duplication strategy (CoW vs. eager deep copy).
     pub fn with_duplication(mut self, duplication: Duplication) -> Self {
         self.duplication = duplication;
+        self
+    }
+
+    /// Sets the flow-cache mode, overriding the `NFC_FLOW_CACHE`
+    /// environment default. Cache-off is the differential baseline:
+    /// egress and per-element statistics are bit-identical either way.
+    pub fn with_flow_cache(mut self, mode: FlowCacheMode) -> Self {
+        self.flow_cache = mode;
         self
     }
 
@@ -534,6 +554,12 @@ impl Deployment {
                     .clone()
                     .compile()
                     .expect("catalog/synthesized graphs compile");
+                let flow_cache = match self.flow_cache {
+                    FlowCacheMode::On { capacity } if run.flow_cacheable() => {
+                        Some(StageFlowCache::new(capacity, &run))
+                    }
+                    _ => None,
+                };
                 let corun = CoRunContext::new(
                     all_kernels
                         .iter()
@@ -551,6 +577,7 @@ impl Deployment {
                     user,
                     corun,
                     model: stage_model,
+                    flow_cache,
                 });
                 user += 1;
                 flat_idx += 1;
@@ -894,6 +921,18 @@ impl PreparedSfc {
                 .flat_map(|b| b.iter())
                 .map(|s| s.run.stats().clone())
                 .collect(),
+            flow_cache: self
+                .stages
+                .iter()
+                .flat_map(|b| b.iter())
+                .filter_map(|s| s.flow_cache.as_ref())
+                .map(|c| c.counters())
+                .fold(CacheCounters::default(), |a, c| CacheCounters {
+                    hits: a.hits + c.hits,
+                    misses: a.misses + c.misses,
+                    evictions: a.evictions + c.evictions,
+                    invalidations: a.invalidations + c.invalidations,
+                }),
         }
     }
 }
@@ -921,17 +960,51 @@ fn exec_stage_functional(
     let in_packets = batch.len();
     let in_splits = batch.lineage.splits;
     let in_merges = batch.lineage.merges;
-    // Functional execution.
-    let model = stage.model;
-    let out = stage.run.push_merged(stage.nf.entry(), batch);
-    let new_splits = out.lineage.splits.saturating_sub(in_splits);
-    let new_merges = out.lineage.merges.saturating_sub(in_merges);
-    let weights = stage.weights.as_ref().expect("profiled before run");
-    let in_bytes = out.total_bytes() as f64
-        + (in_packets.saturating_sub(out.len())) as f64
-            * (out.total_bytes() as f64 / out.len().max(1) as f64);
+    // Functional execution: flow-aware fast path when this stage has a
+    // cache, slow path otherwise. Egress is bit-identical either way;
+    // only the temporal charge shrinks (hits are charged nothing — the
+    // verdict replay is orders of magnitude below element cost).
+    let StageExec {
+        nf,
+        run,
+        weights,
+        plan,
+        corun,
+        model,
+        flow_cache,
+        ..
+    } = stage;
+    let model = *model;
+    let (out, charged_packets, charged_bytes, lineage_delta) = match flow_cache.as_mut() {
+        Some(cache) => {
+            let cr = cache.process(run, nf.entry(), batch);
+            if cr.fell_back {
+                (cr.out, in_packets, None, None)
+            } else {
+                (
+                    cr.out,
+                    cr.misses as usize,
+                    Some(cr.miss_bytes as f64),
+                    Some((cr.miss_new_splits, cr.miss_new_merges)),
+                )
+            }
+        }
+        None => (run.push_merged(nf.entry(), batch), in_packets, None, None),
+    };
+    let (new_splits, new_merges) = lineage_delta.unwrap_or_else(|| {
+        (
+            out.lineage.splits.saturating_sub(in_splits),
+            out.lineage.merges.saturating_sub(in_merges),
+        )
+    });
+    let weights = weights.as_ref().expect("profiled before run");
+    let in_bytes = charged_bytes.unwrap_or_else(|| {
+        out.total_bytes() as f64
+            + (charged_packets.saturating_sub(out.len())) as f64
+                * (out.total_bytes() as f64 / out.len().max(1) as f64)
+    });
     let pscale = if weights.entry_packets > 0.0 {
-        (in_packets as f64 / weights.entry_packets).min(4.0)
+        (charged_packets as f64 / weights.entry_packets).min(4.0)
     } else {
         1.0
     };
@@ -947,7 +1020,7 @@ fn exec_stage_functional(
     let mut any_offload = false;
     let mut partial = false;
     for (i, w) in weights.nodes.iter().enumerate() {
-        let r = stage.plan.ratios.get(i).copied().unwrap_or(0.0);
+        let r = plan.ratios.get(i).copied().unwrap_or(0.0);
         // Scale the profiled per-batch load to this batch: packet
         // count and byte volume scale independently so packet-size
         // shifts are charged honestly.
@@ -957,12 +1030,12 @@ fn exec_stage_functional(
         // Traffic-content factors are read live from the element so
         // charged costs track the current traffic, not the profiling
         // window (the paper's fast-switching-traffic concern).
-        let el = stage.run.graph().element(nfc_click::NodeId(i));
+        let el = run.graph().element(nfc_click::NodeId(i));
         load.match_factor = el.content_factor();
         load.divergence = el.divergence();
         if r < 1.0 {
             let cpu_part = load.fraction(1.0 - r);
-            cpu_ns += model.cpu_batch_ns(&cpu_part, &stage.corun);
+            cpu_ns += model.cpu_batch_ns(&cpu_part, corun);
         }
         if r > 0.0 {
             let gpu_part = load.fraction(r);
@@ -976,15 +1049,16 @@ fn exec_stage_functional(
         }
     }
     // Batch re-organization from functional splits (Figure 5) plus
-    // the CPU/GPU carve when partially offloaded.
+    // the CPU/GPU carve when partially offloaded. Under the fast path
+    // only the miss partition is re-organized.
     if new_splits > 0 {
-        cpu_ns += new_splits as f64 * model.split_ns(in_packets, 2);
+        cpu_ns += new_splits as f64 * model.split_ns(charged_packets, 2);
     }
     if new_merges > 0 {
-        cpu_ns += new_merges as f64 * model.merge_ns(in_packets);
+        cpu_ns += new_merges as f64 * model.merge_ns(charged_packets);
     }
     if partial {
-        cpu_ns += model.carve_ns(in_packets) + model.offload_merge_ns(in_packets);
+        cpu_ns += model.carve_ns(charged_packets) + model.offload_merge_ns(charged_packets);
     }
     (
         out,

@@ -10,13 +10,14 @@ use crate::ac::AhoCorasick;
 use crate::acl::{AclTable, Action};
 use crate::crypto::{hmac_sha1, Aes128};
 use crate::dfa::Dfa;
+use crate::flowcache::ClockTable;
 use crate::lpm::{Dir24_8, WaldvogelV6};
 use nfc_click::element::{
-    config_hash, Element, ElementActions, ElementClass, ElementSignature, KernelClass, Offload,
-    RunCtx, WorkProfile,
+    config_hash, Element, ElementActions, ElementClass, ElementSignature, FlowVerdict, KernelClass,
+    Offload, RunCtx, WorkProfile,
 };
 use nfc_packet::headers::MacAddr;
-use nfc_packet::{checksum, Batch, FiveTuple};
+use nfc_packet::{checksum, Batch, FiveTuple, Packet};
 use std::collections::HashMap;
 use std::net::IpAddr;
 use std::sync::Arc;
@@ -95,6 +96,27 @@ impl Element for IpLookup {
     fn base_cost(&self) -> f64 {
         // Two dependent memory accesses.
         60.0
+    }
+
+    fn verdict_capable(&self) -> bool {
+        true
+    }
+
+    fn flow_verdict(&self, pkt: &Packet) -> Option<FlowVerdict> {
+        Some(
+            match pkt
+                .ipv4()
+                .ok()
+                .and_then(|ip| self.table.lookup(ip.dst_u32()))
+            {
+                Some(nh) => FlowVerdict::Annotate {
+                    port: 0,
+                    slot: ANNO_NEXT_HOP,
+                    value: u64::from(nh) + 1,
+                },
+                None => FlowVerdict::Drop,
+            },
+        )
     }
 }
 
@@ -720,6 +742,24 @@ impl Element for FirewallFilter {
         // rules and ~84 % at 10 000 (the paper's Figure 17).
         100.0 + 1.17 * (self.acl.len() as f64).powf(0.7)
     }
+
+    fn verdict_capable(&self) -> bool {
+        true
+    }
+
+    fn flow_verdict(&self, pkt: &Packet) -> Option<FlowVerdict> {
+        let deny = pkt
+            .five_tuple()
+            .map(|t| self.acl.classify(&t).action == Action::Deny)
+            .unwrap_or(true);
+        // Note: the `denied` telemetry counter only advances on the slow
+        // path; cache hits bypass it by design (GraphStats stay exact).
+        Some(if deny && self.enforce {
+            FlowVerdict::Drop
+        } else {
+            FlowVerdict::Forward { port: 0 }
+        })
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -933,6 +973,20 @@ impl Element for LoadBalancer {
     fn base_cost(&self) -> f64 {
         35.0
     }
+
+    fn verdict_capable(&self) -> bool {
+        true
+    }
+
+    fn flow_verdict(&self, pkt: &Packet) -> Option<FlowVerdict> {
+        let h = pkt
+            .five_tuple()
+            .map(|t| t.symmetric_hash())
+            .unwrap_or(pkt.meta.flow_hash);
+        Some(FlowVerdict::Forward {
+            port: (h as usize) % self.backends,
+        })
+    }
 }
 
 /// Passive traffic probe: per-flow packet/byte accounting (Table II row 1:
@@ -1092,7 +1146,7 @@ impl Element for Proxy {
 /// suppressed entirely.
 #[derive(Debug, Clone)]
 pub struct WanOptimizer {
-    cache: HashMap<u32, u32>,
+    cache: ClockTable<u32, u32>,
     cache_cap: usize,
     drop_after: u32,
     dedup_hits: u64,
@@ -1103,7 +1157,7 @@ impl WanOptimizer {
     /// threshold.
     pub fn new(cache_cap: usize, drop_after: u32) -> Self {
         WanOptimizer {
-            cache: HashMap::new(),
+            cache: ClockTable::with_capacity(cache_cap),
             cache_cap,
             drop_after,
             dedup_hits: 0,
@@ -1148,14 +1202,22 @@ impl Element for WanOptimizer {
                 continue;
             }
             let h = nfc_packet::flow::fnv1a(payload);
-            if self.cache.len() >= self.cache_cap && !self.cache.contains_key(&h) {
-                self.cache.clear(); // simple epoch-based eviction
-            }
-            let count = self.cache.entry(h).or_insert(0);
-            *count += 1;
-            if *count == 1 {
+            // Bounded CLOCK cache: old fingerprints are evicted one at a
+            // time under pressure instead of flushing the whole window,
+            // and new payloads are always admitted.
+            let count = match self.cache.get_mut(u64::from(h), &h) {
+                Some(count) => {
+                    *count += 1;
+                    *count
+                }
+                None => {
+                    self.cache.insert(u64::from(h), h, 1);
+                    1
+                }
+            };
+            if count == 1 {
                 keep.push(true);
-            } else if *count <= self.drop_after {
+            } else if count <= self.drop_after {
                 self.dedup_hits += 1;
                 let mut token = Vec::with_capacity(12);
                 token.extend_from_slice(b"DDUP");
@@ -1448,6 +1510,28 @@ mod tests {
         let out = wan.process(one(mk()), &mut ctx());
         assert!(out[0].is_empty());
         assert_eq!(wan.dedup_hits(), 3);
+    }
+
+    #[test]
+    fn wan_optimizer_evicts_instead_of_flushing() {
+        // A tiny cache under pressure from many distinct payloads must
+        // keep admitting new fingerprints (bounded eviction), where the
+        // old implementation flushed the whole window at capacity.
+        let mut wan = WanOptimizer::new(4, 3);
+        for i in 0u8..32 {
+            let payload = vec![i; 64];
+            let out = wan.process(one(pkt(&payload)), &mut ctx());
+            // Every first occurrence passes through unchanged.
+            assert_eq!(out[0].get(0).unwrap().l4_payload().unwrap(), &payload[..]);
+        }
+        // A payload repeated back-to-back still dedups under pressure:
+        // its fingerprint was just admitted, so the second copy tokens.
+        let payload = vec![0xEEu8; 64];
+        let out = wan.process(one(pkt(&payload)), &mut ctx());
+        assert_eq!(out[0].get(0).unwrap().l4_payload().unwrap(), &payload[..]);
+        let out = wan.process(one(pkt(&payload)), &mut ctx());
+        assert_eq!(out[0].get(0).unwrap().l4_payload().unwrap().len(), 12);
+        assert_eq!(wan.dedup_hits(), 1);
     }
 
     #[test]

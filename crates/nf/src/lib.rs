@@ -31,6 +31,7 @@ pub mod catalog;
 pub mod crypto;
 pub mod dfa;
 pub mod elements;
+pub mod flowcache;
 pub mod lpm;
 pub mod stateful;
 

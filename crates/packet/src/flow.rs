@@ -119,6 +119,54 @@ impl FiveTuple {
     }
 }
 
+/// A 5-tuple bundled with its precomputed [`FiveTuple::rss_hash`].
+///
+/// This is the key of the flow-aware fast path: hashing walks every tuple
+/// byte, so the hash is computed once and carried with the tuple. Packets
+/// memoize their key ([`Packet::flow_key`]) and the memo is invalidated
+/// whenever header bytes are written, which the copy-on-write buffer makes
+/// detectable — every mutation funnels through one accessor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    tuple: FiveTuple,
+    hash: u32,
+}
+
+impl FlowKey {
+    /// Extracts the key from a packet (parsing + one hash pass).
+    ///
+    /// # Errors
+    ///
+    /// Fails on non-IP packets or IP protocols other than UDP/TCP.
+    pub fn of(pkt: &Packet) -> Result<FlowKey> {
+        Ok(Self::from_tuple(FiveTuple::of(pkt)?))
+    }
+
+    /// Wraps an already-extracted tuple, hashing it once.
+    pub fn from_tuple(tuple: FiveTuple) -> FlowKey {
+        FlowKey {
+            hash: tuple.rss_hash(),
+            tuple,
+        }
+    }
+
+    /// The underlying 5-tuple.
+    pub fn tuple(&self) -> &FiveTuple {
+        &self.tuple
+    }
+
+    /// The memoized [`FiveTuple::rss_hash`] of the tuple.
+    pub fn hash(&self) -> u32 {
+        self.hash
+    }
+}
+
+impl std::fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} [{:08x}]", self.tuple, self.hash)
+    }
+}
+
 impl std::fmt::Display for FiveTuple {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -211,5 +259,15 @@ mod tests {
     fn fnv_vector() {
         // FNV-1a("a") = 0xe40c292c
         assert_eq!(fnv1a(b"a"), 0xE40C_292C);
+    }
+
+    #[test]
+    fn flow_key_carries_matching_hash() {
+        let t = sample();
+        let k = FlowKey::from_tuple(t);
+        assert_eq!(*k.tuple(), t);
+        assert_eq!(k.hash(), t.rss_hash());
+        let pkt = Packet::ipv4_tcp([10, 0, 0, 1], [10, 0, 0, 2], 1234, 80, b"", 0);
+        assert_eq!(FlowKey::of(&pkt).unwrap(), k);
     }
 }

@@ -39,7 +39,7 @@ pub mod packet;
 pub mod traffic;
 
 pub use batch::Batch;
-pub use flow::FiveTuple;
+pub use flow::{FiveTuple, FlowKey};
 pub use packet::{Packet, PacketMeta};
 
 /// Errors produced while parsing or constructing packets.

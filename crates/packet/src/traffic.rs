@@ -132,6 +132,12 @@ pub struct FlowSpec {
     pub dst_cidr: (u32, u8),
     /// Destination port range.
     pub dst_ports: (u16, u16),
+    /// Zipf skew exponent `s` for flow popularity: flow `i` is drawn with
+    /// probability proportional to `1/(i+1)^s`. `0.0` (the default) keeps
+    /// the historical uniform draw — real SFC traffic is heavily skewed
+    /// (a small number of elephant flows carry most packets), which is
+    /// what the flow-aware fast path exploits.
+    pub skew: f64,
 }
 
 impl Default for FlowSpec {
@@ -141,7 +147,17 @@ impl Default for FlowSpec {
             src_cidr: (u32::from_be_bytes([10, 0, 0, 0]), 8),
             dst_cidr: (u32::from_be_bytes([172, 16, 0, 0]), 12),
             dst_ports: (1, 65535),
+            skew: 0.0,
         }
+    }
+}
+
+impl FlowSpec {
+    /// Sets the Zipf skew exponent (builder-style).
+    pub fn with_skew(mut self, skew: f64) -> Self {
+        assert!(skew >= 0.0 && skew.is_finite(), "skew must be >= 0");
+        self.skew = skew;
+        self
     }
 }
 
@@ -245,6 +261,10 @@ pub struct TrafficGenerator {
     spec: TrafficSpec,
     rng: SmallRng,
     flows: Vec<FlowDef>,
+    /// Cumulative Zipf weights over flow indices; `None` when the spec's
+    /// skew is zero, which keeps the historical uniform draw (and its
+    /// exact RNG call sequence) bit-identical.
+    zipf_cdf: Option<Vec<f64>>,
     seq: u64,
     now_ns: f64,
 }
@@ -254,13 +274,29 @@ impl TrafficGenerator {
     /// identical packet streams.
     pub fn new(spec: TrafficSpec, seed: u64) -> Self {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let flows = (0..spec.flows.count.max(1))
+        let flows: Vec<FlowDef> = (0..spec.flows.count.max(1))
             .map(|_| Self::make_flow(&spec.flows, &mut rng))
             .collect();
+        let zipf_cdf = (spec.flows.skew > 0.0).then(|| {
+            let s = spec.flows.skew;
+            let mut acc = 0.0;
+            let mut cdf: Vec<f64> = (0..flows.len())
+                .map(|i| {
+                    acc += ((i + 1) as f64).powf(-s);
+                    acc
+                })
+                .collect();
+            let total = acc;
+            for c in &mut cdf {
+                *c /= total;
+            }
+            cdf
+        });
         TrafficGenerator {
             spec,
             rng,
             flows,
+            zipf_cdf,
             seq: 0,
             now_ns: 0.0,
         }
@@ -336,7 +372,15 @@ impl TrafficGenerator {
     /// Generates the next packet.
     pub fn packet(&mut self) -> Packet {
         let frame = self.spec.size.sample(&mut self.rng);
-        let flow_idx = self.rng.gen_range(0..self.flows.len());
+        let flow_idx = match &self.zipf_cdf {
+            None => self.rng.gen_range(0..self.flows.len()),
+            Some(cdf) => {
+                // Inverse-CDF sampling: binary search for the first bucket
+                // whose cumulative weight exceeds the uniform draw.
+                let u: f64 = self.rng.gen();
+                cdf.partition_point(|&c| c <= u).min(self.flows.len() - 1)
+            }
+        };
         let (hdr_len, proto_tcp) = match (self.spec.ip, self.spec.l4) {
             (IpVersion::V4, L4Proto::Udp) => (14 + 20 + 8, false),
             (IpVersion::V4, L4Proto::Tcp) => (14 + 20 + 20, true),
@@ -498,6 +542,7 @@ mod tests {
             src_cidr: (u32::from_be_bytes([192, 168, 0, 0]), 16),
             dst_cidr: (u32::from_be_bytes([10, 1, 2, 0]), 24),
             dst_ports: (80, 80),
+            ..FlowSpec::default()
         };
         let spec = TrafficSpec::udp(SizeDist::Fixed(64)).with_flows(flows);
         let mut gen = TrafficGenerator::new(spec, 3);
@@ -507,6 +552,57 @@ mod tests {
             assert_eq!(&ip.dst[..3], &[10, 1, 2]);
             assert_eq!(p.udp().unwrap().dst_port, 80);
         }
+    }
+
+    /// Per-flow packet counts, sorted most-popular-first.
+    fn flow_shares(skew: f64, n_flows: usize, n_pkts: usize) -> Vec<f64> {
+        let flows = FlowSpec {
+            count: n_flows,
+            ..FlowSpec::default()
+        }
+        .with_skew(skew);
+        let spec = TrafficSpec::udp(SizeDist::Fixed(64)).with_flows(flows);
+        let mut gen = TrafficGenerator::new(spec, 11);
+        let mut counts: std::collections::HashMap<crate::FiveTuple, usize> =
+            std::collections::HashMap::new();
+        for p in &gen.batch(n_pkts) {
+            *counts.entry(p.five_tuple().unwrap()).or_default() += 1;
+        }
+        let mut shares: Vec<f64> = counts.values().map(|&c| c as f64 / n_pkts as f64).collect();
+        shares.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        shares
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_traffic() {
+        let shares = flow_shares(1.0, 64, 20_000);
+        // Zipf(1.0) over 64 flows: the heaviest flow carries 1/H(64) ≈ 21 %
+        // of packets and the top 8 carry ≈ 57 %.
+        assert!(
+            (0.17..=0.25).contains(&shares[0]),
+            "top share {}",
+            shares[0]
+        );
+        let top8: f64 = shares.iter().take(8).sum();
+        assert!(top8 > 0.50, "top-8 share {top8}");
+    }
+
+    #[test]
+    fn zero_skew_stays_uniform() {
+        let shares = flow_shares(0.0, 64, 20_000);
+        // Uniform draw: every flow sits near 1/64 ≈ 1.6 %.
+        assert!(shares[0] < 0.05, "top share {}", shares[0]);
+        assert_eq!(shares.len(), 64);
+    }
+
+    #[test]
+    fn skewed_generator_is_deterministic() {
+        let spec = TrafficSpec::udp(SizeDist::Imix)
+            .with_flows(FlowSpec::default().with_skew(1.2))
+            .with_payload(PayloadPolicy::Random);
+        let a = TrafficGenerator::new(spec.clone(), 99).batch(64);
+        let b = TrafficGenerator::new(spec, 99).batch(64);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,283 @@
+//! Flow-cache differential testing: the flow-aware fast path is a pure
+//! wall-clock optimization. Cache-on and cache-off runs of the same
+//! deployment must agree on every egress byte (including batch lineage)
+//! and every per-element statistic, and a configuration swap (ACL rule
+//! reload) must invalidate the cache in one generation bump.
+
+use nfc_core::flowcache::FlowCacheMode;
+use nfc_core::{Deployment, Duplication, ExecMode, Policy, RunOutcome, Sfc, StageFlowCache};
+use nfc_nf::acl::synth;
+use nfc_nf::Nf;
+use nfc_packet::traffic::{FlowSpec, SizeDist, TrafficGenerator, TrafficSpec};
+use nfc_packet::Batch;
+use proptest::prelude::*;
+
+/// A fully cache-eligible chain: protocol classifier + enforcing ACL
+/// firewall (exercises `Drop` verdicts), then a load balancer
+/// (exercises multi-port `Forward` verdicts and lineage simulation).
+fn cacheable_chain(rules: usize, seed: u64) -> Sfc {
+    Sfc::new(
+        "fw-lb",
+        vec![
+            Nf::firewall_with("fw", synth::generate(rules, seed), true),
+            Nf::load_balancer("lb", 4),
+        ],
+    )
+}
+
+/// Zipf-skewed traffic over a bounded flow population — the regime the
+/// fast path is built for.
+fn skewed_traffic(seed: u64, flows: usize, skew: f64) -> TrafficGenerator {
+    let spec = TrafficSpec::udp(SizeDist::Fixed(256)).with_flows(FlowSpec {
+        count: flows.max(1),
+        ..FlowSpec::default().with_skew(skew)
+    });
+    TrafficGenerator::new(spec, seed)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_cache_mode(
+    sfc: Sfc,
+    policy: Policy,
+    exec: ExecMode,
+    cache: FlowCacheMode,
+    seed: u64,
+    flows: usize,
+    skew: f64,
+    n_batches: usize,
+) -> (RunOutcome, Vec<Batch>) {
+    let mut dep = Deployment::new(sfc, policy)
+        .with_batch_size(128)
+        .with_exec_mode(exec)
+        .with_duplication(Duplication::Cow)
+        .with_flow_cache(cache);
+    dep.run_collect(&mut skewed_traffic(seed, flows, skew), n_batches)
+}
+
+/// The fast path may charge a different simulated cost (hits are nearly
+/// free), so unlike the engine-determinism suite the temporal report is
+/// *not* compared — only the functional outputs.
+fn assert_functionally_equal(
+    label: &str,
+    off: &(RunOutcome, Vec<Batch>),
+    on: &(RunOutcome, Vec<Batch>),
+) {
+    assert_eq!(
+        off.1, on.1,
+        "{label}: egress batches must be byte-identical"
+    );
+    assert_eq!(
+        off.0.stage_stats, on.0.stage_stats,
+        "{label}: per-element statistics must match"
+    );
+    assert_eq!(off.0.egress_packets, on.0.egress_packets, "{label}");
+    assert_eq!(off.0.egress_bytes, on.0.egress_bytes, "{label}");
+    assert_eq!(off.0.merge_conflicts, on.0.merge_conflicts, "{label}");
+}
+
+#[test]
+fn cache_on_matches_cache_off_across_seeds() {
+    for seed in [3u64, 17, 99] {
+        let off = run_cache_mode(
+            cacheable_chain(256, 1),
+            Policy::CpuOnly,
+            ExecMode::Serial,
+            FlowCacheMode::Off,
+            seed,
+            256,
+            1.0,
+            8,
+        );
+        let on = run_cache_mode(
+            cacheable_chain(256, 1),
+            Policy::CpuOnly,
+            ExecMode::Serial,
+            FlowCacheMode::On { capacity: 4096 },
+            seed,
+            256,
+            1.0,
+            8,
+        );
+        assert_functionally_equal(&format!("seed {seed}"), &off, &on);
+        assert_eq!(
+            off.0.flow_cache,
+            Default::default(),
+            "cache-off runs must not touch the flow table"
+        );
+        assert!(
+            on.0.flow_cache.hits > 0,
+            "seed {seed}: skewed traffic over 256 flows must produce cache hits \
+             (got {:?})",
+            on.0.flow_cache
+        );
+    }
+}
+
+#[test]
+fn tiny_cache_evicts_but_stays_correct() {
+    // Capacity far below the flow population: CLOCK eviction churns the
+    // table constantly, yet the differential must still hold exactly.
+    let off = run_cache_mode(
+        cacheable_chain(128, 2),
+        Policy::CpuOnly,
+        ExecMode::Serial,
+        FlowCacheMode::Off,
+        7,
+        512,
+        0.8,
+        10,
+    );
+    let on = run_cache_mode(
+        cacheable_chain(128, 2),
+        Policy::CpuOnly,
+        ExecMode::Serial,
+        FlowCacheMode::On { capacity: 64 },
+        7,
+        512,
+        0.8,
+        10,
+    );
+    assert_functionally_equal("tiny cache", &off, &on);
+    assert!(
+        on.0.flow_cache.evictions > 0,
+        "a 64-entry table under 512 flows must evict (got {:?})",
+        on.0.flow_cache
+    );
+}
+
+#[test]
+fn cache_composes_with_reorganized_parallel_execution() {
+    // Full NFCompass policy re-organizes the chain into parallel
+    // branches; each cache-eligible stage gets its own flow table and
+    // the merged egress must still be bit-identical, even under the
+    // parallel worker pool.
+    let off = run_cache_mode(
+        cacheable_chain(256, 3),
+        Policy::nfcompass(),
+        ExecMode::Serial,
+        FlowCacheMode::Off,
+        11,
+        128,
+        1.2,
+        8,
+    );
+    for (label, exec) in [
+        ("serial", ExecMode::Serial),
+        ("parallel4", ExecMode::Parallel { threads: 4 }),
+    ] {
+        let on = run_cache_mode(
+            cacheable_chain(256, 3),
+            Policy::nfcompass(),
+            exec,
+            FlowCacheMode::On { capacity: 2048 },
+            11,
+            128,
+            1.2,
+            8,
+        );
+        assert_functionally_equal(&format!("reorg/{label}"), &off, &on);
+        assert!(on.0.flow_cache.hits > 0, "reorg/{label}: expected hits");
+    }
+}
+
+/// Mid-stream ACL rule-table swap: a stage cache built against one
+/// compiled graph must detect the new graph's configuration hash,
+/// invalidate every memoized verdict in one generation bump, and then
+/// reproduce the new graph's slow path exactly.
+#[test]
+fn acl_rule_swap_invalidates_by_generation() {
+    let compile = |rules_seed: u64| {
+        let nf = Nf::firewall_with("fw", synth::generate(64, rules_seed), true);
+        let entry = nf.entry();
+        let run = nf.into_graph().compile().expect("firewall compiles");
+        (entry, run)
+    };
+    let batches: Vec<Batch> = {
+        let mut traffic = skewed_traffic(5, 128, 1.0);
+        (0..6).map(|_| traffic.batch(128)).collect()
+    };
+
+    let (entry, mut cached_run) = compile(1);
+    let mut cache = StageFlowCache::new(1024, &cached_run);
+
+    // Phase 1: fill the cache against rule table 1 and check the fast
+    // path against a fresh slow-path compile of the same rules.
+    let (_, mut slow_run) = compile(1);
+    for batch in &batches {
+        let fast = cache.process(&mut cached_run, entry, batch.clone());
+        let slow = slow_run.push_merged(entry, batch.clone());
+        assert!(
+            !fast.fell_back,
+            "fully verdict-capable graph must not fall back"
+        );
+        assert_eq!(fast.out, slow, "rules 1: fast path must match slow path");
+    }
+    assert_eq!(slow_run.stats(), cached_run.stats(), "rules 1: statistics");
+    assert!(cache.counters().hits > 0, "phase 1 must produce hits");
+    assert_eq!(cache.counters().invalidations, 0);
+
+    // Phase 2: swap in a different rule table mid-stream. Same cache,
+    // new graph — every stale verdict must be invalidated at once.
+    let (_, mut swapped_run) = compile(2);
+    let (_, mut slow_run2) = compile(2);
+    assert_ne!(
+        cached_run.flow_config_hash(),
+        swapped_run.flow_config_hash(),
+        "different ACL rules must change the flow configuration hash"
+    );
+    for batch in &batches {
+        let fast = cache.process(&mut swapped_run, entry, batch.clone());
+        let slow = slow_run2.push_merged(entry, batch.clone());
+        assert_eq!(fast.out, slow, "rules 2: fast path must match slow path");
+    }
+    assert_eq!(
+        slow_run2.stats(),
+        swapped_run.stats(),
+        "rules 2: statistics"
+    );
+    assert_eq!(
+        cache.counters().invalidations,
+        1,
+        "exactly one O(1) generation bump per configuration swap"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary (seed, skew, flow population, capacity): the cached run
+    /// reproduces the uncached run's egress bytes and per-element
+    /// statistics exactly.
+    #[test]
+    fn flow_cache_differential_holds_for_arbitrary_traffic(
+        seed in 1u64..10_000,
+        skew in 0.0f64..1.5,
+        flows in 16usize..512,
+        capacity in 16usize..2048,
+    ) {
+        let off = run_cache_mode(
+            cacheable_chain(128, 9),
+            Policy::CpuOnly,
+            ExecMode::Serial,
+            FlowCacheMode::Off,
+            seed,
+            flows,
+            skew,
+            4,
+        );
+        let on = run_cache_mode(
+            cacheable_chain(128, 9),
+            Policy::CpuOnly,
+            ExecMode::Serial,
+            FlowCacheMode::On { capacity },
+            seed,
+            flows,
+            skew,
+            4,
+        );
+        prop_assert_eq!(&off.1, &on.1);
+        prop_assert_eq!(&off.0.stage_stats, &on.0.stage_stats);
+        prop_assert_eq!(off.0.egress_packets, on.0.egress_packets);
+        prop_assert_eq!(off.0.egress_bytes, on.0.egress_bytes);
+    }
+}
