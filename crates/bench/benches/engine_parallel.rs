@@ -15,11 +15,12 @@
 //! the repository root.
 
 use criterion::{black_box, BenchmarkId, Criterion};
-use nfc_core::{Deployment, Duplication, ExecMode, Policy, RunOutcome, Sfc};
+use nfc_core::{Deployment, Duplication, ExecMode, Policy, RunOutcome, Sfc, TelemetryMode};
 use nfc_hetero::GpuMode;
 use nfc_nf::Nf;
 use nfc_packet::traffic::{SizeDist, TrafficGenerator, TrafficSpec};
 use nfc_packet::Batch;
+use nfc_telemetry::Recorder;
 use serde_json::json;
 use std::time::Instant;
 
@@ -70,11 +71,41 @@ fn run_config(
     dup: Duplication,
     batches: &[Batch],
 ) -> (f64, RunOutcome, Vec<Batch>) {
-    let mut dep = deployment(exec, dup);
+    run_with_telemetry(exec, dup, TelemetryMode::Off, batches)
+}
+
+fn run_with_telemetry(
+    exec: ExecMode,
+    dup: Duplication,
+    telemetry: TelemetryMode,
+    batches: &[Batch],
+) -> (f64, RunOutcome, Vec<Batch>) {
+    let mut dep = deployment(exec, dup).with_telemetry(telemetry);
     let mut traffic = TrafficGenerator::new(TrafficSpec::udp(SizeDist::Fixed(PKT_BYTES)), 7);
     let start = Instant::now();
     let (out, egress) = dep.run_replay(&mut traffic, batches);
     (start.elapsed().as_secs_f64(), out, egress)
+}
+
+/// Estimates what the disabled telemetry hooks cost on the hot path:
+/// times a large batch of no-op recorder probes (the exact shape the
+/// runtime uses — `start()` then an `is_enabled()` branch), scales by
+/// the number of events an instrumented run actually records, and
+/// expresses that as a percentage of the telemetry-off wall time.
+fn disabled_hook_overhead_pct(events: u64, wall_s: f64) -> f64 {
+    let rec = Recorder::disabled();
+    const PROBES: u64 = 4_000_000;
+    let start = Instant::now();
+    for i in 0..PROBES {
+        let t = rec.start();
+        if black_box(rec.is_enabled()) {
+            unreachable!("recorder is disabled");
+        }
+        black_box(t);
+        black_box(i);
+    }
+    let ns_per_probe = start.elapsed().as_secs_f64() * 1e9 / PROBES as f64;
+    events as f64 * ns_per_probe / (wall_s * 1e9) * 100.0
 }
 
 fn engine_benches(c: &mut Criterion) {
@@ -136,6 +167,36 @@ fn emit_report(full: bool) {
         parallel >= 2.0,
         "engine must be >= 2x over the deep-copy serial baseline, got {parallel:.2}x"
     );
+    // Telemetry rider: an instrumented run must keep byte-identical
+    // egress, and the disabled hooks left in the hot path must cost
+    // under 1% of the telemetry-off parallel configuration.
+    let (tel_secs, tel_out, tel_egress) = run_with_telemetry(
+        ExecMode::auto(),
+        Duplication::Cow,
+        TelemetryMode::Memory,
+        &batches,
+    );
+    let (ref_out, ref_egress) = reference.as_ref().expect("reference row");
+    assert_eq!(
+        ref_egress, &tel_egress,
+        "telemetry-on egress differs from serial_deepcopy"
+    );
+    assert_eq!(
+        ref_out.stage_stats, tel_out.stage_stats,
+        "telemetry-on per-element stats differ from serial_deepcopy"
+    );
+    let digest = tel_out.telemetry.expect("telemetry digest");
+    let overhead_pct = disabled_hook_overhead_pct(digest.events, rows[2].1);
+    println!(
+        "telemetry: {} events in {:.1} ms instrumented; disabled-hook overhead \
+         {overhead_pct:.4}% of parallel_cow",
+        digest.events,
+        tel_secs * 1e3
+    );
+    assert!(
+        overhead_pct < 1.0,
+        "disabled telemetry must stay under 1% of the hot path, got {overhead_pct:.4}%"
+    );
     let mut cfgs = serde_json::Value::Object(Default::default());
     for (label, secs, gbps, _) in &rows {
         cfgs[*label] = json!({
@@ -154,6 +215,11 @@ fn emit_report(full: bool) {
         "egress_byte_identical": true,
         "configs": cfgs,
         "speedup_parallel_cow_vs_serial_deepcopy": parallel,
+        "telemetry": {
+            "events": digest.events,
+            "instrumented_wall_s": tel_secs,
+            "disabled_hook_overhead_pct": overhead_pct,
+        },
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     std::fs::write(

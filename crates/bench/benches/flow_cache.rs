@@ -156,11 +156,13 @@ fn emit_report(full: bool) {
         };
         println!(
             "{label:<10} {:>8.1} ms for {n_batches} batches  ({gbps:.2} Gbit/s offered, \
-             hit rate {:.1}%)",
+             hit rate {:.1}%, {} evictions, {} invalidations)",
             best * 1e3,
-            hit_rate * 100.0
+            hit_rate * 100.0,
+            cc.evictions,
+            cc.invalidations
         );
-        rows.push((label, best, gbps, hit_rate));
+        rows.push((label, best, gbps, hit_rate, cc));
     }
     let speedup = rows[0].1 / rows[1].1;
     println!("flow-cache speedup vs cache_off: {speedup:.2}x");
@@ -178,11 +180,15 @@ fn emit_report(full: bool) {
         );
     }
     let mut cfgs = serde_json::Value::Object(Default::default());
-    for (label, secs, gbps, hit_rate) in &rows {
+    for (label, secs, gbps, hit_rate, cc) in &rows {
         cfgs[*label] = json!({
             "wall_s": secs,
             "offered_gbps": gbps,
             "hit_rate": hit_rate,
+            "hits": cc.hits,
+            "misses": cc.misses,
+            "evictions": cc.evictions,
+            "invalidations": cc.invalidations,
             "speedup_vs_cache_off": rows[0].1 / secs,
         });
     }

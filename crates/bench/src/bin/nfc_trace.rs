@@ -1,0 +1,252 @@
+//! `nfc-trace`: inspect and validate Chrome-trace JSON files exported by
+//! the `nfc-telemetry` runtime (`NFC_TELEMETRY=trace.json`).
+//!
+//! Subcommands:
+//!
+//! * `summary <trace.json>` — event totals, per-category counts, span
+//!   durations and the wall/sim timeline extents.
+//! * `validate <trace.json> [--require cat1,cat2,...]` — schema-check
+//!   every event and (optionally) require event categories; exits
+//!   non-zero on any violation, for CI smoke tests.
+//! * `prom <trace.json>` — re-derive a Prometheus-style text snapshot
+//!   from the trace's events.
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// One parsed trace: metadata records and regular events.
+struct Trace {
+    /// Non-metadata events (`ph` != `"M"`).
+    events: Vec<Value>,
+    /// Dropped-event count from the `nfc_dropped_events` metadata.
+    dropped: u64,
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("nfc-trace: {msg}");
+    ExitCode::FAILURE
+}
+
+fn load(path: &str) -> Result<Trace, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let values: Vec<Value> = match serde_json::from_str(&body) {
+        Ok(Value::Array(vals)) => vals,
+        Ok(_) => return Err(format!("{path}: top level is not a JSON array")),
+        // JSONL fallback: one object per line, tolerating the array
+        // brackets and trailing commas of the exporter's framing.
+        Err(_) => body
+            .lines()
+            .map(|l| l.trim().trim_end_matches(','))
+            .filter(|l| !l.is_empty() && *l != "[" && *l != "]")
+            .map(|l| {
+                serde_json::from_str(l).map_err(|e| format!("{path}: bad JSON line: {e}: {l}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    let mut events = Vec::new();
+    let mut dropped = 0u64;
+    for v in values {
+        let ph = v.get("ph").and_then(Value::as_str).unwrap_or_default();
+        if ph == "M" {
+            if v.get("name").and_then(Value::as_str) == Some("nfc_dropped_events") {
+                dropped = v
+                    .get("args")
+                    .and_then(|a| a.get("dropped"))
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0);
+            }
+            continue;
+        }
+        events.push(v);
+    }
+    Ok(Trace { events, dropped })
+}
+
+fn str_field<'a>(ev: &'a Value, key: &str) -> Option<&'a str> {
+    ev.get(key).and_then(Value::as_str)
+}
+
+fn num_field(ev: &Value, key: &str) -> Option<f64> {
+    ev.get(key).and_then(Value::as_f64)
+}
+
+/// Schema-checks one event, returning a violation message if any.
+fn check_event(ev: &Value) -> Option<String> {
+    let ph = match str_field(ev, "ph") {
+        Some(p) => p,
+        None => return Some("event without ph".into()),
+    };
+    for key in ["name", "cat"] {
+        if str_field(ev, key).is_none() {
+            return Some(format!("event without {key}"));
+        }
+    }
+    for key in ["pid", "tid"] {
+        if ev.get(key).and_then(Value::as_u64).is_none() {
+            return Some(format!("event without integer {key}"));
+        }
+    }
+    let ts = match num_field(ev, "ts") {
+        Some(t) => t,
+        None => return Some("event without ts".into()),
+    };
+    if !ts.is_finite() || ts < 0.0 {
+        return Some(format!("non-finite or negative ts {ts}"));
+    }
+    match ph {
+        "X" => match num_field(ev, "dur") {
+            Some(d) if d.is_finite() && d >= 0.0 => {}
+            _ => return Some("complete event without valid dur".into()),
+        },
+        "i" => {}
+        other => return Some(format!("unexpected phase {other:?}")),
+    }
+    // Simulated-timeline events (pid 2) cross-reference the wall clock.
+    if ev.get("pid").and_then(Value::as_u64) == Some(2)
+        && ev
+            .get("args")
+            .and_then(|a| a.get("wall_ns"))
+            .and_then(Value::as_f64)
+            .is_none()
+    {
+        return Some("sim event without args.wall_ns".into());
+    }
+    None
+}
+
+fn by_category(trace: &Trace) -> BTreeMap<String, u64> {
+    let mut cats = BTreeMap::new();
+    for ev in &trace.events {
+        let cat = str_field(ev, "cat").unwrap_or("?").to_string();
+        *cats.entry(cat).or_insert(0) += 1;
+    }
+    cats
+}
+
+fn cmd_summary(path: &str) -> Result<(), String> {
+    let trace = load(path)?;
+    let cats = by_category(&trace);
+    println!("trace     {path}");
+    println!("events    {}", trace.events.len());
+    println!("dropped   {}", trace.dropped);
+    let mut wall = (f64::INFINITY, f64::NEG_INFINITY);
+    let mut sim = (f64::INFINITY, f64::NEG_INFINITY);
+    for ev in &trace.events {
+        let ts = num_field(ev, "ts").unwrap_or(0.0);
+        let end = ts + num_field(ev, "dur").unwrap_or(0.0);
+        let extent = if ev.get("pid").and_then(Value::as_u64) == Some(2) {
+            &mut sim
+        } else {
+            &mut wall
+        };
+        extent.0 = extent.0.min(ts);
+        extent.1 = extent.1.max(end);
+    }
+    if wall.0.is_finite() {
+        println!("wall      {:.1} us .. {:.1} us", wall.0, wall.1);
+    }
+    if sim.0.is_finite() {
+        println!("sim       {:.1} us .. {:.1} us", sim.0, sim.1);
+    }
+    println!("-- events by category --");
+    for (cat, n) in &cats {
+        println!("{cat:<12} {n}");
+    }
+    Ok(())
+}
+
+/// Validates every trace; required categories are checked against the
+/// union over all files (one experiment may export one trace per
+/// deployment, and e.g. a CPU-only deployment legitimately has no GPU
+/// events).
+fn cmd_validate(paths: &[String], require: &[String]) -> Result<(), String> {
+    let mut union: BTreeMap<String, u64> = BTreeMap::new();
+    let mut total_events = 0usize;
+    let mut total_dropped = 0u64;
+    for path in paths {
+        let trace = load(path)?;
+        if trace.events.is_empty() {
+            return Err(format!("{path}: trace has no events"));
+        }
+        for (i, ev) in trace.events.iter().enumerate() {
+            if let Some(violation) = check_event(ev) {
+                return Err(format!("{path}: event {i}: {violation}"));
+            }
+        }
+        for (cat, n) in by_category(&trace) {
+            *union.entry(cat).or_insert(0) += n;
+        }
+        total_events += trace.events.len();
+        total_dropped += trace.dropped;
+    }
+    for cat in require {
+        if !union.contains_key(cat) {
+            return Err(format!(
+                "required category {cat:?} absent (found: {:?})",
+                union.keys().collect::<Vec<_>>()
+            ));
+        }
+    }
+    println!(
+        "OK — {} file(s), {} events across {} categories, {} dropped",
+        paths.len(),
+        total_events,
+        union.len(),
+        total_dropped
+    );
+    Ok(())
+}
+
+fn cmd_prom(path: &str) -> Result<(), String> {
+    let trace = load(path)?;
+    println!("# TYPE nfc_trace_events_total counter");
+    println!("nfc_trace_events_total {}", trace.events.len());
+    println!("# TYPE nfc_trace_events_dropped_total counter");
+    println!("nfc_trace_events_dropped_total {}", trace.dropped);
+    for (cat, n) in by_category(&trace) {
+        println!("nfc_trace_category_events_total{{cat=\"{cat}\"}} {n}");
+    }
+    Ok(())
+}
+
+const USAGE: &str =
+    "usage: nfc-trace <summary|validate|prom> <trace.json>... [--require cat1,cat2]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match args.first() {
+        Some(c) => c.as_str(),
+        None => return fail(USAGE),
+    };
+    let mut paths: Vec<String> = Vec::new();
+    let mut require: Vec<String> = Vec::new();
+    let mut rest = args[1..].iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--require" => match rest.next() {
+                Some(list) => {
+                    require.extend(list.split(',').map(|s| s.trim().to_string()));
+                }
+                None => return fail("--require needs a comma-separated category list"),
+            },
+            flag if flag.starts_with("--") => {
+                return fail(&format!("unknown flag {flag:?}\n{USAGE}"))
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    if paths.is_empty() {
+        return fail(USAGE);
+    }
+    let result = match cmd {
+        "summary" => paths.iter().try_for_each(|p| cmd_summary(p)),
+        "validate" => cmd_validate(&paths, &require),
+        "prom" => paths.iter().try_for_each(|p| cmd_prom(p)),
+        other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}

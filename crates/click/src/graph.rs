@@ -2,6 +2,7 @@
 
 use crate::element::{config_hash, Element, ElementClass, FlowVerdict, RunCtx};
 use nfc_packet::{Batch, Packet};
+use nfc_telemetry::{EventKind, Recorder};
 
 /// Identifier of a node (element instance) within one graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -492,6 +493,22 @@ impl CompiledGraph {
     /// Like [`CompiledGraph::push`] with an explicit simulated timestamp
     /// handed to stateful elements.
     pub fn push_at(&mut self, entry: NodeId, batch: Batch, now_ns: u64) -> Vec<Egress> {
+        self.push_at_traced(entry, batch, now_ns, &mut Recorder::disabled())
+    }
+
+    /// [`CompiledGraph::push_at`] plus telemetry: records one wall-clock
+    /// span per executed element and instants for batch splits (more
+    /// than one non-empty output port) and multi-input merges. With a
+    /// disabled recorder this costs one branch per element and is
+    /// exactly `push_at` — element state, statistics, and egress are
+    /// never affected by recording.
+    pub fn push_at_traced(
+        &mut self,
+        entry: NodeId,
+        batch: Batch,
+        now_ns: u64,
+        rec: &mut Recorder,
+    ) -> Vec<Egress> {
         let mut ctx = RunCtx { now_ns };
         debug_assert!(
             self.inbox.iter().all(Vec::is_empty),
@@ -509,6 +526,12 @@ impl CompiledGraph {
             let input = if slot.len() == 1 {
                 slot.pop().expect("checked length")
             } else {
+                if rec.is_enabled() {
+                    rec.instant(EventKind::BatchMerge {
+                        node: nid.0 as u32,
+                        parts: slot.len() as u32,
+                    });
+                }
                 Batch::merge_ordered(slot.drain(..))
             };
             // Hand the (now empty) allocation back so later pushes reuse
@@ -519,6 +542,7 @@ impl CompiledGraph {
             }
             let in_pkts = input.len() as u64;
             let in_bytes = input.total_bytes() as u64;
+            let t_el = rec.start();
             let outputs = self.graph.nodes[nid.0].process(input, &mut ctx);
             debug_assert_eq!(
                 outputs.len(),
@@ -527,6 +551,24 @@ impl CompiledGraph {
                 self.graph.nodes[nid.0].name()
             );
             let out_pkts: u64 = outputs.iter().map(|b| b.len() as u64).sum();
+            if rec.is_enabled() {
+                rec.wall_span(
+                    t_el,
+                    EventKind::Element {
+                        node: nid.0 as u32,
+                        name: self.graph.nodes[nid.0].name().to_string(),
+                        packets_in: in_pkts as u32,
+                        packets_out: out_pkts as u32,
+                    },
+                );
+                let live_ports = outputs.iter().filter(|b| !b.is_empty()).count();
+                if live_ports > 1 {
+                    rec.instant(EventKind::BatchSplit {
+                        node: nid.0 as u32,
+                        parts: live_ports as u32,
+                    });
+                }
+            }
             let st = &mut self.stats.nodes[nid.0];
             st.packets_in += in_pkts;
             st.bytes_in += in_bytes;
@@ -561,7 +603,13 @@ impl CompiledGraph {
     /// one order-preserved batch (what a downstream NF in an SFC sees).
     /// A single egress batch passes through without a (costed) merge.
     pub fn push_merged(&mut self, entry: NodeId, batch: Batch) -> Batch {
-        let mut parts = self.push(entry, batch);
+        self.push_merged_traced(entry, batch, &mut Recorder::disabled())
+    }
+
+    /// [`CompiledGraph::push_merged`] recording per-element telemetry
+    /// into `rec` (see [`CompiledGraph::push_at_traced`]).
+    pub fn push_merged_traced(&mut self, entry: NodeId, batch: Batch, rec: &mut Recorder) -> Batch {
+        let mut parts = self.push_at_traced(entry, batch, 0, rec);
         if parts.len() == 1 {
             return parts.pop().expect("checked length").batch;
         }

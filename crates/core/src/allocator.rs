@@ -12,6 +12,7 @@ use crate::profiler::GraphWeights;
 use nfc_click::ElementGraph;
 use nfc_graphpart::{agglomerative, kl, maxflow, Objective, Partition, Side};
 use nfc_hetero::{CoRunContext, CostModel, GpuMode};
+use nfc_telemetry::Recorder;
 
 /// Which partitioning algorithm the allocator runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -181,15 +182,28 @@ pub fn allocate(
     algo: PartitionAlgo,
     delta: f64,
 ) -> AllocationPlan {
+    allocate_traced(graph, weights, algo, delta, &mut Recorder::disabled())
+}
+
+/// [`allocate`], recording the partitioner's per-pass telemetry
+/// (KL refinement passes, agglomerative merge summaries) into `rec`.
+pub fn allocate_traced(
+    graph: &ElementGraph,
+    weights: &GraphWeights,
+    algo: PartitionAlgo,
+    delta: f64,
+    rec: &mut Recorder,
+) -> AllocationPlan {
     let exp = Expansion::expand(graph, weights, delta);
     let objective = Objective::default();
     let partition = match algo {
-        PartitionAlgo::Kl => kl::partition(
+        PartitionAlgo::Kl => kl::partition_traced(
             &exp.part,
             kl::KlOptions {
                 objective,
                 ..Default::default()
             },
+            rec,
         ),
         PartitionAlgo::Agglomerative => {
             // Seed only the GPU side explicitly; the CPU-pinned I/O nodes
@@ -200,7 +214,7 @@ pub fn allocate(
                 .into_iter()
                 .filter(|s| s.side == Side::Gpu)
                 .collect();
-            agglomerative::partition(&exp.part, &seeds, objective)
+            agglomerative::partition_traced(&exp.part, &seeds, objective, rec)
         }
         PartitionAlgo::Mfmc => {
             let unary: Vec<(f64, f64)> = (0..exp.part.len())

@@ -10,6 +10,7 @@
 //! order), so parallel and serial execution produce bit-identical
 //! functional output *and* bit-identical simulated timelines.
 
+use nfc_telemetry::{EventKind, Recorder, TelemetryHandle};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -91,24 +92,64 @@ where
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
+    par_map_traced(mode, items, &TelemetryHandle::disabled(), |i, item, _| {
+        f(i, item)
+    })
+}
+
+/// [`par_map`] with per-unit telemetry: each work unit gets its own
+/// [`Recorder`] (a no-op one when `tel` is disabled) and is wrapped in a
+/// [`EventKind::Worker`] wall-clock span tagged with the worker thread
+/// that ran it. After the pool joins, unit recorders are absorbed into
+/// the session sink in **input-index** order, so the merged event stream
+/// is deterministic regardless of which worker claimed which unit.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn par_map_traced<T, R, F>(mode: ExecMode, items: Vec<T>, tel: &TelemetryHandle, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T, &mut Recorder) -> R + Sync,
+{
     let n = items.len();
     let workers = mode.threads().min(n);
     if workers <= 1 {
-        return items
+        // Serial: one recorder threads through every unit in order.
+        let mut rec = tel.recorder();
+        let out: Vec<R> = items
             .into_iter()
             .enumerate()
-            .map(|(i, item)| f(i, item))
+            .map(|(i, item)| {
+                let t = rec.start();
+                let r = f(i, item, &mut rec);
+                if rec.is_enabled() {
+                    rec.wall_span(
+                        t,
+                        EventKind::Worker {
+                            worker: 0,
+                            unit: i as u32,
+                        },
+                    );
+                }
+                r
+            })
             .collect();
+        tel.absorb(rec);
+        return out;
     }
     // Slots are claimed exactly once via the cursor; the mutexes are
     // uncontended by construction and exist to keep the pool free of
     // unsafe code (`nfc-core` forbids it).
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
     let done: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let recs: Vec<Mutex<Option<Recorder>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
+        for w in 0..workers {
+            let (slots, done, recs, cursor, f, tel) = (&slots, &done, &recs, &cursor, &f, tel);
+            scope.spawn(move || loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -118,11 +159,31 @@ where
                     .expect("pool poisoned")
                     .take()
                     .expect("slot claimed once");
-                let out = f(i, item);
+                let mut rec = tel.recorder();
+                rec.set_track(w as u32);
+                let t = rec.start();
+                let out = f(i, item, &mut rec);
+                if rec.is_enabled() {
+                    rec.wall_span(
+                        t,
+                        EventKind::Worker {
+                            worker: w as u32,
+                            unit: i as u32,
+                        },
+                    );
+                }
                 *done[i].lock().expect("pool poisoned") = Some(out);
+                *recs[i].lock().expect("pool poisoned") = Some(rec);
             });
         }
     });
+    // Deterministic merge: absorb per-unit buffers in input order, not
+    // completion order.
+    for m in recs {
+        if let Some(rec) = m.into_inner().expect("pool poisoned") {
+            tel.absorb(rec);
+        }
+    }
     done.into_iter()
         .map(|m| {
             m.into_inner()

@@ -25,6 +25,7 @@ use nfc_click::{CompiledGraph, FlowPath, NodeId};
 use nfc_nf::flowcache::{CacheCounters, ClockTable};
 use nfc_packet::batch::BatchLineage;
 use nfc_packet::{Batch, FlowKey, Packet};
+use nfc_telemetry::{EventKind, Recorder};
 
 /// Environment variable toggling the flow cache (`NFC_FLOW_CACHE`):
 /// unset/`0`/`off`/`false` disables (the differential baseline), `1`/
@@ -154,14 +155,31 @@ impl StageFlowCache {
     /// [`nfc_click::GraphStats`] are bit-identical to pushing the whole
     /// batch through the slow path.
     pub fn process(&mut self, run: &mut CompiledGraph, entry: NodeId, batch: Batch) -> CachedRun {
+        self.process_traced(run, entry, batch, &mut Recorder::disabled())
+    }
+
+    /// [`StageFlowCache::process`] recording telemetry into `rec`: a
+    /// [`EventKind::FlowCacheBatch`] instant per cache-path batch, a
+    /// [`EventKind::FlowCacheInvalidate`] instant per configuration-swap
+    /// bulk invalidation, and the miss partition's per-element spans.
+    pub fn process_traced(
+        &mut self,
+        run: &mut CompiledGraph,
+        entry: NodeId,
+        batch: Batch,
+        rec: &mut Recorder,
+    ) -> CachedRun {
         if !run.flow_cacheable() {
-            return Self::fall_back(run, entry, batch);
+            return Self::fall_back(run, entry, batch, rec);
         }
         // Configuration swap (rule-table reload, rewire): O(1) bulk
         // invalidation, then restamp.
         if self.config_hash != run.flow_config_hash() {
             self.table.invalidate_all();
             self.config_hash = run.flow_config_hash();
+            rec.instant(EventKind::FlowCacheInvalidate {
+                generation: self.table.generation(),
+            });
         }
         let mut batch = batch;
         // ---- pass 1: flow keys (memoized on the packet) -------------
@@ -171,7 +189,7 @@ impl StageFlowCache {
                 Ok(k) => self.keys.push(k),
                 // Non-IP traffic: the whole batch takes the slow path so
                 // ordering against its flow-mates is trivially preserved.
-                Err(_) => return Self::fall_back(run, entry, batch),
+                Err(_) => return Self::fall_back(run, entry, batch, rec),
             }
         }
         // ---- pass 2: classify hit/miss, trace misses ----------------
@@ -185,7 +203,7 @@ impl StageFlowCache {
             } else {
                 match run.trace_flow(entry, batch.get(i).expect("index in range")) {
                     Some(path) => self.traced.push(Some(path)),
-                    None => return Self::fall_back(run, entry, batch),
+                    None => return Self::fall_back(run, entry, batch, rec),
                 }
             }
         }
@@ -248,13 +266,17 @@ impl StageFlowCache {
         }
         let hits = (self.keys.len() - self.miss_pkts.len()) as u64;
         let misses = self.miss_pkts.len() as u64;
+        rec.instant(EventKind::FlowCacheBatch {
+            hits: hits as u32,
+            misses: misses as u32,
+        });
         // ---- miss partition: one slow-path batch --------------------
         let (mut miss_new_splits, mut miss_new_merges) = (0, 0);
         let mut out_pkts = std::mem::take(&mut self.hit_pkts);
         if !self.miss_pkts.is_empty() {
             let mut miss_batch: Batch = self.miss_pkts.drain(..).collect();
             miss_batch.lineage = lineage_in;
-            let miss_out = run.push_merged(entry, miss_batch);
+            let miss_out = run.push_merged_traced(entry, miss_batch, rec);
             miss_new_splits = miss_out.lineage.splits.saturating_sub(lineage_in.splits);
             miss_new_merges = miss_out.lineage.merges.saturating_sub(lineage_in.merges);
             out_pkts.extend(miss_out);
@@ -286,8 +308,13 @@ impl StageFlowCache {
     }
 
     /// Slow-path fallback for a whole batch.
-    fn fall_back(run: &mut CompiledGraph, entry: NodeId, batch: Batch) -> CachedRun {
-        let out = run.push_merged(entry, batch);
+    fn fall_back(
+        run: &mut CompiledGraph,
+        entry: NodeId,
+        batch: Batch,
+        rec: &mut Recorder,
+    ) -> CachedRun {
+        let out = run.push_merged_traced(entry, batch, rec);
         CachedRun {
             out,
             hits: 0,

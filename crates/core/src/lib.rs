@@ -60,9 +60,10 @@ pub mod sfc;
 pub mod synthesizer;
 
 pub use allocator::{AllocationPlan, PartitionAlgo};
-pub use engine::{par_map, Duplication, ExecMode};
+pub use engine::{par_map, par_map_traced, Duplication, ExecMode};
 pub use flowcache::{FlowCacheMode, StageFlowCache};
 pub use multi::MultiDeployment;
+pub use nfc_telemetry::{TelemetryMode, TelemetrySummary};
 pub use orchestrator::ReorgSfc;
 pub use runtime::{Deployment, Policy, RunOutcome};
 pub use sfc::Sfc;

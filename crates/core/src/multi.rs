@@ -89,7 +89,14 @@ impl MultiDeployment {
                 .filter(|(j, _)| *j != i)
                 .flat_map(|(_, ks)| ks.iter().copied())
                 .collect();
-            prepared.push(dep.prepare(&mut sim, &res, traffic, &extra, &mut user_base));
+            prepared.push(dep.prepare(
+                &mut sim,
+                &res,
+                traffic,
+                &extra,
+                &mut user_base,
+                &nfc_telemetry::TelemetryHandle::disabled(),
+            ));
         }
         let batch_sizes: Vec<usize> = self.tenants.iter().map(|d| d.batch_size).collect();
         let mut stats: Vec<StatsAccumulator> = (0..self.tenants.len())

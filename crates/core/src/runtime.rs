@@ -20,8 +20,8 @@
 //! ratio search, and `NfCompass` applies chain parallelization, NF
 //! synthesis, graph-partition allocation and persistent kernels.
 
-use crate::allocator::{allocate, AllocationPlan, PartitionAlgo};
-use crate::engine::{par_map, Duplication, ExecMode};
+use crate::allocator::{allocate_traced, AllocationPlan, PartitionAlgo};
+use crate::engine::{par_map_traced, Duplication, ExecMode};
 use crate::flowcache::{FlowCacheMode, StageFlowCache};
 use crate::orchestrator::{merge_branch_batches, ReorgSfc};
 use crate::profiler::{GraphWeights, Profiler};
@@ -35,6 +35,9 @@ use nfc_nf::flowcache::CacheCounters;
 use nfc_nf::Nf;
 use nfc_packet::traffic::TrafficGenerator;
 use nfc_packet::Batch;
+use nfc_telemetry::{
+    EventKind, Recorder, Telemetry, TelemetryHandle, TelemetryMode, TelemetrySummary,
+};
 
 /// How a deployment schedules work.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -213,6 +216,10 @@ pub struct RunOutcome {
     /// Aggregate flow-cache counters over every cache-eligible stage
     /// (all zeros when the fast path is off or no stage qualifies).
     pub flow_cache: CacheCounters,
+    /// End-of-run telemetry digest (`None` when telemetry is off). The
+    /// digest is observational: every other field of the outcome is
+    /// bit-identical with telemetry on or off.
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 /// A prepared deployment of one SFC under one policy.
@@ -236,6 +243,11 @@ pub struct Deployment {
     /// Flow-aware fast path: cache-eligible stages memoize per-flow
     /// verdicts (egress stays bit-identical either way).
     pub flow_cache: FlowCacheMode,
+    /// Telemetry mode for this deployment's runs (default from the
+    /// `NFC_TELEMETRY` environment variable; off when unset). Recording
+    /// never perturbs determinism: egress, statistics and the simulated
+    /// timeline are bit-identical with telemetry on or off.
+    pub telemetry: TelemetryMode,
 }
 
 impl Deployment {
@@ -257,6 +269,7 @@ impl Deployment {
             exec_mode: ExecMode::auto(),
             duplication: Duplication::Cow,
             flow_cache: FlowCacheMode::auto(),
+            telemetry: TelemetryMode::auto(),
         }
     }
 
@@ -293,6 +306,14 @@ impl Deployment {
     /// egress and per-element statistics are bit-identical either way.
     pub fn with_flow_cache(mut self, mode: FlowCacheMode) -> Self {
         self.flow_cache = mode;
+        self
+    }
+
+    /// Sets the telemetry mode, overriding the `NFC_TELEMETRY`
+    /// environment default. Telemetry is purely observational: outcomes
+    /// are bit-identical whatever the mode.
+    pub fn with_telemetry(mut self, mode: TelemetryMode) -> Self {
+        self.telemetry = mode;
         self
     }
 
@@ -357,10 +378,15 @@ impl Deployment {
         collect: bool,
         replay: Option<&[Batch]>,
     ) -> (RunOutcome, Vec<Batch>) {
+        let tel = Telemetry::new(self.telemetry.clone());
+        let handle = tel.handle();
         let mut sim = PipelineSim::new();
+        // Install the simulator's event lane before resources register so
+        // every lane name is announced.
+        sim.set_recorder(handle.recorder());
         let res = PlatformResources::register(&mut sim, &self.model);
         let mut user_base = 1u64;
-        let mut prep = self.prepare(&mut sim, &res, traffic, &[], &mut user_base);
+        let mut prep = self.prepare(&mut sim, &res, traffic, &[], &mut user_base, &handle);
         let batch_size = self.batch_size;
         let mut egress = Vec::new();
         for i in 0..n_batches {
@@ -374,6 +400,7 @@ impl Deployment {
                     completed,
                     out,
                 } => {
+                    handle.observe_ns("batch_latency_ns", completed - mean_arrival);
                     sim.record_completion(mean_arrival, completed, out.len(), out.total_bytes());
                     if collect {
                         egress.push(out);
@@ -382,7 +409,12 @@ impl Deployment {
                 BatchResult::Dropped { mean_arrival } => sim.record_drop(mean_arrival),
             }
         }
-        (prep.into_outcome(sim.report()), egress)
+        if let Some(rec) = sim.take_recorder() {
+            handle.absorb(rec);
+        }
+        let mut outcome = prep.into_outcome(sim.report());
+        outcome.telemetry = tel.finish();
+        (outcome, egress)
     }
 
     /// Runs a sequence of traffic *phases* on one continuous timeline,
@@ -402,11 +434,14 @@ impl Deployment {
         adapt: bool,
     ) -> Vec<RunOutcome> {
         assert!(!phases.is_empty(), "need at least one phase");
+        let tel = Telemetry::new(self.telemetry.clone());
+        let handle = tel.handle();
         let mut sim = PipelineSim::new();
+        sim.set_recorder(handle.recorder());
         let res = PlatformResources::register(&mut sim, &self.model);
         let mut user_base = 1u64;
         let (first, rest) = phases.split_first_mut().expect("non-empty");
-        let mut prep = self.prepare(&mut sim, &res, first, &[], &mut user_base);
+        let mut prep = self.prepare(&mut sim, &res, first, &[], &mut user_base, &handle);
         let batch_size = self.batch_size;
         let mut outcomes = Vec::with_capacity(1 + rest.len());
         let mut clock = 0u64;
@@ -424,6 +459,7 @@ impl Deployment {
                         completed,
                         out,
                     } => {
+                        handle.observe_ns("batch_latency_ns", completed - mean_arrival);
                         last = last.max(completed as u64);
                         stats.record_completion(
                             mean_arrival,
@@ -455,7 +491,13 @@ impl Deployment {
             clock = clock.max(last);
             outcomes.push((stats, prep.current_offloads()));
         }
-        let template = prep.into_outcome(SimReport::default());
+        if let Some(rec) = sim.take_recorder() {
+            handle.absorb(rec);
+        }
+        let mut template = prep.into_outcome(SimReport::default());
+        // One telemetry session spans the whole multi-phase timeline, so
+        // every phase outcome carries the same digest.
+        template.telemetry = tel.finish();
         outcomes
             .into_iter()
             .map(|(stats, offloads)| RunOutcome {
@@ -478,6 +520,7 @@ impl Deployment {
         traffic: &mut TrafficGenerator,
         extra_corun: &[Option<nfc_click::KernelClass>],
         user_base: &mut u64,
+        tel: &TelemetryHandle,
     ) -> PreparedSfc {
         // ---- build the execution structure --------------------------
         let (reorg, synth_on) = match self.policy {
@@ -596,11 +639,13 @@ impl Deployment {
                 }
             }
         }
+        let mut rec = tel.recorder();
         for branch in stages.iter_mut() {
             for stage in branch.iter_mut() {
-                plan_stage(stage, self.policy, mode, self.delta);
+                plan_stage(stage, self.policy, mode, self.delta, &mut rec);
             }
         }
+        tel.absorb(rec);
         let stage_offloads: Vec<(String, f64)> = stages
             .iter()
             .flat_map(|b| b.iter())
@@ -631,6 +676,7 @@ impl Deployment {
             egress_packets: 0,
             egress_bytes: 0,
             merge_conflicts: 0,
+            tel: tel.clone(),
         }
     }
 
@@ -681,8 +727,17 @@ impl Deployment {
 
 /// Profiles one stage from its accumulated statistics and computes its
 /// allocation plan under `policy` (shared by initial preparation and
-/// mid-run re-adaptation).
-fn plan_stage(stage: &mut StageExec, policy: Policy, mode: GpuMode, delta: f64) {
+/// mid-run re-adaptation). Every planning decision — whatever the
+/// policy — is recorded into `rec` as an
+/// [`EventKind::PartitionDecision`] instant; the graph-partition
+/// policies additionally stream their per-pass refinement events.
+fn plan_stage(
+    stage: &mut StageExec,
+    policy: Policy,
+    mode: GpuMode,
+    delta: f64,
+    rec: &mut Recorder,
+) {
     let profiler = Profiler::new(stage.model, mode);
     let weights = profiler.measure_with_corun(&stage.run, &stage.corun);
     let offloadable: Vec<bool> = weights.nodes.iter().map(|n| n.offloadable).collect();
@@ -696,7 +751,7 @@ fn plan_stage(stage: &mut StageExec, policy: Policy, mode: GpuMode, delta: f64) 
             Deployment::grid_search_plan(&stage.model, &weights, mode, &stage.corun)
         }
         Policy::NfCompass { algo, .. } => {
-            let mut plan = allocate(stage.nf.graph(), &weights, algo, delta);
+            let mut plan = allocate_traced(stage.nf.graph(), &weights, algo, delta, rec);
             // Dynamic task adaption (§IV-C3) against the
             // execution-consistent cost.
             crate::allocator::adapt_ratios(
@@ -710,6 +765,39 @@ fn plan_stage(stage: &mut StageExec, policy: Policy, mode: GpuMode, delta: f64) 
             plan
         }
     };
+    if rec.is_enabled() {
+        let algo: &'static str = match policy {
+            Policy::CpuOnly => "cpu-only",
+            Policy::GpuOnly { .. } => "gpu-only",
+            Policy::FixedRatio { .. } => "fixed-ratio",
+            Policy::ReorgOnly { .. } => "reorg-fixed-ratio",
+            Policy::NbaAdaptive => "nba-adaptive",
+            Policy::Optimal => "grid-search",
+            Policy::NfCompass {
+                algo: PartitionAlgo::Kl,
+                ..
+            } => "kl",
+            Policy::NfCompass {
+                algo: PartitionAlgo::Agglomerative,
+                ..
+            } => "agglomerative",
+            Policy::NfCompass {
+                algo: PartitionAlgo::Mfmc,
+                ..
+            } => "mfmc",
+        };
+        let predicted = stage.plan.predicted_cost_ns;
+        rec.instant(EventKind::PartitionDecision {
+            algo,
+            stage: stage.nf.name().to_string(),
+            predicted_cost_ns: if predicted.is_finite() {
+                predicted
+            } else {
+                0.0
+            },
+            mean_ratio: stage.plan.mean_offload(&offloadable),
+        });
+    }
     stage.run.reset_stats();
     stage.weights = Some(weights);
 }
@@ -750,6 +838,7 @@ pub(crate) struct PreparedSfc {
     egress_packets: u64,
     egress_bytes: u64,
     merge_conflicts: u64,
+    tel: TelemetryHandle,
 }
 
 impl PreparedSfc {
@@ -794,16 +883,30 @@ impl PreparedSfc {
         // are collected per stage and replayed below.
         let mode = self.mode;
         let dup = self.duplication;
+        let tel = &self.tel;
         let branch_refs: Vec<&mut Vec<StageExec>> = self.stages.iter_mut().collect();
         let results: Vec<(Batch, Vec<StageCharge>)> =
-            par_map(self.exec_mode, branch_refs, |_, branch| {
+            par_map_traced(self.exec_mode, branch_refs, tel, |bi, branch, rec| {
                 let mut cur = match dup {
                     Duplication::Cow => batch.clone(),
                     Duplication::DeepCopy => batch.deep_clone(),
                 };
                 let mut charges = Vec::with_capacity(branch.len());
-                for stage in branch.iter_mut() {
-                    let (out, charge) = exec_stage_functional(stage, cur, mode);
+                for (si, stage) in branch.iter_mut().enumerate() {
+                    let packets = cur.len();
+                    let t = rec.start();
+                    let (out, charge) = exec_stage_functional(stage, cur, mode, rec);
+                    if rec.is_enabled() {
+                        rec.wall_span(
+                            t,
+                            EventKind::Stage {
+                                branch: bi as u32,
+                                stage: si as u32,
+                                name: stage.nf.name().to_string(),
+                                packets: packets as u32,
+                            },
+                        );
+                    }
                     cur = out;
                     charges.push(charge);
                 }
@@ -879,11 +982,13 @@ impl PreparedSfc {
             }
         }
         let mode = self.mode;
+        let mut rec = self.tel.recorder();
         for branch in self.stages.iter_mut() {
             for stage in branch.iter_mut() {
-                plan_stage(stage, policy, mode, delta);
+                plan_stage(stage, policy, mode, delta, &mut rec);
             }
         }
+        self.tel.absorb(rec);
     }
 
     /// Mean offload ratio per stage (branch-major), refreshed after
@@ -927,12 +1032,8 @@ impl PreparedSfc {
                 .flat_map(|b| b.iter())
                 .filter_map(|s| s.flow_cache.as_ref())
                 .map(|c| c.counters())
-                .fold(CacheCounters::default(), |a, c| CacheCounters {
-                    hits: a.hits + c.hits,
-                    misses: a.misses + c.misses,
-                    evictions: a.evictions + c.evictions,
-                    invalidations: a.invalidations + c.invalidations,
-                }),
+                .fold(CacheCounters::default(), CacheCounters::merge),
+            telemetry: None,
         }
     }
 }
@@ -946,16 +1047,22 @@ struct StageCharge {
     cpu_ns: f64,
     kernel_ns: f64,
     gpu_bytes: f64,
+    /// Largest per-element packet count shipped to the device (drives
+    /// the SM-occupancy telemetry proxy).
+    gpu_packets: usize,
     any_offload: bool,
 }
 
 /// Executes one NF stage functionally (packets through the element
 /// graph) and computes its [`StageCharge`]. Touches only stage-local
-/// state; safe to run concurrently across branches.
+/// state; safe to run concurrently across branches. Telemetry (element
+/// spans, flow-cache instants) goes to `rec`, which is branch-local
+/// during parallel execution.
 fn exec_stage_functional(
     stage: &mut StageExec,
     batch: Batch,
     mode: GpuMode,
+    rec: &mut Recorder,
 ) -> (Batch, StageCharge) {
     let in_packets = batch.len();
     let in_splits = batch.lineage.splits;
@@ -977,7 +1084,7 @@ fn exec_stage_functional(
     let model = *model;
     let (out, charged_packets, charged_bytes, lineage_delta) = match flow_cache.as_mut() {
         Some(cache) => {
-            let cr = cache.process(run, nf.entry(), batch);
+            let cr = cache.process_traced(run, nf.entry(), batch, rec);
             if cr.fell_back {
                 (cr.out, in_packets, None, None)
             } else {
@@ -989,7 +1096,12 @@ fn exec_stage_functional(
                 )
             }
         }
-        None => (run.push_merged(nf.entry(), batch), in_packets, None, None),
+        None => (
+            run.push_merged_traced(nf.entry(), batch, rec),
+            in_packets,
+            None,
+            None,
+        ),
     };
     let (new_splits, new_merges) = lineage_delta.unwrap_or_else(|| {
         (
@@ -1017,6 +1129,7 @@ fn exec_stage_functional(
     let mut cpu_ns = 0.0;
     let mut kernel_ns = 0.0;
     let mut gpu_bytes = 0.0f64;
+    let mut gpu_packets = 0usize;
     let mut any_offload = false;
     let mut partial = false;
     for (i, w) in weights.nodes.iter().enumerate() {
@@ -1042,6 +1155,7 @@ fn exec_stage_functional(
             let g = model.gpu_batch_ns(&gpu_part, mode);
             kernel_ns += g.kernel_ns + g.dispatch_ns;
             gpu_bytes = gpu_bytes.max(gpu_part.bytes as f64);
+            gpu_packets = gpu_packets.max(gpu_part.packets);
             any_offload = true;
         }
         if r > 0.0 && r < 1.0 {
@@ -1066,6 +1180,7 @@ fn exec_stage_functional(
             cpu_ns,
             kernel_ns,
             gpu_bytes,
+            gpu_packets,
             any_offload,
         },
     )
@@ -1101,6 +1216,51 @@ fn replay_stage(
         let h = sim.schedule(pcie_h2d, t, dma(charge.gpu_bytes), stage.user);
         let k = sim.schedule(gpu, h, charge.kernel_ns, stage.user);
         let d = sim.schedule(pcie_d2h, k, dma(charge.gpu_bytes), stage.user);
+        let rec = sim.recorder_mut();
+        if rec.is_enabled() {
+            // Semantic GPU events on the simulated timeline, alongside
+            // the generic resource-busy spans `schedule` already emits.
+            let queue = gpu.index() as u32;
+            let bytes = charge.gpu_bytes as u64;
+            rec.sim_span(
+                pcie_h2d.index() as u32,
+                t,
+                h,
+                EventKind::Dma {
+                    to_device: true,
+                    bytes,
+                },
+            );
+            rec.sim_span(
+                queue,
+                h,
+                k,
+                EventKind::KernelLaunch {
+                    queue,
+                    user: stage.user,
+                    bytes,
+                },
+            );
+            rec.sim_span(
+                pcie_d2h.index() as u32,
+                k,
+                d,
+                EventKind::Dma {
+                    to_device: false,
+                    bytes,
+                },
+            );
+            let occupancy_pct =
+                (charge.gpu_packets * 100 / calib::GPU_PARALLEL_WIDTH).min(100) as u8;
+            rec.sim_instant(
+                queue,
+                k,
+                EventKind::SmOccupancy {
+                    queue,
+                    occupancy_pct,
+                },
+            );
+        }
         // Ordered release (completion-queue) once both sides finish.
         cpu_done.max(d)
     } else {

@@ -15,6 +15,7 @@
 //! makespan objective greedily.
 
 use crate::graph::{Objective, PartGraph, Partition, Side};
+use nfc_telemetry::{EventKind, Recorder};
 use std::collections::BinaryHeap;
 
 /// A seed: node `v` pinned to `side` for clustering purposes.
@@ -91,6 +92,18 @@ impl Dsu {
 /// element per SFC); pinned nodes act as implicit seeds. Runs in
 /// O(k log k) heap operations over the k edges.
 pub fn partition(g: &PartGraph, seeds: &[Seed], objective: Objective) -> Partition {
+    partition_traced(g, seeds, objective, &mut Recorder::disabled())
+}
+
+/// [`partition`] recording one telemetry event summarizing the merge
+/// pass (merges performed, objective cost vs the all-CPU baseline) into
+/// `rec`.
+pub fn partition_traced(
+    g: &PartGraph,
+    seeds: &[Seed],
+    objective: Objective,
+    rec: &mut Recorder,
+) -> Partition {
     let n = g.len();
     if n == 0 {
         return Partition(Vec::new());
@@ -113,8 +126,11 @@ pub fn partition(g: &PartGraph, seeds: &[Seed], objective: Objective) -> Partiti
         .iter()
         .map(|&(u, v, w)| HeapEdge(w, u, v))
         .collect();
+    let mut merges = 0u32;
     while let Some(HeapEdge(_, u, v)) = heap.pop() {
-        dsu.union(u, v);
+        if dsu.union(u, v) {
+            merges += 1;
+        }
     }
     // Assign: seeded clusters take their side; the rest greedily join the
     // side minimizing incremental makespan.
@@ -166,8 +182,22 @@ pub fn partition(g: &PartGraph, seeds: &[Seed], objective: Objective) -> Partiti
         cluster_side.insert(r, side);
         loads[side.index()] += w[side.index()];
     }
-    let _ = objective;
-    Partition((0..n).map(|v| cluster_side[&dsu.find(v)]).collect())
+    let part = Partition(
+        (0..n)
+            .map(|v| cluster_side[&dsu.find(v)])
+            .collect::<Vec<_>>(),
+    );
+    if rec.is_enabled() {
+        let all_cpu = Partition::all(n, Side::Cpu);
+        rec.instant(EventKind::PartitionPass {
+            algo: "agglomerative",
+            pass: 0,
+            moved: merges,
+            cost_before: objective.cost(g, &all_cpu),
+            cost_after: objective.cost(g, &part),
+        });
+    }
+    part
 }
 
 /// Picks default seeds for a graph: the node with the best GPU/CPU cost
@@ -309,5 +339,38 @@ mod tests {
     fn empty_graph() {
         let part = partition(&PartGraph::new(), &[], Objective::default());
         assert!(part.0.is_empty());
+    }
+
+    #[test]
+    fn traced_partition_summarizes_merges() {
+        use nfc_telemetry::{EventKind, Recorder};
+        let mut g = PartGraph::new();
+        let a = g.add_node(100.0, 10.0);
+        let b = g.add_node(100.0, 10.0);
+        g.add_edge(a, b, 50.0);
+        let seeds = vec![Seed {
+            v: a,
+            side: Side::Gpu,
+        }];
+        let mut rec = Recorder::with_capacity(16);
+        let traced = partition_traced(&g, &seeds, Objective::default(), &mut rec);
+        assert_eq!(traced.0, partition(&g, &seeds, Objective::default()).0);
+        let ev = rec.events().next().expect("one summary event");
+        match ev.kind {
+            EventKind::PartitionPass {
+                algo: "agglomerative",
+                moved,
+                cost_before,
+                cost_after,
+                ..
+            } => {
+                assert_eq!(moved, 1, "one union along the single edge");
+                assert!(
+                    cost_after < cost_before,
+                    "offloading beats the all-CPU baseline"
+                );
+            }
+            ref k => panic!("unexpected event {k:?}"),
+        }
     }
 }

@@ -17,6 +17,7 @@
 //! heavy-edge matching as in METIS.
 
 use crate::graph::{Objective, PartGraph, Partition, Side};
+use nfc_telemetry::{EventKind, Recorder};
 
 /// Options for the KL partitioner.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,23 +44,34 @@ impl Default for KlOptions {
 ///
 /// Pinned nodes never move. Returns a partition respecting all pins.
 pub fn partition(g: &PartGraph, opts: KlOptions) -> Partition {
+    partition_traced(g, opts, &mut Recorder::disabled())
+}
+
+/// [`partition`] recording one telemetry event per refinement pass
+/// (moves applied, objective cost before/after) into `rec`.
+pub fn partition_traced(g: &PartGraph, opts: KlOptions, rec: &mut Recorder) -> Partition {
     if g.is_empty() {
         return Partition(Vec::new());
     }
-    multilevel(g, &opts, 0)
+    multilevel(g, &opts, 0, rec)
 }
 
 /// Flat (single-level) KL refinement from a greedy initial assignment —
 /// exposed for the ablation benches comparing multilevel vs flat.
 pub fn partition_flat(g: &PartGraph, opts: KlOptions) -> Partition {
+    partition_flat_traced(g, opts, &mut Recorder::disabled())
+}
+
+/// [`partition_flat`] with per-pass telemetry (see [`partition_traced`]).
+pub fn partition_flat_traced(g: &PartGraph, opts: KlOptions, rec: &mut Recorder) -> Partition {
     let mut part = greedy_initial(g);
-    refine(g, &mut part, &opts);
+    refine(g, &mut part, &opts, rec);
     part
 }
 
-fn multilevel(g: &PartGraph, opts: &KlOptions, depth: usize) -> Partition {
+fn multilevel(g: &PartGraph, opts: &KlOptions, depth: usize, rec: &mut Recorder) -> Partition {
     if g.len() <= opts.coarsen_to || depth > 20 {
-        return partition_flat(g, *opts);
+        return partition_flat_traced(g, *opts, rec);
     }
     // --- Coarsen: heavy-edge matching ---
     let n = g.len();
@@ -135,10 +147,10 @@ fn multilevel(g: &PartGraph, opts: &KlOptions, depth: usize) -> Partition {
     }
     // If matching made no progress, fall back to flat refinement.
     if coarse.len() == n {
-        return partition_flat(g, *opts);
+        return partition_flat_traced(g, *opts, rec);
     }
     // --- Recurse, then project and refine ---
-    let coarse_part = multilevel(&coarse, opts, depth + 1);
+    let coarse_part = multilevel(&coarse, opts, depth + 1, rec);
     let mut part = Partition(
         (0..n)
             .map(|v| coarse_part.side(coarse_id[v]))
@@ -150,7 +162,7 @@ fn multilevel(g: &PartGraph, opts: &KlOptions, depth: usize) -> Partition {
             part.0[v] = p;
         }
     }
-    refine(g, &mut part, opts);
+    refine(g, &mut part, opts, rec);
     part
 }
 
@@ -174,10 +186,10 @@ fn greedy_initial(g: &PartGraph) -> Partition {
 
 /// One FM-style refinement: repeated passes of tentative best-gain moves
 /// with rollback to the best prefix.
-fn refine(g: &PartGraph, part: &mut Partition, opts: &KlOptions) {
+fn refine(g: &PartGraph, part: &mut Partition, opts: &KlOptions, rec: &mut Recorder) {
     let obj = &opts.objective;
     let n = g.len();
-    for _pass in 0..opts.max_passes {
+    for pass in 0..opts.max_passes {
         let mut loads = obj.loads(g, part);
         let mut cut = obj.cut(g, part);
         let start_cost = loads[0].max(loads[1]) + obj.transfer_penalty * cut;
@@ -237,6 +249,15 @@ fn refine(g: &PartGraph, part: &mut Partition, opts: &KlOptions) {
         // Apply the best prefix to `part`.
         for &v in &seq[..best_len] {
             part.0[v] = part.0[v].other();
+        }
+        if rec.is_enabled() {
+            rec.instant(EventKind::PartitionPass {
+                algo: "kl",
+                pass: pass as u32,
+                moved: best_len as u32,
+                cost_before: start_cost,
+                cost_after: best_cost,
+            });
         }
     }
 }
@@ -358,5 +379,39 @@ mod tests {
     fn empty_graph() {
         let part = partition(&PartGraph::new(), KlOptions::default());
         assert!(part.0.is_empty());
+    }
+
+    #[test]
+    fn traced_partition_emits_improving_passes_without_changing_result() {
+        use nfc_telemetry::{EventKind, Recorder};
+        // Equal-cost parallel nodes: the greedy seed puts everything on
+        // one side, so refinement must apply balancing passes.
+        let mut g = PartGraph::new();
+        for _ in 0..20 {
+            g.add_node(10.0, 10.0);
+        }
+        let mut rec = Recorder::with_capacity(256);
+        let traced = partition_traced(&g, KlOptions::default(), &mut rec);
+        assert_eq!(traced.0, partition(&g, KlOptions::default()).0);
+        let passes: Vec<(f64, f64)> = rec
+            .events()
+            .filter_map(|e| match e.kind {
+                EventKind::PartitionPass {
+                    algo: "kl",
+                    cost_before,
+                    cost_after,
+                    moved,
+                    ..
+                } => {
+                    assert!(moved > 0, "recorded passes applied moves");
+                    Some((cost_before, cost_after))
+                }
+                _ => None,
+            })
+            .collect();
+        assert!(!passes.is_empty(), "balancing needs at least one pass");
+        for (before, after) in passes {
+            assert!(after < before, "recorded passes improve the objective");
+        }
     }
 }

@@ -12,9 +12,18 @@
 //! dropped (tail drop at the NIC ring), which is what bounds the paper's
 //! worst-case latencies at saturation.
 
+use nfc_telemetry::{EventKind, LogHistogram, Recorder};
+
 /// Identifies a resource registered with [`PipelineSim`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ResourceId(usize);
+
+impl ResourceId {
+    /// The raw index, usable as a telemetry track/lane id.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
 
 /// One step of a batch's processing plan.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,7 +68,12 @@ pub struct SimReport {
 /// need one report per tenant over a shared simulator.
 #[derive(Debug, Clone, Default)]
 pub struct StatsAccumulator {
-    latencies: Vec<f64>,
+    /// Streaming latency histogram: bounded memory on long runs, exact
+    /// percentiles (matching the historical sorted-index formula) below
+    /// `nfc_telemetry::EXACT_CAP` samples, and within the histogram's
+    /// documented ~1.6% bucket error beyond. Mean and max stay exact in
+    /// both modes.
+    latency: LogHistogram,
     packets: u64,
     bytes: u64,
     dropped: u64,
@@ -84,7 +98,7 @@ impl StatsAccumulator {
     ) {
         self.offered += 1;
         self.first_arrival.get_or_insert(arrival_ns);
-        self.latencies.push(completion_ns - arrival_ns);
+        self.latency.record(completion_ns - arrival_ns);
         self.packets += packets as u64;
         self.bytes += bytes as u64;
         self.last_completion = self.last_completion.max(completion_ns);
@@ -99,13 +113,34 @@ impl StatsAccumulator {
 
     /// Builds the aggregate report.
     pub fn report(&self) -> SimReport {
-        let mut lat = self.latencies.clone();
-        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let pct = |p: f64| -> f64 {
-            if lat.is_empty() {
-                0.0
-            } else {
-                lat[((lat.len() - 1) as f64 * p) as usize]
+        // Exact mode replicates the historical Vec-backed computation
+        // bit for bit (percentile index formula, mean summed over the
+        // sorted values); bucketed mode kicks in only past EXACT_CAP
+        // samples, where percentiles carry the documented bucket error.
+        let (mean, p50, p99, max) = match self.latency.sorted_exact() {
+            Some(lat) => {
+                let pct = |p: f64| -> f64 {
+                    if lat.is_empty() {
+                        0.0
+                    } else {
+                        lat[((lat.len() - 1) as f64 * p) as usize]
+                    }
+                };
+                let mean = if lat.is_empty() {
+                    0.0
+                } else {
+                    lat.iter().sum::<f64>() / lat.len() as f64
+                };
+                (
+                    mean,
+                    pct(0.50),
+                    pct(0.99),
+                    lat.last().copied().unwrap_or(0.0),
+                )
+            }
+            None => {
+                let ps = self.latency.percentiles(&[0.50, 0.99]);
+                (self.latency.mean(), ps[0], ps[1], self.latency.max())
             }
         };
         let span = (self.last_completion - self.first_arrival.unwrap_or(0.0)).max(1.0);
@@ -117,14 +152,10 @@ impl StatsAccumulator {
             offered_batches: self.offered,
             throughput_gbps: framed_bits / span,
             pps: self.packets as f64 * 1e9 / span,
-            mean_latency_ns: if lat.is_empty() {
-                0.0
-            } else {
-                lat.iter().sum::<f64>() / lat.len() as f64
-            },
-            p50_latency_ns: pct(0.50),
-            p99_latency_ns: pct(0.99),
-            max_latency_ns: lat.last().copied().unwrap_or(0.0),
+            mean_latency_ns: mean,
+            p50_latency_ns: p50,
+            p99_latency_ns: p99,
+            max_latency_ns: max,
         }
     }
 }
@@ -147,6 +178,11 @@ pub struct PipelineSim {
     ctx_switch_ns: Vec<f64>,
     names: Vec<String>,
     stats: StatsAccumulator,
+    /// Telemetry recorder; disabled by default. When enabled, every
+    /// committed busy interval, context-switch penalty, and resource
+    /// registration is emitted on the simulated timeline. Recording
+    /// never influences scheduling decisions.
+    recorder: Recorder,
     /// Maximum ingress backlog before tail drop, ns.
     pub max_queue_ns: f64,
 }
@@ -165,8 +201,44 @@ impl PipelineSim {
             ctx_switch_ns: Vec::new(),
             names: Vec::new(),
             stats: StatsAccumulator::new(),
+            recorder: Recorder::disabled(),
             max_queue_ns: 50e6,
         }
+    }
+
+    /// Installs a telemetry recorder; simulated-timeline events are
+    /// recorded into it from now on. Resources already registered are
+    /// re-announced so lane names survive late installation.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.recorder = rec;
+        if self.recorder.is_enabled() {
+            for (r, name) in self.names.clone().into_iter().enumerate() {
+                self.recorder.sim_instant(
+                    r as u32,
+                    0.0,
+                    EventKind::ResourceName {
+                        resource: r as u32,
+                        name,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Removes and returns the recorder if one was installed and
+    /// enabled, leaving a disabled recorder behind.
+    pub fn take_recorder(&mut self) -> Option<Recorder> {
+        if self.recorder.is_enabled() {
+            Some(std::mem::replace(&mut self.recorder, Recorder::disabled()))
+        } else {
+            None
+        }
+    }
+
+    /// The installed recorder, for callers that need to emit their own
+    /// simulated-timeline events (e.g. GPU kernel/DMA semantics).
+    pub fn recorder_mut(&mut self) -> &mut Recorder {
+        &mut self.recorder
     }
 
     /// Registers a resource; `ctx_switch_ns` is charged whenever
@@ -175,7 +247,18 @@ impl PipelineSim {
         self.busy.push(Vec::new());
         self.ctx_switch_ns.push(ctx_switch_ns);
         self.names.push(name.into());
-        ResourceId(self.busy.len() - 1)
+        let id = ResourceId(self.busy.len() - 1);
+        if self.recorder.is_enabled() {
+            self.recorder.sim_instant(
+                id.0 as u32,
+                0.0,
+                EventKind::ResourceName {
+                    resource: id.0 as u32,
+                    name: self.names[id.0].clone(),
+                },
+            );
+        }
+        id
     }
 
     /// Resource name (for reports).
@@ -203,10 +286,10 @@ impl PipelineSim {
         user: u64,
     ) -> f64 {
         let r = resource.0;
-        let intervals = &mut self.busy[r];
         let mut idx = 0usize;
         let mut candidate = earliest_ns;
-        loop {
+        let (slot_idx, start, end, penalty, prev_user) = loop {
+            let intervals = &self.busy[r];
             // Context-switch penalty against the interval preceding the
             // candidate slot.
             let prev_user = if idx == 0 {
@@ -227,12 +310,36 @@ impl PipelineSim {
                     candidate = candidate.max(next.end);
                     idx += 1;
                 }
-                _ => {
-                    intervals.insert(idx, Busy { start, end, user });
-                    return end;
+                _ => break (idx, start, end, penalty, prev_user),
+            }
+        };
+        self.busy[r].insert(slot_idx, Busy { start, end, user });
+        if self.recorder.is_enabled() {
+            if penalty > 0.0 {
+                if let Some(from_user) = prev_user {
+                    self.recorder.sim_instant(
+                        r as u32,
+                        candidate,
+                        EventKind::KernelTeardown {
+                            resource: r as u32,
+                            from_user,
+                            to_user: user,
+                            penalty_ns: penalty,
+                        },
+                    );
                 }
             }
+            self.recorder.sim_span(
+                r as u32,
+                start,
+                end,
+                EventKind::ResourceBusy {
+                    resource: r as u32,
+                    user,
+                },
+            );
         }
+        end
     }
 
     /// Current backlog of `resource` relative to `now_ns` (0 if idle):
@@ -482,6 +589,88 @@ mod tests {
         sim.schedule(r, 0.0, 100.0, 1);
         assert_eq!(sim.backlog_ns(r, 30.0), 70.0);
         assert_eq!(sim.backlog_ns(r, 200.0), 0.0);
+    }
+
+    #[test]
+    fn recorder_captures_busy_intervals_and_context_switches() {
+        let mut sim = PipelineSim::new();
+        let gpu = sim.add_resource("gpu/ctx0", 1000.0);
+        sim.set_recorder(Recorder::with_capacity(64));
+        sim.schedule(gpu, 0.0, 100.0, 1);
+        sim.schedule(gpu, 0.0, 100.0, 2); // pays the switch penalty
+        let rec = sim.take_recorder().expect("recorder was installed");
+        assert!(sim.take_recorder().is_none(), "take leaves disabled");
+        let kinds: Vec<&EventKind> = rec.events().map(|e| &e.kind).collect();
+        assert!(matches!(kinds[0], EventKind::ResourceName { name, .. } if name == "gpu/ctx0"));
+        assert!(
+            matches!(kinds[1], EventKind::ResourceBusy { user: 1, .. }),
+            "{kinds:?}"
+        );
+        assert!(matches!(
+            kinds[2],
+            EventKind::KernelTeardown {
+                from_user: 1,
+                to_user: 2,
+                ..
+            }
+        ));
+        let busy2 = rec
+            .events()
+            .find(|e| matches!(e.kind, EventKind::ResourceBusy { user: 2, .. }))
+            .expect("second busy interval recorded");
+        let sim_stamp = busy2.sim.expect("sim timeline stamp");
+        assert_eq!(sim_stamp.start_ns, 1100.0, "start after 1000 ns penalty");
+        assert_eq!(sim_stamp.end_ns, 1200.0);
+    }
+
+    #[test]
+    fn recording_does_not_perturb_the_schedule() {
+        let run = |record: bool| {
+            let mut sim = PipelineSim::new();
+            let cpu = sim.add_resource("cpu", 0.0);
+            let gpu = sim.add_resource("gpu", 500.0);
+            if record {
+                sim.set_recorder(Recorder::with_capacity(1 << 12));
+            }
+            let mut ends = Vec::new();
+            for i in 0..50 {
+                let u = 1 + (i % 3) as u64;
+                let c = sim.schedule(cpu, i as f64 * 40.0, 100.0, u);
+                ends.push(sim.schedule(gpu, c, 80.0, u));
+            }
+            let r = sim.report();
+            (
+                ends,
+                r.throughput_gbps.to_bits(),
+                r.max_latency_ns.to_bits(),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn long_runs_stay_bounded_and_percentiles_stay_close() {
+        // Spill past the exact cap: the accumulator must keep working
+        // with bounded memory and small relative percentile error.
+        let mut acc = StatsAccumulator::new();
+        let n = nfc_telemetry::EXACT_CAP + 5_000;
+        for i in 0..n {
+            let lat = 1_000.0 + (i % 1_000) as f64 * 50.0;
+            acc.record_completion(i as f64 * 10.0, i as f64 * 10.0 + lat, 1, 64);
+        }
+        let r = acc.report();
+        assert_eq!(r.offered_batches, n as u64);
+        // True p50 of the uniform 1000..51000 ladder is ~25500.
+        let true_p50 = 1_000.0 + 499.0 * 50.0;
+        assert!(
+            (r.p50_latency_ns - true_p50).abs() / true_p50 < 0.04,
+            "p50 {} vs {}",
+            r.p50_latency_ns,
+            true_p50
+        );
+        assert_eq!(r.max_latency_ns, 1_000.0 + 999.0 * 50.0, "max stays exact");
+        let true_mean = 1_000.0 + 999.0 * 50.0 / 2.0;
+        assert!((r.mean_latency_ns - true_mean).abs() / true_mean < 0.01);
     }
 
     #[test]

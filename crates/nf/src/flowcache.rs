@@ -42,6 +42,19 @@ pub struct CacheCounters {
     pub invalidations: u64,
 }
 
+impl CacheCounters {
+    /// Element-wise sum, for aggregating per-stage caches into a
+    /// deployment-wide total.
+    pub fn merge(self, other: CacheCounters) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+            invalidations: self.invalidations + other.invalidations,
+        }
+    }
+}
+
 /// A bounded set-associative cache with CLOCK (second-chance) eviction
 /// and generation-stamped lazy invalidation.
 ///

@@ -1,0 +1,321 @@
+//! Typed telemetry events and the process-wide wall clock.
+//!
+//! Every [`Event`] carries a wall-clock stamp (nanoseconds since the
+//! process telemetry epoch) and, for events generated during temporal
+//! replay, a simulated-time stamp from the [`PipelineSim`] timeline.
+//! The two timelines are exported as separate Chrome-trace processes so
+//! they can be compared side by side.
+//!
+//! [`PipelineSim`]: https://chromium.googlesource.com/catapult/+/HEAD/tracing/README.md
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds elapsed since the first telemetry clock read in this
+/// process. All wall-clock stamps share this epoch so events recorded by
+/// different workers land on one consistent timeline.
+#[inline]
+pub fn wall_now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// A simulated-time interval (nanoseconds on the [`PipelineSim`]
+/// timeline; instants have `start_ns == end_ns`).
+///
+/// [`PipelineSim`]: https://chromium.googlesource.com/catapult
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimStamp {
+    /// Interval start on the simulated timeline.
+    pub start_ns: f64,
+    /// Interval end on the simulated timeline (`>= start_ns`).
+    pub end_ns: f64,
+}
+
+impl SimStamp {
+    /// Interval duration in simulated nanoseconds.
+    pub fn dur_ns(&self) -> f64 {
+        (self.end_ns - self.start_ns).max(0.0)
+    }
+}
+
+/// One recorded telemetry event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Wall-clock stamp: span begin (spans) or emission time (instants),
+    /// nanoseconds since the process telemetry epoch.
+    pub wall_ns: u64,
+    /// Wall-clock span duration; `0` for instants and sim-timeline events.
+    pub wall_dur_ns: u64,
+    /// Simulated-time interval, when the event belongs to the temporal
+    /// replay timeline (`None` for functional-layer wall events).
+    pub sim: Option<SimStamp>,
+    /// Display lane: branch index for functional events, worker id for
+    /// worker spans, resource id for simulated-timeline events.
+    pub track: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The event taxonomy. Each variant maps to one Chrome-trace event name
+/// and one of the categories listed under [`EventKind::category`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// One SFC stage executed over one branch batch (functional layer,
+    /// wall-clock span).
+    Stage {
+        /// Branch index within the batch split.
+        branch: u32,
+        /// Stage index within the chain.
+        stage: u32,
+        /// NF name of the stage.
+        name: String,
+        /// Packets entering the stage.
+        packets: u32,
+    },
+    /// One Click element processed one batch (wall-clock span).
+    Element {
+        /// Node id in the compiled element graph.
+        node: u32,
+        /// Element name.
+        name: String,
+        /// Packets entering the element.
+        packets_in: u32,
+        /// Packets leaving over all output ports.
+        packets_out: u32,
+    },
+    /// A batch fanned out over more than one non-empty output port.
+    BatchSplit {
+        /// Splitting node id.
+        node: u32,
+        /// Number of non-empty output ports.
+        parts: u32,
+    },
+    /// A multi-input node merged pending batches before processing.
+    BatchMerge {
+        /// Merging node id.
+        node: u32,
+        /// Number of merged input batches.
+        parts: u32,
+    },
+    /// Flow-cache classification outcome for one batch.
+    FlowCacheBatch {
+        /// Packets replayed from cached verdicts.
+        hits: u32,
+        /// Packets sent down the slow path.
+        misses: u32,
+    },
+    /// The flow cache invalidated all entries (configuration change).
+    FlowCacheInvalidate {
+        /// Cache generation after the bump.
+        generation: u64,
+    },
+    /// A GPU kernel occupied a GPU queue (simulated-time span).
+    KernelLaunch {
+        /// GPU queue index within the platform's queue list.
+        queue: u32,
+        /// Logical user (tenant/stage) owning the kernel.
+        user: u64,
+        /// Payload bytes shipped to the device for this kernel.
+        bytes: u64,
+    },
+    /// A resource switched users and paid a context-switch/teardown
+    /// penalty (simulated-time instant).
+    KernelTeardown {
+        /// Resource id that switched users.
+        resource: u32,
+        /// Previous occupant.
+        from_user: u64,
+        /// New occupant.
+        to_user: u64,
+        /// Penalty charged on the simulated timeline.
+        penalty_ns: f64,
+    },
+    /// A PCIe DMA transfer (simulated-time span).
+    Dma {
+        /// `true` for host-to-device, `false` for device-to-host.
+        to_device: bool,
+        /// Transfer size in bytes.
+        bytes: u64,
+    },
+    /// SM-occupancy proxy for a kernel launch: the share of one GPU wave
+    /// the batch fills (simulated-time instant).
+    SmOccupancy {
+        /// GPU queue index.
+        queue: u32,
+        /// `min(100, 100 * packets / GPU_PARALLEL_WIDTH)`.
+        occupancy_pct: u8,
+    },
+    /// A resource was busy serving a scheduled charge (simulated-time
+    /// span, emitted for every `PipelineSim::schedule`).
+    ResourceBusy {
+        /// Resource id.
+        resource: u32,
+        /// Occupying user.
+        user: u64,
+    },
+    /// Maps a resource id to its human-readable name (emitted once per
+    /// resource registration; becomes Chrome `thread_name` metadata).
+    ResourceName {
+        /// Resource id.
+        resource: u32,
+        /// Resource name (e.g. `gpu/ctx0`).
+        name: String,
+    },
+    /// One refinement pass of a graph-partitioning algorithm.
+    PartitionPass {
+        /// Algorithm label (`"kl"`, `"agglomerative"`).
+        algo: &'static str,
+        /// Pass index (0-based; agglomerative runs a single pass).
+        pass: u32,
+        /// Vertex moves (KL) or cluster merges (agglomerative) applied.
+        moved: u32,
+        /// Objective cost before the pass (for agglomerative: the
+        /// all-CPU baseline cost).
+        cost_before: f64,
+        /// Objective cost after the pass.
+        cost_after: f64,
+    },
+    /// The allocator fixed an offload plan for one stage (emitted for
+    /// every policy, including fixed-ratio and CPU-only).
+    PartitionDecision {
+        /// Policy/algorithm label.
+        algo: &'static str,
+        /// Stage (NF) name.
+        stage: String,
+        /// Predicted per-batch cost of the chosen plan (`0` when the
+        /// policy does not predict one).
+        predicted_cost_ns: f64,
+        /// Mean per-vertex GPU offload ratio of the plan.
+        mean_ratio: f64,
+    },
+    /// One work unit executed by a `par_map` worker (wall-clock span).
+    Worker {
+        /// Worker thread index within the pool.
+        worker: u32,
+        /// Input item index the worker processed.
+        unit: u32,
+    },
+}
+
+impl EventKind {
+    /// Coarse category, used as the Chrome-trace `cat` field and by
+    /// `nfc-trace` for per-category summaries: one of `stage`,
+    /// `element`, `batch`, `flow-cache`, `gpu`, `resource`,
+    /// `partition`, `worker`.
+    pub fn category(&self) -> &'static str {
+        match self {
+            EventKind::Stage { .. } => "stage",
+            EventKind::Element { .. } => "element",
+            EventKind::BatchSplit { .. } | EventKind::BatchMerge { .. } => "batch",
+            EventKind::FlowCacheBatch { .. } | EventKind::FlowCacheInvalidate { .. } => {
+                "flow-cache"
+            }
+            EventKind::KernelLaunch { .. }
+            | EventKind::KernelTeardown { .. }
+            | EventKind::Dma { .. }
+            | EventKind::SmOccupancy { .. } => "gpu",
+            EventKind::ResourceBusy { .. } | EventKind::ResourceName { .. } => "resource",
+            EventKind::PartitionPass { .. } | EventKind::PartitionDecision { .. } => "partition",
+            EventKind::Worker { .. } => "worker",
+        }
+    }
+
+    /// Display name for the event (the Chrome-trace `name` field).
+    pub fn label(&self) -> String {
+        match self {
+            EventKind::Stage { name, stage, .. } => format!("stage:{stage}:{name}"),
+            EventKind::Element { name, .. } => format!("element:{name}"),
+            EventKind::BatchSplit { .. } => "batch_split".to_string(),
+            EventKind::BatchMerge { .. } => "batch_merge".to_string(),
+            EventKind::FlowCacheBatch { .. } => "flow_cache_batch".to_string(),
+            EventKind::FlowCacheInvalidate { .. } => "flow_cache_invalidate".to_string(),
+            EventKind::KernelLaunch { .. } => "kernel_launch".to_string(),
+            EventKind::KernelTeardown { .. } => "kernel_teardown".to_string(),
+            EventKind::Dma {
+                to_device: true, ..
+            } => "dma_h2d".to_string(),
+            EventKind::Dma {
+                to_device: false, ..
+            } => "dma_d2h".to_string(),
+            EventKind::SmOccupancy { .. } => "sm_occupancy".to_string(),
+            EventKind::ResourceBusy { .. } => "resource_busy".to_string(),
+            EventKind::ResourceName { .. } => "resource_name".to_string(),
+            EventKind::PartitionPass { algo, .. } => format!("partition_pass:{algo}"),
+            EventKind::PartitionDecision { algo, .. } => format!("partition_decision:{algo}"),
+            EventKind::Worker { .. } => "worker_unit".to_string(),
+        }
+    }
+
+    /// True for kinds rendered as Chrome complete spans (`ph:"X"`);
+    /// everything else becomes an instant (`ph:"i"`).
+    pub fn is_span(&self) -> bool {
+        matches!(
+            self,
+            EventKind::Stage { .. }
+                | EventKind::Element { .. }
+                | EventKind::Worker { .. }
+                | EventKind::ResourceBusy { .. }
+                | EventKind::KernelLaunch { .. }
+                | EventKind::Dma { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let a = wall_now_ns();
+        let b = wall_now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn categories_cover_required_taxonomy() {
+        let cats = [
+            EventKind::Stage {
+                branch: 0,
+                stage: 0,
+                name: "fw".into(),
+                packets: 1,
+            }
+            .category(),
+            EventKind::Element {
+                node: 0,
+                name: "acl".into(),
+                packets_in: 1,
+                packets_out: 1,
+            }
+            .category(),
+            EventKind::FlowCacheBatch { hits: 1, misses: 0 }.category(),
+            EventKind::KernelLaunch {
+                queue: 0,
+                user: 0,
+                bytes: 64,
+            }
+            .category(),
+            EventKind::PartitionPass {
+                algo: "kl",
+                pass: 0,
+                moved: 2,
+                cost_before: 10.0,
+                cost_after: 8.0,
+            }
+            .category(),
+        ];
+        assert_eq!(cats, ["stage", "element", "flow-cache", "gpu", "partition"]);
+    }
+
+    #[test]
+    fn sim_stamp_duration_clamps_negative() {
+        let s = SimStamp {
+            start_ns: 5.0,
+            end_ns: 3.0,
+        };
+        assert_eq!(s.dur_ns(), 0.0);
+    }
+}

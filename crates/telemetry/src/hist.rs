@@ -1,0 +1,318 @@
+//! Log-bucketed (HDR-style) latency histograms with an exact-mode
+//! fallback.
+//!
+//! Values are bucketed into `2^SUB_BUCKET_BITS` sub-buckets per
+//! power-of-two octave, so the relative width of any bucket is at most
+//! `1 / 2^SUB_BUCKET_BITS` (~3.1% for the default of 5 bits) and the
+//! mid-point representative returned for a percentile is within ~1.6%
+//! of the true sample. Memory is a fixed ~15 KiB regardless of sample
+//! count, which is what lets `StatsAccumulator` drop its unbounded
+//! `Vec<f64>` of latencies.
+//!
+//! Up to [`EXACT_CAP`] samples the histogram additionally keeps the raw
+//! values and reports *exact* percentiles with the same
+//! sorted-index formula the simulator historically used, so short test
+//! runs see bit-identical `SimReport`s. `sum`, `count`, `min` and `max`
+//! are exact in both modes.
+
+/// Sub-bucket resolution: `2^5 = 32` buckets per octave.
+pub const SUB_BUCKET_BITS: u32 = 5;
+
+const SUB: u64 = 1 << SUB_BUCKET_BITS;
+
+/// Number of log buckets covering the full `u64` nanosecond range.
+pub const NUM_BUCKETS: usize = (64 - SUB_BUCKET_BITS as usize + 1) << SUB_BUCKET_BITS;
+
+/// Samples kept verbatim before the histogram switches from exact to
+/// bucketed percentiles.
+pub const EXACT_CAP: usize = 1 << 16;
+
+/// A streaming histogram over non-negative values (nanoseconds).
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    exact: Vec<f64>,
+    exact_mode: bool,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram (starts in exact mode).
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: 0.0,
+            exact: Vec::new(),
+            exact_mode: true,
+        }
+    }
+
+    /// Records one sample. Negative values clamp to zero.
+    pub fn record(&mut self, v: f64) {
+        let v = if v.is_finite() { v.max(0.0) } else { 0.0 };
+        self.buckets[bucket_index(v as u64)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        if self.exact_mode {
+            if self.exact.len() < EXACT_CAP {
+                self.exact.push(v);
+            } else {
+                self.exact = Vec::new();
+                self.exact_mode = false;
+            }
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact mean (`0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Exact minimum (`0` when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum (`0` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// True while percentiles are computed from the raw samples.
+    pub fn is_exact(&self) -> bool {
+        self.exact_mode
+    }
+
+    /// The raw samples, sorted ascending, while in exact mode.
+    pub fn sorted_exact(&self) -> Option<Vec<f64>> {
+        if !self.exact_mode {
+            return None;
+        }
+        let mut v = self.exact.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        Some(v)
+    }
+
+    /// The `p`-th percentile (`p` in `[0, 1]`). Exact below
+    /// [`EXACT_CAP`] samples; otherwise the mid-point of the owning log
+    /// bucket, clamped to the observed `[min, max]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        self.percentiles(&[p])[0]
+    }
+
+    /// Batch percentile query (one sort in exact mode).
+    pub fn percentiles(&self, ps: &[f64]) -> Vec<f64> {
+        if self.count == 0 {
+            return vec![0.0; ps.len()];
+        }
+        if let Some(sorted) = self.sorted_exact() {
+            return ps
+                .iter()
+                .map(|&p| sorted[((sorted.len() - 1) as f64 * p) as usize])
+                .collect();
+        }
+        ps.iter().map(|&p| self.bucketed_percentile(p)).collect()
+    }
+
+    fn bucketed_percentile(&self, p: f64) -> f64 {
+        let rank = ((self.count - 1) as f64 * p.clamp(0.0, 1.0)) as u64;
+        let mut cum = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if n > 0 && cum > rank {
+                let (low, width) = bucket_bounds(idx);
+                return (low + width / 2.0).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one. Stays exact only if both
+    /// sides are exact and the combined samples fit [`EXACT_CAP`].
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (b, ob) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += ob;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        if self.exact_mode && other.exact_mode && self.exact.len() + other.exact.len() <= EXACT_CAP
+        {
+            self.exact.extend_from_slice(&other.exact);
+        } else {
+            self.exact = Vec::new();
+            self.exact_mode = false;
+        }
+    }
+}
+
+/// Bucket index for a value: linear below `2^SUB_BUCKET_BITS`, then
+/// `2^SUB_BUCKET_BITS` sub-buckets per octave.
+fn bucket_index(x: u64) -> usize {
+    if x < SUB {
+        return x as usize;
+    }
+    let msb = 63 - u64::from(x.leading_zeros());
+    let shift = msb - u64::from(SUB_BUCKET_BITS);
+    let base = ((msb - u64::from(SUB_BUCKET_BITS) + 1) << SUB_BUCKET_BITS) as usize;
+    base + ((x >> shift) as usize - SUB as usize)
+}
+
+/// Inclusive lower bound and width of bucket `idx`.
+fn bucket_bounds(idx: usize) -> (f64, f64) {
+    let octave = idx >> SUB_BUCKET_BITS;
+    let rank = (idx as u64) & (SUB - 1);
+    if octave == 0 {
+        (idx as f64, 1.0)
+    } else {
+        let shift = (octave - 1) as u64;
+        (((SUB + rank) << shift) as f64, (1u64 << shift) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut probes: Vec<u64> = (0..63)
+            .flat_map(|exp| [(1u64 << exp), (1u64 << exp) + 1, (3u64 << exp) / 2])
+            .collect();
+        probes.sort_unstable();
+        let mut prev = 0usize;
+        for x in probes {
+            let idx = bucket_index(x);
+            assert!(idx >= prev, "x={x} idx={idx} prev={prev}");
+            assert!(idx < NUM_BUCKETS);
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_contain_their_values() {
+        for x in (0u64..100_000).step_by(37) {
+            let idx = bucket_index(x);
+            let (low, width) = bucket_bounds(idx);
+            assert!(
+                (x as f64) >= low && (x as f64) < low + width,
+                "x={x} outside bucket {idx} [{low}, {})",
+                low + width
+            );
+        }
+    }
+
+    #[test]
+    fn exact_mode_matches_sorted_index_formula() {
+        let mut h = LogHistogram::new();
+        let vals = [5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0, 4.0, 6.0, 10.0];
+        for v in vals {
+            h.record(v);
+        }
+        assert!(h.is_exact());
+        let mut sorted = vals.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for p in [0.0, 0.5, 0.95, 0.99, 0.999, 1.0] {
+            let want = sorted[((sorted.len() - 1) as f64 * p) as usize];
+            assert_eq!(h.percentile(p), want, "p={p}");
+        }
+        assert_eq!(h.max(), 10.0);
+        assert_eq!(h.min(), 1.0);
+        assert!((h.mean() - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucketed_percentiles_stay_within_documented_error() {
+        let mut h = LogHistogram::new();
+        let n = EXACT_CAP + 10_000;
+        for i in 0..n {
+            // Deterministic spread over [1e3, ~1e8) ns.
+            let v = 1e3 + (i as f64 * 1525.7) % 1e8;
+            h.record(v);
+        }
+        assert!(!h.is_exact(), "must have spilled to bucketed mode");
+        // Compare against the exact formula on a reference vector.
+        let mut exact: Vec<f64> = (0..n).map(|i| 1e3 + (i as f64 * 1525.7) % 1e8).collect();
+        exact.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for p in [0.5, 0.95, 0.99, 0.999] {
+            let want = exact[((exact.len() - 1) as f64 * p) as usize];
+            let got = h.percentile(p);
+            let rel = (got - want).abs() / want;
+            assert!(
+                rel <= 1.0 / SUB as f64,
+                "p{p}: got {got}, want {want}, rel err {rel}"
+            );
+        }
+        assert_eq!(h.count(), n as u64);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_degrades_to_bucketed() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for i in 0..100 {
+            a.record(i as f64);
+            b.record((i + 100) as f64);
+        }
+        let mut m = a.clone();
+        m.merge(&b);
+        assert!(m.is_exact());
+        assert_eq!(m.count(), 200);
+        assert_eq!(m.max(), 199.0);
+        assert_eq!(m.percentile(0.0), 0.0);
+
+        let mut big = LogHistogram::new();
+        for i in 0..EXACT_CAP {
+            big.record(i as f64);
+        }
+        m.merge(&big);
+        assert!(!m.is_exact());
+        assert_eq!(m.count(), 200 + EXACT_CAP as u64);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.percentile(0.99), 0.0);
+    }
+}

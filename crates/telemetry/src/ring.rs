@@ -1,0 +1,249 @@
+//! Per-worker event ring buffers.
+//!
+//! A [`Recorder`] is a single-owner (hence lock-free) bounded ring of
+//! [`Event`]s. Each `par_map` worker unit, the pipeline simulator, and
+//! the planner hold their own recorder; recorders are absorbed into the
+//! shared sink in deterministic (input-index) order after the parallel
+//! section joins, so the merged stream never depends on thread timing.
+//!
+//! The disabled recorder ([`Recorder::disabled`]) is allocation-free and
+//! every emit method early-returns on it, so instrumented hot paths cost
+//! one predictable branch when telemetry is off.
+
+use crate::event::{wall_now_ns, Event, EventKind, SimStamp};
+use std::collections::VecDeque;
+
+/// Default per-recorder ring capacity (events). When a ring is full the
+/// oldest event is overwritten and counted in [`Recorder::dropped`],
+/// flight-recorder style.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+/// A bounded single-owner event ring.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    enabled: bool,
+    track: u32,
+    capacity: usize,
+    ring: VecDeque<Event>,
+    dropped: u64,
+}
+
+impl Recorder {
+    /// The no-op recorder: records nothing, allocates nothing.
+    #[inline]
+    pub fn disabled() -> Self {
+        Recorder::default()
+    }
+
+    /// An enabled recorder holding at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Recorder {
+            enabled: true,
+            track: 0,
+            capacity: capacity.max(1),
+            ring: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Whether emit calls record anything. Call sites that allocate to
+    /// build an [`EventKind`] (names, strings) should guard on this.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Sets the display lane used for wall-clock events (branch index,
+    /// worker id, ...).
+    #[inline]
+    pub fn set_track(&mut self, track: u32) {
+        self.track = track;
+    }
+
+    /// Current display lane.
+    #[inline]
+    pub fn track(&self) -> u32 {
+        self.track
+    }
+
+    /// Reads the wall clock for a span begin; `0` when disabled so the
+    /// disabled path never touches the clock.
+    #[inline]
+    pub fn start(&self) -> u64 {
+        if self.enabled {
+            wall_now_ns()
+        } else {
+            0
+        }
+    }
+
+    /// Records a wall-clock instant on the current track.
+    #[inline]
+    pub fn instant(&mut self, kind: EventKind) {
+        if !self.enabled {
+            return;
+        }
+        let now = wall_now_ns();
+        self.push(Event {
+            wall_ns: now,
+            wall_dur_ns: 0,
+            sim: None,
+            track: self.track,
+            kind,
+        });
+    }
+
+    /// Records a wall-clock span that began at `begin_ns` (a prior
+    /// [`Recorder::start`] read) and ends now.
+    #[inline]
+    pub fn wall_span(&mut self, begin_ns: u64, kind: EventKind) {
+        if !self.enabled {
+            return;
+        }
+        let now = wall_now_ns();
+        self.push(Event {
+            wall_ns: begin_ns,
+            wall_dur_ns: now.saturating_sub(begin_ns),
+            sim: None,
+            track: self.track,
+            kind,
+        });
+    }
+
+    /// Records a simulated-time span on resource/queue lane `track`.
+    #[inline]
+    pub fn sim_span(&mut self, track: u32, start_ns: f64, end_ns: f64, kind: EventKind) {
+        if !self.enabled {
+            return;
+        }
+        let now = wall_now_ns();
+        self.push(Event {
+            wall_ns: now,
+            wall_dur_ns: 0,
+            sim: Some(SimStamp { start_ns, end_ns }),
+            track,
+            kind,
+        });
+    }
+
+    /// Records a simulated-time instant on resource/queue lane `track`.
+    #[inline]
+    pub fn sim_instant(&mut self, track: u32, at_ns: f64, kind: EventKind) {
+        self.sim_span(track, at_ns, at_ns, kind);
+    }
+
+    #[inline]
+    fn push(&mut self, ev: Event) {
+        if self.ring.len() >= self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(ev);
+    }
+
+    /// Appends every event of `other` (in order), accumulating its drop
+    /// count. Used for the deterministic per-worker merge.
+    pub fn absorb(&mut self, other: Recorder) {
+        if !self.enabled {
+            return;
+        }
+        self.dropped += other.dropped;
+        for ev in other.ring {
+            self.push(ev);
+        }
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.ring.iter()
+    }
+
+    /// Consumes the recorder, yielding its events oldest first.
+    pub fn into_events(self) -> impl Iterator<Item = Event> {
+        self.ring.into_iter()
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn split(parts: u32) -> EventKind {
+        EventKind::BatchSplit { node: 0, parts }
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let mut r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        r.instant(split(1));
+        r.wall_span(r.start(), split(2));
+        r.sim_span(3, 0.0, 10.0, split(3));
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let mut r = Recorder::with_capacity(3);
+        for i in 0..5 {
+            r.instant(split(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let parts: Vec<u32> = r
+            .events()
+            .map(|e| match e.kind {
+                EventKind::BatchSplit { parts, .. } => parts,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(parts, [2, 3, 4], "oldest events are overwritten first");
+    }
+
+    #[test]
+    fn absorb_preserves_order_and_drops() {
+        let mut a = Recorder::with_capacity(16);
+        a.instant(split(0));
+        let mut b = Recorder::with_capacity(2);
+        for i in 10..13 {
+            b.instant(split(i));
+        }
+        a.absorb(b);
+        let parts: Vec<u32> = a
+            .events()
+            .map(|e| match e.kind {
+                EventKind::BatchSplit { parts, .. } => parts,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(parts, [0, 11, 12]);
+        assert_eq!(a.dropped(), 1);
+    }
+
+    #[test]
+    fn spans_measure_wall_time() {
+        let mut r = Recorder::with_capacity(4);
+        let t = r.start();
+        std::hint::black_box((0..1000).sum::<u64>());
+        r.wall_span(t, split(0));
+        let ev = r.events().next().expect("one event");
+        assert_eq!(ev.wall_ns, t);
+        assert!(ev.sim.is_none());
+    }
+}

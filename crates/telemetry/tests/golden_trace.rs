@@ -1,0 +1,103 @@
+//! Golden-file schema test for the Chrome-trace exporter: a fixed set
+//! of events (covering both timelines, spans, instants, and metadata)
+//! must serialize byte-for-byte to `golden_trace.expected.json`.
+//!
+//! Regenerate after an intentional schema change with:
+//! `UPDATE_GOLDEN=1 cargo test -p nfc-telemetry --test golden_trace`
+
+use nfc_telemetry::export::chrome_trace;
+use nfc_telemetry::{Event, EventKind, SimStamp};
+
+fn fixture() -> Vec<Event> {
+    vec![
+        Event {
+            wall_ns: 1_000,
+            wall_dur_ns: 5_000,
+            sim: None,
+            track: 0,
+            kind: EventKind::Stage {
+                branch: 0,
+                stage: 1,
+                name: "fw".into(),
+                packets: 256,
+            },
+        },
+        Event {
+            wall_ns: 1_500,
+            wall_dur_ns: 250,
+            sim: None,
+            track: 0,
+            kind: EventKind::Element {
+                node: 2,
+                name: "Acl".into(),
+                packets_in: 256,
+                packets_out: 200,
+            },
+        },
+        Event {
+            wall_ns: 2_000,
+            wall_dur_ns: 0,
+            sim: None,
+            track: 1,
+            kind: EventKind::FlowCacheBatch {
+                hits: 200,
+                misses: 56,
+            },
+        },
+        Event {
+            wall_ns: 0,
+            wall_dur_ns: 0,
+            sim: None,
+            track: 0,
+            kind: EventKind::ResourceName {
+                resource: 4,
+                name: "gpu/ctx0".into(),
+            },
+        },
+        Event {
+            wall_ns: 3_000,
+            wall_dur_ns: 0,
+            sim: Some(SimStamp {
+                start_ns: 10_000.0,
+                end_ns: 12_500.0,
+            }),
+            track: 4,
+            kind: EventKind::KernelLaunch {
+                queue: 0,
+                user: 7,
+                bytes: 4_096,
+            },
+        },
+        Event {
+            wall_ns: 4_000,
+            wall_dur_ns: 0,
+            sim: None,
+            track: 0,
+            kind: EventKind::PartitionPass {
+                algo: "kl",
+                pass: 0,
+                moved: 3,
+                cost_before: 100.5,
+                cost_after: 90.25,
+            },
+        },
+    ]
+}
+
+#[test]
+fn chrome_trace_matches_golden_schema() {
+    let got = chrome_trace(&fixture(), 2);
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden_trace.expected.json"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &got).expect("update golden");
+    }
+    let want = std::fs::read_to_string(path).expect("golden file present");
+    assert_eq!(
+        got, want,
+        "Chrome-trace schema drifted from the golden file; if the change \
+         is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}

@@ -1,0 +1,220 @@
+//! Telemetry differential testing: recording is a pure observer. A run
+//! with telemetry enabled must produce bit-identical egress bytes,
+//! per-element statistics and simulated timings to the same run with
+//! telemetry off — under both serial and parallel execution — and an
+//! exported Chrome trace must be well-formed JSON covering every event
+//! category the runtime emits.
+
+use nfc_core::flowcache::FlowCacheMode;
+use nfc_core::{Deployment, Duplication, ExecMode, Policy, RunOutcome, Sfc, TelemetryMode};
+use nfc_hetero::GpuMode;
+use nfc_nf::acl::synth;
+use nfc_nf::Nf;
+use nfc_packet::traffic::{FlowSpec, SizeDist, TrafficGenerator, TrafficSpec};
+use nfc_packet::Batch;
+use std::collections::BTreeSet;
+
+/// A chain that is both flow-cacheable (ACL firewall + load balancer
+/// are verdict-capable) and offloadable (the ACL matcher carries a
+/// classification kernel), so one run can emit stage, element,
+/// flow-cache, GPU and partition events simultaneously.
+fn traced_chain(seed: u64) -> Sfc {
+    Sfc::new(
+        "fw-lb",
+        vec![
+            Nf::firewall_with("fw", synth::generate(128, seed), true),
+            Nf::load_balancer("lb", 4),
+        ],
+    )
+}
+
+fn skewed_traffic(seed: u64) -> TrafficGenerator {
+    let spec = TrafficSpec::udp(SizeDist::Fixed(256)).with_flows(FlowSpec {
+        count: 128,
+        ..FlowSpec::default().with_skew(1.0)
+    });
+    TrafficGenerator::new(spec, seed)
+}
+
+fn run_with(
+    policy: Policy,
+    exec: ExecMode,
+    telemetry: TelemetryMode,
+    seed: u64,
+) -> (RunOutcome, Vec<Batch>) {
+    let mut dep = Deployment::new(traced_chain(1), policy)
+        .with_batch_size(128)
+        .with_exec_mode(exec)
+        .with_duplication(Duplication::Cow)
+        .with_flow_cache(FlowCacheMode::On { capacity: 2048 })
+        .with_telemetry(telemetry);
+    dep.run_collect(&mut skewed_traffic(seed), 10)
+}
+
+fn assert_bit_identical(
+    label: &str,
+    off: &(RunOutcome, Vec<Batch>),
+    on: &(RunOutcome, Vec<Batch>),
+) {
+    assert_eq!(
+        off.1, on.1,
+        "{label}: egress batches must be byte-identical"
+    );
+    assert_eq!(
+        off.0.stage_stats, on.0.stage_stats,
+        "{label}: per-element statistics must match"
+    );
+    assert_eq!(off.0.egress_packets, on.0.egress_packets, "{label}");
+    assert_eq!(off.0.egress_bytes, on.0.egress_bytes, "{label}");
+    assert_eq!(off.0.flow_cache, on.0.flow_cache, "{label}: cache counters");
+    // Recording must not perturb the simulated timeline by a single bit.
+    assert_eq!(
+        off.0.report.throughput_gbps.to_bits(),
+        on.0.report.throughput_gbps.to_bits(),
+        "{label}: simulated throughput must be bit-identical"
+    );
+    assert_eq!(
+        off.0.report.mean_latency_ns.to_bits(),
+        on.0.report.mean_latency_ns.to_bits(),
+        "{label}: simulated mean latency must be bit-identical"
+    );
+    assert_eq!(
+        off.0.report.p99_latency_ns.to_bits(),
+        on.0.report.p99_latency_ns.to_bits(),
+        "{label}: simulated p99 latency must be bit-identical"
+    );
+}
+
+#[test]
+fn telemetry_never_perturbs_serial_or_parallel_runs() {
+    let policy = Policy::nfcompass();
+    for (label, exec) in [
+        ("serial", ExecMode::Serial),
+        ("parallel4", ExecMode::Parallel { threads: 4 }),
+    ] {
+        let off = run_with(policy, exec, TelemetryMode::Off, 17);
+        let on = run_with(policy, exec, TelemetryMode::Memory, 17);
+        assert_bit_identical(label, &off, &on);
+        assert!(
+            off.0.telemetry.is_none(),
+            "{label}: telemetry-off outcomes carry no digest"
+        );
+        let summary = on.0.telemetry.as_ref().expect("telemetry-on digest");
+        assert!(summary.events > 0, "{label}: events were recorded");
+        assert!(summary.counter("stages_executed") > 0, "{label}");
+        assert!(summary.counter("elements_executed") > 0, "{label}");
+        assert!(summary.counter("worker_units") > 0, "{label}");
+        assert!(
+            summary.counter("flow_cache_hits") > 0,
+            "{label}: skewed traffic over a cached chain must hit"
+        );
+        assert!(
+            summary.counter("partition_decisions") > 0,
+            "{label}: every stage records its planning decision"
+        );
+    }
+}
+
+#[test]
+fn parallel_and_serial_digests_agree_on_deterministic_counters() {
+    // The merged event stream is absorbed in input-index order, so
+    // execution-derived counters (not wall-clock histograms) match
+    // across execution modes exactly.
+    let policy = Policy::nfcompass();
+    let serial = run_with(policy, ExecMode::Serial, TelemetryMode::Memory, 29);
+    let parallel = run_with(
+        policy,
+        ExecMode::Parallel { threads: 4 },
+        TelemetryMode::Memory,
+        29,
+    );
+    let s = serial.0.telemetry.expect("serial digest");
+    let p = parallel.0.telemetry.expect("parallel digest");
+    for name in [
+        "stages_executed",
+        "elements_executed",
+        "element_packets_in",
+        "worker_units",
+        "flow_cache_hits",
+        "flow_cache_misses",
+        "batch_splits",
+        "batch_merges",
+        "partition_decisions",
+        "gpu_kernel_launches",
+    ] {
+        assert_eq!(
+            s.counter(name),
+            p.counter(name),
+            "counter {name} must not depend on execution mode"
+        );
+    }
+}
+
+#[test]
+fn exported_trace_covers_every_category_with_consistent_timestamps() {
+    let dir = std::env::temp_dir().join(format!(
+        "nfc_telemetry_difftest_{}.json",
+        std::process::id()
+    ));
+    let path = dir.to_string_lossy().into_owned();
+    let policy = Policy::FixedRatio {
+        ratio: 0.5,
+        mode: GpuMode::Persistent,
+    };
+    let out = run_with(
+        policy,
+        ExecMode::Serial,
+        TelemetryMode::Export { path: path.clone() },
+        43,
+    );
+    let summary = out.0.telemetry.expect("export digest");
+    let written = summary.export_path.clone().expect("trace written");
+    let body = std::fs::read_to_string(&written).expect("trace file readable");
+    std::fs::remove_file(&written).ok();
+
+    // The whole file is one valid JSON array...
+    let parsed = serde_json::from_str(&body).expect("valid JSON");
+    let events = parsed.as_array().expect("top-level array");
+    assert!(!events.is_empty());
+    // ...and every non-metadata object is one self-contained line with
+    // the Chrome-trace schema and sane timestamps.
+    let mut cats = BTreeSet::new();
+    for ev in events {
+        let ph = ev.get("ph").and_then(|v| v.as_str()).expect("ph field");
+        if ph == "M" {
+            continue; // metadata (process/thread names, drop counter)
+        }
+        assert!(ev.get("pid").and_then(|v| v.as_u64()).is_some());
+        assert!(ev.get("tid").and_then(|v| v.as_u64()).is_some());
+        assert!(ev.get("name").and_then(|v| v.as_str()).is_some());
+        let ts = ev.get("ts").and_then(|v| v.as_f64()).expect("ts field");
+        assert!(ts >= 0.0, "timestamps are non-negative microseconds");
+        if ph == "X" {
+            let dur = ev.get("dur").and_then(|v| v.as_f64()).expect("dur field");
+            assert!(dur >= 0.0);
+        }
+        // Simulated-timeline events cross-reference their wall stamp.
+        if ev.get("pid").and_then(|v| v.as_u64()) == Some(2) {
+            assert!(
+                ev.get("args").and_then(|a| a.get("wall_ns")).is_some(),
+                "sim events carry their wall-clock stamp"
+            );
+        }
+        cats.insert(
+            ev.get("cat")
+                .and_then(|v| v.as_str())
+                .expect("cat field")
+                .to_string(),
+        );
+    }
+    for required in ["stage", "element", "flow-cache", "gpu", "partition"] {
+        assert!(
+            cats.contains(required),
+            "trace must contain {required} events, got {cats:?}"
+        );
+    }
+    assert!(
+        summary.counter("gpu_kernel_launches") > 0,
+        "fixed-ratio offload must launch kernels"
+    );
+}
