@@ -1,0 +1,254 @@
+//! Adaptive control plane benchmark: idle overhead and recovery.
+//!
+//! Part 1 (idle overhead): on steady traffic the enabled controller
+//! never swaps, so its entire cost is passive window accounting plus one
+//! signature/drift evaluation per epoch. The wall-clock overhead against
+//! the disabled-controller oracle must stay under 1 %.
+//!
+//! Part 2 (recovery): a DPI chain is hit by a match-ratio flood (benign
+//! -> hostile, pattern matching ~4.5x more expensive per packet). The
+//! adaptive controller re-partitions online and must beat every static
+//! policy — CpuOnly, GpuOnly, FixedRatio (provisioned for the benign
+//! phase), NBA's per-batch heuristic, and the stale NFCompass plan — on
+//! aggregate throughput across the shift.
+//!
+//! Results are recorded in `BENCH_control.json` at the repository root.
+
+use criterion::{black_box, Criterion};
+use nfc_core::{ControllerConfig, ControllerReport, Deployment, Policy, RunOutcome, Sfc};
+use nfc_hetero::GpuMode;
+use nfc_nf::Nf;
+use nfc_packet::traffic::{PayloadPolicy, SizeDist, TrafficGenerator, TrafficSpec};
+use serde_json::json;
+use std::time::Instant;
+
+const BATCH_SIZE: usize = 256;
+const PKT_BYTES: usize = 512;
+const RATE_GBPS: f64 = 40.0;
+
+fn chain() -> Sfc {
+    Sfc::new("dpi", vec![Nf::dpi("dpi")])
+}
+
+/// Benign phase (nothing matches) followed by a hostile phase (every
+/// payload matches the IDS signatures).
+fn shifting_phases() -> Vec<TrafficGenerator> {
+    [0.0, 1.0]
+        .iter()
+        .enumerate()
+        .map(|(i, &ratio)| {
+            TrafficGenerator::new(
+                TrafficSpec::udp(SizeDist::Fixed(PKT_BYTES))
+                    .with_rate_gbps(RATE_GBPS)
+                    .with_payload(PayloadPolicy::MatchRatio {
+                        patterns: Nf::default_ids_signatures(),
+                        ratio,
+                    }),
+                5 + i as u64,
+            )
+        })
+        .collect()
+}
+
+fn steady_phases() -> Vec<TrafficGenerator> {
+    vec![TrafficGenerator::new(
+        TrafficSpec::udp(SizeDist::Fixed(PKT_BYTES)).with_rate_gbps(20.0),
+        7,
+    )]
+}
+
+fn ctrl_cfg() -> ControllerConfig {
+    ControllerConfig {
+        epoch_batches: 8,
+        ..ControllerConfig::default()
+    }
+}
+
+fn run(
+    policy: Policy,
+    phases: &mut [TrafficGenerator],
+    n_batches: usize,
+    cfg: &ControllerConfig,
+) -> (f64, Vec<RunOutcome>, ControllerReport) {
+    let mut dep = Deployment::new(chain(), policy).with_batch_size(BATCH_SIZE);
+    let start = Instant::now();
+    let (outs, report) = dep.run_adaptive(phases, n_batches, cfg);
+    (start.elapsed().as_secs_f64(), outs, report)
+}
+
+/// Aggregate throughput across equal-byte phases (harmonic mean of the
+/// per-phase simulated throughputs).
+fn aggregate_gbps(outs: &[RunOutcome]) -> f64 {
+    let n = outs.len() as f64;
+    n / outs
+        .iter()
+        .map(|o| 1.0 / o.report.throughput_gbps)
+        .sum::<f64>()
+}
+
+fn control_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("control_adapt");
+    g.bench_function("dpi_shift_adaptive_x16batches", |b| {
+        b.iter(|| {
+            black_box(run(
+                Policy::nfcompass(),
+                &mut shifting_phases(),
+                16,
+                &ctrl_cfg(),
+            ))
+        })
+    });
+    g.finish();
+}
+
+/// Best-of-`reps` wall time for the steady workload under one config.
+fn idle_wall(cfg: &ControllerConfig, n_batches: usize, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let (secs, _, report) = run(Policy::nfcompass(), &mut steady_phases(), n_batches, cfg);
+        assert_eq!(report.applied(), 0, "steady traffic must never swap");
+        best = best.min(secs);
+    }
+    best
+}
+
+fn emit_report(full: bool) {
+    // Part 1: idle overhead on steady traffic.
+    let (idle_batches, reps) = if full { (400, 5) } else { (48, 2) };
+    let off = idle_wall(&ControllerConfig::disabled(), idle_batches, reps);
+    let on = idle_wall(&ctrl_cfg(), idle_batches, reps);
+    let overhead = (on - off) / off;
+    println!(
+        "idle controller overhead: {:.3}% (on {:.1} ms vs off {:.1} ms, {idle_batches} batches)",
+        overhead * 100.0,
+        on * 1e3,
+        off * 1e3
+    );
+    // The smoke run is too short for stable wall clocks; the bar applies
+    // to the full run.
+    if full {
+        assert!(
+            overhead < 0.01,
+            "idle controller must cost < 1%, got {:.3}%",
+            overhead * 100.0
+        );
+    }
+
+    // Part 2: recovery after the benign -> hostile flip.
+    let n_batches = if full { 96 } else { 48 };
+    let statics: Vec<(&str, Policy)> = vec![
+        ("cpu_only", Policy::CpuOnly),
+        (
+            "gpu_only",
+            Policy::GpuOnly {
+                mode: GpuMode::Persistent,
+            },
+        ),
+        (
+            "fixed_ratio_60",
+            Policy::FixedRatio {
+                ratio: 0.6,
+                mode: GpuMode::Persistent,
+            },
+        ),
+        ("nba_adaptive", Policy::NbaAdaptive),
+        ("nfcompass_stale", Policy::nfcompass()),
+    ];
+    let mut rows = Vec::new();
+    for (label, policy) in statics {
+        let (_, outs, _) = run(
+            policy,
+            &mut shifting_phases(),
+            n_batches,
+            &ControllerConfig::disabled(),
+        );
+        rows.push((label, aggregate_gbps(&outs), outs));
+    }
+    let (_, adaptive_outs, report) = run(
+        Policy::nfcompass(),
+        &mut shifting_phases(),
+        n_batches,
+        &ctrl_cfg(),
+    );
+    let adaptive = aggregate_gbps(&adaptive_outs);
+    println!(
+        "\n{:<18} {:>10} {:>12} {:>12}",
+        "policy", "agg Gbps", "benign Gbps", "hostile Gbps"
+    );
+    for (label, agg, outs) in &rows {
+        println!(
+            "{label:<18} {agg:>10.2} {:>12.2} {:>12.2}",
+            outs[0].report.throughput_gbps, outs[1].report.throughput_gbps
+        );
+    }
+    println!(
+        "{:<18} {adaptive:>10.2} {:>12.2} {:>12.2}   ({} swaps, {} triggers)",
+        "adaptive",
+        adaptive_outs[0].report.throughput_gbps,
+        adaptive_outs[1].report.throughput_gbps,
+        report.applied(),
+        report.triggers
+    );
+    assert!(
+        report.applied() >= 1,
+        "the flood must drive at least one adopted swap: {report:?}"
+    );
+    for (label, agg, _) in &rows {
+        assert!(
+            adaptive > *agg,
+            "adaptive {adaptive:.2} Gbps must beat static {label} {agg:.2} Gbps"
+        );
+    }
+
+    let mut policies = serde_json::Value::Object(Default::default());
+    for (label, agg, outs) in &rows {
+        policies[*label] = json!({
+            "aggregate_gbps": agg,
+            "benign_gbps": outs[0].report.throughput_gbps,
+            "hostile_gbps": outs[1].report.throughput_gbps,
+        });
+    }
+    let applied_swaps: Vec<f64> = report
+        .adaptations
+        .iter()
+        .filter(|a| a.applied)
+        .map(|a| a.swap_ns / 1e3)
+        .collect();
+    let mean_swap_us = applied_swaps.iter().sum::<f64>() / applied_swaps.len().max(1) as f64;
+    policies["adaptive"] = json!({
+        "aggregate_gbps": adaptive,
+        "benign_gbps": adaptive_outs[0].report.throughput_gbps,
+        "hostile_gbps": adaptive_outs[1].report.throughput_gbps,
+        "epochs": report.epochs,
+        "triggers": report.triggers,
+        "refines": report.refines,
+        "applied_swaps": report.applied(),
+        "mean_swap_us": mean_swap_us,
+    });
+    let reportv = json!({
+        "benchmark": "control_adapt",
+        "chain": "DPI (IDS signature match)",
+        "traffic": format!(
+            "UDP {PKT_BYTES}B @ {RATE_GBPS} Gbps, match ratio 0.0 -> 1.0"
+        ),
+        "batch_size": BATCH_SIZE,
+        "batches_per_phase": n_batches,
+        "idle_overhead_pct": overhead * 100.0,
+        "idle_overhead_bar_pct": 1.0,
+        "policies": policies,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_control.json");
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&reportv).expect("serializes") + "\n",
+    )
+    .expect("write BENCH_control.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--bench");
+    let mut c = Criterion::default().configure_from_args();
+    control_benches(&mut c);
+    emit_report(full);
+}

@@ -10,6 +10,9 @@
 //!   non-zero on any violation, for CI smoke tests.
 //! * `prom <trace.json>` — re-derive a Prometheus-style text snapshot
 //!   from the trace's events.
+//! * `controller <trace.json>` — the adaptive control plane's
+//!   adaptation timeline: trigger reason, old → new offload ratio and
+//!   charged swap latency for every controller decision.
 
 use serde_json::Value;
 use std::collections::BTreeMap;
@@ -210,8 +213,64 @@ fn cmd_prom(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Prints the adaptation timeline recorded by the control plane
+/// (`cat == "control"`: one instant per controller decision).
+fn cmd_controller(path: &str) -> Result<(), String> {
+    let trace = load(path)?;
+    let mut rows: Vec<&Value> = trace
+        .events
+        .iter()
+        .filter(|ev| str_field(ev, "cat") == Some("control"))
+        .collect();
+    rows.sort_by(|a, b| {
+        num_field(a, "ts")
+            .unwrap_or(0.0)
+            .total_cmp(&num_field(b, "ts").unwrap_or(0.0))
+    });
+    println!("trace       {path}");
+    println!("decisions   {}", rows.len());
+    if rows.is_empty() {
+        println!("(no control events — controller disabled, idle, or telemetry off)");
+        return Ok(());
+    }
+    let mut swaps = 0u64;
+    let mut swap_total_ns = 0.0;
+    println!(
+        "{:>10}  {:>5}  {:<12}  {:>5} -> {:<5}  {:>9}  reason",
+        "ts(us)", "epoch", "stage", "old", "new", "swap(us)"
+    );
+    for ev in &rows {
+        let arg = |k: &str| ev.get("args").and_then(|a| a.get(k));
+        let ts = num_field(ev, "ts").unwrap_or(0.0);
+        let epoch = arg("epoch").and_then(Value::as_u64).unwrap_or(0);
+        let stage = arg("stage").and_then(Value::as_str).unwrap_or("?");
+        let reason = arg("reason").and_then(Value::as_str).unwrap_or("?");
+        let old_ratio = arg("old_ratio").and_then(Value::as_f64).unwrap_or(0.0);
+        let new_ratio = arg("new_ratio").and_then(Value::as_f64).unwrap_or(0.0);
+        let swap_ns = arg("swap_ns").and_then(Value::as_f64).unwrap_or(0.0);
+        if (old_ratio - new_ratio).abs() > 1e-9 || swap_ns > 0.0 {
+            swaps += 1;
+            swap_total_ns += swap_ns;
+        }
+        let old = format!("{:.0}%", old_ratio * 100.0);
+        let new = format!("{:.0}%", new_ratio * 100.0);
+        println!(
+            "{ts:>10.1}  {epoch:>5}  {stage:<12}  {old:>5} -> {new:<5}  {:>9.2}  {reason}",
+            swap_ns / 1e3,
+        );
+    }
+    println!("-- {} plan change(s) applied --", swaps);
+    if swaps > 0 {
+        println!(
+            "mean swap latency {:.2} us",
+            swap_total_ns / swaps as f64 / 1e3
+        );
+    }
+    Ok(())
+}
+
 const USAGE: &str =
-    "usage: nfc-trace <summary|validate|prom> <trace.json>... [--require cat1,cat2]";
+    "usage: nfc-trace <summary|validate|prom|controller> <trace.json>... [--require cat1,cat2]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -243,6 +302,7 @@ fn main() -> ExitCode {
         "summary" => paths.iter().try_for_each(|p| cmd_summary(p)),
         "validate" => cmd_validate(&paths, &require),
         "prom" => paths.iter().try_for_each(|p| cmd_prom(p)),
+        "controller" => paths.iter().try_for_each(|p| cmd_controller(p)),
         other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
     };
     match result {

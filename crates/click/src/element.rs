@@ -307,6 +307,15 @@ pub trait Element: std::fmt::Debug + Send {
     /// traffic. Functional state (flow tables, caches) is kept.
     fn begin_profile_window(&mut self) {}
 
+    /// Bytes of per-flow/per-connection state the element currently
+    /// holds (NAT port maps, reassembly buffers, token buckets). A live
+    /// reconfiguration that moves the element between processors must
+    /// migrate this much state; stateless elements report 0 and migrate
+    /// for free.
+    fn state_bytes(&self) -> usize {
+        0
+    }
+
     /// Declares that [`Element::flow_verdict`] is implemented, i.e. the
     /// element's per-packet decision is a pure function of the flow and
     /// may be memoized by the flow-aware fast path. Opt-in: the default

@@ -372,6 +372,40 @@ impl GraphStats {
         self.nodes.iter().map(|n| n.dropped).sum()
     }
 
+    /// Counters accumulated since `base` was snapshotted: element-wise
+    /// saturating difference. Lets an online profiler measure one
+    /// observation window *without* resetting the live counters (a reset
+    /// would perturb any consumer comparing cumulative stats).
+    pub fn delta(&self, base: &GraphStats) -> GraphStats {
+        let nodes = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let b = base.nodes.get(i).copied().unwrap_or_default();
+                NodeStats {
+                    packets_in: c.packets_in.saturating_sub(b.packets_in),
+                    packets_out: c.packets_out.saturating_sub(b.packets_out),
+                    bytes_in: c.bytes_in.saturating_sub(b.bytes_in),
+                    dropped: c.dropped.saturating_sub(b.dropped),
+                    batches: c.batches.saturating_sub(b.batches),
+                }
+            })
+            .collect();
+        let sub = |cur: &[u64], old: &[u64]| {
+            cur.iter()
+                .enumerate()
+                .map(|(i, &c)| c.saturating_sub(old.get(i).copied().unwrap_or(0)))
+                .collect()
+        };
+        GraphStats {
+            nodes,
+            edge_packets: sub(&self.edge_packets, &base.edge_packets),
+            edge_bytes: sub(&self.edge_bytes, &base.edge_bytes),
+            egress_packets: self.egress_packets.saturating_sub(base.egress_packets),
+        }
+    }
+
     /// Resets all counters (used between profiling windows).
     pub fn reset(&mut self) {
         for n in &mut self.nodes {
@@ -469,6 +503,15 @@ impl CompiledGraph {
     /// Accumulated statistics.
     pub fn stats(&self) -> &GraphStats {
         &self.stats
+    }
+
+    /// Total bytes of migratable per-flow state across every element
+    /// (see [`Element::state_bytes`]) — what a live reconfiguration
+    /// must move when this graph changes processors.
+    pub fn state_bytes(&self) -> usize {
+        (0..self.graph.node_count())
+            .map(|i| self.graph.element(NodeId(i)).state_bytes())
+            .sum()
     }
 
     /// Resets accumulated statistics.
@@ -736,6 +779,27 @@ mod tests {
     use super::*;
     use crate::elements::{Counter, Discard, ProtocolClassifier, Tee};
     use nfc_packet::{headers::ip_proto, Packet};
+
+    #[test]
+    fn stats_delta_isolates_a_window_without_reset() {
+        let mut a = GraphStats::new(2, 1);
+        a.nodes[0].packets_in = 10;
+        a.nodes[1].batches = 3;
+        a.edge_packets[0] = 7;
+        a.egress_packets = 5;
+        let base = a.clone();
+        a.nodes[0].packets_in = 25;
+        a.nodes[1].batches = 8;
+        a.edge_packets[0] = 11;
+        a.egress_packets = 9;
+        let d = a.delta(&base);
+        assert_eq!(d.node(NodeId(0)).packets_in, 15);
+        assert_eq!(d.node(NodeId(1)).batches, 5);
+        assert_eq!(d.edge_packets(0), 4);
+        assert_eq!(d.egress_packets, 4);
+        // A default (empty) base yields the cumulative stats unchanged.
+        assert_eq!(a.delta(&GraphStats::default()), a);
+    }
 
     fn pkt_udp(seq: u64) -> Packet {
         let mut p = Packet::ipv4_udp([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, b"u");

@@ -1,0 +1,290 @@
+//! The epoch controller: detector state machine plus the background
+//! refinement schedule and the adaptation timeline.
+//!
+//! Two-speed re-partitioning mirrors the paper's two partitioners: on a
+//! trigger the runtime must re-plan *within the epoch deadline*, so it
+//! runs the O(k log k) agglomerative fast path immediately; the heavier
+//! multilevel KL refinement runs "in the background" — modeled as a
+//! fixed hand-off latency of [`ControllerConfig::refine_latency_epochs`]
+//! epochs — and its plan is adopted only if it beats the one in effect.
+
+use crate::detector::{ChangeDetector, Decision, TriggerReason};
+use crate::signature::{SignatureWindow, WorkloadSignature};
+
+/// Controller tuning. The defaults are deliberately conservative: a 30 %
+/// drift sustained for 2 epochs re-plans, and at most one swap per 4
+/// epochs can happen.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerConfig {
+    /// Batches per observation epoch.
+    pub epoch_batches: usize,
+    /// Sliding-window length (epochs) for signature smoothing.
+    pub window_epochs: usize,
+    /// Relative-drift trigger threshold.
+    pub threshold: f64,
+    /// Consecutive drifting epochs required to trigger.
+    pub hysteresis_epochs: usize,
+    /// Epochs after a swap during which triggers are suppressed.
+    pub cooldown_epochs: usize,
+    /// Epochs between the fast swap and the background-KL hand-off.
+    pub refine_latency_epochs: usize,
+    /// Master switch; a disabled controller observes nothing and never
+    /// triggers (the differential oracle configuration).
+    pub enabled: bool,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            epoch_batches: 16,
+            window_epochs: 4,
+            threshold: 0.3,
+            hysteresis_epochs: 2,
+            cooldown_epochs: 4,
+            refine_latency_epochs: 2,
+            enabled: true,
+        }
+    }
+}
+
+impl ControllerConfig {
+    /// The no-op configuration: the adaptive runtime with a disabled
+    /// controller behaves bit-identically to the plain runtime.
+    pub fn disabled() -> Self {
+        ControllerConfig {
+            enabled: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// What the runtime should do at an epoch boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Keep the current plan.
+    Hold,
+    /// Run the agglomerative fast path now and schedule background KL.
+    FastRepartition(TriggerReason),
+    /// The background KL refinement is due: hand off its plan if better.
+    Refine,
+}
+
+/// One applied (or evaluated-and-rejected) plan change for one stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptationRecord {
+    /// Epoch at which the swap happened.
+    pub epoch: u64,
+    /// Human-readable trigger summary (or `"refine"` for hand-offs).
+    pub reason: String,
+    /// Partitioner that produced the plan.
+    pub algo: &'static str,
+    /// Stage (NF) name.
+    pub stage: String,
+    /// Mean offload ratio before the swap.
+    pub old_ratio: f64,
+    /// Mean offload ratio after the swap.
+    pub new_ratio: f64,
+    /// Reconfiguration time charged on the simulated timeline, ns
+    /// (kernel teardown + cold launch + state migration).
+    pub swap_ns: f64,
+    /// False when the candidate plan was evaluated but not adopted
+    /// (its predicted cost did not beat the plan in effect).
+    pub applied: bool,
+}
+
+/// End-of-run adaptation summary.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ControllerReport {
+    /// Observation epochs completed.
+    pub epochs: u64,
+    /// Detector triggers (fast re-partitions attempted).
+    pub triggers: u64,
+    /// Background refinement hand-offs attempted.
+    pub refines: u64,
+    /// Per-stage adaptation timeline, in application order.
+    pub adaptations: Vec<AdaptationRecord>,
+}
+
+impl ControllerReport {
+    /// Plan changes actually applied.
+    pub fn applied(&self) -> usize {
+        self.adaptations.iter().filter(|a| a.applied).count()
+    }
+}
+
+/// The epoch state machine. The runtime calls
+/// [`Controller::observe`] once per epoch and honours the returned
+/// [`Action`]; after actually adopting a plan it calls
+/// [`Controller::note_swap`] so the cooldown arms and the reference
+/// signature re-bases onto the traffic the new plan was built for.
+#[derive(Debug, Clone)]
+pub struct Controller {
+    cfg: ControllerConfig,
+    detector: ChangeDetector,
+    window: SignatureWindow,
+    reference: Option<WorkloadSignature>,
+    pending_refine: Option<u64>,
+    epoch: u64,
+}
+
+impl Controller {
+    /// Creates a controller.
+    pub fn new(cfg: ControllerConfig) -> Self {
+        let detector =
+            ChangeDetector::new(cfg.threshold, cfg.hysteresis_epochs, cfg.cooldown_epochs);
+        let window = SignatureWindow::new(cfg.window_epochs);
+        Controller {
+            cfg,
+            detector,
+            window,
+            reference: None,
+            pending_refine: None,
+            epoch: 0,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.cfg
+    }
+
+    /// Epochs observed so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Feeds one epoch signature; returns the action for this boundary.
+    pub fn observe(&mut self, sig: WorkloadSignature) -> Action {
+        self.epoch += 1;
+        if !self.cfg.enabled {
+            return Action::Hold;
+        }
+        self.window.push(sig.clone());
+        // Background hand-off takes precedence over a fresh trigger: the
+        // refined plan was computed for the shift that already happened.
+        if self.pending_refine.is_some_and(|due| self.epoch >= due) {
+            self.pending_refine = None;
+            return Action::Refine;
+        }
+        let Some(reference) = &self.reference else {
+            // First epoch after plan adoption becomes the reference.
+            self.reference = Some(self.window.mean());
+            return Action::Hold;
+        };
+        match self.detector.observe(&sig, reference) {
+            Decision::Hold => Action::Hold,
+            Decision::Trigger(reason) => {
+                self.pending_refine =
+                    Some(self.epoch + self.cfg.refine_latency_epochs.max(1) as u64);
+                Action::FastRepartition(reason)
+            }
+        }
+    }
+
+    /// Notes that the runtime adopted a plan (fast or refined): arms the
+    /// cooldown and re-bases the reference signature on the current
+    /// window, so drift is measured against the traffic the new plan
+    /// serves.
+    pub fn note_swap(&mut self) {
+        self.detector.swapped();
+        self.reference = Some(self.window.mean());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::StageSignature;
+
+    fn sig(cpu: f64) -> WorkloadSignature {
+        WorkloadSignature {
+            stages: vec![StageSignature {
+                cpu_ns: cpu,
+                ..Default::default()
+            }],
+        }
+    }
+
+    fn cfg() -> ControllerConfig {
+        ControllerConfig {
+            epoch_batches: 4,
+            window_epochs: 2,
+            threshold: 0.3,
+            hysteresis_epochs: 2,
+            cooldown_epochs: 2,
+            refine_latency_epochs: 2,
+            enabled: true,
+        }
+    }
+
+    #[test]
+    fn disabled_controller_always_holds() {
+        let mut c = Controller::new(ControllerConfig::disabled());
+        for i in 0..10 {
+            assert_eq!(c.observe(sig(1_000.0 * (i + 1) as f64)), Action::Hold);
+        }
+        assert_eq!(c.epoch(), 10);
+    }
+
+    #[test]
+    fn shift_triggers_fast_then_refine() {
+        let mut c = Controller::new(cfg());
+        assert_eq!(c.observe(sig(10_000.0)), Action::Hold); // builds reference
+        assert_eq!(c.observe(sig(10_000.0)), Action::Hold);
+        // Sustained shift: 2 drifting epochs trip the hysteresis.
+        assert_eq!(c.observe(sig(40_000.0)), Action::Hold);
+        let act = c.observe(sig(40_000.0));
+        assert!(matches!(act, Action::FastRepartition(_)), "got {act:?}");
+        c.note_swap();
+        // Two epochs later the background refinement hands off.
+        assert_eq!(c.observe(sig(40_000.0)), Action::Hold);
+        assert_eq!(c.observe(sig(40_000.0)), Action::Refine);
+    }
+
+    #[test]
+    fn reference_rebases_after_swap() {
+        let mut c = Controller::new(cfg());
+        c.observe(sig(10_000.0));
+        c.observe(sig(10_000.0));
+        c.observe(sig(40_000.0));
+        assert!(matches!(
+            c.observe(sig(40_000.0)),
+            Action::FastRepartition(_)
+        ));
+        c.note_swap();
+        // Drain the pending refine, then hold steadily at the new level:
+        // the re-based reference sees no drift.
+        c.observe(sig(40_000.0));
+        assert_eq!(c.observe(sig(40_000.0)), Action::Refine);
+        c.note_swap();
+        for _ in 0..10 {
+            assert_eq!(c.observe(sig(40_000.0)), Action::Hold);
+        }
+    }
+
+    #[test]
+    fn report_counts_applied() {
+        let mut r = ControllerReport::default();
+        r.adaptations.push(AdaptationRecord {
+            epoch: 1,
+            reason: "x".into(),
+            algo: "agglomerative",
+            stage: "dpi".into(),
+            old_ratio: 0.0,
+            new_ratio: 0.6,
+            swap_ns: 100.0,
+            applied: true,
+        });
+        r.adaptations.push(AdaptationRecord {
+            epoch: 3,
+            reason: "refine".into(),
+            algo: "kl",
+            stage: "dpi".into(),
+            old_ratio: 0.6,
+            new_ratio: 0.6,
+            swap_ns: 0.0,
+            applied: false,
+        });
+        assert_eq!(r.applied(), 1);
+    }
+}

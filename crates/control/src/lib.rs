@@ -1,0 +1,36 @@
+//! The adaptive control plane (`nfc-control`).
+//!
+//! The paper's runtime profiler and light-weight agglomerative
+//! partitioner exist so the CPU/GPU partition can be *recomputed online*
+//! as traffic shifts (§IV-C: "for fast-switching network traffics"); the
+//! offload ratio that is optimal for one traffic mix is far from optimal
+//! for another (Figure 6). This crate closes that loop as an epoch-based
+//! controller, deliberately independent of the execution engine:
+//!
+//! 1. [`WorkloadSignature`] — a per-stage digest of one observation epoch
+//!    (service times, batch fill, packet-size, content factors, GPU SM
+//!    occupancy and DMA backlog), aggregated over a sliding window.
+//! 2. [`Controller`] — a change detector with threshold, hysteresis and
+//!    cooldown, so measurement noise never thrashes the plan, plus the
+//!    hand-off schedule for background plan refinement.
+//! 3. [`ControllerReport`] / [`AdaptationRecord`] — the adaptation
+//!    timeline the runtime fills in as it applies swaps.
+//!
+//! The crate is pure decision logic: it never touches packets, graphs or
+//! the simulator. The execution engine (`nfc-core`) feeds signatures in,
+//! receives [`Decision`]s out, and performs the actual two-phase epoch
+//! swap (drain, re-partition, state migration, flow-cache generation
+//! bump) itself. That separation is what makes the differential proof
+//! tractable: the controller provably cannot alter functional behaviour,
+//! only when plans change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod detector;
+pub mod signature;
+
+pub use controller::{Action, AdaptationRecord, Controller, ControllerConfig, ControllerReport};
+pub use detector::{ChangeDetector, Decision, TriggerReason};
+pub use signature::{SignatureWindow, StageSignature, WorkloadSignature};

@@ -1,0 +1,163 @@
+//! Workload signatures: the controller's view of one observation epoch.
+//!
+//! The runtime condenses everything the paper's profiler measures into a
+//! small per-stage digest once per epoch: per-element service times
+//! collapse into per-stage CPU/kernel charges, traffic statistics into
+//! batch fill and mean packet size, content effects into the live match
+//! factor and divergence, and the simulated platform contributes the SM
+//! occupancy proxy and the DMA queue depth. Signatures are cheap to
+//! build (a handful of floats per stage), which is what keeps the idle
+//! controller overhead negligible.
+
+/// Per-stage digest of one observation epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageSignature {
+    /// Mean CPU-side charge per batch, ns.
+    pub cpu_ns: f64,
+    /// Mean GPU kernel + dispatch charge per batch, ns (0 when nothing
+    /// is offloaded).
+    pub kernel_ns: f64,
+    /// Mean entry packets per batch divided by the configured batch
+    /// size (1.0 = full batches).
+    pub batch_fill: f64,
+    /// Mean wire bytes per entry packet.
+    pub mean_pkt_bytes: f64,
+    /// Live content-work multiplier (e.g. DPI match factor).
+    pub match_factor: f64,
+    /// Live control-flow divergence, 0–1.
+    pub divergence: f64,
+    /// GPU SM-occupancy proxy: offloaded packets per batch over one GPU
+    /// wave, 0–1.
+    pub sm_occupancy: f64,
+    /// DMA queue depth at the epoch boundary: host-to-device backlog on
+    /// the simulated timeline, ns.
+    pub dma_backlog_ns: f64,
+    /// Flow-cache hit rate over the epoch (0 when the fast path is off);
+    /// a drop signals flow-skew drift (new flows displacing hot ones).
+    pub cache_hit_rate: f64,
+}
+
+/// One epoch's signature across every stage (branch-major order, fixed
+/// for the lifetime of a deployment).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WorkloadSignature {
+    /// Per-stage digests.
+    pub stages: Vec<StageSignature>,
+}
+
+impl WorkloadSignature {
+    /// Element-wise mean of several signatures (they must agree on the
+    /// stage count). Returns the default signature for an empty slice.
+    pub fn mean(sigs: &[WorkloadSignature]) -> WorkloadSignature {
+        let Some(first) = sigs.first() else {
+            return WorkloadSignature::default();
+        };
+        let n = sigs.len() as f64;
+        let stages = (0..first.stages.len())
+            .map(|i| {
+                let mut m = StageSignature::default();
+                for s in sigs {
+                    let st = &s.stages[i];
+                    m.cpu_ns += st.cpu_ns;
+                    m.kernel_ns += st.kernel_ns;
+                    m.batch_fill += st.batch_fill;
+                    m.mean_pkt_bytes += st.mean_pkt_bytes;
+                    m.match_factor += st.match_factor;
+                    m.divergence += st.divergence;
+                    m.sm_occupancy += st.sm_occupancy;
+                    m.dma_backlog_ns += st.dma_backlog_ns;
+                    m.cache_hit_rate += st.cache_hit_rate;
+                }
+                m.cpu_ns /= n;
+                m.kernel_ns /= n;
+                m.batch_fill /= n;
+                m.mean_pkt_bytes /= n;
+                m.match_factor /= n;
+                m.divergence /= n;
+                m.sm_occupancy /= n;
+                m.dma_backlog_ns /= n;
+                m.cache_hit_rate /= n;
+                m
+            })
+            .collect();
+        WorkloadSignature { stages }
+    }
+}
+
+/// A bounded sliding window of epoch signatures.
+#[derive(Debug, Clone, Default)]
+pub struct SignatureWindow {
+    window: Vec<WorkloadSignature>,
+    capacity: usize,
+}
+
+impl SignatureWindow {
+    /// Creates a window keeping the last `capacity` epochs (min 1).
+    pub fn new(capacity: usize) -> Self {
+        SignatureWindow {
+            window: Vec::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Appends an epoch signature, evicting the oldest beyond capacity.
+    pub fn push(&mut self, sig: WorkloadSignature) {
+        if self.window.len() == self.capacity {
+            self.window.remove(0);
+        }
+        self.window.push(sig);
+    }
+
+    /// Mean signature over the window.
+    pub fn mean(&self) -> WorkloadSignature {
+        WorkloadSignature::mean(&self.window)
+    }
+
+    /// Epochs currently held.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// True when no epochs have been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(cpu: f64) -> WorkloadSignature {
+        WorkloadSignature {
+            stages: vec![StageSignature {
+                cpu_ns: cpu,
+                match_factor: 1.0,
+                ..Default::default()
+            }],
+        }
+    }
+
+    #[test]
+    fn mean_averages_stage_fields() {
+        let m = WorkloadSignature::mean(&[sig(10.0), sig(30.0)]);
+        assert!((m.stages[0].cpu_ns - 20.0).abs() < 1e-9);
+        assert!((m.stages[0].match_factor - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_is_bounded_and_slides() {
+        let mut w = SignatureWindow::new(2);
+        assert!(w.is_empty());
+        w.push(sig(1.0));
+        w.push(sig(3.0));
+        w.push(sig(5.0));
+        assert_eq!(w.len(), 2);
+        assert!((w.mean().stages[0].cpu_ns - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_mean_is_default() {
+        assert_eq!(WorkloadSignature::mean(&[]), WorkloadSignature::default());
+    }
+}

@@ -245,6 +245,82 @@ pub fn allocate_traced(
     }
 }
 
+/// Warm-started re-partition: the online entry point. Runs the selected
+/// partitioner seeded from the ratios of the plan currently in effect —
+/// agglomerative clustering anchors on the previous cut's strongest
+/// per-side nodes ([`agglomerative::seeds_from_partition`]), KL refines
+/// the previous cut directly instead of re-coarsening
+/// ([`kl::refine_partition_traced`]) — and keeps whichever of the cold
+/// and warm candidates scores better under the execution-consistent
+/// [`stage_cost`]. Warm-starting makes the fast path cheaper *and*, for
+/// nested δ grids, monotone: a finer δ can only improve on the coarser
+/// plan it starts from.
+#[allow(clippy::too_many_arguments)]
+pub fn allocate_warm_traced(
+    graph: &ElementGraph,
+    weights: &GraphWeights,
+    prev_ratios: &[f64],
+    algo: PartitionAlgo,
+    delta: f64,
+    model: &CostModel,
+    corun: &CoRunContext,
+    mode: GpuMode,
+    rec: &mut Recorder,
+) -> AllocationPlan {
+    let exp = Expansion::expand(graph, weights, delta);
+    let objective = Objective::default();
+    let warm_part = exp.partition_from_ratios(prev_ratios);
+    let warm_partition = match algo {
+        PartitionAlgo::Kl => kl::refine_partition_traced(
+            &exp.part,
+            &warm_part,
+            kl::KlOptions {
+                objective,
+                ..Default::default()
+            },
+            rec,
+        ),
+        PartitionAlgo::Agglomerative => {
+            let seeds: Vec<_> = agglomerative::seeds_from_partition(&exp.part, &warm_part)
+                .into_iter()
+                .filter(|s| s.side == Side::Gpu)
+                .collect();
+            agglomerative::partition_traced(&exp.part, &seeds, objective, rec)
+        }
+        // MFMC is exact: warm starts cannot change its answer.
+        PartitionAlgo::Mfmc => {
+            return allocate_traced(graph, weights, algo, delta, rec);
+        }
+    };
+    let mut warm = AllocationPlan {
+        ratios: exp.ratios(&warm_partition),
+        predicted_cost_ns: objective.cost(&exp.part, &warm_partition),
+        algo,
+    };
+    // The previous plan itself (snapped to this δ grid) is always a
+    // candidate: re-planning can then never regress below the plan in
+    // effect, and with nested grids a finer δ is monotonically no worse.
+    let mut carry = AllocationPlan {
+        ratios: exp.ratios(&warm_part),
+        predicted_cost_ns: f64::NAN,
+        algo,
+    };
+    let mut cold = allocate_traced(graph, weights, algo, delta, rec);
+    adapt_ratios(model, weights, corun, &mut warm, mode, delta);
+    adapt_ratios(model, weights, corun, &mut carry, mode, delta);
+    adapt_ratios(model, weights, corun, &mut cold, mode, delta);
+    // adapt_ratios scores every candidate with stage_cost, so the
+    // comparison is apples-to-apples; ties prefer warm/carry (fewer
+    // ratio changes to apply during the swap).
+    let mut best = warm;
+    for cand in [carry, cold] {
+        if cand.predicted_cost_ns + 1e-9 < best.predicted_cost_ns {
+            best = cand;
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,6 +394,44 @@ mod tests {
             assert_eq!(plan.ratios.len(), nf.graph().node_count());
             assert!(plan.ratios.iter().all(|r| (0.0..=1.0).contains(r)));
             assert_eq!(plan.algo, algo);
+        }
+    }
+
+    #[test]
+    fn warm_start_never_loses_to_cold() {
+        let model = CostModel::new(PlatformConfig::hpca18());
+        let corun = CoRunContext::solo();
+        let mode = GpuMode::Persistent;
+        for nf in [Nf::ipsec("ipsec"), Nf::dpi("dpi")] {
+            let w = weights_for(&nf, 512, 256);
+            let mut cold = allocate(nf.graph(), &w, PartitionAlgo::Kl, 0.1);
+            adapt_ratios(&model, &w, &corun, &mut cold, mode, 0.1);
+            for algo in [
+                PartitionAlgo::Kl,
+                PartitionAlgo::Agglomerative,
+                PartitionAlgo::Mfmc,
+            ] {
+                let warm = allocate_warm_traced(
+                    nf.graph(),
+                    &w,
+                    &cold.ratios,
+                    algo,
+                    0.1,
+                    &model,
+                    &corun,
+                    mode,
+                    &mut Recorder::disabled(),
+                );
+                assert_eq!(warm.ratios.len(), nf.graph().node_count());
+                assert!(warm.ratios.iter().all(|r| (0.0..=1.0).contains(r)));
+                if algo != PartitionAlgo::Mfmc {
+                    assert!(
+                        warm.predicted_cost_ns
+                            <= stage_cost(&model, &w, &corun, &cold.ratios, mode) + 1e-6,
+                        "{algo:?} warm plan must not be worse than its warm start"
+                    );
+                }
+            }
         }
     }
 

@@ -135,6 +135,35 @@ impl Expansion {
             .map(|(&g, &n)| g as f64 / n as f64)
             .collect()
     }
+
+    /// The inverse of [`Expansion::ratios`]: builds a partition of the
+    /// expanded graph placing `round(ratio × n_slices)` slices of each
+    /// element on the GPU. Used to warm-start a re-partition from the
+    /// ratios of the plan currently in effect (possibly produced under a
+    /// different δ — ratios snap to this expansion's grid). Pinned nodes
+    /// keep their pins regardless of the requested ratio.
+    pub fn partition_from_ratios(&self, ratios: &[f64]) -> Partition {
+        let mut placed = vec![0usize; self.n_slices.len()];
+        let sides = (0..self.part.len())
+            .map(|pid| {
+                if let Some(pin) = self.part.pin(pid) {
+                    return pin;
+                }
+                let Some(node) = self.owner[pid] else {
+                    return Side::Cpu;
+                };
+                let n = self.n_slices[node.0];
+                let want = (ratios.get(node.0).copied().unwrap_or(0.0) * n as f64).round() as usize;
+                if placed[node.0] < want {
+                    placed[node.0] += 1;
+                    Side::Gpu
+                } else {
+                    Side::Cpu
+                }
+            })
+            .collect();
+        Partition(sides)
+    }
 }
 
 #[cfg(test)]
@@ -199,6 +228,20 @@ mod tests {
         }
         let ratios = exp.ratios(&Partition(sides));
         assert!((ratios[nf.entry().0] - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partition_from_ratios_round_trips() {
+        let nf = Nf::ipsec("ipsec");
+        let (w, g) = weights_for(&nf, 512);
+        let exp = Expansion::expand(&g, &w, 0.1);
+        let part = exp.partition_from_ratios(&[0.7]);
+        assert!(part.respects_pins(&exp.part));
+        let ratios = exp.ratios(&part);
+        assert!((ratios[nf.entry().0] - 0.7).abs() < 1e-9);
+        // Off-grid ratios snap to the nearest slice boundary.
+        let snapped = exp.ratios(&exp.partition_from_ratios(&[0.33]));
+        assert!((snapped[nf.entry().0] - 0.3).abs() < 1e-9);
     }
 
     #[test]

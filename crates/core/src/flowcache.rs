@@ -139,6 +139,19 @@ impl StageFlowCache {
         self.table.counters()
     }
 
+    /// Explicit O(1) bulk invalidation with a generation bump, restamped
+    /// against `run`'s current configuration — the epoch-swap hook: a
+    /// plan change relocates elements across processors, so memoized
+    /// verdicts must not survive into the new plan even though the
+    /// functional configuration hash is unchanged.
+    pub fn invalidate(&mut self, run: &CompiledGraph, rec: &mut Recorder) {
+        self.table.invalidate_all();
+        self.config_hash = run.flow_config_hash();
+        rec.instant(EventKind::FlowCacheInvalidate {
+            generation: self.table.generation(),
+        });
+    }
+
     /// Live cached flows.
     pub fn len(&self) -> usize {
         self.table.len()

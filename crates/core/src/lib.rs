@@ -63,6 +63,7 @@ pub use allocator::{AllocationPlan, PartitionAlgo};
 pub use engine::{par_map, par_map_traced, Duplication, ExecMode};
 pub use flowcache::{FlowCacheMode, StageFlowCache};
 pub use multi::MultiDeployment;
+pub use nfc_control::{Action, AdaptationRecord, Controller, ControllerConfig, ControllerReport};
 pub use nfc_telemetry::{TelemetryMode, TelemetrySummary};
 pub use orchestrator::ReorgSfc;
 pub use runtime::{Deployment, Policy, RunOutcome};

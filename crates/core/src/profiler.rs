@@ -71,8 +71,23 @@ impl Profiler {
     /// weights reflect the cache interference the element will actually
     /// see next to its co-deployed NFs.
     pub fn measure_with_corun(&self, run: &CompiledGraph, corun: &CoRunContext) -> GraphWeights {
+        self.measure_stats_with_corun(run, run.stats(), corun)
+    }
+
+    /// Like [`Profiler::measure_with_corun`] but over an explicit
+    /// statistics window instead of the graph's cumulative counters —
+    /// the online re-profiling path, which measures one observation
+    /// window via [`GraphStats::delta`] snapshots without ever resetting
+    /// the live counters.
+    ///
+    /// [`GraphStats::delta`]: nfc_click::GraphStats::delta
+    pub fn measure_stats_with_corun(
+        &self,
+        run: &CompiledGraph,
+        stats: &nfc_click::GraphStats,
+        corun: &CoRunContext,
+    ) -> GraphWeights {
         let g = run.graph();
-        let stats = run.stats();
         let ctx = corun.clone();
         let mut nodes = Vec::with_capacity(g.node_count());
         for id in g.node_ids() {

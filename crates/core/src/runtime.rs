@@ -20,14 +20,18 @@
 //! ratio search, and `NfCompass` applies chain parallelization, NF
 //! synthesis, graph-partition allocation and persistent kernels.
 
-use crate::allocator::{allocate_traced, AllocationPlan, PartitionAlgo};
+use crate::allocator::{allocate_traced, allocate_warm_traced, AllocationPlan, PartitionAlgo};
 use crate::engine::{par_map_traced, Duplication, ExecMode};
 use crate::flowcache::{FlowCacheMode, StageFlowCache};
 use crate::orchestrator::{merge_branch_batches, ReorgSfc};
 use crate::profiler::{GraphWeights, Profiler};
 use crate::sfc::Sfc;
 use crate::synthesizer::{synthesize, SynthesisReport};
-use nfc_click::{CompiledGraph, Offload};
+use nfc_click::{CompiledGraph, GraphStats, Offload};
+use nfc_control::{
+    Action, AdaptationRecord, Controller, ControllerConfig, ControllerReport, StageSignature,
+    WorkloadSignature,
+};
 use nfc_hetero::{
     calib, CoRunContext, CostModel, GpuMode, PipelineSim, PlatformConfig, ResourceId, SimReport,
 };
@@ -508,6 +512,202 @@ impl Deployment {
             .collect()
     }
 
+    /// Runs a sequence of traffic phases on one continuous timeline with
+    /// the epoch-based adaptive controller closing the
+    /// profile → partition → deploy loop *online*: every
+    /// [`ControllerConfig::epoch_batches`] batches the runtime condenses
+    /// its observation window into a [`WorkloadSignature`]; when the
+    /// change detector trips (threshold + hysteresis + cooldown), the
+    /// agglomerative fast path re-partitions immediately and the heavier
+    /// KL refinement hands off its plan
+    /// [`ControllerConfig::refine_latency_epochs`] epochs later. Adopted
+    /// plans are applied via the two-phase epoch swap (drain behind the
+    /// queue backlog, kernel teardown/cold launch, state migration,
+    /// flow-cache generation bump), all charged on the simulated
+    /// timeline.
+    ///
+    /// Unlike [`Deployment::run_phases`] with `adapt`, no traffic is ever
+    /// consumed for re-profiling and no statistics are reset: adaptation
+    /// is driven entirely by passive window deltas, which is what makes
+    /// the controller *provably loss-free* — with
+    /// [`ControllerConfig::disabled`] this method is the differential
+    /// oracle, and as long as neither run tail-drops, egress and
+    /// per-element statistics are bit-identical whatever plans the
+    /// enabled controller swaps in (plans only move work between
+    /// processors on the temporal layer).
+    ///
+    /// Phase boundaries advance each generator to the previous phase's
+    /// traffic clock (not the simulation clock), so the arrival process
+    /// is independent of scheduling decisions.
+    ///
+    /// Re-planning requires a partitioned policy: under anything other
+    /// than [`Policy::NfCompass`] the controller observes and reports
+    /// but never swaps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty.
+    pub fn run_adaptive(
+        &mut self,
+        phases: &mut [TrafficGenerator],
+        n_batches: usize,
+        cfg: &ControllerConfig,
+    ) -> (Vec<RunOutcome>, ControllerReport) {
+        let (outcomes, report, _) = self.run_adaptive_inner(phases, n_batches, cfg, false);
+        (outcomes, report)
+    }
+
+    /// Like [`Deployment::run_adaptive`], additionally returning every
+    /// egress batch in completion order — the handle the differential
+    /// proptest uses to assert byte-identical output against the
+    /// disabled-controller oracle.
+    pub fn run_adaptive_collect(
+        &mut self,
+        phases: &mut [TrafficGenerator],
+        n_batches: usize,
+        cfg: &ControllerConfig,
+    ) -> (Vec<RunOutcome>, ControllerReport, Vec<Batch>) {
+        self.run_adaptive_inner(phases, n_batches, cfg, true)
+    }
+
+    fn run_adaptive_inner(
+        &mut self,
+        phases: &mut [TrafficGenerator],
+        n_batches: usize,
+        cfg: &ControllerConfig,
+        collect: bool,
+    ) -> (Vec<RunOutcome>, ControllerReport, Vec<Batch>) {
+        assert!(!phases.is_empty(), "need at least one phase");
+        let tel = Telemetry::new(self.telemetry.clone());
+        let handle = tel.handle();
+        let mut sim = PipelineSim::new();
+        sim.set_recorder(handle.recorder());
+        let res = PlatformResources::register(&mut sim, &self.model);
+        let mut user_base = 1u64;
+        let (first, rest) = phases.split_first_mut().expect("non-empty");
+        let mut prep = self.prepare(&mut sim, &res, first, &[], &mut user_base, &handle);
+        let batch_size = self.batch_size;
+        let epoch_batches = cfg.epoch_batches.max(1);
+        // The fast path is always the O(k log k) agglomerative
+        // partitioner; the background refinement uses the policy's own
+        // partitioner (KL when the policy already runs agglomerative, so
+        // the hand-off genuinely refines).
+        let (can_replan, refine_algo) = match self.policy {
+            Policy::NfCompass {
+                algo: PartitionAlgo::Agglomerative,
+                ..
+            } => (true, PartitionAlgo::Kl),
+            Policy::NfCompass { algo, .. } => (true, algo),
+            _ => (false, PartitionAlgo::Kl),
+        };
+        let refine_label: &'static str = match refine_algo {
+            PartitionAlgo::Kl => "kl",
+            PartitionAlgo::Agglomerative => "agglomerative",
+            PartitionAlgo::Mfmc => "mfmc",
+        };
+        let mut controller = Controller::new(cfg.clone());
+        let mut report = ControllerReport::default();
+        let mut egress = Vec::new();
+        let mut phase_results = Vec::with_capacity(1 + rest.len());
+        let mut since_epoch = 0usize;
+        let mut now = 0f64;
+        let mut traffic_clock = 0u64;
+        prep.snapshot_window();
+        for (pi, traffic) in std::iter::once(first).chain(rest.iter_mut()).enumerate() {
+            if pi > 0 {
+                traffic.advance_to(traffic_clock);
+            }
+            let mut stats = nfc_hetero::sim::StatsAccumulator::new();
+            for _ in 0..n_batches {
+                let batch = traffic.batch(batch_size);
+                match prep.process_batch(&mut sim, &res, batch) {
+                    BatchResult::Completed {
+                        mean_arrival,
+                        completed,
+                        out,
+                    } => {
+                        handle.observe_ns("batch_latency_ns", completed - mean_arrival);
+                        now = now.max(completed);
+                        stats.record_completion(
+                            mean_arrival,
+                            completed,
+                            out.len(),
+                            out.total_bytes(),
+                        );
+                        if collect {
+                            egress.push(out);
+                        }
+                    }
+                    BatchResult::Dropped { mean_arrival } => stats.record_drop(mean_arrival),
+                }
+                since_epoch += 1;
+                if since_epoch < epoch_batches {
+                    continue;
+                }
+                since_epoch = 0;
+                let sig = prep.epoch_signature(batch_size, sim.backlog_ns(res.pcie_h2d, now));
+                let action = controller.observe(sig);
+                report.epochs = controller.epoch();
+                match action {
+                    Action::Hold => {}
+                    Action::FastRepartition(why) => {
+                        report.triggers += 1;
+                        if can_replan
+                            && prep.repartition(
+                                &mut sim,
+                                &res,
+                                PartitionAlgo::Agglomerative,
+                                "agglomerative",
+                                &why.summary(),
+                                self.delta,
+                                now,
+                                controller.epoch(),
+                                &mut report,
+                            )
+                        {
+                            controller.note_swap();
+                        }
+                    }
+                    Action::Refine => {
+                        report.refines += 1;
+                        if can_replan
+                            && prep.repartition(
+                                &mut sim,
+                                &res,
+                                refine_algo,
+                                refine_label,
+                                "refine",
+                                self.delta,
+                                now,
+                                controller.epoch(),
+                                &mut report,
+                            )
+                        {
+                            controller.note_swap();
+                        }
+                    }
+                }
+                prep.snapshot_window();
+            }
+            traffic_clock = traffic_clock.max(traffic.now_ns());
+            phase_results.push((stats, prep.current_offloads()));
+        }
+        if let Some(rec) = sim.take_recorder() {
+            handle.absorb(rec);
+        }
+        let mut template = prep.into_outcome(SimReport::default());
+        template.telemetry = tel.finish();
+        let outcomes = phase_results
+            .into_iter()
+            .map(|(stats, offloads)| RunOutcome {
+                report: stats.report(),
+                stage_offloads: offloads,
+                ..template.clone()
+            })
+            .collect();
+        (outcomes, report, egress)
+    }
+
     /// Builds the execution structure (re-organization, synthesis,
     /// warm-up, profiling, allocation) against a — possibly shared —
     /// simulator. `extra_corun` adds co-located NFs from *other* tenants
@@ -663,6 +863,7 @@ impl Deployment {
             .collect();
 
         *user_base = user;
+        let n_stages = stages.iter().map(Vec::len).sum();
         PreparedSfc {
             stages,
             width,
@@ -677,6 +878,10 @@ impl Deployment {
             egress_bytes: 0,
             merge_conflicts: 0,
             tel: tel.clone(),
+            obs: vec![StageObs::default(); n_stages],
+            obs_base: vec![StageObs::default(); n_stages],
+            stats_base: Vec::new(),
+            cache_base: Vec::new(),
         }
     }
 
@@ -839,6 +1044,30 @@ pub(crate) struct PreparedSfc {
     egress_bytes: u64,
     merge_conflicts: u64,
     tel: TelemetryHandle,
+    /// Cumulative per-stage charge observation (branch-major flat order),
+    /// maintained by every run path; the adaptive controller reads it in
+    /// windowed deltas. Purely additive bookkeeping: it never feeds back
+    /// into execution unless a controller acts on it.
+    obs: Vec<StageObs>,
+    /// [`PreparedSfc::obs`] snapshot at the last epoch boundary.
+    obs_base: Vec<StageObs>,
+    /// Per-stage [`GraphStats`] snapshots at the last epoch boundary, so
+    /// re-profiling measures one observation window via
+    /// [`GraphStats::delta`] without ever resetting live counters.
+    stats_base: Vec<GraphStats>,
+    /// Per-stage flow-cache counters at the last epoch boundary.
+    cache_base: Vec<CacheCounters>,
+}
+
+/// Cumulative temporal-charge observation for one stage.
+#[derive(Debug, Clone, Copy, Default)]
+struct StageObs {
+    batches: u64,
+    packets: u64,
+    bytes: u64,
+    cpu_ns: f64,
+    kernel_ns: f64,
+    gpu_packets: u64,
 }
 
 impl PreparedSfc {
@@ -917,9 +1146,18 @@ impl PreparedSfc {
         // simulated timeline is bit-identical regardless of ExecMode.
         let mut branch_outputs: Vec<Batch> = Vec::with_capacity(self.width);
         let mut t_join = t0;
+        let mut flat = 0usize;
         for (branch, (out, charges)) in self.stages.iter().zip(results) {
             let mut t = t0;
             for (stage, charge) in branch.iter().zip(&charges) {
+                let o = &mut self.obs[flat];
+                o.batches += 1;
+                o.packets += charge.in_packets as u64;
+                o.bytes += charge.in_wire_bytes;
+                o.cpu_ns += charge.cpu_ns;
+                o.kernel_ns += charge.kernel_ns;
+                o.gpu_packets += charge.gpu_packets as u64;
+                flat += 1;
                 t = replay_stage(
                     sim,
                     stage,
@@ -1008,6 +1246,210 @@ impl PreparedSfc {
             .collect()
     }
 
+    /// Opens a fresh observation window: snapshots the cumulative charge
+    /// observations, per-stage statistics and flow-cache counters so the
+    /// next [`PreparedSfc::epoch_signature`] and re-profiling read
+    /// windowed deltas, never cumulative state (and never reset live
+    /// counters — resetting would perturb the differential oracle).
+    pub(crate) fn snapshot_window(&mut self) {
+        self.obs_base = self.obs.clone();
+        self.stats_base = self
+            .stages
+            .iter()
+            .flat_map(|b| b.iter())
+            .map(|s| s.run.stats().clone())
+            .collect();
+        self.cache_base = self
+            .stages
+            .iter()
+            .flat_map(|b| b.iter())
+            .map(|s| {
+                s.flow_cache
+                    .as_ref()
+                    .map(|c| c.counters())
+                    .unwrap_or_default()
+            })
+            .collect();
+    }
+
+    /// Condenses the observation window since the last
+    /// [`PreparedSfc::snapshot_window`] into a per-stage
+    /// [`WorkloadSignature`]: mean CPU/kernel charges per batch, batch
+    /// fill and packet size from the traffic actually seen, live content
+    /// factors read from the elements, the SM-occupancy proxy, the DMA
+    /// backlog sampled at the boundary, and the flow-cache hit rate.
+    pub(crate) fn epoch_signature(
+        &self,
+        batch_size: usize,
+        dma_backlog_ns: f64,
+    ) -> WorkloadSignature {
+        let mut sigs = Vec::with_capacity(self.obs.len());
+        for (flat, stage) in self.stages.iter().flat_map(|b| b.iter()).enumerate() {
+            let o = self.obs[flat];
+            let b = self.obs_base.get(flat).copied().unwrap_or_default();
+            let batches = (o.batches.saturating_sub(b.batches)).max(1) as f64;
+            let packets = o.packets.saturating_sub(b.packets) as f64;
+            let bytes = o.bytes.saturating_sub(b.bytes) as f64;
+            let g = stage.run.graph();
+            let n = g.node_count().max(1) as f64;
+            let mut match_factor = 0.0;
+            let mut divergence = 0.0;
+            for id in g.node_ids() {
+                let el = g.element(id);
+                match_factor += el.content_factor();
+                divergence += el.divergence();
+            }
+            let (hits, misses) = match stage.flow_cache.as_ref() {
+                Some(c) => {
+                    let cur = c.counters();
+                    let base = self.cache_base.get(flat).copied().unwrap_or_default();
+                    (
+                        cur.hits.saturating_sub(base.hits) as f64,
+                        cur.misses.saturating_sub(base.misses) as f64,
+                    )
+                }
+                None => (0.0, 0.0),
+            };
+            let lookups = hits + misses;
+            sigs.push(StageSignature {
+                cpu_ns: (o.cpu_ns - b.cpu_ns) / batches,
+                kernel_ns: (o.kernel_ns - b.kernel_ns) / batches,
+                batch_fill: packets / (batches * batch_size.max(1) as f64),
+                mean_pkt_bytes: bytes / packets.max(1.0),
+                match_factor: match_factor / n,
+                divergence: divergence / n,
+                sm_occupancy: (o.gpu_packets.saturating_sub(b.gpu_packets) as f64 / batches)
+                    / calib::GPU_PARALLEL_WIDTH as f64,
+                dma_backlog_ns,
+                cache_hit_rate: if lookups > 0.0 { hits / lookups } else { 0.0 },
+            });
+        }
+        WorkloadSignature { stages: sigs }
+    }
+
+    /// Re-profiles every stage over the current observation window and
+    /// re-runs the partitioner warm-started from the plan in effect,
+    /// adopting a stage's new plan only when its execution-consistent
+    /// cost beats the carried plan. Adopted plans are applied via the
+    /// two-phase epoch swap, charged on the simulated timeline at `now`:
+    ///
+    /// 1. **Drain** — swap work is scheduled *behind* the existing
+    ///    backlog of the stage's GPU queue and the DMA link, so every
+    ///    in-flight batch finishes under the old plan first (the
+    ///    simulator's resource semantics are the drain barrier).
+    /// 2. **Reconfigure** — persistent-kernel teardown, stateful-NF
+    ///    state migration over PCIe, and the cold launch of the new
+    ///    kernel are charged at calibrated costs; the stage's flow-cache
+    ///    generation is bumped so no stale verdict survives the swap.
+    ///
+    /// Returns `true` when at least one stage adopted a new plan. Every
+    /// evaluated stage is appended to `report` (with `applied: false`
+    /// when the warm re-partition kept the carried plan), and recorded as
+    /// an [`EventKind::ControllerDecision`] telemetry instant.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn repartition(
+        &mut self,
+        sim: &mut PipelineSim,
+        res: &PlatformResources,
+        algo: PartitionAlgo,
+        algo_label: &'static str,
+        reason: &str,
+        delta: f64,
+        now: f64,
+        epoch: u64,
+        report: &mut ControllerReport,
+    ) -> bool {
+        let mode = self.mode;
+        let mut rec = self.tel.recorder();
+        let mut any = false;
+        let mut flat = 0usize;
+        for branch in self.stages.iter_mut() {
+            for stage in branch.iter_mut() {
+                let base = self.stats_base.get(flat).cloned().unwrap_or_default();
+                let window = stage.run.stats().delta(&base);
+                let profiler = Profiler::new(stage.model, mode);
+                let weights = profiler.measure_stats_with_corun(&stage.run, &window, &stage.corun);
+                let offloadable: Vec<bool> = weights.nodes.iter().map(|n| n.offloadable).collect();
+                let old_ratio = stage.plan.mean_offload(&offloadable);
+                let plan = allocate_warm_traced(
+                    stage.nf.graph(),
+                    &weights,
+                    &stage.plan.ratios,
+                    algo,
+                    delta,
+                    &stage.model,
+                    &stage.corun,
+                    mode,
+                    &mut rec,
+                );
+                let new_ratio = plan.mean_offload(&offloadable);
+                let applied = plan.ratios != stage.plan.ratios;
+                let mut swap_ns = 0.0;
+                if applied {
+                    let was = stage.plan.ratios.iter().any(|&r| r > 0.0);
+                    let will = plan.ratios.iter().any(|&r| r > 0.0);
+                    let gpu = match mode {
+                        GpuMode::Persistent => {
+                            res.gpu_queues[(stage.user as usize) % res.gpu_queues.len()]
+                        }
+                        GpuMode::LaunchPerBatch => res.gpu_queues[0],
+                    };
+                    let mut t = now;
+                    if was {
+                        t = sim.schedule(gpu, t, stage.model.kernel_teardown_ns(), stage.user);
+                    }
+                    let state = stage.run.state_bytes();
+                    if state > 0 && (was || will) {
+                        t = sim.schedule(
+                            res.pcie_h2d,
+                            t,
+                            stage.model.state_migration_ns(state),
+                            stage.user,
+                        );
+                    }
+                    if will {
+                        t = sim.schedule(
+                            gpu,
+                            t,
+                            stage.model.kernel_cold_launch_ns(mode),
+                            stage.user,
+                        );
+                    }
+                    swap_ns = t - now;
+                    if let Some(cache) = stage.flow_cache.as_mut() {
+                        cache.invalidate(&stage.run, &mut rec);
+                    }
+                    stage.plan = plan;
+                    stage.weights = Some(weights);
+                    any = true;
+                }
+                if rec.is_enabled() {
+                    rec.instant(EventKind::ControllerDecision {
+                        epoch,
+                        reason: reason.to_string(),
+                        stage: stage.nf.name().to_string(),
+                        old_ratio,
+                        new_ratio,
+                        swap_ns,
+                    });
+                }
+                report.adaptations.push(AdaptationRecord {
+                    epoch,
+                    reason: reason.to_string(),
+                    algo: algo_label,
+                    stage: stage.nf.name().to_string(),
+                    old_ratio,
+                    new_ratio,
+                    swap_ns,
+                    applied,
+                });
+                flat += 1;
+            }
+        }
+        self.tel.absorb(rec);
+        any
+    }
+
     /// Finalizes the run into a [`RunOutcome`] with the given temporal
     /// report.
     pub(crate) fn into_outcome(self, report: SimReport) -> RunOutcome {
@@ -1051,6 +1493,10 @@ struct StageCharge {
     /// the SM-occupancy telemetry proxy).
     gpu_packets: usize,
     any_offload: bool,
+    /// Packets entering the stage this batch (controller observation).
+    in_packets: usize,
+    /// Wire bytes entering the stage this batch (controller observation).
+    in_wire_bytes: u64,
 }
 
 /// Executes one NF stage functionally (packets through the element
@@ -1065,6 +1511,7 @@ fn exec_stage_functional(
     rec: &mut Recorder,
 ) -> (Batch, StageCharge) {
     let in_packets = batch.len();
+    let in_wire_bytes = batch.total_bytes() as u64;
     let in_splits = batch.lineage.splits;
     let in_merges = batch.lineage.merges;
     // Functional execution: flow-aware fast path when this stage has a
@@ -1182,6 +1629,8 @@ fn exec_stage_functional(
             gpu_bytes,
             gpu_packets,
             any_offload,
+            in_packets,
+            in_wire_bytes,
         },
     )
 }
@@ -1516,6 +1965,119 @@ mod churn_tests {
     fn empty_phases_panic() {
         let mut dep = Deployment::new(Sfc::new("p", vec![nfc_nf::Nf::probe("p")]), Policy::CpuOnly);
         dep.run_phases(&mut [], 1, true);
+    }
+}
+
+#[cfg(test)]
+mod adaptive_tests {
+    use super::*;
+    use nfc_packet::traffic::{PayloadPolicy, SizeDist, TrafficSpec};
+
+    fn dpi_phases(rate_gbps: f64) -> Vec<TrafficGenerator> {
+        let spec = |ratio: f64, seed: u64| {
+            TrafficGenerator::new(
+                TrafficSpec::udp(SizeDist::Fixed(512))
+                    .with_rate_gbps(rate_gbps)
+                    .with_payload(PayloadPolicy::MatchRatio {
+                        patterns: nfc_nf::Nf::default_ids_signatures(),
+                        ratio,
+                    }),
+                seed,
+            )
+        };
+        vec![spec(0.0, 5), spec(1.0, 6)]
+    }
+
+    fn cfg() -> ControllerConfig {
+        ControllerConfig {
+            epoch_batches: 8,
+            window_epochs: 2,
+            threshold: 0.3,
+            hysteresis_epochs: 2,
+            cooldown_epochs: 2,
+            refine_latency_epochs: 2,
+            enabled: true,
+        }
+    }
+
+    #[test]
+    fn controller_absorbs_match_ratio_flip() {
+        let run = |cfg: &ControllerConfig| {
+            let sfc = Sfc::new("dpi", vec![Nf::dpi("dpi")]);
+            let mut dep = Deployment::new(sfc, Policy::nfcompass()).with_batch_size(256);
+            dep.run_adaptive(&mut dpi_phases(40.0), 48, cfg)
+        };
+        let (adapted, report) = run(&cfg());
+        let (stale, oracle_report) = run(&ControllerConfig::disabled());
+        assert!(report.epochs >= 8);
+        assert!(report.triggers >= 1, "shift must trip the detector");
+        assert!(report.applied() >= 1, "fast re-partition must adopt a plan");
+        assert_eq!(oracle_report.triggers, 0);
+        assert_eq!(oracle_report.applied(), 0);
+        // The adapted phase-2 plan must not lose to the stale plan, and
+        // the swap must be visible in the timeline records.
+        assert!(
+            adapted[1].report.throughput_gbps >= 0.95 * stale[1].report.throughput_gbps,
+            "adapted {} vs stale {}",
+            adapted[1].report.throughput_gbps,
+            stale[1].report.throughput_gbps
+        );
+        let applied: Vec<_> = report.adaptations.iter().filter(|a| a.applied).collect();
+        assert!(applied
+            .iter()
+            .all(|a| a.swap_ns > 0.0 || a.old_ratio == 0.0));
+    }
+
+    #[test]
+    fn adaptive_controller_is_loss_free_and_functionally_identical() {
+        // Under-capacity traffic: neither run tail-drops, so the enabled
+        // controller must be bit-identical to the disabled oracle on
+        // every functional observable, whatever plans it swaps.
+        let run = |cfg: &ControllerConfig| {
+            let sfc = Sfc::new("dpi", vec![Nf::dpi("dpi")]);
+            let mut dep = Deployment::new(sfc, Policy::nfcompass()).with_batch_size(128);
+            dep.run_adaptive_collect(&mut dpi_phases(4.0), 40, cfg)
+        };
+        let (on_out, on_rep, on_egress) = run(&cfg());
+        let (off_out, _, off_egress) = run(&ControllerConfig::disabled());
+        for o in on_out.iter().chain(off_out.iter()) {
+            assert_eq!(o.report.dropped_batches, 0, "must stay under capacity");
+        }
+        assert_eq!(on_egress, off_egress, "egress must be byte-identical");
+        assert_eq!(on_out[0].stage_stats, off_out[0].stage_stats);
+        assert_eq!(on_out[0].egress_packets, off_out[0].egress_packets);
+        assert_eq!(on_out[0].egress_bytes, off_out[0].egress_bytes);
+        assert!(on_rep.epochs > 0);
+    }
+
+    #[test]
+    fn steady_traffic_never_swaps() {
+        let sfc = Sfc::new("dpi", vec![Nf::dpi("dpi")]);
+        let mut dep = Deployment::new(sfc, Policy::nfcompass()).with_batch_size(128);
+        let mut phases = vec![TrafficGenerator::new(
+            TrafficSpec::udp(SizeDist::Fixed(512)).with_rate_gbps(20.0),
+            7,
+        )];
+        let (_, report) = dep.run_adaptive(&mut phases, 80, &cfg());
+        assert!(report.epochs >= 10);
+        assert_eq!(report.applied(), 0, "no drift, no swap: {report:?}");
+    }
+
+    #[test]
+    fn non_partitioned_policy_observes_but_never_swaps() {
+        let sfc = Sfc::new("dpi", vec![Nf::dpi("dpi")]);
+        let mut dep = Deployment::new(sfc, Policy::CpuOnly).with_batch_size(128);
+        let (_, report) = dep.run_adaptive(&mut dpi_phases(4.0), 40, &cfg());
+        assert!(report.epochs > 0);
+        assert_eq!(report.applied(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn adaptive_empty_phases_panic() {
+        let sfc = Sfc::new("p", vec![Nf::probe("p")]);
+        let mut dep = Deployment::new(sfc, Policy::CpuOnly);
+        dep.run_adaptive(&mut [], 1, &ControllerConfig::default());
     }
 }
 

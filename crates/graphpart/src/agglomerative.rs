@@ -238,6 +238,51 @@ pub fn default_seeds(g: &PartGraph) -> Vec<Seed> {
     seeds
 }
 
+/// Derives seeds from a previous cut, warm-starting the agglomerative
+/// fast path during online re-partitioning: the unpinned node on each
+/// side with the strongest affinity for that side (best cost ratio
+/// among nodes the previous plan placed there) anchors the new
+/// clustering. Falls back to [`default_seeds`] when `prev` does not
+/// match the graph or left a side empty — so a previously CPU-only cut
+/// can still discover the GPU under a shifted workload.
+pub fn seeds_from_partition(g: &PartGraph, prev: &Partition) -> Vec<Seed> {
+    if prev.0.len() != g.len() {
+        return default_seeds(g);
+    }
+    let mut best: [Option<(usize, f64)>; 2] = [None, None];
+    for v in 0..g.len() {
+        if g.pin(v).is_some() {
+            continue;
+        }
+        let w = g.weight(v);
+        let side = prev.side(v);
+        // Affinity for the previously assigned side: other-side cost over
+        // own-side cost (higher = more committed to this side).
+        let (own, other) = (w[side.index()], w[side.other().index()]);
+        if own <= 0.0 {
+            continue;
+        }
+        let affinity = other / own;
+        let slot = &mut best[side.index()];
+        if slot.map(|(_, b)| affinity > b).unwrap_or(true) {
+            *slot = Some((v, affinity));
+        }
+    }
+    match (best[Side::Cpu.index()], best[Side::Gpu.index()]) {
+        (Some((c, _)), Some((gp, _))) if c != gp => vec![
+            Seed {
+                v: c,
+                side: Side::Cpu,
+            },
+            Seed {
+                v: gp,
+                side: Side::Gpu,
+            },
+        ],
+        _ => default_seeds(g),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,6 +384,42 @@ mod tests {
     fn empty_graph() {
         let part = partition(&PartGraph::new(), &[], Objective::default());
         assert!(part.0.is_empty());
+    }
+
+    #[test]
+    fn seeds_from_partition_anchor_previous_sides() {
+        let mut g = PartGraph::new();
+        let a = g.add_node(100.0, 10.0); // GPU-friendly
+        let b = g.add_node(10.0, 100.0); // CPU-friendly
+        let c = g.add_node(50.0, 50.0);
+        g.add_edge(a, c, 1.0);
+        g.add_edge(b, c, 1.0);
+        let prev = Partition(vec![Side::Gpu, Side::Cpu, Side::Cpu]);
+        let seeds = seeds_from_partition(&g, &prev);
+        assert!(seeds.contains(&Seed {
+            v: a,
+            side: Side::Gpu
+        }));
+        assert!(seeds.contains(&Seed {
+            v: b,
+            side: Side::Cpu
+        }));
+    }
+
+    #[test]
+    fn seeds_from_partition_falls_back_when_one_sided() {
+        let mut g = PartGraph::new();
+        let a = g.add_node(100.0, 10.0);
+        let b = g.add_node(10.0, 100.0);
+        g.add_edge(a, b, 1.0);
+        // All-CPU previous cut: no GPU-side candidate, so fall back.
+        let prev = Partition::all(2, Side::Cpu);
+        assert_eq!(seeds_from_partition(&g, &prev), default_seeds(&g));
+        // Mismatched length also falls back.
+        assert_eq!(
+            seeds_from_partition(&g, &Partition(Vec::new())),
+            default_seeds(&g)
+        );
     }
 
     #[test]

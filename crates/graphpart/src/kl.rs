@@ -69,6 +69,42 @@ pub fn partition_flat_traced(g: &PartGraph, opts: KlOptions, rec: &mut Recorder)
     part
 }
 
+/// Warm-start refinement: runs the KL refinement passes from `warm`
+/// instead of a greedy seed — the incremental re-partition entry point
+/// for online re-planning, where the previous cut is usually a few
+/// moves away from the new optimum. Sides of `warm` are re-clamped to
+/// the graph's pins first, so a warm partition from a *different*
+/// pin configuration (e.g. after an NF gained offloadable work) is
+/// still legal. The result never costs more than `warm` under `opts`'
+/// objective: refinement passes only apply improving prefixes.
+pub fn refine_partition_traced(
+    g: &PartGraph,
+    warm: &Partition,
+    opts: KlOptions,
+    rec: &mut Recorder,
+) -> Partition {
+    if g.is_empty() {
+        return Partition(Vec::new());
+    }
+    let mut part = if warm.0.len() == g.len() {
+        warm.clone()
+    } else {
+        greedy_initial(g)
+    };
+    for v in 0..g.len() {
+        if let Some(p) = g.pin(v) {
+            part.0[v] = p;
+        }
+    }
+    refine(g, &mut part, &opts, rec);
+    part
+}
+
+/// [`refine_partition_traced`] without telemetry.
+pub fn refine_partition(g: &PartGraph, warm: &Partition, opts: KlOptions) -> Partition {
+    refine_partition_traced(g, warm, opts, &mut Recorder::disabled())
+}
+
 fn multilevel(g: &PartGraph, opts: &KlOptions, depth: usize, rec: &mut Recorder) -> Partition {
     if g.len() <= opts.coarsen_to || depth > 20 {
         return partition_flat_traced(g, *opts, rec);
@@ -379,6 +415,25 @@ mod tests {
     fn empty_graph() {
         let part = partition(&PartGraph::new(), KlOptions::default());
         assert!(part.0.is_empty());
+    }
+
+    #[test]
+    fn warm_refine_never_worse_and_fixes_stale_cut() {
+        let g = offload_graph();
+        let obj = Objective::default();
+        // Stale warm start: everything on the CPU (e.g. the plan from a
+        // no-offload traffic mix). Refinement must recover the offload.
+        let warm = Partition::all(g.len(), Side::Cpu);
+        let refined = refine_partition(&g, &warm, KlOptions::default());
+        assert!(refined.respects_pins(&g));
+        assert!(obj.cost(&g, &refined) <= obj.cost(&g, &warm));
+        assert_eq!(refined.side(1), Side::Gpu);
+        // Warm-starting from the optimum keeps it.
+        let again = refine_partition(&g, &refined, KlOptions::default());
+        assert_eq!(obj.cost(&g, &again), obj.cost(&g, &refined));
+        // A wrong-length warm partition falls back to a greedy seed.
+        let fallback = refine_partition(&g, &Partition(Vec::new()), KlOptions::default());
+        assert!(fallback.respects_pins(&g));
     }
 
     #[test]

@@ -80,6 +80,30 @@ pub const GPU_PARALLEL_WIDTH: usize = 2_048;
 /// per-packet work (lower clock, in-order lanes, memory divergence).
 pub const GPU_LANE_SLOWDOWN: f64 = 6.0;
 
+/// Tearing down an established kernel context during a live
+/// reconfiguration (freeing device buffers, unmapping pinned host
+/// rings), ns.
+///
+/// Anchor: §III-B2 couples "kernel launch and teardown" as the two
+/// halves of the un-optimized dispatch cost; teardown of a *persistent*
+/// kernel additionally waits for in-flight waves to retire, so it is
+/// charged a few× the plain launch cost.
+pub const GPU_KERNEL_TEARDOWN_NS: f64 = 25_000.0;
+
+/// Cold launch of a new persistent-kernel context during a live
+/// reconfiguration: module load, device-buffer allocation, pinned-ring
+/// registration and the first wave's warm-up, ns. This is the price an
+/// adaptive controller pays to *change* a plan, an order of magnitude
+/// above the steady-state [`GPU_LAUNCH_NS`]; it is why re-partitioning
+/// needs a cooldown to amortize.
+pub const GPU_KERNEL_COLD_LAUNCH_NS: f64 = 120_000.0;
+
+/// CPU-side cost of serializing/deserializing stateful-NF state (NAT
+/// port maps, reassembly buffers) around a migration, ns per byte, on
+/// top of the DMA transfer itself. ~4 GB/s repack is consistent with a
+/// single core streaming hash-map entries into a flat buffer.
+pub const STATE_REPACK_NS_PER_BYTE: f64 = 0.25;
+
 /// GPU context-switch penalty, ns, charged when consecutive kernels on
 /// one GPU queue come from different NFs.
 ///

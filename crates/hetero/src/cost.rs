@@ -242,6 +242,34 @@ impl CostModel {
             * self.ns_per_cycle()
     }
 
+    /// Cost of tearing down a stage's established kernel context during
+    /// a live plan swap, ns on the GPU queue.
+    pub fn kernel_teardown_ns(&self) -> f64 {
+        calib::GPU_KERNEL_TEARDOWN_NS
+    }
+
+    /// Cost of cold-launching a stage's kernel context for a new plan,
+    /// ns on the GPU queue. Persistent kernels pay the full cold price
+    /// (module load + buffer registration); launch-per-batch mode only
+    /// pays an ordinary launch, since it never keeps a context warm.
+    pub fn kernel_cold_launch_ns(&self, mode: GpuMode) -> f64 {
+        match mode {
+            GpuMode::Persistent => calib::GPU_KERNEL_COLD_LAUNCH_NS,
+            GpuMode::LaunchPerBatch => calib::GPU_LAUNCH_NS,
+        }
+    }
+
+    /// Cost of migrating `bytes` of stateful-NF state during a plan
+    /// swap: CPU repack plus one DMA-shaped transfer, ns.
+    pub fn state_migration_ns(&self, bytes: usize) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.platform.pcie.dma_latency_ns
+            + bytes as f64 / self.platform.pcie.bw_gbs
+            + bytes as f64 * calib::STATE_REPACK_NS_PER_BYTE
+    }
+
     /// Steady-state throughput (Gbps) of a two-sided pipeline processing
     /// batches of `load` with fraction `ratio` offloaded to the GPU —
     /// the quantity Figure 6 sweeps. The bottleneck is the slowest of
@@ -462,6 +490,24 @@ mod tests {
         assert_eq!(load.fraction(0.7).packets, 7);
         assert_eq!(load.fraction(0.0).packets, 0);
         assert_eq!(load.fraction(1.0).packets, 10);
+    }
+
+    #[test]
+    fn reconfiguration_costs_dominate_steady_state_dispatch() {
+        let m = model();
+        // A cold relaunch must cost far more than a steady-state
+        // persistent dispatch — that asymmetry is what the controller's
+        // cooldown amortizes.
+        assert!(m.kernel_cold_launch_ns(GpuMode::Persistent) > 10.0 * calib::GPU_LAUNCH_NS);
+        assert!(m.kernel_teardown_ns() > calib::GPU_LAUNCH_NS);
+        // Launch-per-batch never keeps a context warm: cold == ordinary.
+        assert_eq!(
+            m.kernel_cold_launch_ns(GpuMode::LaunchPerBatch),
+            calib::GPU_LAUNCH_NS
+        );
+        // State migration scales with bytes and is free when stateless.
+        assert_eq!(m.state_migration_ns(0), 0.0);
+        assert!(m.state_migration_ns(1 << 20) > m.state_migration_ns(1 << 10));
     }
 
     #[test]

@@ -905,6 +905,11 @@ impl Element for Nat {
         // Flow-table probe plus header rewrite and checksum fixups.
         70.0
     }
+
+    fn state_bytes(&self) -> usize {
+        // Both direction maps: 5-tuple + port + map overhead per entry.
+        self.by_inside.len() * 64 + self.by_port.len() * 48
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -145,6 +145,18 @@ impl Element for StreamReassembly {
         // Flow-table probe plus occasional buffer churn.
         90.0
     }
+
+    fn state_bytes(&self) -> usize {
+        // Per-flow bookkeeping plus the wire bytes of buffered
+        // out-of-order segments (the dominant term under reordering).
+        let buffered_bytes: usize = self
+            .flows
+            .values()
+            .flat_map(|f| f.pending.values())
+            .map(|p| p.len())
+            .sum();
+        self.flows.len() * 48 + buffered_bytes
+    }
 }
 
 /// A streaming IDS: Aho–Corasick state is carried across the packets of
@@ -247,6 +259,11 @@ impl Element for StreamIds {
     fn work(&self) -> WorkProfile {
         WorkProfile::new(140.0, 9.0)
     }
+
+    fn state_bytes(&self) -> usize {
+        // One automaton state per live flow (key + u32 + map overhead).
+        self.states.len() * 24
+    }
 }
 
 /// A token-bucket traffic shaper ([`ElementClass::Shaper`]): passes
@@ -331,6 +348,11 @@ impl Element for TokenBucketShaper {
 
     fn base_cost(&self) -> f64 {
         15.0
+    }
+
+    fn state_bytes(&self) -> usize {
+        // Bucket level + refill timestamp.
+        16
     }
 }
 

@@ -190,6 +190,23 @@ pub enum EventKind {
         /// Mean per-vertex GPU offload ratio of the plan.
         mean_ratio: f64,
     },
+    /// The adaptive controller changed (or declined to change) a stage's
+    /// offload plan at an epoch boundary (simulated-time instant).
+    ControllerDecision {
+        /// Observation epoch at which the decision fired.
+        epoch: u64,
+        /// Trigger summary (e.g. `cpu_ns drift 1.85 @ stage 0`) or
+        /// `refine` for background hand-offs.
+        reason: String,
+        /// Stage (NF) name the decision applies to.
+        stage: String,
+        /// Mean offload ratio before the swap.
+        old_ratio: f64,
+        /// Mean offload ratio after the swap.
+        new_ratio: f64,
+        /// Reconfiguration time charged on the simulated timeline, ns.
+        swap_ns: f64,
+    },
     /// One work unit executed by a `par_map` worker (wall-clock span).
     Worker {
         /// Worker thread index within the pool.
@@ -203,7 +220,7 @@ impl EventKind {
     /// Coarse category, used as the Chrome-trace `cat` field and by
     /// `nfc-trace` for per-category summaries: one of `stage`,
     /// `element`, `batch`, `flow-cache`, `gpu`, `resource`,
-    /// `partition`, `worker`.
+    /// `partition`, `control`, `worker`.
     pub fn category(&self) -> &'static str {
         match self {
             EventKind::Stage { .. } => "stage",
@@ -218,6 +235,7 @@ impl EventKind {
             | EventKind::SmOccupancy { .. } => "gpu",
             EventKind::ResourceBusy { .. } | EventKind::ResourceName { .. } => "resource",
             EventKind::PartitionPass { .. } | EventKind::PartitionDecision { .. } => "partition",
+            EventKind::ControllerDecision { .. } => "control",
             EventKind::Worker { .. } => "worker",
         }
     }
@@ -244,6 +262,7 @@ impl EventKind {
             EventKind::ResourceName { .. } => "resource_name".to_string(),
             EventKind::PartitionPass { algo, .. } => format!("partition_pass:{algo}"),
             EventKind::PartitionDecision { algo, .. } => format!("partition_decision:{algo}"),
+            EventKind::ControllerDecision { .. } => "controller_decision".to_string(),
             EventKind::Worker { .. } => "worker_unit".to_string(),
         }
     }

@@ -182,6 +182,21 @@ fn args_json(ev: &Event) -> String {
                 .num("predicted_cost_ns", *predicted_cost_ns)
                 .num("mean_ratio", *mean_ratio);
         }
+        EventKind::ControllerDecision {
+            epoch,
+            reason,
+            stage,
+            old_ratio,
+            new_ratio,
+            swap_ns,
+        } => {
+            a.int("epoch", *epoch)
+                .str("reason", reason)
+                .str("stage", stage)
+                .num("old_ratio", *old_ratio)
+                .num("new_ratio", *new_ratio)
+                .num("swap_ns", *swap_ns);
+        }
         EventKind::Worker { worker, unit } => {
             a.int("worker", u64::from(*worker))
                 .int("unit", u64::from(*unit));

@@ -105,6 +105,10 @@ impl MemorySink {
                 self.add_counter("partition_moves", u64::from(*moved));
             }
             EventKind::PartitionDecision { .. } => self.add_counter("partition_decisions", 1),
+            EventKind::ControllerDecision { swap_ns, .. } => {
+                self.add_counter("controller_decisions", 1);
+                self.observe_ns("controller_swap_ns", *swap_ns);
+            }
             EventKind::Worker { .. } => {
                 self.add_counter("worker_units", 1);
                 self.observe_ns("worker_unit_wall_ns", ev.wall_dur_ns as f64);

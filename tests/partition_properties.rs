@@ -184,3 +184,87 @@ proptest! {
         prop_assert!((obj.cost(&g, &part) - (loads[0].max(loads[1]) + cut)).abs() < 1e-9);
     }
 }
+
+/// δ-ablation on the paper chains: refining the slice granularity from
+/// 20 % through 10 % to 5 % while warm-starting each re-partition from
+/// the coarser plan must never produce a worse execution-consistent
+/// stage cost. The δ grids nest (1/5 ⊂ 1/10 ⊂ 1/20), so the previous
+/// plan is always representable on the finer grid and the warm
+/// allocator's carry candidate guarantees monotonicity.
+mod delta_ablation {
+    use nfc_core::allocator::{allocate_warm_traced, PartitionAlgo};
+    use nfc_core::profiler::{GraphWeights, Profiler};
+    use nfc_core::{Policy, Sfc};
+    use nfc_hetero::{CoRunContext, CostModel, GpuMode, PlatformConfig};
+    use nfc_nf::Nf;
+    use nfc_packet::traffic::{SizeDist, TrafficGenerator, TrafficSpec};
+    use nfc_telemetry::Recorder;
+
+    fn profile(nf: &Nf, pkt: usize) -> GraphWeights {
+        let mut run = nf.graph().clone().compile().expect("catalog compiles");
+        let mut gen = TrafficGenerator::new(TrafficSpec::udp(SizeDist::Fixed(pkt)), 3);
+        for _ in 0..8 {
+            run.push_merged(nf.entry(), gen.batch(256));
+        }
+        let model = CostModel::new(PlatformConfig::hpca18());
+        Profiler::new(model, GpuMode::Persistent).measure(&run)
+    }
+
+    fn ablate(nf: &Nf, pkt: usize, algo: PartitionAlgo) {
+        let weights = profile(nf, pkt);
+        let model = CostModel::new(PlatformConfig::hpca18());
+        let corun = CoRunContext::solo();
+        let mut prev_ratios = vec![0.0; weights.nodes.len()];
+        let mut prev_cost = f64::INFINITY;
+        for delta in [0.2, 0.1, 0.05] {
+            let plan = allocate_warm_traced(
+                nf.graph(),
+                &weights,
+                &prev_ratios,
+                algo,
+                delta,
+                &model,
+                &corun,
+                GpuMode::Persistent,
+                &mut Recorder::disabled(),
+            );
+            assert!(
+                plan.predicted_cost_ns <= prev_cost + 1e-6,
+                "{} {algo:?}: δ={delta} cost {} worse than coarser {}",
+                nf.name(),
+                plan.predicted_cost_ns,
+                prev_cost
+            );
+            prev_cost = plan.predicted_cost_ns;
+            prev_ratios = plan.ratios;
+        }
+    }
+
+    #[test]
+    fn finer_delta_never_worse_on_paper_chains() {
+        for algo in [PartitionAlgo::Kl, PartitionAlgo::Agglomerative] {
+            ablate(&Nf::ipsec("ipsec"), 512, algo);
+            ablate(&Nf::dpi("dpi"), 512, algo);
+            ablate(&Nf::ipv4_forwarder("router", 100, 2), 64, algo);
+        }
+    }
+
+    /// The same monotonicity, end-to-end: the paper's default policy at
+    /// finer δ must not lose throughput on the heavy chain.
+    #[test]
+    fn finer_delta_never_worse_end_to_end() {
+        let run = |delta: f64| {
+            let sfc = Sfc::new("heavy", vec![Nf::ipsec("ipsec"), Nf::dpi("dpi")]);
+            let mut dep = nfc_core::Deployment::new(sfc, Policy::nfcompass()).with_batch_size(256);
+            dep.delta = delta;
+            let mut t = TrafficGenerator::new(TrafficSpec::udp(SizeDist::Fixed(512)), 42);
+            dep.run(&mut t, 20).report.throughput_gbps
+        };
+        let coarse = run(0.2);
+        let fine = run(0.05);
+        assert!(
+            fine >= 0.9 * coarse,
+            "δ=0.05 throughput {fine} collapsed vs δ=0.2 {coarse}"
+        );
+    }
+}
