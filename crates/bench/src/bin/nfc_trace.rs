@@ -1,20 +1,41 @@
-//! `nfc-trace`: inspect and validate Chrome-trace JSON files exported by
-//! the `nfc-telemetry` runtime (`NFC_TELEMETRY=trace.json`).
+//! `nfc-trace`: inspect, validate and analyze Chrome-trace JSON files
+//! exported by the `nfc-telemetry` runtime (`NFC_TELEMETRY=trace.json`).
 //!
 //! Subcommands:
 //!
 //! * `summary <trace.json>` — event totals, per-category counts, span
 //!   durations and the wall/sim timeline extents.
 //! * `validate <trace.json> [--require cat1,cat2,...]` — schema-check
-//!   every event and (optionally) require event categories; exits
-//!   non-zero on any violation, for CI smoke tests.
+//!   every event, reject overlapping/non-monotonic simulated spans
+//!   within a `(track, name)` lane and spans ending before their start;
+//!   exits non-zero on any violation, for CI smoke tests.
 //! * `prom <trace.json>` — re-derive a Prometheus-style text snapshot
 //!   from the trace's events.
 //! * `controller <trace.json>` — the adaptive control plane's
 //!   adaptation timeline: trigger reason, old → new offload ratio and
 //!   charged swap latency for every controller decision.
+//! * `attribution <trace.json> [--json]` — per-batch latency
+//!   decomposition into compute/transfer/queue/drain/merge-wait
+//!   buckets, aggregated over the trace; `--json` emits the
+//!   machine-readable summary `diff` consumes as a baseline.
+//! * `critical-path <trace.json>` — the worst batch of every controller
+//!   epoch and the dependency chain its completion actually waited on.
+//! * `flame <trace.json> [--wall]` — folded flame stacks (simulated
+//!   resource time by default, functional wall time with `--wall`) for
+//!   `flamegraph.pl` / speedscope.
+//! * `diff <baseline.json> <trace.json> [--threshold pct]` — compare a
+//!   trace's attribution against a committed baseline (the output of
+//!   `attribution --json`); exits non-zero when any simulated-time
+//!   metric regressed more than the threshold (default 10%).
+//! * `calibrate <trace.json> [--launch-per-batch]` — re-fit the
+//!   calibration constants from observed kernel/DMA/IO spans and
+//!   report drift vs. the paper anchors in `nfc-hetero`'s `calib`.
 
-use serde_json::Value;
+use nfc_telemetry::{
+    attribution, calibrate, critical_paths, folded_stacks, folded_stacks_wall, AttributionReport,
+    Buckets, CalibAnchors, Event, EventKind, SimStamp,
+};
+use serde_json::{json, Value};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
@@ -24,6 +45,8 @@ struct Trace {
     events: Vec<Value>,
     /// Dropped-event count from the `nfc_dropped_events` metadata.
     dropped: u64,
+    /// Simulated-timeline lane names from pid-2 `thread_name` metadata.
+    thread_names: BTreeMap<u64, String>,
 }
 
 fn fail(msg: &str) -> ExitCode {
@@ -31,9 +54,8 @@ fn fail(msg: &str) -> ExitCode {
     ExitCode::FAILURE
 }
 
-fn load(path: &str) -> Result<Trace, String> {
-    let body = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let values: Vec<Value> = match serde_json::from_str(&body) {
+fn parse(body: &str, path: &str) -> Result<Trace, String> {
+    let values: Vec<Value> = match serde_json::from_str(body) {
         Ok(Value::Array(vals)) => vals,
         Ok(_) => return Err(format!("{path}: top level is not a JSON array")),
         // JSONL fallback: one object per line, tolerating the array
@@ -49,21 +71,44 @@ fn load(path: &str) -> Result<Trace, String> {
     };
     let mut events = Vec::new();
     let mut dropped = 0u64;
+    let mut thread_names = BTreeMap::new();
     for v in values {
         let ph = v.get("ph").and_then(Value::as_str).unwrap_or_default();
         if ph == "M" {
-            if v.get("name").and_then(Value::as_str) == Some("nfc_dropped_events") {
-                dropped = v
-                    .get("args")
-                    .and_then(|a| a.get("dropped"))
-                    .and_then(Value::as_u64)
-                    .unwrap_or(0);
+            match v.get("name").and_then(Value::as_str) {
+                Some("nfc_dropped_events") => {
+                    dropped = v
+                        .get("args")
+                        .and_then(|a| a.get("dropped"))
+                        .and_then(Value::as_u64)
+                        .unwrap_or(0);
+                }
+                Some("thread_name") if v.get("pid").and_then(Value::as_u64) == Some(2) => {
+                    if let (Some(tid), Some(name)) = (
+                        v.get("tid").and_then(Value::as_u64),
+                        v.get("args")
+                            .and_then(|a| a.get("name"))
+                            .and_then(Value::as_str),
+                    ) {
+                        thread_names.insert(tid, name.to_string());
+                    }
+                }
+                _ => {}
             }
             continue;
         }
         events.push(v);
     }
-    Ok(Trace { events, dropped })
+    Ok(Trace {
+        events,
+        dropped,
+        thread_names,
+    })
+}
+
+fn load(path: &str) -> Result<Trace, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse(&body, path)
 }
 
 fn str_field<'a>(ev: &'a Value, key: &str) -> Option<&'a str> {
@@ -72,6 +117,133 @@ fn str_field<'a>(ev: &'a Value, key: &str) -> Option<&'a str> {
 
 fn num_field(ev: &Value, key: &str) -> Option<f64> {
     ev.get(key).and_then(Value::as_f64)
+}
+
+fn arg_u64(ev: &Value, key: &str) -> u64 {
+    ev.get("args")
+        .and_then(|a| a.get(key))
+        .and_then(Value::as_u64)
+        .unwrap_or(0)
+}
+
+fn arg_f64(ev: &Value, key: &str) -> f64 {
+    ev.get("args")
+        .and_then(|a| a.get(key))
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0)
+}
+
+fn arg_str<'a>(ev: &'a Value, key: &str) -> &'a str {
+    ev.get("args")
+        .and_then(|a| a.get(key))
+        .and_then(Value::as_str)
+        .unwrap_or("")
+}
+
+/// Re-types the exported JSON back into `nfc-telemetry` [`Event`]s so
+/// the attribution analyses run identically on a re-parsed trace and on
+/// the in-memory stream. Events the analyses don't consume are skipped;
+/// lane names are re-synthesized as `ResourceName` events from the
+/// `thread_name` metadata.
+fn typed_events(trace: &Trace) -> Vec<Event> {
+    let mut out: Vec<Event> = trace
+        .thread_names
+        .iter()
+        .map(|(tid, name)| Event {
+            wall_ns: 0,
+            wall_dur_ns: 0,
+            sim: None,
+            track: *tid as u32,
+            batch: 0,
+            kind: EventKind::ResourceName {
+                resource: *tid as u32,
+                name: name.clone(),
+            },
+        })
+        .collect();
+    for ev in &trace.events {
+        let name = str_field(ev, "name").unwrap_or_default();
+        let kind = match name {
+            "resource_busy" => EventKind::ResourceBusy {
+                resource: arg_u64(ev, "resource") as u32,
+                user: arg_u64(ev, "user"),
+                queued_ns: arg_f64(ev, "queued_ns"),
+            },
+            "kernel_launch" => EventKind::KernelLaunch {
+                queue: arg_u64(ev, "queue") as u32,
+                user: arg_u64(ev, "user"),
+                bytes: arg_u64(ev, "bytes"),
+                packets: arg_u64(ev, "packets") as u32,
+                kernels: arg_u64(ev, "kernels") as u32,
+            },
+            "kernel_teardown" => EventKind::KernelTeardown {
+                resource: arg_u64(ev, "resource") as u32,
+                from_user: arg_u64(ev, "from_user"),
+                to_user: arg_u64(ev, "to_user"),
+                penalty_ns: arg_f64(ev, "penalty_ns"),
+            },
+            "dma_h2d" | "dma_d2h" => EventKind::Dma {
+                to_device: name == "dma_h2d",
+                bytes: arg_u64(ev, "bytes"),
+            },
+            "batch_ingress" => EventKind::BatchIngress {
+                seq: arg_u64(ev, "seq"),
+                packets: arg_u64(ev, "packets") as u32,
+                wire_bytes: arg_u64(ev, "wire_bytes"),
+            },
+            "batch_egress" => EventKind::BatchEgress {
+                seq: arg_u64(ev, "seq"),
+                packets: arg_u64(ev, "packets") as u32,
+                bytes: arg_u64(ev, "bytes"),
+            },
+            "batch_attribution" => EventKind::BatchAttribution {
+                seq: arg_u64(ev, "seq"),
+                e2e_ns: arg_f64(ev, "e2e_ns"),
+                compute_ns: arg_f64(ev, "compute_ns"),
+                transfer_ns: arg_f64(ev, "transfer_ns"),
+                queue_ns: arg_f64(ev, "queue_ns"),
+                drain_ns: arg_f64(ev, "drain_ns"),
+                merge_wait_ns: arg_f64(ev, "merge_wait_ns"),
+            },
+            "epoch" => EventKind::Epoch {
+                epoch: arg_u64(ev, "epoch"),
+            },
+            n if n.starts_with("stage:") => EventKind::Stage {
+                branch: arg_u64(ev, "branch") as u32,
+                stage: arg_u64(ev, "stage") as u32,
+                name: arg_str(ev, "nf").to_string(),
+                packets: arg_u64(ev, "packets") as u32,
+            },
+            _ => continue,
+        };
+        let ts_us = num_field(ev, "ts").unwrap_or(0.0);
+        let dur_us = num_field(ev, "dur").unwrap_or(0.0);
+        let (sim, wall_ns, wall_dur_ns) = if ev.get("pid").and_then(Value::as_u64) == Some(2) {
+            (
+                Some(SimStamp {
+                    start_ns: ts_us * 1000.0,
+                    end_ns: (ts_us + dur_us) * 1000.0,
+                }),
+                arg_f64(ev, "wall_ns") as u64,
+                0,
+            )
+        } else {
+            (
+                None,
+                (ts_us * 1000.0).round() as u64,
+                (dur_us * 1000.0).round() as u64,
+            )
+        };
+        out.push(Event {
+            wall_ns,
+            wall_dur_ns,
+            sim,
+            track: ev.get("tid").and_then(Value::as_u64).unwrap_or(0) as u32,
+            batch: arg_u64(ev, "batch"),
+            kind,
+        });
+    }
+    out
 }
 
 /// Schema-checks one event, returning a violation message if any.
@@ -99,8 +271,9 @@ fn check_event(ev: &Value) -> Option<String> {
     }
     match ph {
         "X" => match num_field(ev, "dur") {
+            // A negative dur is a span ending before its start.
             Some(d) if d.is_finite() && d >= 0.0 => {}
-            _ => return Some("complete event without valid dur".into()),
+            _ => return Some("complete event without valid dur (span ends before start)".into()),
         },
         "i" => {}
         other => return Some(format!("unexpected phase {other:?}")),
@@ -116,6 +289,50 @@ fn check_event(ev: &Value) -> Option<String> {
         return Some("sim event without args.wall_ns".into());
     }
     None
+}
+
+/// Rejects overlapping (non-monotonic) simulated `resource_busy` spans
+/// within one track. The simulator places busy intervals on each
+/// resource without intersection by construction, so two busy spans on
+/// the same track overlapping means the trace is corrupt. Instants are
+/// exempt, as are the semantic GPU/DMA spans (`kernel_launch`, `dma_*`)
+/// — those stretch from request to completion and legitimately cover
+/// queueing behind an earlier batch.
+fn check_sim_lanes(trace: &Trace, path: &str) -> Result<(), String> {
+    let mut lanes: BTreeMap<(u64, &str), Vec<(f64, f64)>> = BTreeMap::new();
+    for ev in &trace.events {
+        if ev.get("pid").and_then(Value::as_u64) != Some(2)
+            || str_field(ev, "ph") != Some("X")
+            || str_field(ev, "name") != Some("resource_busy")
+        {
+            continue;
+        }
+        let (Some(tid), Some(name), Some(ts)) = (
+            ev.get("tid").and_then(Value::as_u64),
+            str_field(ev, "name"),
+            num_field(ev, "ts"),
+        ) else {
+            continue;
+        };
+        let dur = num_field(ev, "dur").unwrap_or(0.0);
+        if dur <= 0.0 {
+            continue; // zero-width spans cannot overlap
+        }
+        lanes.entry((tid, name)).or_default().push((ts, ts + dur));
+    }
+    for ((tid, name), mut spans) in lanes {
+        spans.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        for w in spans.windows(2) {
+            if w[1].0 < w[0].1 - 1e-9 {
+                return Err(format!(
+                    "{path}: non-monotonic sim timeline on track {tid} ({name}): span at \
+                     {:.3} us starts before the previous span ends at {:.3} us",
+                    w[1].0, w[0].1
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 fn by_category(trace: &Trace) -> BTreeMap<String, u64> {
@@ -177,6 +394,7 @@ fn cmd_validate(paths: &[String], require: &[String]) -> Result<(), String> {
                 return Err(format!("{path}: event {i}: {violation}"));
             }
         }
+        check_sim_lanes(&trace, path)?;
         for (cat, n) in by_category(&trace) {
             *union.entry(cat).or_insert(0) += n;
         }
@@ -213,14 +431,15 @@ fn cmd_prom(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Prints the adaptation timeline recorded by the control plane
-/// (`cat == "control"`: one instant per controller decision).
+/// Prints the adaptation timeline recorded by the control plane (one
+/// `controller_decision` instant per evaluated stage; `epoch` markers
+/// share the `control` category and are excluded).
 fn cmd_controller(path: &str) -> Result<(), String> {
     let trace = load(path)?;
     let mut rows: Vec<&Value> = trace
         .events
         .iter()
-        .filter(|ev| str_field(ev, "cat") == Some("control"))
+        .filter(|ev| str_field(ev, "name") == Some("controller_decision"))
         .collect();
     rows.sort_by(|a, b| {
         num_field(a, "ts")
@@ -240,18 +459,19 @@ fn cmd_controller(path: &str) -> Result<(), String> {
         "ts(us)", "epoch", "stage", "old", "new", "swap(us)"
     );
     for ev in &rows {
-        let arg = |k: &str| ev.get("args").and_then(|a| a.get(k));
         let ts = num_field(ev, "ts").unwrap_or(0.0);
-        let epoch = arg("epoch").and_then(Value::as_u64).unwrap_or(0);
-        let stage = arg("stage").and_then(Value::as_str).unwrap_or("?");
-        let reason = arg("reason").and_then(Value::as_str).unwrap_or("?");
-        let old_ratio = arg("old_ratio").and_then(Value::as_f64).unwrap_or(0.0);
-        let new_ratio = arg("new_ratio").and_then(Value::as_f64).unwrap_or(0.0);
-        let swap_ns = arg("swap_ns").and_then(Value::as_f64).unwrap_or(0.0);
+        let epoch = arg_u64(ev, "epoch");
+        let stage = arg_str(ev, "stage");
+        let reason = arg_str(ev, "reason");
+        let old_ratio = arg_f64(ev, "old_ratio");
+        let new_ratio = arg_f64(ev, "new_ratio");
+        let swap_ns = arg_f64(ev, "swap_ns");
         if (old_ratio - new_ratio).abs() > 1e-9 || swap_ns > 0.0 {
             swaps += 1;
             swap_total_ns += swap_ns;
         }
+        let stage = if stage.is_empty() { "?" } else { stage };
+        let reason = if reason.is_empty() { "?" } else { reason };
         let old = format!("{:.0}%", old_ratio * 100.0);
         let new = format!("{:.0}%", new_ratio * 100.0);
         println!(
@@ -269,8 +489,232 @@ fn cmd_controller(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str =
-    "usage: nfc-trace <summary|validate|prom|controller> <trace.json>... [--require cat1,cat2]";
+fn buckets_json(b: &Buckets) -> Value {
+    json!({
+        "compute_ns": b.compute_ns,
+        "transfer_ns": b.transfer_ns,
+        "queue_ns": b.queue_ns,
+        "drain_ns": b.drain_ns,
+        "merge_wait_ns": b.merge_wait_ns,
+    })
+}
+
+fn attribution_json(rep: &AttributionReport) -> Value {
+    json!({
+        "batches": rep.batches,
+        "packets": rep.packets,
+        "mean_e2e_ns": rep.mean_e2e_ns,
+        "p99_e2e_ns": rep.p99_e2e_ns,
+        "max_e2e_ns": rep.max_e2e_ns,
+        "mean": buckets_json(&rep.mean),
+        "total": buckets_json(&rep.total),
+    })
+}
+
+fn cmd_attribution(path: &str, as_json: bool) -> Result<(), String> {
+    let trace = load(path)?;
+    let events = typed_events(&trace);
+    let rep = attribution(&events);
+    if rep.batches == 0 {
+        return Err(format!(
+            "{path}: no batch_attribution events (telemetry off or pre-attribution trace)"
+        ));
+    }
+    if as_json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&attribution_json(&rep)).expect("serializable")
+        );
+        return Ok(());
+    }
+    println!("trace     {path}");
+    println!("batches   {}   packets {}", rep.batches, rep.packets);
+    println!(
+        "e2e       mean {:.2} us   p99 {:.2} us   max {:.2} us",
+        rep.mean_e2e_ns / 1e3,
+        rep.p99_e2e_ns / 1e3,
+        rep.max_e2e_ns / 1e3
+    );
+    println!("{:<15} {:>12} {:>8}", "bucket", "mean(us)", "share");
+    let total: f64 = rep.mean.total();
+    for (name, v) in rep.mean.entries() {
+        let share = if total > 0.0 { v / total * 100.0 } else { 0.0 };
+        println!("{name:<15} {:>12.3} {share:>7.1}%", v / 1e3);
+    }
+    Ok(())
+}
+
+fn cmd_critical(path: &str) -> Result<(), String> {
+    let trace = load(path)?;
+    let events = typed_events(&trace);
+    let paths = critical_paths(&events);
+    if paths.is_empty() {
+        return Err(format!("{path}: no attributed batches to walk"));
+    }
+    println!("trace     {path}");
+    for p in &paths {
+        println!(
+            "-- epoch {} · worst batch {} · e2e {:.2} us (busy {:.2} us, wait {:.2} us) --",
+            p.epoch,
+            p.seq,
+            p.e2e_ns / 1e3,
+            p.busy_ns / 1e3,
+            p.wait_ns / 1e3
+        );
+        println!(
+            "{:<16} {:>12} {:>10} {:>10}",
+            "resource", "start(us)", "busy(us)", "wait(us)"
+        );
+        for s in &p.segments {
+            println!(
+                "{:<16} {:>12.2} {:>10.3} {:>10.3}",
+                s.name,
+                s.start_ns / 1e3,
+                s.busy_ns / 1e3,
+                s.wait_ns / 1e3
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_flame(path: &str, wall: bool) -> Result<(), String> {
+    let trace = load(path)?;
+    let events = typed_events(&trace);
+    let folded = if wall {
+        folded_stacks_wall(&events)
+    } else {
+        folded_stacks(&events)
+    };
+    if folded.is_empty() {
+        return Err(format!("{path}: no spans to fold"));
+    }
+    for (stack, v) in folded {
+        println!("{stack} {v}");
+    }
+    Ok(())
+}
+
+/// One metric compared by `diff`: baseline value vs. current value.
+/// All compared metrics are simulated-time quantities, so they are
+/// machine-independent and a committed baseline stays stable in CI.
+fn diff_metrics(baseline: &Value, rep: &AttributionReport) -> Vec<(String, f64, f64)> {
+    let mut rows = vec![
+        (
+            "mean_e2e_ns".to_string(),
+            baseline["mean_e2e_ns"].as_f64().unwrap_or(f64::NAN),
+            rep.mean_e2e_ns,
+        ),
+        (
+            "p99_e2e_ns".to_string(),
+            baseline["p99_e2e_ns"].as_f64().unwrap_or(f64::NAN),
+            rep.p99_e2e_ns,
+        ),
+    ];
+    for (name, v) in rep.mean.entries() {
+        rows.push((
+            format!("mean.{name}"),
+            baseline["mean"][name].as_f64().unwrap_or(f64::NAN),
+            v,
+        ));
+    }
+    rows
+}
+
+fn cmd_diff(baseline_path: &str, trace_path: &str, threshold_pct: f64) -> Result<(), String> {
+    let body = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read {baseline_path}: {e}"))?;
+    let baseline: Value =
+        serde_json::from_str(&body).map_err(|e| format!("{baseline_path}: bad JSON: {e}"))?;
+    let trace = load(trace_path)?;
+    let rep = attribution(&typed_events(&trace));
+    if rep.batches == 0 {
+        return Err(format!("{trace_path}: no batch_attribution events"));
+    }
+    println!("baseline  {baseline_path}");
+    println!("trace     {trace_path}   ({} batches)", rep.batches);
+    println!(
+        "{:<20} {:>14} {:>14} {:>9}",
+        "metric", "baseline(ns)", "current(ns)", "delta"
+    );
+    let mut regressions = Vec::new();
+    for (name, old, new) in diff_metrics(&baseline, &rep) {
+        if !old.is_finite() {
+            return Err(format!("{baseline_path}: baseline missing metric {name}"));
+        }
+        let delta_pct = if old.abs() > 1e-9 {
+            (new - old) / old * 100.0
+        } else if new.abs() <= 1e-9 {
+            0.0
+        } else {
+            f64::INFINITY
+        };
+        // Regression gate: relative threshold with a 1 ns absolute
+        // floor so near-zero buckets don't trip on float noise.
+        let regressed = new > old * (1.0 + threshold_pct / 100.0) + 1.0;
+        println!(
+            "{name:<20} {old:>14.1} {new:>14.1} {:>8.2}%{}",
+            delta_pct,
+            if regressed { "  << REGRESSED" } else { "" }
+        );
+        if regressed {
+            regressions.push(name);
+        }
+    }
+    if regressions.is_empty() {
+        println!("OK — no metric regressed more than {threshold_pct}%");
+        Ok(())
+    } else {
+        Err(format!(
+            "{} metric(s) regressed more than {threshold_pct}%: {}",
+            regressions.len(),
+            regressions.join(", ")
+        ))
+    }
+}
+
+fn cmd_calibrate(path: &str, launch_per_batch: bool) -> Result<(), String> {
+    let trace = load(path)?;
+    let events = typed_events(&trace);
+    let platform = nfc_hetero::PlatformConfig::hpca18();
+    let anchors = CalibAnchors {
+        gpu_ctx_switch_ns: nfc_hetero::calib::GPU_CONTEXT_SWITCH_NS,
+        gpu_dispatch_ns: if launch_per_batch {
+            nfc_hetero::calib::GPU_LAUNCH_NS
+        } else {
+            nfc_hetero::calib::GPU_PERSISTENT_DISPATCH_NS
+        },
+        pcie_dma_latency_ns: platform.pcie.dma_latency_ns,
+        pcie_bw_gbs: platform.pcie.bw_gbs,
+        io_cycles_per_packet: nfc_hetero::calib::IO_CYCLES_PER_PACKET,
+        ns_per_cycle: platform.cpu.ns_per_cycle(),
+    };
+    let fits = calibrate(&events, &anchors);
+    println!("trace     {path}");
+    println!(
+        "{:<24} {:>12} {:>12} {:>8} {:>8}",
+        "constant", "anchored", "observed", "drift", "samples"
+    );
+    for f in &fits {
+        let (obs, drift) = if f.observed.is_finite() {
+            (
+                format!("{:.2}", f.observed),
+                format!("{:+.2}%", f.drift_pct()),
+            )
+        } else {
+            ("n/a".to_string(), "n/a".to_string())
+        };
+        println!(
+            "{:<24} {:>12.2} {:>12} {:>8} {:>8}",
+            f.name, f.anchored, obs, drift, f.samples
+        );
+    }
+    Ok(())
+}
+
+const USAGE: &str = "usage: nfc-trace <summary|validate|prom|controller|attribution|critical-path|\
+flame|diff|calibrate> <trace.json>... [--require cat1,cat2] [--json] [--wall] \
+[--threshold pct] [--launch-per-batch]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -280,6 +724,10 @@ fn main() -> ExitCode {
     };
     let mut paths: Vec<String> = Vec::new();
     let mut require: Vec<String> = Vec::new();
+    let mut as_json = false;
+    let mut wall = false;
+    let mut launch_per_batch = false;
+    let mut threshold_pct = 10.0;
     let mut rest = args[1..].iter();
     while let Some(arg) = rest.next() {
         match arg.as_str() {
@@ -289,6 +737,13 @@ fn main() -> ExitCode {
                 }
                 None => return fail("--require needs a comma-separated category list"),
             },
+            "--threshold" => match rest.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if t >= 0.0 => threshold_pct = t,
+                _ => return fail("--threshold needs a non-negative percentage"),
+            },
+            "--json" => as_json = true,
+            "--wall" => wall = true,
+            "--launch-per-batch" => launch_per_batch = true,
             flag if flag.starts_with("--") => {
                 return fail(&format!("unknown flag {flag:?}\n{USAGE}"))
             }
@@ -303,10 +758,133 @@ fn main() -> ExitCode {
         "validate" => cmd_validate(&paths, &require),
         "prom" => paths.iter().try_for_each(|p| cmd_prom(p)),
         "controller" => paths.iter().try_for_each(|p| cmd_controller(p)),
+        "attribution" => paths.iter().try_for_each(|p| cmd_attribution(p, as_json)),
+        "critical-path" => paths.iter().try_for_each(|p| cmd_critical(p)),
+        "flame" => paths.iter().try_for_each(|p| cmd_flame(p, wall)),
+        "diff" => {
+            if paths.len() != 2 {
+                return fail("diff needs exactly two paths: <baseline.json> <trace.json>");
+            }
+            cmd_diff(&paths[0], &paths[1], threshold_pct)
+        }
+        "calibrate" => paths
+            .iter()
+            .try_for_each(|p| cmd_calibrate(p, launch_per_batch)),
         other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => fail(&e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_line(tid: u64, ts: f64, dur: f64, batch: u64) -> String {
+        format!(
+            "{{\"name\":\"resource_busy\",\"cat\":\"resource\",\"ph\":\"X\",\"pid\":2,\
+             \"tid\":{tid},\"ts\":{ts},\"dur\":{dur},\"args\":{{\"wall_ns\":0,\
+             \"batch\":{batch},\"resource\":{tid},\"user\":1,\"queued_ns\":0}}}}"
+        )
+    }
+
+    fn wrap(lines: &[String]) -> String {
+        format!("[\n{}\n]\n", lines.join(",\n"))
+    }
+
+    #[test]
+    fn corrupt_trace_with_overlapping_sim_spans_is_rejected() {
+        // Back-to-back spans on one lane ([10, 30) then [30, 50)) are
+        // fine; overlapping ones are corrupt — the simulator places
+        // busy intervals without intersection by construction.
+        let body = wrap(&[busy_line(3, 10.0, 20.0, 1), busy_line(3, 30.0, 20.0, 2)]);
+        let ok = parse(&body, "t.json").expect("parses");
+        assert!(check_sim_lanes(&ok, "t.json").is_ok());
+
+        let body = wrap(&[busy_line(3, 10.0, 20.0, 1), busy_line(3, 15.0, 25.0, 2)]);
+        let bad = parse(&body, "t.json").expect("parses");
+        let err = check_sim_lanes(&bad, "t.json").expect_err("overlap rejected");
+        assert!(err.contains("non-monotonic"), "{err}");
+
+        // Different lanes (or instants) never conflict.
+        let body = wrap(&[busy_line(3, 10.0, 20.0, 1), busy_line(4, 15.0, 25.0, 2)]);
+        let other = parse(&body, "t.json").expect("parses");
+        assert!(check_sim_lanes(&other, "t.json").is_ok());
+    }
+
+    #[test]
+    fn corrupt_trace_with_negative_dur_is_rejected() {
+        let line = "{\"name\":\"resource_busy\",\"cat\":\"resource\",\"ph\":\"X\",\"pid\":2,\
+             \"tid\":1,\"ts\":10,\"dur\":-5,\"args\":{\"wall_ns\":0}}"
+            .to_string();
+        let trace = parse(&wrap(&[line]), "t.json").expect("parses");
+        let violation = check_event(&trace.events[0]).expect("rejected");
+        assert!(violation.contains("span ends before start"), "{violation}");
+    }
+
+    #[test]
+    fn typed_events_roundtrip_attribution() {
+        let attr = "{\"name\":\"batch_attribution\",\"cat\":\"attr\",\"ph\":\"i\",\"s\":\"t\",\
+                    \"pid\":2,\"tid\":1,\"ts\":50,\"args\":{\"wall_ns\":0,\"batch\":9,\
+                    \"seq\":9,\"e2e_ns\":1000,\"compute_ns\":600,\"transfer_ns\":100,\
+                    \"queue_ns\":200,\"drain_ns\":0,\"merge_wait_ns\":100}}"
+            .to_string();
+        let egress = "{\"name\":\"batch_egress\",\"cat\":\"attr\",\"ph\":\"i\",\"s\":\"t\",\
+                      \"pid\":2,\"tid\":1,\"ts\":50,\"args\":{\"wall_ns\":0,\"batch\":9,\
+                      \"seq\":9,\"packets\":64,\"bytes\":4096}}"
+            .to_string();
+        let name_meta = "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":2,\"tid\":1,\"ts\":0,\
+                         \"args\":{\"name\":\"io-tx\"}}"
+            .to_string();
+        let trace = parse(&wrap(&[name_meta, attr, egress]), "t.json").expect("parses");
+        assert_eq!(
+            trace.thread_names.get(&1).map(String::as_str),
+            Some("io-tx")
+        );
+        let events = typed_events(&trace);
+        // ResourceName synthesized + two instants.
+        assert_eq!(events.len(), 3);
+        let rep = attribution(&events);
+        assert_eq!(rep.batches, 1);
+        assert_eq!(rep.packets, 64);
+        assert!((rep.mean_e2e_ns - 1000.0).abs() < 1e-9);
+        assert!((rep.mean.total() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diff_flags_regressions_over_threshold() {
+        let rep = AttributionReport {
+            batches: 10,
+            packets: 640,
+            mean_e2e_ns: 1200.0,
+            p99_e2e_ns: 2000.0,
+            max_e2e_ns: 2500.0,
+            mean: Buckets {
+                compute_ns: 700.0,
+                transfer_ns: 100.0,
+                queue_ns: 300.0,
+                drain_ns: 0.0,
+                merge_wait_ns: 100.0,
+            },
+            total: Buckets::default(),
+        };
+        let baseline = json!({
+            "mean_e2e_ns": 1000.0,
+            "p99_e2e_ns": 2000.0,
+            "mean": {
+                "compute_ns": 700.0, "transfer_ns": 100.0, "queue_ns": 100.0,
+                "drain_ns": 0.0, "merge_wait_ns": 100.0,
+            },
+        });
+        let rows = diff_metrics(&baseline, &rep);
+        let regressed: Vec<&str> = rows
+            .iter()
+            .filter(|(_, old, new)| *new > old * 1.10 + 1.0)
+            .map(|(n, _, _)| n.as_str())
+            .collect();
+        // e2e rose 20%, queue tripled; drain 0 → 0 stays clean.
+        assert_eq!(regressed, ["mean_e2e_ns", "mean.queue_ns"]);
     }
 }

@@ -648,6 +648,18 @@ impl Deployment {
                 let sig = prep.epoch_signature(batch_size, sim.backlog_ns(res.pcie_h2d, now));
                 let action = controller.observe(sig);
                 report.epochs = controller.epoch();
+                // Epoch boundary marker: delimits per-epoch critical
+                // paths in the attribution layer.
+                let rec = sim.recorder_mut();
+                if rec.is_enabled() {
+                    rec.sim_instant(
+                        res.io_rx.index() as u32,
+                        now,
+                        EventKind::Epoch {
+                            epoch: controller.epoch(),
+                        },
+                    );
+                }
                 match action {
                     Action::Hold => {}
                     Action::FastRepartition(why) => {
@@ -783,6 +795,9 @@ impl Deployment {
 
         let mut stages: Vec<Vec<StageExec>> = Vec::new();
         let mut user = *user_base;
+        // Batch lineage tags live in the high bits of the tenant's user
+        // base so co-deployed SFCs never collide and tag 0 stays free.
+        let seq_base = *user_base << 40;
         let mut flat_idx = 0usize;
         for branch in branch_stages {
             let mut execs = Vec::new();
@@ -882,6 +897,8 @@ impl Deployment {
             obs_base: vec![StageObs::default(); n_stages],
             stats_base: Vec::new(),
             cache_base: Vec::new(),
+            batch_seq: seq_base,
+            swap_spans: Vec::new(),
         }
     }
 
@@ -1057,6 +1074,15 @@ pub(crate) struct PreparedSfc {
     stats_base: Vec<GraphStats>,
     /// Per-stage flow-cache counters at the last epoch boundary.
     cache_base: Vec<CacheCounters>,
+    /// Monotonic batch lineage tag; seeded from the tenant's user base
+    /// (shifted high) so tags stay unique across co-deployed SFCs and
+    /// `0` stays reserved for "untagged".
+    batch_seq: u64,
+    /// Simulated-time windows during which a live reconfiguration was
+    /// in flight (pushed by [`PreparedSfc::repartition`] while
+    /// recording); waiting that overlaps them is attributed to the
+    /// `drain` bucket instead of generic queueing.
+    swap_spans: Vec<(f64, f64)>,
 }
 
 /// Cumulative temporal-charge observation for one stage.
@@ -1093,18 +1119,41 @@ impl PreparedSfc {
         if worst_backlog > sim.max_queue_ns {
             return BatchResult::Dropped { mean_arrival };
         }
+        // Lineage tag: every event recorded while this batch is in
+        // flight carries `seq`, which is what lets the attribution
+        // layer re-join spans, ingress/egress markers and the bucket
+        // decomposition after the fact. Tag 0 stays reserved for
+        // untagged (out-of-batch) events.
+        self.batch_seq += 1;
+        let seq = self.batch_seq;
+        let recording = sim.recorder_mut().is_enabled();
+        if recording {
+            let rec = sim.recorder_mut();
+            rec.set_batch(seq);
+            rec.sim_instant(
+                res.io_rx.index() as u32,
+                mean_arrival,
+                EventKind::BatchIngress {
+                    seq,
+                    packets: batch.len() as u32,
+                    wire_bytes: batch.total_bytes() as u64,
+                },
+            );
+        }
         // Ingress I/O.
-        let t0 = sim.schedule(res.io_rx, arrival, self.model.io_batch_ns(batch.len()), 0);
+        let io_span = sim.schedule_span(res.io_rx, arrival, self.model.io_batch_ns(batch.len()), 0);
+        let t0 = io_span.1;
         // Duplication cost for parallel branches (packet copies).
-        let t0 = if self.width > 1 {
-            sim.schedule(
+        let (split_span, t0) = if self.width > 1 {
+            let s = sim.schedule_span(
                 res.io_rx,
                 t0,
                 self.model.split_ns(batch.len(), self.width),
                 0,
-            )
+            );
+            (Some(s), s.1)
         } else {
-            t0
+            (None, t0)
         };
         // Branches: the functional phase touches only branch-local state
         // (each branch's element graphs and its CoW duplicate of the
@@ -1116,6 +1165,7 @@ impl PreparedSfc {
         let branch_refs: Vec<&mut Vec<StageExec>> = self.stages.iter_mut().collect();
         let results: Vec<(Batch, Vec<StageCharge>)> =
             par_map_traced(self.exec_mode, branch_refs, tel, |bi, branch, rec| {
+                rec.set_batch(seq);
                 let mut cur = match dup {
                     Duplication::Cow => batch.clone(),
                     Duplication::DeepCopy => batch.deep_clone(),
@@ -1146,8 +1196,13 @@ impl PreparedSfc {
         // simulated timeline is bit-identical regardless of ExecMode.
         let mut branch_outputs: Vec<Batch> = Vec::with_capacity(self.width);
         let mut t_join = t0;
+        let mut t_b0 = t0;
+        // Reference chain for the bucket decomposition: branch 0's
+        // dominating spans, classified compute vs PCIe transfer. Only
+        // populated while recording — the disabled path pays nothing.
+        let mut hops: Vec<((f64, f64), bool)> = Vec::new();
         let mut flat = 0usize;
-        for (branch, (out, charges)) in self.stages.iter().zip(results) {
+        for (bi, (branch, (out, charges))) in self.stages.iter().zip(results).enumerate() {
             let mut t = t0;
             for (stage, charge) in branch.iter().zip(&charges) {
                 let o = &mut self.obs[flat];
@@ -1158,7 +1213,7 @@ impl PreparedSfc {
                 o.kernel_ns += charge.kernel_ns;
                 o.gpu_packets += charge.gpu_packets as u64;
                 flat += 1;
-                t = replay_stage(
+                let rp = replay_stage(
                     sim,
                     stage,
                     charge,
@@ -1168,28 +1223,162 @@ impl PreparedSfc {
                     res.pcie_h2d,
                     res.pcie_d2h,
                 );
+                if recording && bi == 0 {
+                    // The stage's latency contribution follows whichever
+                    // side released last: the PCIe/kernel chain when the
+                    // device was the straggler, the CPU span otherwise.
+                    match rp.gpu {
+                        Some([h, k, d]) if d.1 >= rp.cpu.1 => {
+                            hops.push((h, true));
+                            hops.push((k, false));
+                            hops.push((d, true));
+                        }
+                        _ => hops.push((rp.cpu, false)),
+                    }
+                }
+                t = rp.end;
+            }
+            if bi == 0 {
+                t_b0 = t;
             }
             t_join = t_join.max(t);
             branch_outputs.push(out);
         }
         // Merge parallel branches (XOR) or take the single output.
-        let (out, t_done) = if self.width > 1 {
+        let (out, t_done, merge_span) = if self.width > 1 {
             let (merged, conflicts) = merge_branch_batches(&batch, &branch_outputs);
             self.merge_conflicts += conflicts;
-            let t = sim.schedule(res.io_tx, t_join, self.model.merge_ns(batch.len()), 0);
-            (merged, t)
+            let m = sim.schedule_span(res.io_tx, t_join, self.model.merge_ns(batch.len()), 0);
+            (merged, m.1, Some(m))
         } else {
-            (branch_outputs.pop().expect("one branch"), t_join)
+            (branch_outputs.pop().expect("one branch"), t_join, None)
         };
         // Egress I/O.
-        let completed = sim.schedule(res.io_tx, t_done, self.model.io_batch_ns(out.len()), 0);
+        let egress_span =
+            sim.schedule_span(res.io_tx, t_done, self.model.io_batch_ns(out.len()), 0);
+        let completed = egress_span.1;
         self.egress_packets += out.len() as u64;
         self.egress_bytes += out.total_bytes() as u64;
+        if recording {
+            self.attribute_batch(
+                sim,
+                res,
+                seq,
+                mean_arrival,
+                io_span,
+                split_span,
+                &hops,
+                t_b0,
+                t_join,
+                merge_span,
+                egress_span,
+                &out,
+            );
+            sim.recorder_mut().set_batch(0);
+        }
         BatchResult::Completed {
             mean_arrival,
             completed,
             out,
         }
+    }
+
+    /// Computes the five-bucket latency decomposition for one completed
+    /// batch and emits the egress/attribution instants. Walks the
+    /// reference chain (ingress I/O → split → branch-0 dominating spans
+    /// → join → merge → egress I/O): busy time lands in compute or
+    /// transfer, the merge barrier is charged as `merge_wait`, gap time
+    /// overlapping a live reconfiguration window becomes `drain`, and
+    /// queueing is the exact residual — so the buckets reconstruct the
+    /// end-to-end latency bit-for-bit.
+    #[allow(clippy::too_many_arguments)]
+    fn attribute_batch(
+        &mut self,
+        sim: &mut PipelineSim,
+        res: &PlatformResources,
+        seq: u64,
+        mean_arrival: f64,
+        io_span: (f64, f64),
+        split_span: Option<(f64, f64)>,
+        hops: &[((f64, f64), bool)],
+        t_b0: f64,
+        t_join: f64,
+        merge_span: Option<(f64, f64)>,
+        egress_span: (f64, f64),
+        out: &Batch,
+    ) {
+        let completed = egress_span.1;
+        let e2e = completed - mean_arrival;
+        let mut compute = 0.0f64;
+        let mut transfer = 0.0f64;
+        let mut gaps: Vec<(f64, f64)> = Vec::new();
+        let mut frontier = mean_arrival;
+        let mut walk = |span: (f64, f64), is_transfer: bool, frontier: &mut f64| {
+            if span.0 > *frontier {
+                gaps.push((*frontier, span.0));
+            }
+            if is_transfer {
+                transfer += span.1 - span.0;
+            } else {
+                compute += span.1 - span.0;
+            }
+            *frontier = span.1;
+        };
+        walk(io_span, false, &mut frontier);
+        if let Some(s) = split_span {
+            walk(s, false, &mut frontier);
+        }
+        for &(span, is_transfer) in hops {
+            walk(span, is_transfer, &mut frontier);
+        }
+        // The merge barrier: branch 0's output sat from its own finish
+        // until the slowest sibling released the join.
+        let merge_wait = t_join - t_b0;
+        frontier = t_join;
+        if let Some(m) = merge_span {
+            walk(m, false, &mut frontier);
+        }
+        walk(egress_span, false, &mut frontier);
+        // Gap time spent behind an in-flight reconfiguration is drain;
+        // prune spans that can no longer overlap any future batch.
+        self.swap_spans.retain(|&(_, se)| se > mean_arrival);
+        let mut drain = 0.0f64;
+        for &(gs, ge) in &gaps {
+            for &(ss, se) in &self.swap_spans {
+                let lo = gs.max(ss);
+                let hi = ge.min(se);
+                if hi > lo {
+                    drain += hi - lo;
+                }
+            }
+        }
+        // Queueing is the residual, so the five buckets telescope to
+        // the end-to-end latency exactly (modulo float rounding).
+        let queue = (e2e - compute - transfer - merge_wait - drain).max(0.0);
+        let rec = sim.recorder_mut();
+        let tx = res.io_tx.index() as u32;
+        rec.sim_instant(
+            tx,
+            completed,
+            EventKind::BatchEgress {
+                seq,
+                packets: out.len() as u32,
+                bytes: out.total_bytes() as u64,
+            },
+        );
+        rec.sim_instant(
+            tx,
+            completed,
+            EventKind::BatchAttribution {
+                seq,
+                e2e_ns: e2e,
+                compute_ns: compute,
+                transfer_ns: transfer,
+                queue_ns: queue,
+                drain_ns: drain,
+                merge_wait_ns: merge_wait,
+            },
+        );
     }
 
     /// Re-profiles every stage against fresh traffic and recomputes its
@@ -1363,6 +1552,7 @@ impl PreparedSfc {
         let mut rec = self.tel.recorder();
         let mut any = false;
         let mut flat = 0usize;
+        let mut swap_end = now;
         for branch in self.stages.iter_mut() {
             for stage in branch.iter_mut() {
                 let base = self.stats_base.get(flat).cloned().unwrap_or_default();
@@ -1416,6 +1606,7 @@ impl PreparedSfc {
                         );
                     }
                     swap_ns = t - now;
+                    swap_end = swap_end.max(t);
                     if let Some(cache) = stage.flow_cache.as_mut() {
                         cache.invalidate(&stage.run, &mut rec);
                     }
@@ -1444,6 +1635,15 @@ impl PreparedSfc {
                     applied,
                 });
                 flat += 1;
+            }
+        }
+        // One merged drain window per reconfiguration (per-stage swap
+        // charges overlap — they all start at `now` — so recording them
+        // individually would double-count drain in the bucket walk).
+        if rec.is_enabled() && any && swap_end > now {
+            match self.swap_spans.last_mut() {
+                Some(last) if last.1 >= now => last.1 = last.1.max(swap_end),
+                _ => self.swap_spans.push((now, swap_end)),
             }
         }
         self.tel.absorb(rec);
@@ -1493,6 +1693,10 @@ struct StageCharge {
     /// the SM-occupancy telemetry proxy).
     gpu_packets: usize,
     any_offload: bool,
+    /// Offloaded elements aggregated into the device span (per-element
+    /// kernel dispatches; `calibrate` fits dispatch overhead only on
+    /// single-dispatch samples).
+    gpu_kernels: u32,
     /// Packets entering the stage this batch (controller observation).
     in_packets: usize,
     /// Wire bytes entering the stage this batch (controller observation).
@@ -1577,6 +1781,7 @@ fn exec_stage_functional(
     let mut kernel_ns = 0.0;
     let mut gpu_bytes = 0.0f64;
     let mut gpu_packets = 0usize;
+    let mut gpu_kernels = 0u32;
     let mut any_offload = false;
     let mut partial = false;
     for (i, w) in weights.nodes.iter().enumerate() {
@@ -1603,6 +1808,7 @@ fn exec_stage_functional(
             kernel_ns += g.kernel_ns + g.dispatch_ns;
             gpu_bytes = gpu_bytes.max(gpu_part.bytes as f64);
             gpu_packets = gpu_packets.max(gpu_part.packets);
+            gpu_kernels += 1;
             any_offload = true;
         }
         if r > 0.0 && r < 1.0 {
@@ -1629,14 +1835,25 @@ fn exec_stage_functional(
             gpu_bytes,
             gpu_packets,
             any_offload,
+            gpu_kernels,
             in_packets,
             in_wire_bytes,
         },
     )
 }
 
+/// Timeline placement of one stage's replay: the CPU-side span always,
+/// plus the h2d → kernel → d2h chain when the stage offloads. `end` is
+/// the ordered-release completion (max of both sides); the spans feed
+/// the per-batch bucket walk in [`PreparedSfc::process_batch`].
+struct StageReplay {
+    end: f64,
+    cpu: (f64, f64),
+    gpu: Option<[(f64, f64); 3]>,
+}
+
 /// Replays one stage's charge onto the shared simulator, returning the
-/// stage completion time.
+/// placed spans and the stage completion time.
 #[allow(clippy::too_many_arguments)]
 fn replay_stage(
     sim: &mut PipelineSim,
@@ -1647,9 +1864,9 @@ fn replay_stage(
     gpu_queues: &[ResourceId],
     pcie_h2d: ResourceId,
     pcie_d2h: ResourceId,
-) -> f64 {
+) -> StageReplay {
     let model = stage.model;
-    let cpu_done = sim.schedule(stage.cpu_res, t, charge.cpu_ns, stage.user);
+    let cpu = sim.schedule_span(stage.cpu_res, t, charge.cpu_ns, stage.user);
     if charge.any_offload {
         // Persistent kernels partition the devices (one queue per
         // workload); launch-per-batch kernels run in the default
@@ -1662,19 +1879,23 @@ fn replay_stage(
         let dma = |bytes: f64| {
             model.platform().pcie.dma_latency_ns + bytes / model.platform().pcie.bw_gbs
         };
-        let h = sim.schedule(pcie_h2d, t, dma(charge.gpu_bytes), stage.user);
-        let k = sim.schedule(gpu, h, charge.kernel_ns, stage.user);
-        let d = sim.schedule(pcie_d2h, k, dma(charge.gpu_bytes), stage.user);
+        let h = sim.schedule_span(pcie_h2d, t, dma(charge.gpu_bytes), stage.user);
+        let k = sim.schedule_span(gpu, h.1, charge.kernel_ns, stage.user);
+        let d = sim.schedule_span(pcie_d2h, k.1, dma(charge.gpu_bytes), stage.user);
         let rec = sim.recorder_mut();
         if rec.is_enabled() {
             // Semantic GPU events on the simulated timeline, alongside
             // the generic resource-busy spans `schedule` already emits.
+            // These mirror the busy intervals (not request → release),
+            // so their durations are pure transfer/execution time —
+            // which is what lets `calibrate` re-fit the cost constants
+            // from a trace regardless of congestion.
             let queue = gpu.index() as u32;
             let bytes = charge.gpu_bytes as u64;
             rec.sim_span(
                 pcie_h2d.index() as u32,
-                t,
-                h,
+                h.0,
+                h.1,
                 EventKind::Dma {
                     to_device: true,
                     bytes,
@@ -1682,18 +1903,20 @@ fn replay_stage(
             );
             rec.sim_span(
                 queue,
-                h,
-                k,
+                k.0,
+                k.1,
                 EventKind::KernelLaunch {
                     queue,
                     user: stage.user,
                     bytes,
+                    packets: charge.gpu_packets as u32,
+                    kernels: charge.gpu_kernels,
                 },
             );
             rec.sim_span(
                 pcie_d2h.index() as u32,
-                k,
-                d,
+                d.0,
+                d.1,
                 EventKind::Dma {
                     to_device: false,
                     bytes,
@@ -1703,7 +1926,7 @@ fn replay_stage(
                 (charge.gpu_packets * 100 / calib::GPU_PARALLEL_WIDTH).min(100) as u8;
             rec.sim_instant(
                 queue,
-                k,
+                k.1,
                 EventKind::SmOccupancy {
                     queue,
                     occupancy_pct,
@@ -1711,9 +1934,17 @@ fn replay_stage(
             );
         }
         // Ordered release (completion-queue) once both sides finish.
-        cpu_done.max(d)
+        StageReplay {
+            end: cpu.1.max(d.1),
+            cpu,
+            gpu: Some([h, k, d]),
+        }
     } else {
-        cpu_done
+        StageReplay {
+            end: cpu.1,
+            cpu,
+            gpu: None,
+        }
     }
 }
 

@@ -285,6 +285,21 @@ impl PipelineSim {
         duration_ns: f64,
         user: u64,
     ) -> f64 {
+        self.schedule_span(resource, earliest_ns, duration_ns, user)
+            .1
+    }
+
+    /// Like [`PipelineSim::schedule`] but returns the committed
+    /// `(start, end)` interval, so callers building latency
+    /// attributions can separate queueing delay (`start − earliest_ns`)
+    /// from service time without re-deriving the schedule.
+    pub fn schedule_span(
+        &mut self,
+        resource: ResourceId,
+        earliest_ns: f64,
+        duration_ns: f64,
+        user: u64,
+    ) -> (f64, f64) {
         let r = resource.0;
         let mut idx = 0usize;
         let mut candidate = earliest_ns;
@@ -336,10 +351,11 @@ impl PipelineSim {
                 EventKind::ResourceBusy {
                     resource: r as u32,
                     user,
+                    queued_ns: start - earliest_ns,
                 },
             );
         }
-        end
+        (start, end)
     }
 
     /// Current backlog of `resource` relative to `now_ns` (0 if idle):

@@ -54,6 +54,13 @@ pub struct Event {
     /// Display lane: branch index for functional events, worker id for
     /// worker spans, resource id for simulated-timeline events.
     pub track: u32,
+    /// Batch lineage tag: the runtime-assigned batch sequence number the
+    /// event belongs to, or `0` when the event is not attributable to a
+    /// single packet batch (resource registration, planner passes,
+    /// control-plane work). Carried through duplication, split/merge,
+    /// flow-cache replay, DMA, and kernel execution so a trace can be
+    /// re-joined per batch by the attribution layer (`attr`).
+    pub batch: u64,
     /// What happened.
     pub kind: EventKind,
 }
@@ -119,6 +126,12 @@ pub enum EventKind {
         user: u64,
         /// Payload bytes shipped to the device for this kernel.
         bytes: u64,
+        /// Packets shipped to the device for this kernel.
+        packets: u32,
+        /// Per-element kernel dispatches aggregated into this span (the
+        /// stage may offload more than one element; `calibrate` fits
+        /// dispatch overhead only on single-dispatch samples).
+        kernels: u32,
     },
     /// A resource switched users and paid a context-switch/teardown
     /// penalty (simulated-time instant).
@@ -154,6 +167,10 @@ pub enum EventKind {
         resource: u32,
         /// Occupying user.
         user: u64,
+        /// Simulated time the charge waited between its request instant
+        /// and the span start (queueing behind earlier work plus any
+        /// context-switch penalty).
+        queued_ns: f64,
     },
     /// Maps a resource id to its human-readable name (emitted once per
     /// resource registration; becomes Chrome `thread_name` metadata).
@@ -214,13 +231,63 @@ pub enum EventKind {
         /// Input item index the worker processed.
         unit: u32,
     },
+    /// A packet batch entered the pipeline (simulated-time instant at
+    /// its mean arrival).
+    BatchIngress {
+        /// Batch sequence number (same value as [`Event::batch`]).
+        seq: u64,
+        /// Packets in the batch at ingress.
+        packets: u32,
+        /// Wire bytes in the batch at ingress.
+        wire_bytes: u64,
+    },
+    /// A packet batch left the pipeline (simulated-time instant at its
+    /// completion).
+    BatchEgress {
+        /// Batch sequence number (same value as [`Event::batch`]).
+        seq: u64,
+        /// Packets in the batch at egress (elements may drop packets).
+        packets: u32,
+        /// Payload bytes in the batch at egress.
+        bytes: u64,
+    },
+    /// End-to-end latency decomposition for one batch, computed by the
+    /// runtime during temporal replay (simulated-time instant at the
+    /// batch completion). The five buckets sum to the batch's
+    /// end-to-end simulated latency exactly.
+    BatchAttribution {
+        /// Batch sequence number (same value as [`Event::batch`]).
+        seq: u64,
+        /// End-to-end simulated latency: completion − mean arrival.
+        e2e_ns: f64,
+        /// Busy time on CPU-side resources along the batch's reference
+        /// chain (I/O, split/merge, element work, kernel execution).
+        compute_ns: f64,
+        /// PCIe DMA transfer time along the reference chain.
+        transfer_ns: f64,
+        /// Waiting time not otherwise classified: batching fill plus
+        /// queueing behind earlier batches and context switches.
+        queue_ns: f64,
+        /// Portion of the waiting time spent behind control-plane
+        /// reconfiguration (epoch swap drain).
+        drain_ns: f64,
+        /// Merge-barrier skew: how long the reference branch's output
+        /// waited for slower sibling branches at the join.
+        merge_wait_ns: f64,
+    },
+    /// The adaptive controller closed one observation epoch
+    /// (simulated-time instant; delimits per-epoch critical paths).
+    Epoch {
+        /// Epoch counter after the boundary.
+        epoch: u64,
+    },
 }
 
 impl EventKind {
     /// Coarse category, used as the Chrome-trace `cat` field and by
     /// `nfc-trace` for per-category summaries: one of `stage`,
     /// `element`, `batch`, `flow-cache`, `gpu`, `resource`,
-    /// `partition`, `control`, `worker`.
+    /// `partition`, `control`, `worker`, `attr`.
     pub fn category(&self) -> &'static str {
         match self {
             EventKind::Stage { .. } => "stage",
@@ -235,8 +302,11 @@ impl EventKind {
             | EventKind::SmOccupancy { .. } => "gpu",
             EventKind::ResourceBusy { .. } | EventKind::ResourceName { .. } => "resource",
             EventKind::PartitionPass { .. } | EventKind::PartitionDecision { .. } => "partition",
-            EventKind::ControllerDecision { .. } => "control",
+            EventKind::ControllerDecision { .. } | EventKind::Epoch { .. } => "control",
             EventKind::Worker { .. } => "worker",
+            EventKind::BatchIngress { .. }
+            | EventKind::BatchEgress { .. }
+            | EventKind::BatchAttribution { .. } => "attr",
         }
     }
 
@@ -264,6 +334,10 @@ impl EventKind {
             EventKind::PartitionDecision { algo, .. } => format!("partition_decision:{algo}"),
             EventKind::ControllerDecision { .. } => "controller_decision".to_string(),
             EventKind::Worker { .. } => "worker_unit".to_string(),
+            EventKind::BatchIngress { .. } => "batch_ingress".to_string(),
+            EventKind::BatchEgress { .. } => "batch_egress".to_string(),
+            EventKind::BatchAttribution { .. } => "batch_attribution".to_string(),
+            EventKind::Epoch { .. } => "epoch".to_string(),
         }
     }
 
@@ -315,6 +389,8 @@ mod tests {
                 queue: 0,
                 user: 0,
                 bytes: 64,
+                packets: 1,
+                kernels: 1,
             }
             .category(),
             EventKind::PartitionPass {

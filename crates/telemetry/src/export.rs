@@ -90,6 +90,9 @@ fn args_json(ev: &Event) -> String {
     if ev.sim.is_some() {
         a.int("wall_ns", ev.wall_ns);
     }
+    if ev.batch != 0 {
+        a.int("batch", ev.batch);
+    }
     match &ev.kind {
         EventKind::Stage {
             branch,
@@ -124,10 +127,18 @@ fn args_json(ev: &Event) -> String {
         EventKind::FlowCacheInvalidate { generation } => {
             a.int("generation", *generation);
         }
-        EventKind::KernelLaunch { queue, user, bytes } => {
+        EventKind::KernelLaunch {
+            queue,
+            user,
+            bytes,
+            packets,
+            kernels,
+        } => {
             a.int("queue", u64::from(*queue))
                 .int("user", *user)
-                .int("bytes", *bytes);
+                .int("bytes", *bytes)
+                .int("packets", u64::from(*packets))
+                .int("kernels", u64::from(*kernels));
         }
         EventKind::KernelTeardown {
             resource,
@@ -151,8 +162,14 @@ fn args_json(ev: &Event) -> String {
             a.int("queue", u64::from(*queue))
                 .int("occupancy_pct", u64::from(*occupancy_pct));
         }
-        EventKind::ResourceBusy { resource, user } => {
-            a.int("resource", u64::from(*resource)).int("user", *user);
+        EventKind::ResourceBusy {
+            resource,
+            user,
+            queued_ns,
+        } => {
+            a.int("resource", u64::from(*resource))
+                .int("user", *user)
+                .num("queued_ns", *queued_ns);
         }
         EventKind::ResourceName { resource, name } => {
             a.int("resource", u64::from(*resource))
@@ -200,6 +217,44 @@ fn args_json(ev: &Event) -> String {
         EventKind::Worker { worker, unit } => {
             a.int("worker", u64::from(*worker))
                 .int("unit", u64::from(*unit));
+        }
+        EventKind::BatchIngress {
+            seq,
+            packets,
+            wire_bytes,
+        } => {
+            a.int("seq", *seq)
+                .int("packets", u64::from(*packets))
+                .int("wire_bytes", *wire_bytes);
+        }
+        EventKind::BatchEgress {
+            seq,
+            packets,
+            bytes,
+        } => {
+            a.int("seq", *seq)
+                .int("packets", u64::from(*packets))
+                .int("bytes", *bytes);
+        }
+        EventKind::BatchAttribution {
+            seq,
+            e2e_ns,
+            compute_ns,
+            transfer_ns,
+            queue_ns,
+            drain_ns,
+            merge_wait_ns,
+        } => {
+            a.int("seq", *seq)
+                .num("e2e_ns", *e2e_ns)
+                .num("compute_ns", *compute_ns)
+                .num("transfer_ns", *transfer_ns)
+                .num("queue_ns", *queue_ns)
+                .num("drain_ns", *drain_ns)
+                .num("merge_wait_ns", *merge_wait_ns);
+        }
+        EventKind::Epoch { epoch } => {
+            a.int("epoch", *epoch);
         }
     }
     a.finish()
@@ -281,6 +336,12 @@ pub fn prometheus_snapshot(sink: &MemorySink) -> String {
     out.push_str(&format!("nfc_events_total {}\n", sink.events().len()));
     out.push_str("# TYPE nfc_events_dropped_total counter\n");
     out.push_str(&format!("nfc_events_dropped_total {}\n", sink.dropped()));
+    if !sink.dropped_by_category().is_empty() {
+        out.push_str("# TYPE nfc_events_dropped counter\n");
+        for (cat, n) in sink.dropped_by_category() {
+            out.push_str(&format!("nfc_events_dropped{{category=\"{cat}\"}} {n}\n"));
+        }
+    }
     for (name, v) in sink.counters() {
         out.push_str(&format!("# TYPE nfc_{name}_total counter\n"));
         out.push_str(&format!("nfc_{name}_total {v}\n"));
@@ -331,6 +392,7 @@ mod tests {
                 wall_dur_ns: 2_000,
                 sim: None,
                 track: 0,
+                batch: 0,
                 kind: EventKind::Element {
                     node: 3,
                     name: "Acl".into(),
@@ -346,10 +408,13 @@ mod tests {
                     end_ns: 12_500.0,
                 }),
                 track: 5,
+                batch: 7,
                 kind: EventKind::KernelLaunch {
                     queue: 1,
                     user: 2,
                     bytes: 8_192,
+                    packets: 128,
+                    kernels: 1,
                 },
             },
             Event {
@@ -357,6 +422,7 @@ mod tests {
                 wall_dur_ns: 0,
                 sim: None,
                 track: 0,
+                batch: 0,
                 kind: EventKind::ResourceName {
                     resource: 5,
                     name: "gpu/ctx1".into(),
@@ -379,6 +445,8 @@ mod tests {
         assert!(body.contains("\"cat\":\"gpu\""));
         // Sim event lands on pid 2 with ts in microseconds.
         assert!(body.contains("\"pid\":2,\"tid\":5,\"ts\":10,\"dur\":2.5"));
+        // Lineage tag survives into args.
+        assert!(body.contains("\"batch\":7"));
     }
 
     #[test]
@@ -392,5 +460,32 @@ mod tests {
         assert!(body.contains("nfc_flow_cache_hits_total 42"));
         assert!(body.contains("nfc_batch_latency_ns{quantile=\"0.5\"} 2"));
         assert!(body.contains("nfc_batch_latency_ns_count 4"));
+    }
+
+    #[test]
+    fn prometheus_snapshot_labels_dropped_events_by_category() {
+        let mut sink = MemorySink::with_capacity(1);
+        for _ in 0..2 {
+            sink.record_event(Event {
+                wall_ns: 0,
+                wall_dur_ns: 0,
+                sim: None,
+                track: 0,
+                batch: 0,
+                kind: EventKind::BatchSplit { node: 0, parts: 2 },
+            });
+        }
+        sink.record_event(Event {
+            wall_ns: 0,
+            wall_dur_ns: 0,
+            sim: None,
+            track: 0,
+            batch: 0,
+            kind: EventKind::FlowCacheBatch { hits: 1, misses: 0 },
+        });
+        let body = prometheus_snapshot(&sink);
+        assert!(body.contains("nfc_events_dropped_total 2"));
+        assert!(body.contains("nfc_events_dropped{category=\"batch\"} 1"));
+        assert!(body.contains("nfc_events_dropped{category=\"flow-cache\"} 1"));
     }
 }

@@ -314,5 +314,99 @@ mod tests {
         assert_eq!(h.min(), 0.0);
         assert_eq!(h.max(), 0.0);
         assert_eq!(h.percentile(0.99), 0.0);
+        assert_eq!(h.sum(), 0.0);
+        assert!(h.is_exact());
+        assert_eq!(h.sorted_exact(), Some(Vec::new()));
+        assert_eq!(h.percentiles(&[0.0, 0.5, 1.0]), [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn single_sample_has_degenerate_percentiles() {
+        let mut h = LogHistogram::new();
+        h.record(1234.5);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 1234.5);
+        assert_eq!(h.max(), 1234.5);
+        assert_eq!(h.mean(), 1234.5);
+        let ps = h.percentiles(&[0.0, 0.5, 0.999, 1.0]);
+        assert!(
+            ps.iter().all(|&p| p == 1234.5),
+            "every percentile of a single sample is that sample: {ps:?}"
+        );
+        assert_eq!(h.percentile(0.5), h.percentile(0.999), "p50 == p999");
+    }
+
+    #[test]
+    fn bucket_boundary_values_land_in_their_own_bucket() {
+        // Exact powers of two and the values straddling them are the
+        // boundary cases for the index math: x, x-1, x+1 must each map
+        // to a bucket whose bounds contain them, and recording exactly
+        // one of each must keep count/min/max exact.
+        for exp in [0u32, 4, 5, 6, 10, 20, 40, 50] {
+            let x = 1u64 << exp;
+            for probe in [x.saturating_sub(1), x, x + 1] {
+                let mut h = LogHistogram::new();
+                h.record(probe as f64);
+                let idx = bucket_index(probe);
+                let (low, width) = bucket_bounds(idx);
+                assert!(
+                    (probe as f64) >= low && (probe as f64) < low + width,
+                    "boundary probe {probe} outside bucket {idx}"
+                );
+                assert_eq!(h.count(), 1);
+                assert_eq!(h.min(), probe as f64);
+                assert_eq!(h.max(), probe as f64);
+            }
+        }
+        // Negative and non-finite inputs clamp to zero (bucket 0).
+        let mut h = LogHistogram::new();
+        h.record(-3.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_concatenated_within_bucket_error() {
+        // Build two bucketed-mode histograms from disjoint streams and
+        // compare the merge against one histogram fed the concatenation:
+        // counts/sums must be exact, percentiles within one bucket width.
+        let stream_a: Vec<f64> = (0..EXACT_CAP + 500)
+            .map(|i| 1e3 + (i as f64 * 777.3) % 3e7)
+            .collect();
+        let stream_b: Vec<f64> = (0..EXACT_CAP + 500)
+            .map(|i| 5e2 + (i as f64 * 331.9) % 9e7)
+            .collect();
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut concat = LogHistogram::new();
+        for &v in &stream_a {
+            a.record(v);
+            concat.record(v);
+        }
+        for &v in &stream_b {
+            b.record(v);
+            concat.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), concat.count());
+        assert!((merged.sum() - concat.sum()).abs() < 1e-6 * concat.sum());
+        assert_eq!(merged.min(), concat.min());
+        assert_eq!(merged.max(), concat.max());
+        for p in [0.5, 0.9, 0.99, 0.999] {
+            let got = merged.percentile(p);
+            let want = concat.percentile(p);
+            let rel = (got - want).abs() / want.max(1.0);
+            assert!(
+                rel <= 1.0 / SUB as f64,
+                "p{p}: merged {got} vs concatenated {want}, rel err {rel}"
+            );
+        }
+        // Merging an empty histogram is a no-op.
+        let before = merged.count();
+        merged.merge(&LogHistogram::new());
+        assert_eq!(merged.count(), before);
     }
 }

@@ -17,6 +17,12 @@
 //! 3. **Exporters** — Chrome-trace-format JSONL (loadable in
 //!    `chrome://tracing` / Perfetto) and a Prometheus-style text
 //!    snapshot, plus the `nfc-trace` CLI in `nfc-bench`.
+//! 4. **Attribution analyses** ([`attr`]) — pure functions over an
+//!    event stream: per-batch latency decomposition into
+//!    compute/transfer/queue/drain/merge-wait buckets (joined via the
+//!    [`Event::batch`] lineage tag), per-epoch critical-path
+//!    extraction, folded flame stacks, and trace-driven re-fitting of
+//!    the calibration constants.
 //!
 //! Telemetry is **off by default**. It is enabled per run via
 //! `Deployment::with_telemetry` or the [`TELEMETRY_ENV`] environment
@@ -28,12 +34,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attr;
 pub mod event;
 pub mod export;
 pub mod hist;
 pub mod ring;
 pub mod sink;
 
+pub use attr::{
+    attribution, batch_rows, calibrate, critical_paths, folded_stacks, folded_stacks_wall,
+    AttributionReport, BatchRow, Buckets, CalibAnchors, CalibEstimate, EpochPath, PathSegment,
+};
 pub use event::{wall_now_ns, Event, EventKind, SimStamp};
 pub use hist::{LogHistogram, EXACT_CAP, SUB_BUCKET_BITS};
 pub use ring::{Recorder, DEFAULT_RING_CAPACITY};

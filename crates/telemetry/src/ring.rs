@@ -11,7 +11,7 @@
 //! one predictable branch when telemetry is off.
 
 use crate::event::{wall_now_ns, Event, EventKind, SimStamp};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Default per-recorder ring capacity (events). When a ring is full the
 /// oldest event is overwritten and counted in [`Recorder::dropped`],
@@ -23,9 +23,11 @@ pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
 pub struct Recorder {
     enabled: bool,
     track: u32,
+    batch: u64,
     capacity: usize,
     ring: VecDeque<Event>,
     dropped: u64,
+    dropped_by_cat: BTreeMap<&'static str, u64>,
 }
 
 impl Recorder {
@@ -40,9 +42,11 @@ impl Recorder {
         Recorder {
             enabled: true,
             track: 0,
+            batch: 0,
             capacity: capacity.max(1),
             ring: VecDeque::new(),
             dropped: 0,
+            dropped_by_cat: BTreeMap::new(),
         }
     }
 
@@ -64,6 +68,21 @@ impl Recorder {
     #[inline]
     pub fn track(&self) -> u32 {
         self.track
+    }
+
+    /// Sets the batch lineage tag stamped on every subsequently recorded
+    /// event (`0` clears the tag). The runtime tags the span of events
+    /// belonging to one packet batch so the attribution layer can
+    /// re-join them from a trace.
+    #[inline]
+    pub fn set_batch(&mut self, batch: u64) {
+        self.batch = batch;
+    }
+
+    /// Current batch lineage tag (`0` when untagged).
+    #[inline]
+    pub fn batch(&self) -> u64 {
+        self.batch
     }
 
     /// Reads the wall clock for a span begin; `0` when disabled so the
@@ -89,6 +108,7 @@ impl Recorder {
             wall_dur_ns: 0,
             sim: None,
             track: self.track,
+            batch: self.batch,
             kind,
         });
     }
@@ -106,6 +126,7 @@ impl Recorder {
             wall_dur_ns: now.saturating_sub(begin_ns),
             sim: None,
             track: self.track,
+            batch: self.batch,
             kind,
         });
     }
@@ -122,6 +143,7 @@ impl Recorder {
             wall_dur_ns: 0,
             sim: Some(SimStamp { start_ns, end_ns }),
             track,
+            batch: self.batch,
             kind,
         });
     }
@@ -135,19 +157,25 @@ impl Recorder {
     #[inline]
     fn push(&mut self, ev: Event) {
         if self.ring.len() >= self.capacity {
-            self.ring.pop_front();
-            self.dropped += 1;
+            if let Some(old) = self.ring.pop_front() {
+                self.dropped += 1;
+                *self.dropped_by_cat.entry(old.kind.category()).or_insert(0) += 1;
+            }
         }
         self.ring.push_back(ev);
     }
 
     /// Appends every event of `other` (in order), accumulating its drop
-    /// count. Used for the deterministic per-worker merge.
+    /// counts (total and per category). Used for the deterministic
+    /// per-worker merge.
     pub fn absorb(&mut self, other: Recorder) {
         if !self.enabled {
             return;
         }
         self.dropped += other.dropped;
+        for (cat, n) in other.dropped_by_cat {
+            *self.dropped_by_cat.entry(cat).or_insert(0) += n;
+        }
         for ev in other.ring {
             self.push(ev);
         }
@@ -176,6 +204,12 @@ impl Recorder {
     /// Events overwritten because the ring was full.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Events overwritten because the ring was full, split by the
+    /// dropped event's category.
+    pub fn dropped_by_category(&self) -> &BTreeMap<&'static str, u64> {
+        &self.dropped_by_cat
     }
 }
 
@@ -245,5 +279,116 @@ mod tests {
         let ev = r.events().next().expect("one event");
         assert_eq!(ev.wall_ns, t);
         assert!(ev.sim.is_none());
+    }
+
+    #[test]
+    fn batch_tag_stamps_until_cleared() {
+        let mut r = Recorder::with_capacity(8);
+        r.instant(split(0));
+        r.set_batch(42);
+        r.instant(split(1));
+        r.sim_span(0, 1.0, 2.0, split(2));
+        r.set_batch(0);
+        r.instant(split(3));
+        let tags: Vec<u64> = r.events().map(|e| e.batch).collect();
+        assert_eq!(tags, [0, 42, 42, 0]);
+    }
+
+    #[test]
+    fn drops_are_counted_per_category() {
+        let mut r = Recorder::with_capacity(2);
+        r.instant(split(0)); // category "batch"
+        r.instant(EventKind::FlowCacheBatch { hits: 1, misses: 0 });
+        r.instant(split(1)); // evicts the batch event
+        r.instant(split(2)); // evicts the flow-cache event
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.dropped_by_category().get("batch"), Some(&1));
+        assert_eq!(r.dropped_by_category().get("flow-cache"), Some(&1));
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Tags an event so its producing worker and per-worker sequence
+        /// number survive the merge.
+        fn tagged(worker: u32, seq: u32) -> EventKind {
+            EventKind::BatchSplit {
+                node: worker,
+                parts: seq,
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Merging per-worker rings (in any interleaving of absorb
+            /// calls, with arbitrary per-worker event counts and ring
+            /// capacities) preserves each worker's event order and the
+            /// total dropped count.
+            #[test]
+            fn absorb_preserves_per_worker_order_and_drop_totals(
+                counts in collection::vec(0usize..40, 1..6),
+                caps in collection::vec(1usize..16, 1..6),
+                order_seed in any::<u64>(),
+            ) {
+                let workers = counts.len();
+                let mut rings: Vec<Recorder> = (0..workers)
+                    .map(|w| {
+                        let cap = caps[w % caps.len()];
+                        let mut r = Recorder::with_capacity(cap);
+                        r.set_track(w as u32);
+                        for seq in 0..counts[w] {
+                            r.instant(tagged(w as u32, seq as u32));
+                        }
+                        r
+                    })
+                    .collect();
+                let expected_dropped: u64 = rings.iter().map(|r| r.dropped()).sum();
+                // Surviving per-worker sequences, in ring order.
+                let survivors: Vec<Vec<u32>> = rings
+                    .iter()
+                    .map(|r| {
+                        r.events()
+                            .map(|e| match e.kind {
+                                EventKind::BatchSplit { parts, .. } => parts,
+                                _ => unreachable!(),
+                            })
+                            .collect()
+                    })
+                    .collect();
+                // Absorb in an arbitrary interleaving-derived order.
+                let mut order: Vec<usize> = (0..workers).collect();
+                let mut s = order_seed;
+                for i in (1..workers).rev() {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    order.swap(i, (s >> 33) as usize % (i + 1));
+                }
+                let total: usize = survivors.iter().map(Vec::len).sum();
+                let mut master = Recorder::with_capacity(total.max(1));
+                for &w in &order {
+                    master.absorb(std::mem::take(&mut rings[w]));
+                }
+                // Total drop count is the sum of per-worker drops (the
+                // master ring was sized to fit every survivor).
+                prop_assert_eq!(master.dropped(), expected_dropped);
+                let per_cat: u64 = master.dropped_by_category().values().sum();
+                prop_assert_eq!(per_cat, expected_dropped);
+                // Each worker's surviving events appear in their original
+                // relative order.
+                for (w, expect) in survivors.iter().enumerate() {
+                    let got: Vec<u32> = master
+                        .events()
+                        .filter_map(|e| match e.kind {
+                            EventKind::BatchSplit { node, parts } if node == w as u32 => {
+                                Some(parts)
+                            }
+                            _ => None,
+                        })
+                        .collect();
+                    prop_assert_eq!(&got, expect, "worker {} order", w);
+                }
+            }
+        }
     }
 }

@@ -37,6 +37,7 @@ pub struct MemorySink {
     capacity: usize,
     events: Vec<Event>,
     dropped: u64,
+    dropped_by_cat: BTreeMap<&'static str, u64>,
     counters: BTreeMap<&'static str, u64>,
     histograms: BTreeMap<&'static str, LogHistogram>,
 }
@@ -55,6 +56,9 @@ impl MemorySink {
     /// the derived counters/histograms.
     pub fn absorb_recorder(&mut self, rec: Recorder) {
         self.dropped += rec.dropped();
+        for (cat, n) in rec.dropped_by_category() {
+            *self.dropped_by_cat.entry(cat).or_insert(0) += n;
+        }
         for ev in rec.into_events() {
             self.derive(&ev);
             self.record_event(ev);
@@ -105,14 +109,48 @@ impl MemorySink {
                 self.add_counter("partition_moves", u64::from(*moved));
             }
             EventKind::PartitionDecision { .. } => self.add_counter("partition_decisions", 1),
-            EventKind::ControllerDecision { swap_ns, .. } => {
+            EventKind::ControllerDecision {
+                swap_ns,
+                old_ratio,
+                new_ratio,
+                ..
+            } => {
                 self.add_counter("controller_decisions", 1);
+                if *swap_ns > 0.0 || old_ratio != new_ratio {
+                    self.add_counter("controller_swaps", 1);
+                }
                 self.observe_ns("controller_swap_ns", *swap_ns);
             }
             EventKind::Worker { .. } => {
                 self.add_counter("worker_units", 1);
                 self.observe_ns("worker_unit_wall_ns", ev.wall_dur_ns as f64);
             }
+            EventKind::BatchIngress { packets, .. } => {
+                self.add_counter("batches_ingress", 1);
+                self.add_counter("packets_ingress", u64::from(*packets));
+            }
+            EventKind::BatchEgress { packets, .. } => {
+                self.add_counter("batches_egress", 1);
+                self.add_counter("packets_egress", u64::from(*packets));
+            }
+            EventKind::BatchAttribution {
+                e2e_ns,
+                compute_ns,
+                transfer_ns,
+                queue_ns,
+                drain_ns,
+                merge_wait_ns,
+                ..
+            } => {
+                self.add_counter("attributed_batches", 1);
+                self.observe_ns("attr_e2e_ns", *e2e_ns);
+                self.observe_ns("attr_compute_ns", *compute_ns);
+                self.observe_ns("attr_transfer_ns", *transfer_ns);
+                self.observe_ns("attr_queue_ns", *queue_ns);
+                self.observe_ns("attr_drain_ns", *drain_ns);
+                self.observe_ns("attr_merge_wait_ns", *merge_wait_ns);
+            }
+            EventKind::Epoch { .. } => self.add_counter("controller_epochs", 1),
         }
     }
 
@@ -124,6 +162,11 @@ impl MemorySink {
     /// Events dropped by ring overwrite or the sink cap.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Dropped events split by the dropped event's category.
+    pub fn dropped_by_category(&self) -> &BTreeMap<&'static str, u64> {
+        &self.dropped_by_cat
     }
 
     /// Derived monotonic counters.
@@ -141,6 +184,10 @@ impl TelemetrySink for MemorySink {
     fn record_event(&mut self, event: Event) {
         if self.events.len() >= self.capacity {
             self.dropped += 1;
+            *self
+                .dropped_by_cat
+                .entry(event.kind.category())
+                .or_insert(0) += 1;
             return;
         }
         self.events.push(event);
@@ -268,7 +315,7 @@ impl Telemetry {
                 Err(e) => eprintln!("nfc-telemetry: failed to write {path}: {e}"),
             }
         }
-        Some(TelemetrySummary::from_sink(&sink, export_path))
+        Some(TelemetrySummary::from_sink(sink, export_path))
     }
 }
 
@@ -321,10 +368,14 @@ pub struct TelemetrySummary {
     pub histograms: Vec<(String, HistogramSummary)>,
     /// Path the trace/snapshot was written to, when exporting.
     pub export_path: Option<String>,
+    /// The retained event stream itself, so in-process consumers (the
+    /// attribution module, tests) can analyse a run without re-parsing
+    /// an exported file.
+    pub trace: Vec<Event>,
 }
 
 impl TelemetrySummary {
-    fn from_sink(sink: &MemorySink, export_path: Option<String>) -> Self {
+    fn from_sink(sink: MemorySink, export_path: Option<String>) -> Self {
         TelemetrySummary {
             events: sink.events().len() as u64,
             dropped: sink.dropped(),
@@ -339,6 +390,7 @@ impl TelemetrySummary {
                 .map(|(k, h)| (k.to_string(), HistogramSummary::of(h)))
                 .collect(),
             export_path,
+            trace: sink.events,
         }
     }
 
@@ -385,6 +437,8 @@ mod tests {
                 queue: 0,
                 user: 7,
                 bytes: 4096,
+                packets: 256,
+                kernels: 1,
             },
         );
         handle.absorb(rec);
@@ -422,6 +476,7 @@ mod tests {
                 wall_dur_ns: 0,
                 sim: None,
                 track: 0,
+                batch: 0,
                 kind: EventKind::BatchSplit { node: 0, parts: 2 },
             });
         }

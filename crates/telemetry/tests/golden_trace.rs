@@ -15,6 +15,7 @@ fn fixture() -> Vec<Event> {
             wall_dur_ns: 5_000,
             sim: None,
             track: 0,
+            batch: 0,
             kind: EventKind::Stage {
                 branch: 0,
                 stage: 1,
@@ -27,6 +28,7 @@ fn fixture() -> Vec<Event> {
             wall_dur_ns: 250,
             sim: None,
             track: 0,
+            batch: 3,
             kind: EventKind::Element {
                 node: 2,
                 name: "Acl".into(),
@@ -39,6 +41,7 @@ fn fixture() -> Vec<Event> {
             wall_dur_ns: 0,
             sim: None,
             track: 1,
+            batch: 3,
             kind: EventKind::FlowCacheBatch {
                 hits: 200,
                 misses: 56,
@@ -49,6 +52,7 @@ fn fixture() -> Vec<Event> {
             wall_dur_ns: 0,
             sim: None,
             track: 0,
+            batch: 0,
             kind: EventKind::ResourceName {
                 resource: 4,
                 name: "gpu/ctx0".into(),
@@ -62,10 +66,13 @@ fn fixture() -> Vec<Event> {
                 end_ns: 12_500.0,
             }),
             track: 4,
+            batch: 3,
             kind: EventKind::KernelLaunch {
                 queue: 0,
                 user: 7,
                 bytes: 4_096,
+                packets: 64,
+                kernels: 1,
             },
         },
         Event {
@@ -73,6 +80,7 @@ fn fixture() -> Vec<Event> {
             wall_dur_ns: 0,
             sim: None,
             track: 0,
+            batch: 0,
             kind: EventKind::PartitionPass {
                 algo: "kl",
                 pass: 0,
@@ -80,6 +88,36 @@ fn fixture() -> Vec<Event> {
                 cost_before: 100.5,
                 cost_after: 90.25,
             },
+        },
+        Event {
+            wall_ns: 5_000,
+            wall_dur_ns: 0,
+            sim: Some(SimStamp {
+                start_ns: 20_000.0,
+                end_ns: 20_000.0,
+            }),
+            track: 1,
+            batch: 3,
+            kind: EventKind::BatchAttribution {
+                seq: 3,
+                e2e_ns: 12_000.0,
+                compute_ns: 7_000.0,
+                transfer_ns: 2_000.0,
+                queue_ns: 2_500.0,
+                drain_ns: 0.0,
+                merge_wait_ns: 500.0,
+            },
+        },
+        Event {
+            wall_ns: 6_000,
+            wall_dur_ns: 0,
+            sim: Some(SimStamp {
+                start_ns: 25_000.0,
+                end_ns: 25_000.0,
+            }),
+            track: 0,
+            batch: 0,
+            kind: EventKind::Epoch { epoch: 2 },
         },
     ]
 }

@@ -1,0 +1,346 @@
+//! Attribution differential testing: the latency-attribution layer is a
+//! pure observer and an exact decomposition.
+//!
+//! Three properties are pinned:
+//!
+//! 1. **Bit-identity** — enabling attribution (telemetry) changes no
+//!    observable output: egress bytes, per-element statistics and
+//!    simulated timings are bit-identical with telemetry on or off,
+//!    under serial, parallel and adaptive execution.
+//! 2. **Exact reconstruction** — for every attributed batch the five
+//!    buckets (compute / transfer / queue / drain / merge-wait) sum to
+//!    the batch's end-to-end simulated latency.
+//! 3. **Trace-driven calibration** — `nfc_telemetry::calibrate` re-fits
+//!    the cost-model constants from a calibration-shaped trace (varied
+//!    batch and packet sizes decorrelating packets from bytes) to
+//!    within 5% of the `calib.rs` anchors.
+
+use nfc_core::flowcache::FlowCacheMode;
+use nfc_core::{
+    ControllerConfig, Deployment, Duplication, ExecMode, Policy, RunOutcome, Sfc, TelemetryMode,
+};
+use nfc_hetero::{calib, GpuMode, PlatformConfig};
+use nfc_nf::acl::synth;
+use nfc_nf::Nf;
+use nfc_packet::traffic::{FlowSpec, PayloadPolicy, SizeDist, TrafficGenerator, TrafficSpec};
+use nfc_packet::Batch;
+use nfc_telemetry::{attribution, batch_rows, calibrate, CalibAnchors, Event, EventKind};
+
+// ---------------------------------------------------------------------
+// Workloads
+// ---------------------------------------------------------------------
+
+/// Cacheable + offloadable chain (same shape as the telemetry
+/// differential test) so one run exercises every event source.
+fn mixed_chain() -> Sfc {
+    Sfc::new(
+        "fw-lb",
+        vec![
+            Nf::firewall_with("fw", synth::generate(128, 1), true),
+            Nf::load_balancer("lb", 4),
+        ],
+    )
+}
+
+fn skewed_traffic(pkt: usize, seed: u64) -> TrafficGenerator {
+    let spec = TrafficSpec::udp(SizeDist::Fixed(pkt)).with_flows(FlowSpec {
+        count: 128,
+        ..FlowSpec::default().with_skew(1.0)
+    });
+    TrafficGenerator::new(spec, seed)
+}
+
+fn run_fixed(exec: ExecMode, telemetry: TelemetryMode, seed: u64) -> (RunOutcome, Vec<Batch>) {
+    let policy = Policy::FixedRatio {
+        ratio: 0.5,
+        mode: GpuMode::Persistent,
+    };
+    let mut dep = Deployment::new(mixed_chain(), policy)
+        .with_batch_size(128)
+        .with_exec_mode(exec)
+        .with_duplication(Duplication::Cow)
+        .with_flow_cache(FlowCacheMode::On { capacity: 2048 })
+        .with_telemetry(telemetry);
+    dep.run_collect(&mut skewed_traffic(256, seed), 12)
+}
+
+/// The adaptive DPI workload from `examples/adaptive_offload.rs`,
+/// shrunk: a benign phase then a hostile (all-matching) phase, so the
+/// controller triggers live re-partitions mid-run.
+fn adaptive_phases() -> Vec<TrafficGenerator> {
+    [0.0, 1.0]
+        .iter()
+        .enumerate()
+        .map(|(i, &ratio)| {
+            TrafficGenerator::new(
+                TrafficSpec::udp(SizeDist::Fixed(512))
+                    .with_rate_gbps(40.0)
+                    .with_payload(PayloadPolicy::MatchRatio {
+                        patterns: Nf::default_ids_signatures(),
+                        ratio,
+                    }),
+                41 + i as u64,
+            )
+        })
+        .collect()
+}
+
+fn run_adaptive(
+    telemetry: TelemetryMode,
+) -> (Vec<RunOutcome>, nfc_core::ControllerReport, Vec<Batch>) {
+    let sfc = Sfc::new("dpi", vec![Nf::dpi("dpi")]);
+    let mut dep = Deployment::new(sfc, Policy::nfcompass())
+        .with_batch_size(128)
+        .with_telemetry(telemetry);
+    let cfg = ControllerConfig {
+        epoch_batches: 8,
+        ..ControllerConfig::default()
+    };
+    dep.run_adaptive_collect(&mut adaptive_phases(), 24, &cfg)
+}
+
+fn assert_outcome_bits(label: &str, off: &RunOutcome, on: &RunOutcome) {
+    assert_eq!(off.stage_stats, on.stage_stats, "{label}: element stats");
+    assert_eq!(off.egress_packets, on.egress_packets, "{label}");
+    assert_eq!(off.egress_bytes, on.egress_bytes, "{label}");
+    for (name, a, b) in [
+        (
+            "throughput",
+            off.report.throughput_gbps,
+            on.report.throughput_gbps,
+        ),
+        (
+            "mean latency",
+            off.report.mean_latency_ns,
+            on.report.mean_latency_ns,
+        ),
+        (
+            "p99 latency",
+            off.report.p99_latency_ns,
+            on.report.p99_latency_ns,
+        ),
+    ] {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{label}: simulated {name} must be bit-identical"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// 1. Bit-identity with attribution on vs off
+// ---------------------------------------------------------------------
+
+#[test]
+fn attribution_never_perturbs_serial_parallel_or_adaptive_runs() {
+    for (label, exec) in [
+        ("serial", ExecMode::Serial),
+        ("parallel4", ExecMode::Parallel { threads: 4 }),
+    ] {
+        let off = run_fixed(exec, TelemetryMode::Off, 17);
+        let on = run_fixed(exec, TelemetryMode::Memory, 17);
+        assert_eq!(off.1, on.1, "{label}: egress batches must be identical");
+        assert_outcome_bits(label, &off.0, &on.0);
+        let summary = on.0.telemetry.expect("telemetry-on digest");
+        assert!(
+            summary
+                .trace
+                .iter()
+                .any(|ev| matches!(ev.kind, EventKind::BatchAttribution { .. })),
+            "{label}: attribution instants recorded"
+        );
+    }
+
+    let off = run_adaptive(TelemetryMode::Off);
+    let on = run_adaptive(TelemetryMode::Memory);
+    assert_eq!(off.2, on.2, "adaptive: egress batches must be identical");
+    assert_eq!(
+        off.1, on.1,
+        "adaptive: controller report (triggers, swaps, timeline) must be identical"
+    );
+    assert_eq!(off.0.len(), on.0.len());
+    for (i, (a, b)) in off.0.iter().zip(on.0.iter()).enumerate() {
+        assert_outcome_bits(&format!("adaptive phase {i}"), a, b);
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2. Exact bucket reconstruction
+// ---------------------------------------------------------------------
+
+fn assert_rows_reconstruct(label: &str, events: &[Event], expect_batches: u64) {
+    let rows = batch_rows(events);
+    assert_eq!(
+        rows.len() as u64,
+        expect_batches,
+        "{label}: one attribution row per batch"
+    );
+    for row in &rows {
+        assert!(row.packets > 0, "{label}: egress packets joined");
+        assert!(row.e2e_ns > 0.0, "{label}: positive end-to-end latency");
+        let b = &row.buckets;
+        for (name, v) in [
+            ("compute", b.compute_ns),
+            ("transfer", b.transfer_ns),
+            ("queue", b.queue_ns),
+            ("drain", b.drain_ns),
+            ("merge_wait", b.merge_wait_ns),
+        ] {
+            assert!(
+                v >= 0.0,
+                "{label}: bucket {name} must be non-negative, got {v}"
+            );
+        }
+        let total = b.total();
+        let tol = 1e-9 * row.e2e_ns.max(1.0);
+        assert!(
+            (total - row.e2e_ns).abs() <= tol,
+            "{label}: buckets must sum to e2e exactly: {} vs {} (batch {})",
+            total,
+            row.e2e_ns,
+            row.seq
+        );
+    }
+    let report = attribution(events);
+    assert_eq!(report.batches, rows.len() as u64, "{label}");
+    let sum_e2e: f64 = rows.iter().map(|r| r.e2e_ns).sum();
+    assert!(
+        (report.total.total() - sum_e2e).abs() <= 1e-6 * sum_e2e.max(1.0),
+        "{label}: aggregate buckets must reconstruct total e2e"
+    );
+}
+
+#[test]
+fn buckets_sum_to_end_to_end_latency_exactly() {
+    for (label, exec) in [
+        ("serial", ExecMode::Serial),
+        ("parallel4", ExecMode::Parallel { threads: 4 }),
+    ] {
+        let (outcome, _) = run_fixed(exec, TelemetryMode::Memory, 29);
+        let summary = outcome.telemetry.expect("digest");
+        assert_eq!(summary.dropped, 0, "{label}: no events dropped");
+        assert_rows_reconstruct(label, &summary.trace, 12);
+    }
+
+    // The adaptive run adds live plan swaps, so drain windows and epoch
+    // markers are present; reconstruction must still be exact.
+    let (outcomes, report, _) = run_adaptive(TelemetryMode::Memory);
+    let summary = outcomes[0].telemetry.as_ref().expect("digest");
+    assert_eq!(summary.dropped, 0, "adaptive: no events dropped");
+    assert_rows_reconstruct("adaptive", &summary.trace, 48);
+    assert!(
+        report.applied() > 0,
+        "the hostile phase must trigger at least one applied swap"
+    );
+    let epochs = summary
+        .trace
+        .iter()
+        .filter(|ev| matches!(ev.kind, EventKind::Epoch { .. }))
+        .count() as u64;
+    assert_eq!(epochs, report.epochs, "one epoch marker per epoch");
+}
+
+// ---------------------------------------------------------------------
+// 3. Trace-driven calibration refresh
+// ---------------------------------------------------------------------
+
+/// Re-tags one run's batch lineage so traces from independent runs can
+/// be concatenated without seq collisions (each run restarts its batch
+/// counter from the same user base).
+fn salt_batches(events: Vec<Event>, salt: u64) -> Vec<Event> {
+    events
+        .into_iter()
+        .map(|mut ev| {
+            if ev.batch != 0 {
+                ev.batch += salt;
+            }
+            match &mut ev.kind {
+                EventKind::BatchIngress { seq, .. }
+                | EventKind::BatchEgress { seq, .. }
+                | EventKind::BatchAttribution { seq, .. } => *seq += salt,
+                _ => {}
+            }
+            ev
+        })
+        .collect()
+}
+
+/// One calibration-sweep point: a 3-stage IPsec chain (crypto kernels
+/// are divergence-free, so kernel time is exactly affine in packets and
+/// bytes) at a fixed offload ratio. Three persistent stages on two GPU
+/// queues force stages 0 and 2 to share a queue, so every batch pays a
+/// context switch — giving the teardown fit its samples.
+fn calibration_run(batch: usize, pkt: usize, ratio: f64, seed: u64) -> Vec<Event> {
+    let sfc = Sfc::new(
+        "ipsec3",
+        vec![Nf::ipsec("enc-a"), Nf::ipsec("enc-b"), Nf::ipsec("enc-c")],
+    );
+    let policy = Policy::FixedRatio {
+        ratio,
+        mode: GpuMode::Persistent,
+    };
+    let mut dep = Deployment::new(sfc, policy)
+        .with_batch_size(batch)
+        .with_exec_mode(ExecMode::Serial)
+        .with_flow_cache(FlowCacheMode::Off)
+        .with_telemetry(TelemetryMode::Memory);
+    let outcome = dep.run(&mut skewed_traffic(pkt, seed), 8);
+    let summary = outcome.telemetry.expect("digest");
+    assert_eq!(summary.dropped, 0, "calibration run must not drop events");
+    summary.trace
+}
+
+#[test]
+fn calibrate_recovers_cost_constants_within_5_percent() {
+    // Vary batch size and packet size independently so kernel packet
+    // counts and byte counts decorrelate — the dispatch-intercept fit
+    // needs a full-rank (packets, bytes) design matrix. Offloaded
+    // packet counts stay well above the point where the kernel
+    // throughput term dominates the latency floor.
+    let sweep = [
+        (128usize, 256usize, 0.5f64),
+        (160, 512, 0.45),
+        (224, 768, 0.6),
+        (256, 1024, 0.4),
+    ];
+    let mut events: Vec<Event> = Vec::new();
+    for (i, &(batch, pkt, ratio)) in sweep.iter().enumerate() {
+        let trace = calibration_run(batch, pkt, ratio, 97 + i as u64);
+        events.extend(salt_batches(trace, (i as u64 + 1) << 32));
+    }
+
+    let p = PlatformConfig::hpca18();
+    let anchors = CalibAnchors {
+        gpu_ctx_switch_ns: calib::GPU_CONTEXT_SWITCH_NS,
+        gpu_dispatch_ns: calib::GPU_PERSISTENT_DISPATCH_NS,
+        pcie_dma_latency_ns: p.pcie.dma_latency_ns,
+        pcie_bw_gbs: p.pcie.bw_gbs,
+        io_cycles_per_packet: calib::IO_CYCLES_PER_PACKET,
+        ns_per_cycle: p.cpu.ns_per_cycle(),
+    };
+    let estimates = calibrate(&events, &anchors);
+    assert_eq!(estimates.len(), 5);
+    for est in &estimates {
+        assert!(
+            est.samples > 0,
+            "{}: the calibration sweep must produce samples",
+            est.name
+        );
+        assert!(
+            est.observed.is_finite(),
+            "{}: fit must converge, got {}",
+            est.name,
+            est.observed
+        );
+        let drift = (est.observed - est.anchored).abs() / est.anchored;
+        assert!(
+            drift <= 0.05,
+            "{}: observed {} vs anchored {} drifts {:.2}% (> 5%)",
+            est.name,
+            est.observed,
+            est.anchored,
+            drift * 100.0
+        );
+    }
+}
