@@ -1,7 +1,7 @@
 //! Engine benchmark: CoW branch duplication + worker-pool execution vs
 //! the serial deep-copy baseline on a 4-branch re-organized SFC.
 //!
-//! Three configurations run the same chain on the same traffic:
+//! Four configurations run the same chain on the same traffic:
 //!
 //! * `serial_deepcopy` — the pre-engine behavior: branches run one after
 //!   another and each receives an eagerly copied batch.
@@ -9,9 +9,12 @@
 //!   branches whose buffers are still shared.
 //! * `parallel_cow` — CoW plus the scoped worker pool
 //!   (`NFC_THREADS` / available parallelism).
+//! * `parallel_cow_lanes_off` — `parallel_cow` with the SoA header-lane
+//!   sweep disabled, isolating what the columnar path buys on top of the
+//!   engine.
 //!
-//! Egress must be byte-identical across all three; the measured
-//! throughputs and the speedup are recorded in `BENCH_engine.json` at
+//! Egress must be byte-identical across all four; the measured
+//! throughputs and the speedups are recorded in `BENCH_engine.json` at
 //! the repository root.
 
 use criterion::{black_box, BenchmarkId, Criterion};
@@ -27,11 +30,22 @@ use std::time::Instant;
 const BATCH_SIZE: usize = 256;
 const PKT_BYTES: usize = 1024;
 
-fn configs() -> Vec<(&'static str, ExecMode, Duplication)> {
+fn configs() -> Vec<(&'static str, ExecMode, Duplication, bool)> {
     vec![
-        ("serial_deepcopy", ExecMode::Serial, Duplication::DeepCopy),
-        ("serial_cow", ExecMode::Serial, Duplication::Cow),
-        ("parallel_cow", ExecMode::auto(), Duplication::Cow),
+        (
+            "serial_deepcopy",
+            ExecMode::Serial,
+            Duplication::DeepCopy,
+            true,
+        ),
+        ("serial_cow", ExecMode::Serial, Duplication::Cow, true),
+        ("parallel_cow", ExecMode::auto(), Duplication::Cow, true),
+        (
+            "parallel_cow_lanes_off",
+            ExecMode::auto(),
+            Duplication::Cow,
+            false,
+        ),
     ]
 }
 
@@ -41,12 +55,12 @@ fn chain() -> Sfc {
     Sfc::new(
         "fw-x4",
         (0..4)
-            .map(|i| Nf::firewall(format!("fw{i}"), 16, 1))
+            .map(|i| Nf::firewall(format!("fw{i}"), 256, 1))
             .collect(),
     )
 }
 
-fn deployment(exec: ExecMode, dup: Duplication) -> Deployment {
+fn deployment(exec: ExecMode, dup: Duplication, lanes: bool) -> Deployment {
     let policy = Policy::ReorgOnly {
         max_branches: 4,
         synthesize: false,
@@ -57,6 +71,7 @@ fn deployment(exec: ExecMode, dup: Duplication) -> Deployment {
         .with_batch_size(BATCH_SIZE)
         .with_exec_mode(exec)
         .with_duplication(dup)
+        .with_lanes(lanes)
 }
 
 /// Pre-generates the workload once so the timed region is the engine
@@ -69,18 +84,20 @@ fn workload(n_batches: usize) -> Vec<Batch> {
 fn run_config(
     exec: ExecMode,
     dup: Duplication,
+    lanes: bool,
     batches: &[Batch],
 ) -> (f64, RunOutcome, Vec<Batch>) {
-    run_with_telemetry(exec, dup, TelemetryMode::Off, batches)
+    run_with_telemetry(exec, dup, lanes, TelemetryMode::Off, batches)
 }
 
 fn run_with_telemetry(
     exec: ExecMode,
     dup: Duplication,
+    lanes: bool,
     telemetry: TelemetryMode,
     batches: &[Batch],
 ) -> (f64, RunOutcome, Vec<Batch>) {
-    let mut dep = deployment(exec, dup).with_telemetry(telemetry);
+    let mut dep = deployment(exec, dup, lanes).with_telemetry(telemetry);
     let mut traffic = TrafficGenerator::new(TrafficSpec::udp(SizeDist::Fixed(PKT_BYTES)), 7);
     let start = Instant::now();
     let (out, egress) = dep.run_replay(&mut traffic, batches);
@@ -111,16 +128,16 @@ fn disabled_hook_overhead_pct(events: u64, wall_s: f64) -> f64 {
 fn engine_benches(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine");
     let batches = workload(10);
-    for (label, exec, dup) in configs() {
+    for (label, exec, dup, lanes) in configs() {
         let batches = &batches;
         g.bench_function(BenchmarkId::new("4branch_x10batches", label), move |b| {
-            b.iter(|| black_box(run_config(exec, dup, batches)))
+            b.iter(|| black_box(run_config(exec, dup, lanes, batches)))
         });
     }
     g.finish();
 }
 
-/// Measures all three configurations, checks functional equivalence, and
+/// Measures all four configurations, checks functional equivalence, and
 /// writes `BENCH_engine.json` at the repository root.
 fn emit_report(full: bool) {
     let n_batches = if full { 64 } else { 16 };
@@ -128,11 +145,11 @@ fn emit_report(full: bool) {
     let batches = workload(n_batches);
     let mut rows = Vec::new();
     let mut reference: Option<(RunOutcome, Vec<Batch>)> = None;
-    for (label, exec, dup) in configs() {
+    for (label, exec, dup, lanes) in configs() {
         let mut best = f64::INFINITY;
         let mut kept = None;
         for _ in 0..reps {
-            let (secs, out, egress) = run_config(exec, dup, &batches);
+            let (secs, out, egress) = run_config(exec, dup, lanes, &batches);
             best = best.min(secs);
             kept = Some((out, egress));
         }
@@ -157,7 +174,7 @@ fn emit_report(full: bool) {
             "{label:<18} {:>8.1} ms for {n_batches} batches  ({gbps:.2} Gbit/s offered)",
             best * 1e3
         );
-        rows.push((label, best, gbps, out.width));
+        rows.push((label, best, gbps, out.width, lanes));
     }
     let baseline = rows[0].1;
     let cow = baseline / rows[1].1;
@@ -167,12 +184,22 @@ fn emit_report(full: bool) {
         parallel >= 2.0,
         "engine must be >= 2x over the deep-copy serial baseline, got {parallel:.2}x"
     );
+    // SoA header-lane rider: same parallel CoW engine with the columnar
+    // sweep off vs on. The egress equality above already proved the two
+    // paths byte-identical; here the lanes must also pay for themselves.
+    let lanes_gain = rows[3].1 / rows[2].1;
+    println!("speedup lanes on vs off (parallel_cow): {lanes_gain:.2}x");
+    assert!(
+        lanes_gain >= 1.3,
+        "SoA header lanes must be >= 1.3x over the per-packet path, got {lanes_gain:.2}x"
+    );
     // Telemetry rider: an instrumented run must keep byte-identical
     // egress, and the disabled hooks left in the hot path must cost
     // under 1% of the telemetry-off parallel configuration.
     let (tel_secs, tel_out, tel_egress) = run_with_telemetry(
         ExecMode::auto(),
         Duplication::Cow,
+        true,
         TelemetryMode::Memory,
         &batches,
     );
@@ -198,16 +225,17 @@ fn emit_report(full: bool) {
         "disabled telemetry must stay under 1% of the hot path, got {overhead_pct:.4}%"
     );
     let mut cfgs = serde_json::Value::Object(Default::default());
-    for (label, secs, gbps, _) in &rows {
+    for (label, secs, gbps, _, lanes) in &rows {
         cfgs[*label] = json!({
             "wall_s": secs,
             "offered_gbps": gbps,
             "speedup_vs_serial_deepcopy": baseline / secs,
+            "soa_lanes": lanes,
         });
     }
     let report = json!({
         "benchmark": "engine_parallel",
-        "chain": "fw-x4 re-organized into 4 parallel branches",
+        "chain": "fw-x4 (256-rule ACLs) re-organized into 4 parallel branches",
         "batch_size": BATCH_SIZE,
         "pkt_bytes": PKT_BYTES,
         "n_batches": n_batches,
@@ -215,6 +243,7 @@ fn emit_report(full: bool) {
         "egress_byte_identical": true,
         "configs": cfgs,
         "speedup_parallel_cow_vs_serial_deepcopy": parallel,
+        "speedup_soa_lanes_on_vs_off": lanes_gain,
         "telemetry": {
             "events": digest.events,
             "instrumented_wall_s": tel_secs,

@@ -288,6 +288,24 @@ fn check_event(ev: &Value) -> Option<String> {
     {
         return Some("sim event without args.wall_ns".into());
     }
+    // SM-occupancy instants report the share of one device's SM slots;
+    // a device cannot host more resident warps than it has SMs, so any
+    // value above 100 % of sm_count means residency accounting broke.
+    if str_field(ev, "name") == Some("sm_occupancy") {
+        match ev
+            .get("args")
+            .and_then(|a| a.get("occupancy_pct"))
+            .and_then(Value::as_f64)
+        {
+            Some(pct) if pct.is_finite() && (0.0..=100.0).contains(&pct) => {}
+            Some(pct) => {
+                return Some(format!(
+                    "sm_occupancy of {pct}% is outside 0-100% of sm_count"
+                ))
+            }
+            None => return Some("sm_occupancy event without args.occupancy_pct".into()),
+        }
+    }
     None
 }
 
@@ -822,6 +840,30 @@ mod tests {
         let trace = parse(&wrap(&[line]), "t.json").expect("parses");
         let violation = check_event(&trace.events[0]).expect("rejected");
         assert!(violation.contains("span ends before start"), "{violation}");
+    }
+
+    #[test]
+    fn sm_occupancy_above_100_pct_is_rejected() {
+        let line = |pct: i64| {
+            format!(
+                "{{\"name\":\"sm_occupancy\",\"cat\":\"gpu\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"pid\":2,\"tid\":1,\"ts\":10,\"args\":{{\"wall_ns\":0,\"batch\":1,\
+                 \"queue\":0,\"occupancy_pct\":{pct}}}}}"
+            )
+        };
+        let trace = parse(&wrap(&[line(100)]), "t.json").expect("parses");
+        assert!(check_event(&trace.events[0]).is_none());
+
+        let trace = parse(&wrap(&[line(104)]), "t.json").expect("parses");
+        let violation = check_event(&trace.events[0]).expect("rejected");
+        assert!(violation.contains("outside 0-100%"), "{violation}");
+
+        let stripped = "{\"name\":\"sm_occupancy\",\"cat\":\"gpu\",\"ph\":\"i\",\"s\":\"t\",\
+                        \"pid\":2,\"tid\":1,\"ts\":10,\"args\":{\"wall_ns\":0}}"
+            .to_string();
+        let trace = parse(&wrap(&[stripped]), "t.json").expect("parses");
+        let violation = check_event(&trace.events[0]).expect("rejected");
+        assert!(violation.contains("occupancy_pct"), "{violation}");
     }
 
     #[test]

@@ -223,6 +223,11 @@ pub enum FlowVerdict {
 pub struct RunCtx {
     /// Current simulated time in nanoseconds.
     pub now_ns: u64,
+    /// True when header-only elements should sweep the batch's columnar
+    /// header lanes ([`nfc_packet::HeaderLanes`]) instead of per-packet
+    /// header parses. Either view must produce bit-identical output; the
+    /// flag only selects the faster implementation.
+    pub lanes: bool,
 }
 
 /// A Click-style packet-processing element.

@@ -204,7 +204,24 @@ impl Element for ProtocolClassifier {
         2
     }
 
-    fn process(&mut self, batch: Batch, _ctx: &mut RunCtx) -> Vec<Batch> {
+    fn process(&mut self, mut batch: Batch, ctx: &mut RunCtx) -> Vec<Batch> {
+        if ctx.lanes {
+            // Columnar sweep: one chunked pass over the proto lane for
+            // IPv4 rows, per-packet fallback (IPv6, non-IP) elsewhere.
+            let lanes = batch.shared_lanes();
+            let mut routes: Vec<usize> = Vec::with_capacity(batch.len());
+            for (i, p) in batch.iter().enumerate() {
+                routes.push(if lanes.l3v4_mask()[i] {
+                    usize::from(!self.protos.contains(&lanes.proto()[i]))
+                } else {
+                    match p.ip_protocol() {
+                        Ok(proto) if self.protos.contains(&proto) => 0,
+                        _ => 1,
+                    }
+                });
+            }
+            return batch.split_by(2, |i, _| routes[i]);
+        }
         let protos = self.protos.clone();
         batch.split_by(2, |_, p| match p.ip_protocol() {
             Ok(proto) if protos.contains(&proto) => 0,
@@ -389,30 +406,63 @@ impl Element for DecTtl {
             .with_drop()
     }
 
-    fn process(&mut self, mut batch: Batch, _ctx: &mut RunCtx) -> Vec<Batch> {
+    fn process(&mut self, mut batch: Batch, ctx: &mut RunCtx) -> Vec<Batch> {
         let mut keep: Vec<bool> = Vec::with_capacity(batch.len());
-        for p in batch.iter_mut() {
-            if let Ok(mut ip) = p.ipv4() {
-                if ip.ttl <= 1 {
-                    keep.push(false);
-                    continue;
+        if ctx.lanes {
+            // Columnar sweep of the TTL lane; the scatter pass fixes the
+            // checksum with the same RFC 1624 update the per-packet path
+            // uses, so egress bytes are identical. IPv6 and non-IP rows
+            // fall back to the per-packet logic below.
+            let mut lanes = batch.header_lanes();
+            for i in 0..lanes.len() {
+                if lanes.ipv4_mask()[i] {
+                    let ttl = lanes.ttl()[i];
+                    if ttl <= 1 {
+                        keep.push(false);
+                    } else {
+                        lanes.set_ttl(i, ttl - 1);
+                        keep.push(true);
+                    }
+                } else {
+                    let p = batch.get_mut(i).expect("lane index in range");
+                    if let Ok(mut ip6) = p.ipv6() {
+                        if ip6.hop_limit <= 1 {
+                            keep.push(false);
+                            continue;
+                        }
+                        ip6.hop_limit -= 1;
+                        p.set_ipv6(&ip6);
+                        keep.push(true);
+                    } else {
+                        keep.push(false);
+                    }
                 }
-                let old = u16::from_be_bytes([ip.ttl, ip.protocol]);
-                ip.ttl -= 1;
-                let new = u16::from_be_bytes([ip.ttl, ip.protocol]);
-                ip.checksum = nfc_packet::checksum::update16(ip.checksum, old, new);
-                p.set_ipv4(&ip);
-                keep.push(true);
-            } else if let Ok(mut ip6) = p.ipv6() {
-                if ip6.hop_limit <= 1 {
+            }
+            lanes.write_back(&mut batch);
+        } else {
+            for p in batch.iter_mut() {
+                if let Ok(mut ip) = p.ipv4() {
+                    if ip.ttl <= 1 {
+                        keep.push(false);
+                        continue;
+                    }
+                    let old = u16::from_be_bytes([ip.ttl, ip.protocol]);
+                    ip.ttl -= 1;
+                    let new = u16::from_be_bytes([ip.ttl, ip.protocol]);
+                    ip.checksum = nfc_packet::checksum::update16(ip.checksum, old, new);
+                    p.set_ipv4(&ip);
+                    keep.push(true);
+                } else if let Ok(mut ip6) = p.ipv6() {
+                    if ip6.hop_limit <= 1 {
+                        keep.push(false);
+                        continue;
+                    }
+                    ip6.hop_limit -= 1;
+                    p.set_ipv6(&ip6);
+                    keep.push(true);
+                } else {
                     keep.push(false);
-                    continue;
                 }
-                ip6.hop_limit -= 1;
-                p.set_ipv6(&ip6);
-                keep.push(true);
-            } else {
-                keep.push(false);
             }
         }
         let mut i = 0;
@@ -769,6 +819,63 @@ mod tests {
         assert!(out[0].iter().all(|pkt| pkt.meta.anno[0] == 7));
     }
 
+    fn mixed_traffic() -> Batch {
+        let mut b = Batch::new();
+        for i in 0..8u64 {
+            let mut p =
+                Packet::ipv4_udp([10, 0, 0, i as u8], [8, 8, 8, 8], 1000 + i as u16, 53, b"u");
+            p.meta.seq = i;
+            b.push(p);
+        }
+        let mut t = Packet::ipv4_tcp([9, 9, 9, 9], [7, 7, 7, 7], 80, 443, b"t", 1);
+        t.meta.seq = 8;
+        b.push(t);
+        let mut six = Packet::ipv6_udp([1; 16], [2; 16], 53, 5353, b"6");
+        six.meta.seq = 9;
+        b.push(six);
+        let mut junk = Packet::from_bytes(vec![0xEE; 24]);
+        junk.meta.seq = 10;
+        b.push(junk);
+        let mut expiring = Packet::ipv4_udp([4, 4, 4, 4], [5, 5, 5, 5], 1, 2, b"x");
+        let mut ip = expiring.ipv4().unwrap();
+        ip.ttl = 1;
+        ip.compute_checksum();
+        expiring.set_ipv4(&ip);
+        expiring.meta.seq = 11;
+        b.push(expiring);
+        b
+    }
+
+    fn lanes_ctx() -> RunCtx {
+        RunCtx {
+            lanes: true,
+            ..RunCtx::default()
+        }
+    }
+
+    #[test]
+    fn protocol_classifier_lanes_match_per_packet() {
+        let mut scalar = ProtocolClassifier::new("c", vec![ip_proto::UDP]);
+        let mut vectored = scalar.clone();
+        let a = scalar.process(mixed_traffic(), &mut ctx());
+        let b = vectored.process(mixed_traffic(), &mut lanes_ctx());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dec_ttl_lanes_match_per_packet() {
+        let mut scalar = DecTtl::new();
+        let mut vectored = DecTtl::new();
+        let a = scalar.process(mixed_traffic(), &mut ctx());
+        let b = vectored.process(mixed_traffic(), &mut lanes_ctx());
+        assert_eq!(a, b);
+        // Lane path really decremented and kept checksums valid.
+        let after = b[0].get(0).unwrap().ipv4().unwrap();
+        let mut check = after;
+        check.compute_checksum();
+        assert_eq!(check.checksum, after.checksum);
+    }
+
     #[test]
     fn signatures_dedupe_identical_configs_only() {
         let a = ProtocolClassifier::new("x", vec![6]);
@@ -776,5 +883,62 @@ mod tests {
         let c = ProtocolClassifier::new("z", vec![17]);
         assert_eq!(a.signature(), b.signature());
         assert_ne!(a.signature(), c.signature());
+    }
+
+    mod lane_proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn build_batch(rows: &[(u8, u8, u8, u16)]) -> Batch {
+            rows.iter()
+                .enumerate()
+                .map(|(i, &(k, a, ttl, sp))| {
+                    let mut p = match k % 4 {
+                        0 => Packet::ipv4_udp([10, a, 0, 1], [8, 8, a, 8], sp, 53, b"u"),
+                        1 => Packet::ipv4_tcp([9, a, 9, 9], [7, 7, a, 7], sp, 443, b"t", 2),
+                        2 => Packet::ipv6_udp([a; 16], [2; 16], sp, 5353, b"6"),
+                        _ => Packet::from_bytes(vec![a; 4 + (ttl as usize % 40)]),
+                    };
+                    if let Ok(mut ip) = p.ipv4() {
+                        ip.ttl = ttl;
+                        ip.compute_checksum();
+                        p.set_ipv4(&ip);
+                    }
+                    p.meta.seq = i as u64;
+                    p.meta.flow_hash = u32::from(a);
+                    p
+                })
+                .collect()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// DecTtl (checksum-updating) and ProtocolClassifier lane
+            /// sweeps stay bit-identical to their per-packet paths on
+            /// arbitrary traffic, including TTL-expiring packets.
+            #[test]
+            fn dec_ttl_and_classifier_lanes_match_scalar(
+                rows in collection::vec(
+                    (0u8..4, any::<u8>(), any::<u8>(), 1u16..u16::MAX),
+                    0..32,
+                ),
+                protos in collection::vec(any::<u8>(), 1..3),
+            ) {
+                let batch = build_batch(&rows);
+                let mut ttl_s = DecTtl::new();
+                let mut ttl_l = DecTtl::new();
+                prop_assert_eq!(
+                    ttl_s.process(batch.clone(), &mut ctx()),
+                    ttl_l.process(batch.clone(), &mut lanes_ctx())
+                );
+                let mut cl_s = ProtocolClassifier::new("c", protos.clone());
+                let mut cl_l = cl_s.clone();
+                prop_assert_eq!(
+                    cl_s.process(batch.clone(), &mut ctx()),
+                    cl_l.process(batch, &mut lanes_ctx())
+                );
+            }
+        }
     }
 }

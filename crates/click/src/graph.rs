@@ -4,6 +4,20 @@ use crate::element::{config_hash, Element, ElementClass, FlowVerdict, RunCtx};
 use nfc_packet::{Batch, Packet};
 use nfc_telemetry::{EventKind, Recorder};
 
+/// Environment variable controlling the default of
+/// [`CompiledGraph::set_lanes`]: set to `0`, `false`, `off` or `no` to
+/// disable columnar header-lane sweeps and force the per-packet path.
+/// Lanes are on by default — both paths are bit-identical by contract
+/// (and differential tests), the flag exists for A/B benchmarking.
+pub const LANES_ENV: &str = "NFC_LANES";
+
+fn lanes_env_default() -> bool {
+    match std::env::var(LANES_ENV) {
+        Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
+        Err(_) => true,
+    }
+}
+
 /// Identifier of a node (element instance) within one graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub usize);
@@ -302,6 +316,7 @@ impl ElementGraph {
             inbox,
             flow_cacheable,
             flow_config_hash,
+            lanes: lanes_env_default(),
         })
     }
 }
@@ -487,6 +502,9 @@ pub struct CompiledGraph {
     /// wiring; changes whenever a configuration swap or rewire could
     /// change cached verdicts.
     flow_config_hash: u64,
+    /// Whether elements are asked to sweep columnar header lanes
+    /// (see [`LANES_ENV`]); forwarded to every [`RunCtx`].
+    lanes: bool,
 }
 
 impl CompiledGraph {
@@ -517,6 +535,17 @@ impl CompiledGraph {
     /// Resets accumulated statistics.
     pub fn reset_stats(&mut self) {
         self.stats.reset();
+    }
+
+    /// Whether header-only elements sweep columnar lanes (see
+    /// [`LANES_ENV`]).
+    pub fn lanes(&self) -> bool {
+        self.lanes
+    }
+
+    /// Overrides the [`LANES_ENV`]-derived lane default for this graph.
+    pub fn set_lanes(&mut self, on: bool) {
+        self.lanes = on;
     }
 
     /// Starts a fresh profiling window on every element (see
@@ -552,7 +581,10 @@ impl CompiledGraph {
         now_ns: u64,
         rec: &mut Recorder,
     ) -> Vec<Egress> {
-        let mut ctx = RunCtx { now_ns };
+        let mut ctx = RunCtx {
+            now_ns,
+            lanes: self.lanes,
+        };
         debug_assert!(
             self.inbox.iter().all(Vec::is_empty),
             "scratch inbox must start drained"

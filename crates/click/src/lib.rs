@@ -49,5 +49,5 @@ pub use element::{
     WorkProfile,
 };
 pub use graph::{
-    CompiledGraph, Edge, ElementGraph, FlowHop, FlowPath, GraphError, GraphStats, NodeId,
+    CompiledGraph, Edge, ElementGraph, FlowHop, FlowPath, GraphError, GraphStats, NodeId, LANES_ENV,
 };

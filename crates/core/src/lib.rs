@@ -66,5 +66,5 @@ pub use multi::MultiDeployment;
 pub use nfc_control::{Action, AdaptationRecord, Controller, ControllerConfig, ControllerReport};
 pub use nfc_telemetry::{TelemetryMode, TelemetrySummary};
 pub use orchestrator::ReorgSfc;
-pub use runtime::{Deployment, Policy, RunOutcome};
+pub use runtime::{Deployment, Policy, ResidencyReport, RunOutcome};
 pub use sfc::Sfc;

@@ -33,7 +33,8 @@ use nfc_control::{
     WorkloadSignature,
 };
 use nfc_hetero::{
-    calib, CoRunContext, CostModel, GpuMode, PipelineSim, PlatformConfig, ResourceId, SimReport,
+    calib, residency, CoRunContext, CostModel, GpuMode, PipelineSim, PlatformConfig, ResourceId,
+    SimReport,
 };
 use nfc_nf::flowcache::CacheCounters;
 use nfc_nf::Nf;
@@ -192,6 +193,55 @@ struct StageExec {
     /// Flow-aware fast path, present iff the deployment enables it and
     /// this stage's graph is fully verdict-capable.
     flow_cache: Option<StageFlowCache>,
+    /// Effective dispatch mode: the policy's mode, downgraded to
+    /// launch-per-batch when the SM-residency pass spills this stage.
+    mode: GpuMode,
+    /// SM-slot grant when this stage's persistent kernel is resident.
+    residency: Option<ResidencySlot>,
+}
+
+/// Per-stage outcome of the SM-residency bin-pack.
+#[derive(Debug, Clone, Copy)]
+struct ResidencySlot {
+    /// Device hosting the persistent kernel.
+    device: usize,
+    /// Device slot occupancy (%) after packing — what the SM-occupancy
+    /// telemetry reports for this kernel's device.
+    occupancy_pct: u8,
+    /// Kernel-time multiplier from co-residency pressure on the device.
+    pressure: f64,
+}
+
+/// SM-residency outcome of the persistent-kernel placement pass.
+#[derive(Debug, Clone, Default)]
+pub struct ResidencyReport {
+    /// Stages granted a resident persistent kernel, as
+    /// `(stage name, device, SM slots held)`.
+    pub resident: Vec<(String, usize, usize)>,
+    /// Stages whose kernels did not fit and fell back to
+    /// launch-per-batch dispatch.
+    pub spilled: Vec<String>,
+    /// SM slots per device.
+    pub slots_per_device: usize,
+    /// Devices available.
+    pub devices: usize,
+}
+
+impl ResidencyReport {
+    /// SM slots held on `device` by resident kernels.
+    pub fn device_slots_used(&self, device: usize) -> usize {
+        self.resident
+            .iter()
+            .filter(|(_, d, _)| *d == device)
+            .map(|(_, _, s)| s)
+            .sum()
+    }
+
+    /// True when no device holds more slots than it has — the invariant
+    /// the allocator maintains by spilling instead of oversubscribing.
+    pub fn within_capacity(&self) -> bool {
+        (0..self.devices).all(|d| self.device_slots_used(d) <= self.slots_per_device)
+    }
 }
 
 /// Outcome of a deployment run.
@@ -224,6 +274,9 @@ pub struct RunOutcome {
     /// digest is observational: every other field of the outcome is
     /// bit-identical with telemetry on or off.
     pub telemetry: Option<TelemetrySummary>,
+    /// SM-residency placement in effect at the end of the run (empty
+    /// lists under non-persistent dispatch or CPU-only policies).
+    pub residency: ResidencyReport,
 }
 
 /// A prepared deployment of one SFC under one policy.
@@ -252,6 +305,10 @@ pub struct Deployment {
     /// never perturbs determinism: egress, statistics and the simulated
     /// timeline are bit-identical with telemetry on or off.
     pub telemetry: TelemetryMode,
+    /// SoA header-lane override for every compiled stage graph. `None`
+    /// keeps the `NFC_LANES` environment default (lanes on unless the
+    /// variable disables them); egress is bit-identical either way.
+    pub lanes: Option<bool>,
 }
 
 impl Deployment {
@@ -274,6 +331,7 @@ impl Deployment {
             duplication: Duplication::Cow,
             flow_cache: FlowCacheMode::auto(),
             telemetry: TelemetryMode::auto(),
+            lanes: None,
         }
     }
 
@@ -318,6 +376,14 @@ impl Deployment {
     /// are bit-identical whatever the mode.
     pub fn with_telemetry(mut self, mode: TelemetryMode) -> Self {
         self.telemetry = mode;
+        self
+    }
+
+    /// Forces SoA header lanes on or off for every stage, overriding the
+    /// `NFC_LANES` environment default. Lanes are a pure execution-path
+    /// choice: egress is bit-identical with lanes on or off.
+    pub fn with_lanes(mut self, on: bool) -> Self {
+        self.lanes = Some(on);
         self
     }
 
@@ -793,6 +859,7 @@ impl Deployment {
             })
             .collect();
 
+        let mode = self.policy.gpu_mode();
         let mut stages: Vec<Vec<StageExec>> = Vec::new();
         let mut user = *user_base;
         // Batch lineage tags live in the high bits of the tenant's user
@@ -807,11 +874,14 @@ impl Deployment {
                 let stage_model = self
                     .model
                     .with_cores_per_nf(self.model.cores_per_nf * merged_count);
-                let run = nf
+                let mut run = nf
                     .graph()
                     .clone()
                     .compile()
                     .expect("catalog/synthesized graphs compile");
+                if let Some(on) = self.lanes {
+                    run.set_lanes(on);
+                }
                 let flow_cache = match self.flow_cache {
                     FlowCacheMode::On { capacity } if run.flow_cacheable() => {
                         Some(StageFlowCache::new(capacity, &run))
@@ -836,6 +906,8 @@ impl Deployment {
                     corun,
                     model: stage_model,
                     flow_cache,
+                    mode,
+                    residency: None,
                 });
                 user += 1;
                 flat_idx += 1;
@@ -844,7 +916,6 @@ impl Deployment {
         }
 
         // ---- warm-up + profiling + allocation ------------------------
-        let mode = self.policy.gpu_mode();
         for _ in 0..self.warmup_batches {
             let batch = traffic.batch(self.batch_size);
             for branch in stages.iter_mut() {
@@ -861,6 +932,10 @@ impl Deployment {
             }
         }
         tel.absorb(rec);
+        // Persistent kernels are bin-packed into SM slots; plans whose
+        // kernels do not fit are degraded per stage to launch-per-batch
+        // instead of being adopted oversubscribed.
+        let residency = apply_residency(&mut stages, &self.model, mode);
         let stage_offloads: Vec<(String, f64)> = stages
             .iter()
             .flat_map(|b| b.iter())
@@ -899,6 +974,7 @@ impl Deployment {
             cache_base: Vec::new(),
             batch_seq: seq_base,
             swap_spans: Vec::new(),
+            residency,
         }
     }
 
@@ -1024,6 +1100,82 @@ fn plan_stage(
     stage.weights = Some(weights);
 }
 
+/// Estimated packets this stage ships to the device per batch under its
+/// current plan: the largest per-element offloaded packet count, exactly
+/// the quantity [`exec_stage_functional`] charges as `gpu_packets`.
+fn stage_gpu_packets(stage: &StageExec) -> usize {
+    let Some(weights) = stage.weights.as_ref() else {
+        return 0;
+    };
+    let mut packets = 0usize;
+    for (i, w) in weights.nodes.iter().enumerate() {
+        let r = stage.plan.ratios.get(i).copied().unwrap_or(0.0);
+        if r > 0.0 {
+            packets = packets.max(w.load.fraction(r).packets);
+        }
+    }
+    packets
+}
+
+/// SM-residency pass: bin-packs every offloading stage's persistent
+/// kernel into SM slots ([`residency::bin_pack`]), granting resident
+/// placements and downgrading the spillover to launch-per-batch
+/// dispatch. Run after every (re-)planning step so the constraint holds
+/// for the plans actually in effect; a no-op (all stages keep `mode`)
+/// under non-persistent dispatch.
+fn apply_residency(
+    stages: &mut [Vec<StageExec>],
+    model: &CostModel,
+    mode: GpuMode,
+) -> ResidencyReport {
+    let gpu = model.platform().gpu;
+    let mut report = ResidencyReport {
+        resident: Vec::new(),
+        spilled: Vec::new(),
+        slots_per_device: gpu.sm_count,
+        devices: gpu.count,
+    };
+    let mut flat: Vec<&mut StageExec> = stages.iter_mut().flat_map(|b| b.iter_mut()).collect();
+    for stage in flat.iter_mut() {
+        stage.mode = mode;
+        stage.residency = None;
+    }
+    if mode != GpuMode::Persistent {
+        return report;
+    }
+    let mut idx = Vec::new();
+    let mut demands = Vec::new();
+    for (fi, stage) in flat.iter().enumerate() {
+        let packets = stage_gpu_packets(stage);
+        if packets > 0 {
+            idx.push(fi);
+            demands.push(residency::slot_demand(packets));
+        }
+    }
+    let pack = residency::bin_pack(&demands, &gpu);
+    for (k, &fi) in idx.iter().enumerate() {
+        match pack.placements[k] {
+            residency::Placement::Resident { device, slots } => {
+                let used = pack.device_slots_used(device);
+                let occupancy_pct = (used * 100 / gpu.sm_count.max(1)).min(100) as u8;
+                flat[fi].residency = Some(ResidencySlot {
+                    device,
+                    occupancy_pct,
+                    pressure: residency::pressure_multiplier(pack.device_utilization(device)),
+                });
+                report
+                    .resident
+                    .push((flat[fi].nf.name().to_string(), device, slots));
+            }
+            residency::Placement::Spill => {
+                flat[fi].mode = GpuMode::LaunchPerBatch;
+                report.spilled.push(flat[fi].nf.name().to_string());
+            }
+        }
+    }
+    report
+}
+
 /// Result of pushing one batch through a prepared SFC.
 pub(crate) enum BatchResult {
     /// Batch completed; record `(mean_arrival, completed)` with the
@@ -1083,6 +1235,9 @@ pub(crate) struct PreparedSfc {
     /// recording); waiting that overlaps them is attributed to the
     /// `drain` bucket instead of generic queueing.
     swap_spans: Vec<(f64, f64)>,
+    /// SM-residency placement currently in effect; refreshed whenever
+    /// plans change (initial preparation, re-adaptation, live swaps).
+    residency: ResidencyReport,
 }
 
 /// Cumulative temporal-charge observation for one stage.
@@ -1159,8 +1314,22 @@ impl PreparedSfc {
         // (each branch's element graphs and its CoW duplicate of the
         // batch), so the worker pool runs branches concurrently. Charges
         // are collected per stage and replayed below.
-        let mode = self.mode;
         let dup = self.duplication;
+        // With lanes enabled, gather the columnar header view once at
+        // ingress: CoW duplicates share the memo by refcount, so every
+        // read-only branch sweeps the same columns instead of each
+        // paying its own gather.
+        let mut batch = batch;
+        if self.width > 1
+            && dup == Duplication::Cow
+            && self
+                .stages
+                .first()
+                .and_then(|b| b.first())
+                .is_some_and(|s| s.run.lanes())
+        {
+            batch.shared_lanes();
+        }
         let tel = &self.tel;
         let branch_refs: Vec<&mut Vec<StageExec>> = self.stages.iter_mut().collect();
         let results: Vec<(Batch, Vec<StageCharge>)> =
@@ -1174,7 +1343,7 @@ impl PreparedSfc {
                 for (si, stage) in branch.iter_mut().enumerate() {
                     let packets = cur.len();
                     let t = rec.start();
-                    let (out, charge) = exec_stage_functional(stage, cur, mode, rec);
+                    let (out, charge) = exec_stage_functional(stage, cur, rec);
                     if rec.is_enabled() {
                         rec.wall_span(
                             t,
@@ -1218,7 +1387,6 @@ impl PreparedSfc {
                     stage,
                     charge,
                     t,
-                    mode,
                     &res.gpu_queues,
                     res.pcie_h2d,
                     res.pcie_d2h,
@@ -1416,6 +1584,9 @@ impl PreparedSfc {
             }
         }
         self.tel.absorb(rec);
+        // Fresh plans mean fresh slot demands: re-pack, re-granting or
+        // spilling each stage against the policy's requested mode.
+        self.residency = apply_residency(&mut self.stages, &self.model, mode);
     }
 
     /// Mean offload ratio per stage (branch-major), refreshed after
@@ -1548,13 +1719,16 @@ impl PreparedSfc {
         epoch: u64,
         report: &mut ControllerReport,
     ) -> bool {
-        let mode = self.mode;
         let mut rec = self.tel.recorder();
         let mut any = false;
         let mut flat = 0usize;
         let mut swap_end = now;
         for branch in self.stages.iter_mut() {
             for stage in branch.iter_mut() {
+                // Evaluate against the stage's *effective* mode: a stage
+                // the residency pass spilled is re-planned as
+                // launch-per-batch until a re-pack re-grants its slots.
+                let mode = stage.mode;
                 let base = self.stats_base.get(flat).cloned().unwrap_or_default();
                 let window = stage.run.stats().delta(&base);
                 let profiler = Profiler::new(stage.model, mode);
@@ -1579,9 +1753,10 @@ impl PreparedSfc {
                     let was = stage.plan.ratios.iter().any(|&r| r > 0.0);
                     let will = plan.ratios.iter().any(|&r| r > 0.0);
                     let gpu = match mode {
-                        GpuMode::Persistent => {
-                            res.gpu_queues[(stage.user as usize) % res.gpu_queues.len()]
-                        }
+                        GpuMode::Persistent => match stage.residency {
+                            Some(slot) => res.gpu_queues[slot.device % res.gpu_queues.len()],
+                            None => res.gpu_queues[(stage.user as usize) % res.gpu_queues.len()],
+                        },
                         GpuMode::LaunchPerBatch => res.gpu_queues[0],
                     };
                     let mut t = now;
@@ -1647,6 +1822,12 @@ impl PreparedSfc {
             }
         }
         self.tel.absorb(rec);
+        if any {
+            // Adopted plans shift slot demands; re-pack against the
+            // policy's requested mode so spilled stages can win their
+            // residency back (and newly heavy ones spill).
+            self.residency = apply_residency(&mut self.stages, &self.model, self.mode);
+        }
         any
     }
 
@@ -1676,6 +1857,7 @@ impl PreparedSfc {
                 .map(|c| c.counters())
                 .fold(CacheCounters::default(), CacheCounters::merge),
             telemetry: None,
+            residency: self.residency,
         }
     }
 }
@@ -1711,9 +1893,11 @@ struct StageCharge {
 fn exec_stage_functional(
     stage: &mut StageExec,
     batch: Batch,
-    mode: GpuMode,
     rec: &mut Recorder,
 ) -> (Batch, StageCharge) {
+    // Per-stage dispatch mode: the residency pass may have downgraded
+    // this stage to launch-per-batch while siblings stay persistent.
+    let mode = stage.mode;
     let in_packets = batch.len();
     let in_wire_bytes = batch.total_bytes() as u64;
     let in_splits = batch.lineage.splits;
@@ -1854,13 +2038,11 @@ struct StageReplay {
 
 /// Replays one stage's charge onto the shared simulator, returning the
 /// placed spans and the stage completion time.
-#[allow(clippy::too_many_arguments)]
 fn replay_stage(
     sim: &mut PipelineSim,
     stage: &StageExec,
     charge: &StageCharge,
     t: f64,
-    mode: GpuMode,
     gpu_queues: &[ResourceId],
     pcie_h2d: ResourceId,
     pcie_d2h: ResourceId,
@@ -1868,19 +2050,25 @@ fn replay_stage(
     let model = stage.model;
     let cpu = sim.schedule_span(stage.cpu_res, t, charge.cpu_ns, stage.user);
     if charge.any_offload {
-        // Persistent kernels partition the devices (one queue per
-        // workload); launch-per-batch kernels run in the default
-        // stream and serialize the whole device — the root of the
-        // paper's aggregated offloading overhead (Figure 7).
-        let gpu = match mode {
-            GpuMode::Persistent => gpu_queues[(stage.user as usize) % gpu_queues.len()],
+        // Persistent kernels run on the device the residency pass placed
+        // them on (one queue per device); launch-per-batch kernels run
+        // in the default stream and serialize the whole device — the
+        // root of the paper's aggregated offloading overhead (Figure 7).
+        let gpu = match stage.mode {
+            GpuMode::Persistent => match stage.residency {
+                Some(slot) => gpu_queues[slot.device % gpu_queues.len()],
+                None => gpu_queues[(stage.user as usize) % gpu_queues.len()],
+            },
             GpuMode::LaunchPerBatch => gpu_queues[0],
         };
+        // Co-residency pressure: kernel time stretches once the hosting
+        // device's SM slots pass half utilization.
+        let kernel_ns = charge.kernel_ns * stage.residency.map_or(1.0, |s| s.pressure);
         let dma = |bytes: f64| {
             model.platform().pcie.dma_latency_ns + bytes / model.platform().pcie.bw_gbs
         };
         let h = sim.schedule_span(pcie_h2d, t, dma(charge.gpu_bytes), stage.user);
-        let k = sim.schedule_span(gpu, h.1, charge.kernel_ns, stage.user);
+        let k = sim.schedule_span(gpu, h.1, kernel_ns, stage.user);
         let d = sim.schedule_span(pcie_d2h, k.1, dma(charge.gpu_bytes), stage.user);
         let rec = sim.recorder_mut();
         if rec.is_enabled() {
@@ -1922,8 +2110,12 @@ fn replay_stage(
                     bytes,
                 },
             );
-            let occupancy_pct =
-                (charge.gpu_packets * 100 / calib::GPU_PARALLEL_WIDTH).min(100) as u8;
+            // Resident kernels report their device's slot occupancy from
+            // the bin-pack; unplaced offloads keep the lane-width proxy.
+            let occupancy_pct = match stage.residency {
+                Some(slot) => slot.occupancy_pct,
+                None => (charge.gpu_packets * 100 / calib::GPU_PARALLEL_WIDTH).min(100) as u8,
+            };
             rec.sim_instant(
                 queue,
                 k.1,
@@ -2082,6 +2274,94 @@ mod tests {
         let b = run(sfc(), Policy::nfcompass(), 256, 10);
         assert_eq!(a.egress_packets, b.egress_packets);
         assert_eq!(a.egress_bytes, b.egress_bytes);
+    }
+
+    #[test]
+    fn lanes_on_off_egress_is_byte_identical() {
+        // The SoA header-lane sweep is a pure execution-path choice:
+        // forcing lanes on and off must yield byte-identical egress and
+        // identical statistics for a header-heavy chain.
+        let sfc = || {
+            Sfc::new(
+                "fw-lb",
+                vec![
+                    Nf::firewall("fw", 100, 1),
+                    Nf::ipv4_forwarder("rt", 64, 3),
+                    Nf::nat("nat", [203, 0, 113, 1]),
+                ],
+            )
+        };
+        let collect = |lanes: bool| {
+            let mut dep = Deployment::new(sfc(), Policy::nfcompass())
+                .with_batch_size(128)
+                .with_lanes(lanes);
+            dep.run_collect(&mut traffic(256, 7), 12)
+        };
+        let (out_on, egress_on) = collect(true);
+        let (out_off, egress_off) = collect(false);
+        assert_eq!(egress_on, egress_off, "lane egress must be bit-identical");
+        assert_eq!(out_on.egress_packets, out_off.egress_packets);
+        assert_eq!(out_on.egress_bytes, out_off.egress_bytes);
+    }
+
+    #[test]
+    fn residency_fits_small_persistent_plans_entirely() {
+        // A modest chain at batch 256 needs ~2 SM slots per kernel — far
+        // inside 2 × 24 — so every stage stays resident and occupancy is
+        // reported within capacity.
+        let mut dep = Deployment::new(
+            ipsec_chain(2),
+            Policy::GpuOnly {
+                mode: GpuMode::Persistent,
+            },
+        )
+        .with_batch_size(256);
+        let out = dep.run(&mut traffic(256, 42), 20);
+        assert_eq!(out.residency.spilled.len(), 0);
+        assert_eq!(out.residency.resident.len(), 2);
+        assert!(out.residency.within_capacity());
+    }
+
+    #[test]
+    fn residency_spills_oversubscribed_kernels_to_launch_per_batch() {
+        // Batch 2048 fully offloaded needs 16 slots per kernel; four
+        // kernels demand 64 slots against 2 × 24 available. The packer
+        // must grant two and spill two — never adopt an oversubscribed
+        // plan — and the spilled stages demonstrably fall back (the run
+        // still completes with every packet accounted for).
+        let mut dep = Deployment::new(
+            ipsec_chain(4),
+            Policy::GpuOnly {
+                mode: GpuMode::Persistent,
+            },
+        )
+        .with_batch_size(2048);
+        let (out, egress) = dep.run_collect(&mut traffic(256, 42), 10);
+        assert_eq!(out.residency.resident.len(), 2);
+        assert_eq!(out.residency.spilled.len(), 2);
+        assert!(out.residency.within_capacity());
+        for d in 0..out.residency.devices {
+            assert!(out.residency.device_slots_used(d) <= out.residency.slots_per_device);
+        }
+        // Residency is a temporal constraint only: egress is
+        // byte-identical to the same chain forced launch-per-batch.
+        let mut lpb = Deployment::new(
+            ipsec_chain(4),
+            Policy::GpuOnly {
+                mode: GpuMode::LaunchPerBatch,
+            },
+        )
+        .with_batch_size(2048);
+        let (lpb_out, lpb_egress) = lpb.run_collect(&mut traffic(256, 42), 10);
+        assert_eq!(egress, lpb_egress);
+        assert!(lpb_out.residency.resident.is_empty());
+    }
+
+    #[test]
+    fn cpu_only_reports_empty_residency() {
+        let out = run(ipsec_chain(1), Policy::CpuOnly, 256, 10);
+        assert!(out.residency.resident.is_empty());
+        assert!(out.residency.spilled.is_empty());
     }
 
     #[test]

@@ -80,6 +80,24 @@ pub const GPU_PARALLEL_WIDTH: usize = 2_048;
 /// per-packet work (lower clock, in-order lanes, memory divergence).
 pub const GPU_LANE_SLOWDOWN: f64 = 6.0;
 
+/// Resident threads one SM slot contributes to a persistent kernel.
+///
+/// Anchor: Titan X Maxwell exposes 3072 CUDA cores over 24 SMs =
+/// 128 lanes per SM, and NFCompass's persistent kernels pin one thread
+/// block per SM. A kernel that must keep `p` packets in flight per batch
+/// therefore claims `ceil(p / 128)` SM slots for as long as it stays
+/// resident; demands are bin-packed in [`crate::residency`].
+pub const GPU_THREADS_PER_SM: usize = 128;
+
+/// Extra kernel time per unit of SM-slot oversubscription past half of a
+/// device's slots: resident blocks from co-located persistent kernels
+/// start competing for scheduler cycles and L2, so kernel time grows by
+/// `1 + GPU_RESIDENCY_PRESSURE × (utilization − 0.5) / 0.5` once slot
+/// utilization exceeds 50 %. Below that the device hides the co-residency
+/// entirely (multiplier 1.0), matching the paper's observation that
+/// co-run penalties only appear when kernels actually contend (§III-C).
+pub const GPU_RESIDENCY_PRESSURE: f64 = 0.35;
+
 /// Tearing down an established kernel context during a live
 /// reconfiguration (freeing device buffers, unmapping pinned host
 /// rings), ns.

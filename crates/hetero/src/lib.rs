@@ -18,6 +18,9 @@
 //!   penalty), and batch split/merge re-organization overheads.
 //! * [`interference`] — the co-run cache-contention model behind the
 //!   paper's Figure 8(e).
+//! * [`residency`] — the SM-slot model for persistent kernels: slot
+//!   demands, first-fit-decreasing placement across the devices, and the
+//!   co-residency pressure charged when a device's slots saturate.
 //! * [`sim`] — a deterministic pipeline simulator: batches flow through
 //!   stages bound to serially-reusable resources (CPU cores, GPU command
 //!   queues, PCIe links), yielding throughput and latency distributions.
@@ -29,9 +32,11 @@ pub mod calib;
 pub mod cost;
 pub mod interference;
 pub mod platform;
+pub mod residency;
 pub mod sim;
 
 pub use cost::{CostModel, ElementLoad, GpuMode};
 pub use interference::CoRunContext;
 pub use platform::PlatformConfig;
+pub use residency::{Placement, ResidencyPlan};
 pub use sim::{PipelineSim, ResourceId, SimReport, Stage};

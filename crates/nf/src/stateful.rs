@@ -498,7 +498,10 @@ mod tests {
         // 1000 bytes/s, burst 200 bytes; 64 B packets.
         let mut shaper = TokenBucketShaper::new(1000.0, 200.0);
         let mk = || Packet::ipv4_udp([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, &[0u8; 22]); // 64 B
-        let mut ctx0 = RunCtx { now_ns: 0 };
+        let mut ctx0 = RunCtx {
+            now_ns: 0,
+            ..RunCtx::default()
+        };
         // Burst allows 3 packets (192 B), 4th dropped.
         let batch: Batch = (0..4).map(|_| mk()).collect();
         let out = shaper.process(batch, &mut ctx0).pop().expect("port");
@@ -508,6 +511,7 @@ mod tests {
         // 200 -> 3 more packets.
         let mut ctx1 = RunCtx {
             now_ns: 1_000_000_000,
+            ..RunCtx::default()
         };
         let out = shaper
             .process((0..5).map(|_| mk()).collect(), &mut ctx1)

@@ -7,7 +7,9 @@
 //! charge re-organization costs, and supports order-preserving merges via
 //! packet sequence numbers (the Snap `GPUCompletionQueue` design).
 
+use crate::lanes::HeaderLanes;
 use crate::Packet;
+use std::sync::Arc;
 
 /// How a batch came to exist; used by the performance model to charge
 /// re-organization overheads.
@@ -34,12 +36,25 @@ pub struct BatchLineage {
 /// assert_eq!(parts[0].len(), 1);
 /// assert_eq!(parts[1].len(), 1);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct Batch {
     pkts: Vec<Packet>,
     /// Split/merge history.
     pub lineage: BatchLineage,
+    /// Memoized columnar header view (see [`Batch::shared_lanes`]).
+    /// Invalidated by every mutable packet access; excluded from
+    /// equality. `Batch::clone` shares it by refcount, so CoW branch
+    /// duplicates of a warmed batch never re-gather.
+    lanes_memo: Option<Arc<HeaderLanes>>,
 }
+
+impl PartialEq for Batch {
+    fn eq(&self, other: &Self) -> bool {
+        self.pkts == other.pkts && self.lineage == other.lineage
+    }
+}
+
+impl Eq for Batch {}
 
 impl Batch {
     /// Creates an empty batch.
@@ -52,6 +67,7 @@ impl Batch {
         Batch {
             pkts: Vec::with_capacity(n),
             lineage: BatchLineage::default(),
+            lanes_memo: None,
         }
     }
 
@@ -72,11 +88,13 @@ impl Batch {
 
     /// Appends a packet.
     pub fn push(&mut self, pkt: Packet) {
+        self.lanes_memo = None;
         self.pkts.push(pkt);
     }
 
     /// Removes and returns the last packet.
     pub fn pop(&mut self) -> Option<Packet> {
+        self.lanes_memo = None;
         self.pkts.pop()
     }
 
@@ -87,6 +105,7 @@ impl Batch {
 
     /// Mutable iterator over packets.
     pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, Packet> {
+        self.lanes_memo = None;
         self.pkts.iter_mut()
     }
 
@@ -97,20 +116,46 @@ impl Batch {
 
     /// Mutable access by index.
     pub fn get_mut(&mut self, i: usize) -> Option<&mut Packet> {
+        self.lanes_memo = None;
         self.pkts.get_mut(i)
     }
 
     /// Drains all packets out of the batch.
     pub fn drain(&mut self) -> std::vec::Drain<'_, Packet> {
+        self.lanes_memo = None;
         self.pkts.drain(..)
     }
 
     /// Keeps only packets satisfying `pred` (drop semantics: IDS/firewall
     /// discards), returning how many were dropped.
     pub fn retain<F: FnMut(&Packet) -> bool>(&mut self, pred: F) -> usize {
+        self.lanes_memo = None;
         let before = self.pkts.len();
         self.pkts.retain(pred);
         before - self.pkts.len()
+    }
+
+    /// The memoized [`HeaderLanes`] view: gathered on first call, then
+    /// served by refcount bump until any mutable packet access (push,
+    /// pop, retain, `iter_mut`, `get_mut`, …) invalidates the memo.
+    ///
+    /// Because [`Batch::clone`] shares the memo, warming a batch *before*
+    /// CoW branch duplication means every read-only branch sweeps the
+    /// same gathered columns — the gather is paid once per ingress batch
+    /// instead of once per header-only element. Elements that mutate
+    /// columns need an owned view; see [`Batch::header_lanes`].
+    pub fn shared_lanes(&mut self) -> Arc<HeaderLanes> {
+        if let Some(l) = &self.lanes_memo {
+            return Arc::clone(l);
+        }
+        let l = Arc::new(HeaderLanes::gather(self));
+        self.lanes_memo = Some(Arc::clone(&l));
+        l
+    }
+
+    /// The currently memoized lanes view, if still valid.
+    pub fn cached_lanes(&self) -> Option<&Arc<HeaderLanes>> {
+        self.lanes_memo.as_ref()
     }
 
     /// Splits the batch into `n_outputs` batches according to `route`,
@@ -127,7 +172,9 @@ impl Batch {
     ) -> Vec<Batch> {
         // Even-routing capacity guess; skewed routes waste a little
         // space but never reallocate more than the old empty-vec start.
-        let per_port = self.pkts.len() / n_outputs.max(1) + 1;
+        let n = self.pkts.len();
+        let memo = self.lanes_memo.take();
+        let per_port = n / n_outputs.max(1) + 1;
         let mut out: Vec<Batch> = (0..n_outputs)
             .map(|_| Batch {
                 pkts: Vec::with_capacity(per_port),
@@ -135,12 +182,22 @@ impl Batch {
                     splits: self.lineage.splits + 1,
                     merges: self.lineage.merges,
                 },
+                lanes_memo: None,
             })
             .collect();
         for (i, pkt) in self.pkts.drain(..).enumerate() {
             let port = route(i, &pkt);
             if port < n_outputs {
                 out[port].push(pkt);
+            }
+        }
+        // Degenerate split (every packet routed to one port): the rows
+        // of that output are the input rows in order, so a memoized
+        // lanes view is still valid there — hand it through so chained
+        // header-only elements keep sweeping without a re-gather.
+        if let Some(memo) = memo {
+            if let Some(full) = out.iter_mut().find(|b| b.pkts.len() == n) {
+                full.lanes_memo = Some(memo);
             }
         }
         out
@@ -178,7 +235,11 @@ impl Batch {
         // so this is close to a linear merge in practice.
         pkts.sort_by_key(|p| p.meta.seq);
         lineage.merges += 1;
-        Batch { pkts, lineage }
+        Batch {
+            pkts,
+            lineage,
+            lanes_memo: None,
+        }
     }
 
     /// Clones the batch with every packet buffer eagerly copied, never
@@ -188,6 +249,7 @@ impl Batch {
         Batch {
             pkts: self.pkts.iter().map(Packet::deep_clone).collect(),
             lineage: self.lineage,
+            lanes_memo: None,
         }
     }
 
@@ -197,9 +259,11 @@ impl Batch {
         let n = n.min(self.pkts.len());
         let rest = self.pkts.split_off(n);
         let front = std::mem::replace(&mut self.pkts, rest);
+        self.lanes_memo = None;
         Batch {
             pkts: front,
             lineage: self.lineage,
+            lanes_memo: None,
         }
     }
 }
@@ -209,12 +273,14 @@ impl FromIterator<Packet> for Batch {
         Batch {
             pkts: iter.into_iter().collect(),
             lineage: BatchLineage::default(),
+            lanes_memo: None,
         }
     }
 }
 
 impl Extend<Packet> for Batch {
     fn extend<I: IntoIterator<Item = Packet>>(&mut self, iter: I) {
+        self.lanes_memo = None;
         self.pkts.extend(iter);
     }
 }

@@ -207,6 +207,26 @@ pub fn fnv1a(bytes: &[u8]) -> u32 {
     h.finish()
 }
 
+/// [`FiveTuple::rss_hash`] computed directly from raw IPv4 lane values
+/// (big-endian `u32` addresses as produced by header lanes), without
+/// constructing a tuple. Identical to the tuple hash for V4/V4 tuples.
+pub fn rss_hash_v4(src: u32, dst: u32, src_port: u16, dst_port: u16, proto: u8) -> u32 {
+    let mut h = Fnv1a::new();
+    h.write(&src.to_be_bytes());
+    h.write(&dst.to_be_bytes());
+    h.write(&src_port.to_be_bytes());
+    h.write(&dst_port.to_be_bytes());
+    h.write(&[proto]);
+    h.finish()
+}
+
+/// [`FiveTuple::symmetric_hash`] from raw IPv4 lane values; see
+/// [`rss_hash_v4`].
+pub fn symmetric_hash_v4(src: u32, dst: u32, src_port: u16, dst_port: u16, proto: u8) -> u32 {
+    rss_hash_v4(src, dst, src_port, dst_port, proto)
+        ^ rss_hash_v4(dst, src, dst_port, src_port, proto)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +279,23 @@ mod tests {
     fn fnv_vector() {
         // FNV-1a("a") = 0xe40c292c
         assert_eq!(fnv1a(b"a"), 0xE40C_292C);
+    }
+
+    #[test]
+    fn lane_hashes_match_tuple_hashes() {
+        let t = sample();
+        let (IpAddr::V4(s), IpAddr::V4(d)) = (t.src, t.dst) else {
+            unreachable!()
+        };
+        let (s, d) = (u32::from(s), u32::from(d));
+        assert_eq!(
+            rss_hash_v4(s, d, t.src_port, t.dst_port, t.proto),
+            t.rss_hash()
+        );
+        assert_eq!(
+            symmetric_hash_v4(s, d, t.src_port, t.dst_port, t.proto),
+            t.symmetric_hash()
+        );
     }
 
     #[test]

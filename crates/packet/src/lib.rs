@@ -35,11 +35,13 @@ pub mod batch;
 pub mod checksum;
 pub mod flow;
 pub mod headers;
+pub mod lanes;
 pub mod packet;
 pub mod traffic;
 
 pub use batch::Batch;
 pub use flow::{FiveTuple, FlowKey};
+pub use lanes::HeaderLanes;
 pub use packet::{Packet, PacketMeta};
 
 /// Errors produced while parsing or constructing packets.
