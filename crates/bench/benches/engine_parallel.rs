@@ -12,6 +12,9 @@
 //! * `parallel_cow_lanes_off` — `parallel_cow` with the SoA header-lane
 //!   sweep disabled, isolating what the columnar path buys on top of the
 //!   engine.
+//! * `parallel_cow_simd_off` — `parallel_cow` with the wide-word SIMD
+//!   kernels disabled (scalar lane sweep), isolating what the batched
+//!   compares buy on top of the columnar layout.
 //!
 //! Egress must be byte-identical across all four; the measured
 //! throughputs and the speedups are recorded in `BENCH_engine.json` at
@@ -30,20 +33,35 @@ use std::time::Instant;
 const BATCH_SIZE: usize = 256;
 const PKT_BYTES: usize = 1024;
 
-fn configs() -> Vec<(&'static str, ExecMode, Duplication, bool)> {
+fn configs() -> Vec<(&'static str, ExecMode, Duplication, bool, bool)> {
     vec![
         (
             "serial_deepcopy",
             ExecMode::Serial,
             Duplication::DeepCopy,
             true,
+            true,
         ),
-        ("serial_cow", ExecMode::Serial, Duplication::Cow, true),
-        ("parallel_cow", ExecMode::auto(), Duplication::Cow, true),
+        ("serial_cow", ExecMode::Serial, Duplication::Cow, true, true),
+        (
+            "parallel_cow",
+            ExecMode::auto(),
+            Duplication::Cow,
+            true,
+            true,
+        ),
         (
             "parallel_cow_lanes_off",
             ExecMode::auto(),
             Duplication::Cow,
+            false,
+            true,
+        ),
+        (
+            "parallel_cow_simd_off",
+            ExecMode::auto(),
+            Duplication::Cow,
+            true,
             false,
         ),
     ]
@@ -60,7 +78,7 @@ fn chain() -> Sfc {
     )
 }
 
-fn deployment(exec: ExecMode, dup: Duplication, lanes: bool) -> Deployment {
+fn deployment(exec: ExecMode, dup: Duplication, lanes: bool, simd: bool) -> Deployment {
     let policy = Policy::ReorgOnly {
         max_branches: 4,
         synthesize: false,
@@ -72,6 +90,7 @@ fn deployment(exec: ExecMode, dup: Duplication, lanes: bool) -> Deployment {
         .with_exec_mode(exec)
         .with_duplication(dup)
         .with_lanes(lanes)
+        .with_simd(simd)
 }
 
 /// Pre-generates the workload once so the timed region is the engine
@@ -85,19 +104,21 @@ fn run_config(
     exec: ExecMode,
     dup: Duplication,
     lanes: bool,
+    simd: bool,
     batches: &[Batch],
 ) -> (f64, RunOutcome, Vec<Batch>) {
-    run_with_telemetry(exec, dup, lanes, TelemetryMode::Off, batches)
+    run_with_telemetry(exec, dup, lanes, simd, TelemetryMode::Off, batches)
 }
 
 fn run_with_telemetry(
     exec: ExecMode,
     dup: Duplication,
     lanes: bool,
+    simd: bool,
     telemetry: TelemetryMode,
     batches: &[Batch],
 ) -> (f64, RunOutcome, Vec<Batch>) {
-    let mut dep = deployment(exec, dup, lanes).with_telemetry(telemetry);
+    let mut dep = deployment(exec, dup, lanes, simd).with_telemetry(telemetry);
     let mut traffic = TrafficGenerator::new(TrafficSpec::udp(SizeDist::Fixed(PKT_BYTES)), 7);
     let start = Instant::now();
     let (out, egress) = dep.run_replay(&mut traffic, batches);
@@ -128,10 +149,10 @@ fn disabled_hook_overhead_pct(events: u64, wall_s: f64) -> f64 {
 fn engine_benches(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine");
     let batches = workload(10);
-    for (label, exec, dup, lanes) in configs() {
+    for (label, exec, dup, lanes, simd) in configs() {
         let batches = &batches;
         g.bench_function(BenchmarkId::new("4branch_x10batches", label), move |b| {
-            b.iter(|| black_box(run_config(exec, dup, lanes, batches)))
+            b.iter(|| black_box(run_config(exec, dup, lanes, simd, batches)))
         });
     }
     g.finish();
@@ -145,11 +166,11 @@ fn emit_report(full: bool) {
     let batches = workload(n_batches);
     let mut rows = Vec::new();
     let mut reference: Option<(RunOutcome, Vec<Batch>)> = None;
-    for (label, exec, dup, lanes) in configs() {
+    for (label, exec, dup, lanes, simd) in configs() {
         let mut best = f64::INFINITY;
         let mut kept = None;
         for _ in 0..reps {
-            let (secs, out, egress) = run_config(exec, dup, lanes, &batches);
+            let (secs, out, egress) = run_config(exec, dup, lanes, simd, &batches);
             best = best.min(secs);
             kept = Some((out, egress));
         }
@@ -174,7 +195,7 @@ fn emit_report(full: bool) {
             "{label:<18} {:>8.1} ms for {n_batches} batches  ({gbps:.2} Gbit/s offered)",
             best * 1e3
         );
-        rows.push((label, best, gbps, out.width, lanes));
+        rows.push((label, best, gbps, out.width, lanes, simd));
     }
     let baseline = rows[0].1;
     let cow = baseline / rows[1].1;
@@ -193,12 +214,23 @@ fn emit_report(full: bool) {
         lanes_gain >= 1.3,
         "SoA header lanes must be >= 1.3x over the per-packet path, got {lanes_gain:.2}x"
     );
+    // Wide-word SIMD rider: same parallel CoW engine sweeping lanes
+    // either with the batched 8-wide kernels or the scalar per-row
+    // path. Egress equality above already proved them byte-identical;
+    // the wide words must also pay for themselves.
+    let simd_gain = rows[4].1 / rows[2].1;
+    println!("speedup simd on vs off (parallel_cow): {simd_gain:.2}x");
+    assert!(
+        simd_gain >= 1.2,
+        "wide-word SIMD kernels must be >= 1.2x over the scalar lane sweep, got {simd_gain:.2}x"
+    );
     // Telemetry rider: an instrumented run must keep byte-identical
     // egress, and the disabled hooks left in the hot path must cost
     // under 1% of the telemetry-off parallel configuration.
     let (tel_secs, tel_out, tel_egress) = run_with_telemetry(
         ExecMode::auto(),
         Duplication::Cow,
+        true,
         true,
         TelemetryMode::Memory,
         &batches,
@@ -225,12 +257,13 @@ fn emit_report(full: bool) {
         "disabled telemetry must stay under 1% of the hot path, got {overhead_pct:.4}%"
     );
     let mut cfgs = serde_json::Value::Object(Default::default());
-    for (label, secs, gbps, _, lanes) in &rows {
+    for (label, secs, gbps, _, lanes, simd) in &rows {
         cfgs[*label] = json!({
             "wall_s": secs,
             "offered_gbps": gbps,
             "speedup_vs_serial_deepcopy": baseline / secs,
             "soa_lanes": lanes,
+            "simd": simd,
         });
     }
     let report = json!({
@@ -244,6 +277,7 @@ fn emit_report(full: bool) {
         "configs": cfgs,
         "speedup_parallel_cow_vs_serial_deepcopy": parallel,
         "speedup_soa_lanes_on_vs_off": lanes_gain,
+        "speedup_simd_on_vs_off": simd_gain,
         "telemetry": {
             "events": digest.events,
             "instrumented_wall_s": tel_secs,

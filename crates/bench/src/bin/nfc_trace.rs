@@ -186,6 +186,10 @@ fn typed_events(trace: &Trace) -> Vec<Event> {
                 to_device: name == "dma_h2d",
                 bytes: arg_u64(ev, "bytes"),
             },
+            "sm_occupancy" => EventKind::SmOccupancy {
+                queue: arg_u64(ev, "queue") as u32,
+                occupancy_pct: arg_u64(ev, "occupancy_pct") as u8,
+            },
             "batch_ingress" => EventKind::BatchIngress {
                 seq: arg_u64(ev, "seq"),
                 packets: arg_u64(ev, "packets") as u32,
@@ -706,6 +710,7 @@ fn cmd_calibrate(path: &str, launch_per_batch: bool) -> Result<(), String> {
         pcie_bw_gbs: platform.pcie.bw_gbs,
         io_cycles_per_packet: nfc_hetero::calib::IO_CYCLES_PER_PACKET,
         ns_per_cycle: platform.cpu.ns_per_cycle(),
+        gpu_residency_pressure: nfc_hetero::calib::GPU_RESIDENCY_PRESSURE,
     };
     let fits = calibrate(&events, &anchors);
     println!("trace     {path}");

@@ -228,6 +228,11 @@ pub struct RunCtx {
     /// header parses. Either view must produce bit-identical output; the
     /// flag only selects the faster implementation.
     pub lanes: bool,
+    /// True when lane sweeps may additionally use the wide-word SWAR
+    /// kernels ([`nfc_packet::simd`]) — eight rows per step instead of
+    /// one. Only meaningful when `lanes` is set; bit-identical to the
+    /// row-at-a-time sweep by the same contract.
+    pub simd: bool,
 }
 
 /// A Click-style packet-processing element.

@@ -412,16 +412,24 @@ impl Element for DecTtl {
             // Columnar sweep of the TTL lane; the scatter pass fixes the
             // checksum with the same RFC 1624 update the per-packet path
             // uses, so egress bytes are identical. IPv6 and non-IP rows
-            // fall back to the per-packet logic below.
+            // fall back to the per-packet logic below. With `ctx.simd`
+            // the whole IPv4 sweep collapses into one SWAR pass — eight
+            // TTL bytes per word — whose keep-bits are provably the
+            // row-at-a-time verdicts.
             let mut lanes = batch.header_lanes();
+            let swar_keep = ctx.simd.then(|| lanes.dec_ttl_ipv4());
             for i in 0..lanes.len() {
                 if lanes.ipv4_mask()[i] {
-                    let ttl = lanes.ttl()[i];
-                    if ttl <= 1 {
-                        keep.push(false);
+                    if let Some(bits) = &swar_keep {
+                        keep.push(nfc_packet::simd::get_bit(bits, i));
                     } else {
-                        lanes.set_ttl(i, ttl - 1);
-                        keep.push(true);
+                        let ttl = lanes.ttl()[i];
+                        if ttl <= 1 {
+                            keep.push(false);
+                        } else {
+                            lanes.set_ttl(i, ttl - 1);
+                            keep.push(true);
+                        }
                     }
                 } else {
                     let p = batch.get_mut(i).expect("lane index in range");
@@ -853,6 +861,14 @@ mod tests {
         }
     }
 
+    fn simd_ctx() -> RunCtx {
+        RunCtx {
+            lanes: true,
+            simd: true,
+            ..RunCtx::default()
+        }
+    }
+
     #[test]
     fn protocol_classifier_lanes_match_per_packet() {
         let mut scalar = ProtocolClassifier::new("c", vec![ip_proto::UDP]);
@@ -866,9 +882,11 @@ mod tests {
     fn dec_ttl_lanes_match_per_packet() {
         let mut scalar = DecTtl::new();
         let mut vectored = DecTtl::new();
+        let mut swar = DecTtl::new();
         let a = scalar.process(mixed_traffic(), &mut ctx());
         let b = vectored.process(mixed_traffic(), &mut lanes_ctx());
         assert_eq!(a, b);
+        assert_eq!(a, swar.process(mixed_traffic(), &mut simd_ctx()));
         // Lane path really decremented and kept checksums valid.
         let after = b[0].get(0).unwrap().ipv4().unwrap();
         let mut check = after;
@@ -928,9 +946,18 @@ mod tests {
                 let batch = build_batch(&rows);
                 let mut ttl_s = DecTtl::new();
                 let mut ttl_l = DecTtl::new();
+                let mut ttl_w = DecTtl::new();
+                let scalar_out = ttl_s.process(batch.clone(), &mut ctx());
                 prop_assert_eq!(
-                    ttl_s.process(batch.clone(), &mut ctx()),
-                    ttl_l.process(batch.clone(), &mut lanes_ctx())
+                    &scalar_out,
+                    &ttl_l.process(batch.clone(), &mut lanes_ctx())
+                );
+                // SWAR TTL sweep: bit-identical to both on the same
+                // arbitrary batches (ragged sizes, expiring TTLs,
+                // invalid rows).
+                prop_assert_eq!(
+                    &scalar_out,
+                    &ttl_w.process(batch.clone(), &mut simd_ctx())
                 );
                 let mut cl_s = ProtocolClassifier::new("c", protos.clone());
                 let mut cl_l = cl_s.clone();

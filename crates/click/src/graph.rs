@@ -11,11 +11,28 @@ use nfc_telemetry::{EventKind, Recorder};
 /// (and differential tests), the flag exists for A/B benchmarking.
 pub const LANES_ENV: &str = "NFC_LANES";
 
-fn lanes_env_default() -> bool {
-    match std::env::var(LANES_ENV) {
+/// Environment variable controlling the default of
+/// [`CompiledGraph::set_simd`]: set to `0`, `false`, `off` or `no` to
+/// disable the wide-word (SWAR) lane kernels and sweep lane columns one
+/// row at a time. On by default; bit-identical either way, the flag
+/// exists for A/B benchmarking and as a scalar-path CI gate. Only
+/// consulted when lanes are on — the per-packet path has no wide-word
+/// variant.
+pub const SIMD_ENV: &str = "NFC_SIMD";
+
+fn env_flag_default(var: &str) -> bool {
+    match std::env::var(var) {
         Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
         Err(_) => true,
     }
+}
+
+fn lanes_env_default() -> bool {
+    env_flag_default(LANES_ENV)
+}
+
+fn simd_env_default() -> bool {
+    env_flag_default(SIMD_ENV)
 }
 
 /// Identifier of a node (element instance) within one graph.
@@ -317,6 +334,7 @@ impl ElementGraph {
             flow_cacheable,
             flow_config_hash,
             lanes: lanes_env_default(),
+            simd: simd_env_default(),
         })
     }
 }
@@ -505,6 +523,9 @@ pub struct CompiledGraph {
     /// Whether elements are asked to sweep columnar header lanes
     /// (see [`LANES_ENV`]); forwarded to every [`RunCtx`].
     lanes: bool,
+    /// Whether lane sweeps may use the wide-word SWAR kernels (see
+    /// [`SIMD_ENV`]); forwarded to every [`RunCtx`].
+    simd: bool,
 }
 
 impl CompiledGraph {
@@ -548,6 +569,18 @@ impl CompiledGraph {
         self.lanes = on;
     }
 
+    /// Whether lane sweeps use the wide-word SWAR kernels (see
+    /// [`SIMD_ENV`]).
+    pub fn simd(&self) -> bool {
+        self.simd
+    }
+
+    /// Overrides the [`SIMD_ENV`]-derived wide-word default for this
+    /// graph.
+    pub fn set_simd(&mut self, on: bool) {
+        self.simd = on;
+    }
+
     /// Starts a fresh profiling window on every element (see
     /// [`Element::begin_profile_window`]).
     pub fn begin_profile_window(&mut self) {
@@ -584,6 +617,7 @@ impl CompiledGraph {
         let mut ctx = RunCtx {
             now_ns,
             lanes: self.lanes,
+            simd: self.simd,
         };
         debug_assert!(
             self.inbox.iter().all(Vec::is_empty),

@@ -309,6 +309,15 @@ pub struct Deployment {
     /// keeps the `NFC_LANES` environment default (lanes on unless the
     /// variable disables them); egress is bit-identical either way.
     pub lanes: Option<bool>,
+    /// Wide-word (SWAR) lane-kernel override for every compiled stage
+    /// graph. `None` keeps the `NFC_SIMD` environment default (on unless
+    /// the variable disables it); egress is bit-identical either way.
+    pub simd: Option<bool>,
+    /// Strategy for packing persistent kernels onto SM slots (default
+    /// pressure-aware spread; `PackStrategy::Ffd` restores the PR 6
+    /// first-fit packer for A/B comparison). Both obey the same
+    /// never-oversubscribe spill rule.
+    pub packer: residency::PackStrategy,
 }
 
 impl Deployment {
@@ -332,6 +341,8 @@ impl Deployment {
             flow_cache: FlowCacheMode::auto(),
             telemetry: TelemetryMode::auto(),
             lanes: None,
+            simd: None,
+            packer: residency::PackStrategy::default(),
         }
     }
 
@@ -384,6 +395,20 @@ impl Deployment {
     /// choice: egress is bit-identical with lanes on or off.
     pub fn with_lanes(mut self, on: bool) -> Self {
         self.lanes = Some(on);
+        self
+    }
+
+    /// Forces the wide-word (SWAR) lane kernels on or off for every
+    /// stage, overriding the `NFC_SIMD` environment default. Like lanes,
+    /// a pure execution-path choice: egress is bit-identical either way.
+    pub fn with_simd(mut self, on: bool) -> Self {
+        self.simd = Some(on);
+        self
+    }
+
+    /// Selects the SM-residency packer (see [`residency::PackStrategy`]).
+    pub fn with_packer(mut self, packer: residency::PackStrategy) -> Self {
+        self.packer = packer;
         self
     }
 
@@ -882,6 +907,9 @@ impl Deployment {
                 if let Some(on) = self.lanes {
                     run.set_lanes(on);
                 }
+                if let Some(on) = self.simd {
+                    run.set_simd(on);
+                }
                 let flow_cache = match self.flow_cache {
                     FlowCacheMode::On { capacity } if run.flow_cacheable() => {
                         Some(StageFlowCache::new(capacity, &run))
@@ -935,7 +963,7 @@ impl Deployment {
         // Persistent kernels are bin-packed into SM slots; plans whose
         // kernels do not fit are degraded per stage to launch-per-batch
         // instead of being adopted oversubscribed.
-        let residency = apply_residency(&mut stages, &self.model, mode);
+        let residency = apply_residency(&mut stages, &self.model, mode, self.packer);
         let stage_offloads: Vec<(String, f64)> = stages
             .iter()
             .flat_map(|b| b.iter())
@@ -975,6 +1003,7 @@ impl Deployment {
             batch_seq: seq_base,
             swap_spans: Vec::new(),
             residency,
+            packer: self.packer,
         }
     }
 
@@ -1127,6 +1156,7 @@ fn apply_residency(
     stages: &mut [Vec<StageExec>],
     model: &CostModel,
     mode: GpuMode,
+    packer: residency::PackStrategy,
 ) -> ResidencyReport {
     let gpu = model.platform().gpu;
     let mut report = ResidencyReport {
@@ -1152,7 +1182,7 @@ fn apply_residency(
             demands.push(residency::slot_demand(packets));
         }
     }
-    let pack = residency::bin_pack(&demands, &gpu);
+    let pack = residency::pack(&demands, &gpu, packer);
     for (k, &fi) in idx.iter().enumerate() {
         match pack.placements[k] {
             residency::Placement::Resident { device, slots } => {
@@ -1238,6 +1268,9 @@ pub(crate) struct PreparedSfc {
     /// SM-residency placement currently in effect; refreshed whenever
     /// plans change (initial preparation, re-adaptation, live swaps).
     residency: ResidencyReport,
+    /// Packer strategy the deployment selected; re-used verbatim by
+    /// every re-pack (re-adaptation, live repartitions).
+    packer: residency::PackStrategy,
 }
 
 /// Cumulative temporal-charge observation for one stage.
@@ -1586,7 +1619,7 @@ impl PreparedSfc {
         self.tel.absorb(rec);
         // Fresh plans mean fresh slot demands: re-pack, re-granting or
         // spilling each stage against the policy's requested mode.
-        self.residency = apply_residency(&mut self.stages, &self.model, mode);
+        self.residency = apply_residency(&mut self.stages, &self.model, mode, self.packer);
     }
 
     /// Mean offload ratio per stage (branch-major), refreshed after
@@ -1826,7 +1859,7 @@ impl PreparedSfc {
             // Adopted plans shift slot demands; re-pack against the
             // policy's requested mode so spilled stages can win their
             // residency back (and newly heavy ones spill).
-            self.residency = apply_residency(&mut self.stages, &self.model, self.mode);
+            self.residency = apply_residency(&mut self.stages, &self.model, self.mode, self.packer);
         }
         any
     }
@@ -2302,6 +2335,76 @@ mod tests {
         assert_eq!(egress_on, egress_off, "lane egress must be bit-identical");
         assert_eq!(out_on.egress_packets, out_off.egress_packets);
         assert_eq!(out_on.egress_bytes, out_off.egress_bytes);
+    }
+
+    #[test]
+    fn simd_on_off_egress_is_byte_identical() {
+        // The wide-word SIMD kernels are likewise a pure execution-path
+        // choice inside the lane sweep: with lanes forced on, simd on
+        // and off must yield byte-identical egress and identical
+        // statistics for a header-heavy chain. CI re-runs this test
+        // under both NFC_SIMD=0 and NFC_SIMD=1 to cover the env default.
+        let sfc = || {
+            Sfc::new(
+                "fw-lb",
+                vec![
+                    Nf::firewall("fw", 100, 1),
+                    Nf::ipv4_forwarder("rt", 64, 3),
+                    Nf::nat("nat", [203, 0, 113, 1]),
+                ],
+            )
+        };
+        let collect = |simd: bool| {
+            let mut dep = Deployment::new(sfc(), Policy::nfcompass())
+                .with_batch_size(128)
+                .with_lanes(true)
+                .with_simd(simd);
+            dep.run_collect(&mut traffic(256, 7), 12)
+        };
+        let (out_on, egress_on) = collect(true);
+        let (out_off, egress_off) = collect(false);
+        assert_eq!(egress_on, egress_off, "simd egress must be bit-identical");
+        assert_eq!(out_on.egress_packets, out_off.egress_packets);
+        assert_eq!(out_on.egress_bytes, out_off.egress_bytes);
+    }
+
+    #[test]
+    fn packer_choice_never_changes_packet_contents() {
+        // The SM-residency packer only moves kernels between devices —
+        // it must never perturb packet contents. FFD and spread runs of
+        // an oversubscribing chain produce byte-identical egress, and
+        // both obey the same spill rule.
+        let run = |packer: residency::PackStrategy| {
+            let mut dep = Deployment::new(
+                ipsec_chain(4),
+                Policy::GpuOnly {
+                    mode: GpuMode::Persistent,
+                },
+            )
+            .with_batch_size(1024)
+            .with_packer(packer);
+            dep.run_collect(&mut traffic(256, 42), 12)
+        };
+        let (out_ffd, egress_ffd) = run(residency::PackStrategy::Ffd);
+        let (out_spread, egress_spread) = run(residency::PackStrategy::Spread);
+        assert_eq!(egress_ffd, egress_spread, "packer egress must match");
+        assert_eq!(
+            out_ffd.residency.resident.len(),
+            out_spread.residency.resident.len(),
+            "packers must agree on the resident set size"
+        );
+        assert_eq!(out_ffd.residency.spilled, out_spread.residency.spilled);
+        // Spreading 4 kernels of 8 slots each balances 16/16 instead of
+        // FFD's 24/8, so the spread run's peak device occupancy is
+        // strictly lower and its simulated throughput at least as high.
+        let peak = |out: &RunOutcome| {
+            (0..out.residency.devices)
+                .map(|d| out.residency.device_slots_used(d))
+                .max()
+                .unwrap_or(0)
+        };
+        assert!(peak(&out_spread) < peak(&out_ffd));
+        assert!(out_spread.report.throughput_gbps >= out_ffd.report.throughput_gbps);
     }
 
     #[test]

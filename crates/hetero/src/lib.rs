@@ -38,5 +38,5 @@ pub mod sim;
 pub use cost::{CostModel, ElementLoad, GpuMode};
 pub use interference::CoRunContext;
 pub use platform::PlatformConfig;
-pub use residency::{Placement, ResidencyPlan};
+pub use residency::{PackStrategy, Placement, ResidencyPlan};
 pub use sim::{PipelineSim, ResourceId, SimReport, Stage};

@@ -124,6 +124,77 @@ pub fn bin_pack(demands: &[usize], gpu: &GpuSpec) -> ResidencyPlan {
     }
 }
 
+/// Residency packer selection (see [`pack`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PackStrategy {
+    /// First-fit decreasing ([`bin_pack`]): packs device 0 tight, paying
+    /// the co-residency pressure early. Kept for A/B comparison.
+    Ffd,
+    /// Pressure-aware spread ([`spread_pack`]): same resident set as
+    /// FFD, balanced across devices to minimize the peak utilization —
+    /// and with it the co-residency multiplier. The default.
+    #[default]
+    Spread,
+}
+
+/// Packs `demands` with the chosen strategy.
+pub fn pack(demands: &[usize], gpu: &GpuSpec, strategy: PackStrategy) -> ResidencyPlan {
+    match strategy {
+        PackStrategy::Ffd => bin_pack(demands, gpu),
+        PackStrategy::Spread => spread_pack(demands, gpu),
+    }
+}
+
+/// Pressure-aware spread pack: admits exactly the kernels [`bin_pack`]
+/// admits (FFD maximizes the resident set, so the never-oversubscribe
+/// spill rule is byte-for-byte the FFD one), then re-places them
+/// largest-first, each on the *least-loaded* device that still fits it
+/// (worst-fit decreasing, ties to the lowest device index).
+///
+/// [`pressure_multiplier`] is non-decreasing in device utilization with
+/// a knee at 50%, so for a homogeneous device complex the placement
+/// minimizing the peak utilization also minimizes the worst co-residency
+/// multiplier any kernel pays — FFD instead drives device 0 through the
+/// knee while its peers idle. Balanced placement can, in adversarial
+/// demand mixes, fail to re-fit a set FFD packed exactly (worst-fit
+/// fragments differently); in that case the FFD placement is returned
+/// unchanged, so the spread plan never spills more than FFD.
+pub fn spread_pack(demands: &[usize], gpu: &GpuSpec) -> ResidencyPlan {
+    let ffd = bin_pack(demands, gpu);
+    let capacity = gpu.sm_count;
+    let n_dev = gpu.count.max(1);
+    let mut order: Vec<usize> = (0..demands.len())
+        .filter(|&i| matches!(ffd.placements[i], Placement::Resident { .. }))
+        .collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(demands[i]));
+    let mut free = vec![capacity; n_dev];
+    let mut placements = vec![Placement::Spill; demands.len()];
+    for &i in &order {
+        let d = demands[i];
+        let mut best: Option<usize> = None;
+        for (dev, &f) in free.iter().enumerate() {
+            if f >= d && best.map(|b| f > free[b]).unwrap_or(true) {
+                best = Some(dev);
+            }
+        }
+        let Some(dev) = best else {
+            // Balancing stranded a kernel FFD had room for: keep FFD's
+            // placement wholesale rather than spill more than it would.
+            return ffd;
+        };
+        free[dev] -= d;
+        placements[i] = Placement::Resident {
+            device: dev,
+            slots: d,
+        };
+    }
+    ResidencyPlan {
+        placements,
+        free,
+        capacity,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,6 +253,94 @@ mod tests {
         let plan = bin_pack(&[4, 20, 4, 20], &gpu());
         assert_eq!(plan.spilled(), 0);
         assert_eq!(plan.device_slots_used(0) + plan.device_slots_used(1), 48);
+    }
+
+    #[test]
+    fn spread_balances_across_devices() {
+        // FFD piles all four demands on device 0 (16/24 slots, through
+        // the pressure knee); spread splits them 8/8 and stays free.
+        let ffd = bin_pack(&[4, 4, 4, 4], &gpu());
+        assert_eq!(ffd.device_slots_used(0), 16);
+        assert!(pressure_multiplier(ffd.device_utilization(0)) > 1.0);
+        let plan = spread_pack(&[4, 4, 4, 4], &gpu());
+        assert_eq!(plan.spilled(), 0);
+        assert_eq!(plan.device_slots_used(0), 8);
+        assert_eq!(plan.device_slots_used(1), 8);
+        assert_eq!(pressure_multiplier(plan.device_utilization(0)), 1.0);
+        assert_eq!(pressure_multiplier(plan.device_utilization(1)), 1.0);
+    }
+
+    #[test]
+    fn spread_keeps_ffd_spill_rule() {
+        // Same oversubscribed set as the FFD test: the resident set (and
+        // therefore the spill count) must match FFD exactly.
+        let plan = spread_pack(&[16, 16, 16, 16], &gpu());
+        assert_eq!(plan.resident(), 2);
+        assert_eq!(plan.spilled(), 2);
+        assert_eq!(plan.device_slots_used(0), 16);
+        assert_eq!(plan.device_slots_used(1), 16);
+        let plan = spread_pack(&[25], &gpu());
+        assert_eq!(plan.spilled(), 1);
+    }
+
+    #[test]
+    fn spread_never_raises_peak_utilization_above_ffd() {
+        // Deterministic pseudo-random demand mixes: same resident count
+        // as FFD, and the peak device utilization (the pressure driver)
+        // never exceeds FFD's.
+        let g = gpu();
+        let mut state = 0x9e37_79b9_u64;
+        for _ in 0..500 {
+            let mut demands = Vec::new();
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let n = 1 + (state >> 33) as usize % 8;
+            for k in 0..n {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let _ = k;
+                demands.push(1 + (state >> 40) as usize % 24);
+            }
+            let ffd = bin_pack(&demands, &g);
+            let spread = spread_pack(&demands, &g);
+            assert_eq!(spread.resident(), ffd.resident(), "demands {demands:?}");
+            let peak = |p: &ResidencyPlan| {
+                (0..g.count)
+                    .map(|d| p.device_utilization(d))
+                    .fold(0.0f64, f64::max)
+            };
+            assert!(
+                peak(&spread) <= peak(&ffd) + 1e-12,
+                "demands {demands:?}: spread peak {} > ffd peak {}",
+                peak(&spread),
+                peak(&ffd)
+            );
+        }
+    }
+
+    #[test]
+    fn spread_falls_back_to_ffd_when_balancing_strands_a_kernel() {
+        // [13, 11, 9, 9, 6] totals 48: FFD packs it exactly
+        // (13+11 / 9+9+6) but worst-fit placement strands the final 6
+        // (13+9 = 22 free 2, 11+9 = 20 free 4). The fallback must return
+        // the full FFD placement rather than spill.
+        let plan = spread_pack(&[13, 11, 9, 9, 6], &gpu());
+        assert_eq!(plan.spilled(), 0);
+        let ffd = bin_pack(&[13, 11, 9, 9, 6], &gpu());
+        assert_eq!(plan.placements, ffd.placements);
+    }
+
+    #[test]
+    fn pack_dispatches_on_strategy() {
+        let demands = [4, 4, 4, 4];
+        let g = gpu();
+        assert_eq!(
+            pack(&demands, &g, PackStrategy::Ffd).placements,
+            bin_pack(&demands, &g).placements
+        );
+        assert_eq!(
+            pack(&demands, &g, PackStrategy::Spread).placements,
+            spread_pack(&demands, &g).placements
+        );
+        assert_eq!(PackStrategy::default(), PackStrategy::Spread);
     }
 
     #[test]

@@ -284,6 +284,139 @@ impl AclTable {
         }
     }
 
+    /// Wide-word batch form of [`AclTable::classify_v4`]: classifies
+    /// every row selected by the packed `tuple_bits` mask straight off
+    /// the lane columns, eight rows per compare
+    /// ([`nfc_packet::simd::and_eq_mask8`] /
+    /// [`nfc_packet::simd::range_mask8`]), returning one verdict per
+    /// selected row (`None` on unselected rows — the caller's per-packet
+    /// fallback).
+    ///
+    /// The scan preserves first-match-wins and the per-protocol
+    /// partitions exactly: selected rows are compacted per partition
+    /// (UDP / TCP / a scalar fallback for anything else), padded to a
+    /// multiple of eight with permanently-inactive lanes, and swept
+    /// rules-outer with a per-chunk active mask. A row's lane
+    /// deactivates at its first matching rule — later rules cannot
+    /// overwrite its verdict — and the destination-prefix compare runs
+    /// first with a chunk-level short-circuit, mirroring the scalar
+    /// conjunct order. Rows still active after the last rule take the
+    /// default action. Verdicts are identical to `classify_v4` row by
+    /// row.
+    pub fn classify_v4_batch(
+        &self,
+        src: &[u32],
+        dst: &[u32],
+        src_port: &[u16],
+        dst_port: &[u16],
+        proto: &[u8],
+        tuple_bits: &[u64],
+    ) -> Vec<Option<Verdict>> {
+        use nfc_packet::headers::ip_proto;
+        use nfc_packet::simd;
+        let n = dst.len();
+        let mut out: Vec<Option<Verdict>> = vec![None; n];
+        let mut udp_rows: Vec<u32> = Vec::new();
+        let mut tcp_rows: Vec<u32> = Vec::new();
+        for i in 0..n {
+            if !simd::get_bit(tuple_bits, i) {
+                continue;
+            }
+            match proto[i] {
+                ip_proto::UDP => udp_rows.push(i as u32),
+                ip_proto::TCP => tcp_rows.push(i as u32),
+                // The tuple mask only admits UDP/TCP, but stay total:
+                // anything else takes the scalar generic scan.
+                p => {
+                    out[i] = Some(self.classify_v4_any(src[i], dst[i], src_port[i], dst_port[i], p))
+                }
+            }
+        }
+        for (rows, partition) in [(&udp_rows, &self.udp_rules), (&tcp_rows, &self.tcp_rules)] {
+            if rows.is_empty() {
+                continue;
+            }
+            let chunks = rows.len().div_ceil(simd::LANES);
+            let padded = chunks * simd::LANES;
+            let mut csrc = vec![0u32; padded];
+            let mut cdst = vec![0u32; padded];
+            let mut csp = vec![0u16; padded];
+            let mut cdp = vec![0u16; padded];
+            for (k, &row) in rows.iter().enumerate() {
+                let row = row as usize;
+                csrc[k] = src[row];
+                cdst[k] = dst[row];
+                csp[k] = src_port[row];
+                cdp[k] = dst_port[row];
+            }
+            // Active lane masks; padding lanes start (and stay) dead.
+            let mut active = vec![0xFFu8; chunks];
+            if rows.len() % simd::LANES != 0 {
+                active[chunks - 1] = (1u8 << (rows.len() % simd::LANES)) - 1;
+            }
+            let mut remaining = rows.len();
+            'rules: for &ri in partition.iter() {
+                let r = &self.lowered[ri as usize];
+                for (c, slot) in active.iter_mut().enumerate() {
+                    let a = *slot;
+                    if a == 0 {
+                        continue;
+                    }
+                    let base = c * simd::LANES;
+                    let lane = |col: &[u32]| -> [u32; simd::LANES] {
+                        col[base..base + simd::LANES].try_into().expect("chunk")
+                    };
+                    let lane16 = |col: &[u16]| -> [u16; simd::LANES] {
+                        col[base..base + simd::LANES].try_into().expect("chunk")
+                    };
+                    let mut m = a & simd::and_eq_mask8(&lane(&cdst), r.dmask, r.dval);
+                    if m == 0 {
+                        continue;
+                    }
+                    m &= simd::and_eq_mask8(&lane(&csrc), r.smask, r.sval);
+                    if m != 0 {
+                        m &= simd::range_mask8(&lane16(&cdp), r.dport.0, r.dport.1);
+                    }
+                    if m != 0 {
+                        m &= simd::range_mask8(&lane16(&csp), r.sport.0, r.sport.1);
+                    }
+                    if m == 0 {
+                        continue;
+                    }
+                    *slot = a & !m;
+                    remaining -= m.count_ones() as usize;
+                    let verdict = Verdict {
+                        action: r.action,
+                        rule: Some(ri as usize),
+                    };
+                    for l in 0..simd::LANES {
+                        if m >> l & 1 == 1 {
+                            out[rows[base + l] as usize] = Some(verdict);
+                        }
+                    }
+                    if remaining == 0 {
+                        break 'rules;
+                    }
+                }
+            }
+            if remaining > 0 {
+                let default = Verdict {
+                    action: self.default,
+                    rule: None,
+                };
+                for (c, &a) in active.iter().enumerate() {
+                    for l in 0..simd::LANES {
+                        let k = c * simd::LANES + l;
+                        if a >> l & 1 == 1 && k < rows.len() {
+                            out[rows[k] as usize] = Some(default);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// A configuration hash for element-signature de-duplication.
     pub fn config_hash(&self) -> u64 {
         let mut bytes = Vec::with_capacity(self.rules.len() * 16);
@@ -533,6 +666,59 @@ mod tests {
                 rng.gen(),
                 [ip_proto::UDP, ip_proto::TCP, 50][rng.gen_range(0..3)],
             ));
+        }
+    }
+
+    #[test]
+    fn classify_v4_batch_agrees_with_classify_v4() {
+        use rand::Rng;
+        // Mix matchable tuples (deep rule hits) with random traffic and
+        // sweep every row count class mod 8, plus rows outside the tuple
+        // mask and a stray non-UDP/TCP protocol.
+        let acl = AclTable::new(synth::generate(256, 11), Action::Allow);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for n in [0usize, 1, 7, 8, 9, 16, 53, 200] {
+            let mut src = vec![0u32; n];
+            let mut dst = vec![0u32; n];
+            let mut sp = vec![0u16; n];
+            let mut dp = vec![0u16; n];
+            let mut proto = vec![0u8; n];
+            let mut bits = vec![0u64; nfc_packet::simd::bit_capacity(n)];
+            for i in 0..n {
+                if rng.gen::<f64>() < 0.5 && !acl.rules().is_empty() {
+                    let r = acl.rules()[rng.gen_range(0..acl.len())];
+                    let tuple = synth::tuple_matching(&r, &mut rng);
+                    let (IpAddr::V4(s), IpAddr::V4(d)) = (tuple.src, tuple.dst) else {
+                        unreachable!()
+                    };
+                    src[i] = u32::from(s);
+                    dst[i] = u32::from(d);
+                    sp[i] = tuple.src_port;
+                    dp[i] = tuple.dst_port;
+                    proto[i] = tuple.proto;
+                } else {
+                    src[i] = rng.gen();
+                    dst[i] = rng.gen();
+                    sp[i] = rng.gen();
+                    dp[i] = rng.gen();
+                    proto[i] = [ip_proto::UDP, ip_proto::TCP, 50][rng.gen_range(0..3)];
+                }
+                if rng.gen::<f64>() < 0.85 {
+                    nfc_packet::simd::set_bit(&mut bits, i);
+                }
+            }
+            let got = acl.classify_v4_batch(&src, &dst, &sp, &dp, &proto, &bits);
+            for i in 0..n {
+                if nfc_packet::simd::get_bit(&bits, i) {
+                    assert_eq!(
+                        got[i],
+                        Some(acl.classify_v4(src[i], dst[i], sp[i], dp[i], proto[i])),
+                        "n={n} row {i}"
+                    );
+                } else {
+                    assert_eq!(got[i], None, "n={n} row {i} outside mask");
+                }
+            }
         }
     }
 

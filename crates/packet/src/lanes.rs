@@ -37,12 +37,10 @@
 //! bytes are identical to theirs.
 
 use crate::headers::ip_proto;
-use crate::{checksum, Batch};
+use crate::{checksum, simd, Batch};
 
 /// Byte offset of the Ethernet ethertype field.
 const ETHERTYPE: usize = 12;
-/// Byte offset of the IPv4 version/IHL byte (start of L3).
-const IP_VER_IHL: usize = 14;
 /// Byte offset of the IPv4 TTL field.
 const IP_TTL: usize = 22;
 /// Byte offset of the IPv4 protocol field.
@@ -85,6 +83,11 @@ pub struct HeaderLanes {
     ipv4: Vec<bool>,
     l3v4: Vec<bool>,
     tuple: Vec<bool>,
+    // Packed duplicates of the ipv4/tuple masks (bit i of word i/64 =
+    // row i), populated in the same gather pass so the wide-word sweeps
+    // ([`crate::simd`]) can slice 8-row chunk masks without re-packing.
+    ipv4_bits: Vec<u64>,
+    tuple_bits: Vec<u64>,
     // Pre-mutation copies of the mutable columns, for dirty detection at
     // writeback. Materialized lazily by the first `set_*` call so the
     // read-only sweep path (shared, memoized views) never pays for them.
@@ -113,6 +116,8 @@ impl HeaderLanes {
             ipv4: vec![false; n],
             l3v4: vec![false; n],
             tuple: vec![false; n],
+            ipv4_bits: vec![0; simd::bit_capacity(n)],
+            tuple_bits: vec![0; simd::bit_capacity(n)],
             orig_src_ip: Vec::new(),
             orig_dst_ip: Vec::new(),
             orig_src_port: Vec::new(),
@@ -122,13 +127,25 @@ impl HeaderLanes {
         for (i, pkt) in batch.iter().enumerate() {
             let buf = pkt.data();
             lanes.wire_len[i] = buf.len() as u32;
-            // Parity with `Packet::ipv4()`: parse at L3_OFFSET with no
-            // ethertype check; succeeds iff version 4 and IHL 5.
-            let v4 = buf.len() >= MIN_V4 && buf[IP_VER_IHL] == 0x45;
-            if !v4 {
+            if buf.len() < MIN_V4 {
+                continue;
+            }
+            // One wide load covers the ethertype (bytes 12–13) and the
+            // IPv4 version/IHL byte (14): ver_ihl == 0x45 is parity with
+            // `Packet::ipv4()` (parse at L3_OFFSET, no ethertype check),
+            // the 0x0800 compare with the IPv4 arm of
+            // `Packet::ip_protocol()`.
+            let w = u32::from_be_bytes([
+                buf[ETHERTYPE],
+                buf[ETHERTYPE + 1],
+                buf[ETHERTYPE + 2],
+                buf[ETHERTYPE + 3],
+            ]);
+            if (w >> 8) & 0xFF != 0x45 {
                 continue;
             }
             lanes.ipv4[i] = true;
+            simd::set_bit(&mut lanes.ipv4_bits, i);
             lanes.src_ip[i] = u32::from_be_bytes([
                 buf[IP_SRC],
                 buf[IP_SRC + 1],
@@ -143,8 +160,7 @@ impl HeaderLanes {
             ]);
             lanes.proto[i] = buf[IP_PROTO];
             lanes.ttl[i] = buf[IP_TTL];
-            // Parity with the IPv4 arm of `Packet::ip_protocol()`.
-            let eth_v4 = buf[ETHERTYPE] == 0x08 && buf[ETHERTYPE + 1] == 0x00;
+            let eth_v4 = (w >> 16) == 0x0800;
             lanes.l3v4[i] = eth_v4;
             // Parity with a V4 `Packet::five_tuple()` success: UDP/TCP
             // protocol and the full L4 header in-bounds.
@@ -155,6 +171,7 @@ impl HeaderLanes {
             };
             if eth_v4 && l4_ok {
                 lanes.tuple[i] = true;
+                simd::set_bit(&mut lanes.tuple_bits, i);
                 lanes.src_port[i] = u16::from_be_bytes([buf[L4_SPORT], buf[L4_SPORT + 1]]);
                 lanes.dst_port[i] = u16::from_be_bytes([buf[L4_DPORT], buf[L4_DPORT + 1]]);
             }
@@ -233,6 +250,30 @@ impl HeaderLanes {
     /// Rows where `Packet::five_tuple()` yields an IPv4 UDP/TCP tuple.
     pub fn tuple_mask(&self) -> &[bool] {
         &self.tuple
+    }
+
+    /// Packed form of [`HeaderLanes::ipv4_mask`] (bit `i` of word
+    /// `i / 64` = row `i`), for the wide-word sweeps in [`crate::simd`].
+    pub fn ipv4_bits(&self) -> &[u64] {
+        &self.ipv4_bits
+    }
+
+    /// Packed form of [`HeaderLanes::tuple_mask`].
+    pub fn tuple_bits(&self) -> &[u64] {
+        &self.tuple_bits
+    }
+
+    /// Wide-word TTL sweep over all IPv4 rows at once
+    /// ([`simd::dec_ttl_swar`]): rows with TTL ≥ 2 are decremented in
+    /// the column (scattered home with checksum fixup by
+    /// [`HeaderLanes::write_back`]) and set in the returned packed
+    /// keep-bits; IPv4 rows with TTL 0/1 stay untouched and unset
+    /// (expired), non-IPv4 rows stay untouched and unset (caller
+    /// fallback). Bit-identical to looping `set_ttl(i, ttl - 1)` over
+    /// the IPv4 mask.
+    pub fn dec_ttl_ipv4(&mut self) -> Vec<u64> {
+        self.ensure_orig();
+        simd::dec_ttl_swar(&mut self.ttl, &self.ipv4_bits)
     }
 
     /// Rewrites the source IP column for row `i` (scattered home by
@@ -486,6 +527,45 @@ mod tests {
             }
         }
         assert_eq!(via_lanes, via_pkts);
+    }
+
+    #[test]
+    fn swar_ttl_sweep_matches_scalar_lane_path() {
+        let mut via_swar = mixed_batch();
+        let mut via_scalar = mixed_batch();
+        let mut lanes_a = via_swar.header_lanes();
+        let keep = lanes_a.dec_ttl_ipv4();
+        let mut lanes_b = via_scalar.header_lanes();
+        let mut keep_ref = vec![0u64; crate::simd::bit_capacity(lanes_b.len())];
+        for i in 0..lanes_b.len() {
+            if lanes_b.ipv4_mask()[i] && lanes_b.ttl()[i] >= 2 {
+                let t = lanes_b.ttl()[i];
+                lanes_b.set_ttl(i, t - 1);
+                crate::simd::set_bit(&mut keep_ref, i);
+            }
+        }
+        assert_eq!(keep, keep_ref);
+        lanes_a.write_back(&mut via_swar);
+        lanes_b.write_back(&mut via_scalar);
+        assert_eq!(via_swar, via_scalar);
+    }
+
+    #[test]
+    fn packed_bits_mirror_bool_masks() {
+        let batch = mixed_batch();
+        let lanes = batch.header_lanes();
+        for i in 0..lanes.len() {
+            assert_eq!(
+                crate::simd::get_bit(lanes.ipv4_bits(), i),
+                lanes.ipv4_mask()[i],
+                "ipv4 bit {i}"
+            );
+            assert_eq!(
+                crate::simd::get_bit(lanes.tuple_bits(), i),
+                lanes.tuple_mask()[i],
+                "tuple bit {i}"
+            );
+        }
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod flow;
 pub mod headers;
 pub mod lanes;
 pub mod packet;
+pub mod simd;
 pub mod traffic;
 
 pub use batch::Batch;

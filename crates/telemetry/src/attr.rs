@@ -396,6 +396,9 @@ pub struct CalibAnchors {
     /// CPU nanoseconds per cycle (1 / freq_ghz), needed to convert the
     /// observed I/O span back into cycles.
     pub ns_per_cycle: f64,
+    /// `GPU_RESIDENCY_PRESSURE`: fractional kernel-time stretch at a
+    /// fully packed device.
+    pub gpu_residency_pressure: f64,
 }
 
 /// One re-fitted constant: observed value vs. its paper anchor.
@@ -497,6 +500,13 @@ fn fit_plane(x1: &[f64], x2: &[f64], ys: &[f64]) -> Option<(f64, f64, f64)> {
 ///   slope of `dur = a + b·bytes` over `Dma` spans.
 /// - `io_cycles_per_packet`: mean egress I/O span duration divided by
 ///   `packets · ns_per_cycle`, joined per batch via the lineage tag.
+/// - `gpu_residency_pressure`: through-origin slope of the relative
+///   kernel-time stretch `dur / baseline − 1` against the normalized
+///   slot pressure `(occupancy − 0.5) / 0.5`. Kernel spans are joined
+///   to the `SmOccupancy` instant emitted at their completion on the
+///   same queue, grouped by work shape `(packets, bytes, kernels)` so
+///   pressured spans compare against an unpressured (≤ 50 % occupancy)
+///   baseline of identical work.
 pub fn calibrate(events: &[Event], anchors: &CalibAnchors) -> Vec<CalibEstimate> {
     let names = resource_names(events);
     let is_gpu = |r: u32| names.get(&r).map(|n| n.starts_with("gpu")).unwrap_or(false);
@@ -659,7 +669,69 @@ pub fn calibrate(events: &[Event], anchors: &CalibAnchors) -> Vec<CalibEstimate>
         samples: io_samples.len(),
     };
 
-    vec![ctx, dispatch, dma_lat, bw, io]
+    // Co-residency pressure: kernel spans joined (by queue track, batch
+    // tag, and completion instant) to the SM-occupancy instant emitted
+    // when the kernel finishes.
+    let mut occ: BTreeMap<(u32, u64, u64), f64> = BTreeMap::new();
+    for ev in events {
+        if let EventKind::SmOccupancy { occupancy_pct, .. } = ev.kind {
+            if let Some(s) = ev.sim {
+                occ.insert(
+                    (ev.track, ev.batch, s.end_ns.to_bits()),
+                    f64::from(occupancy_pct) / 100.0,
+                );
+            }
+        }
+    }
+    // Group kernel spans by work shape so pressured durations compare
+    // against an unpressured baseline of identical work.
+    type PressureGroup = (Vec<f64>, Vec<(f64, f64)>);
+    let mut groups: BTreeMap<(u32, u64, u32), PressureGroup> = BTreeMap::new();
+    for ev in events {
+        if let EventKind::KernelLaunch {
+            packets,
+            bytes,
+            kernels,
+            ..
+        } = ev.kind
+        {
+            if let Some(s) = ev.sim {
+                if let Some(&u) = occ.get(&(ev.track, ev.batch, s.end_ns.to_bits())) {
+                    let entry = groups.entry((packets, bytes, kernels)).or_default();
+                    if u <= 0.5 {
+                        entry.0.push(s.dur_ns());
+                    } else {
+                        entry.1.push((u, s.dur_ns()));
+                    }
+                }
+            }
+        }
+    }
+    let (mut sxy, mut sxx, mut n_pressure) = (0.0f64, 0.0f64, 0usize);
+    for (base, pressured) in groups.values() {
+        if base.is_empty() || pressured.is_empty() {
+            continue;
+        }
+        let b = base.iter().sum::<f64>() / base.len() as f64;
+        if b <= 0.0 {
+            continue;
+        }
+        for &(u, dur) in pressured {
+            let x = (u.min(1.0) - 0.5) / 0.5;
+            let y = dur / b - 1.0;
+            sxy += x * y;
+            sxx += x * x;
+            n_pressure += 1;
+        }
+    }
+    let pressure = CalibEstimate {
+        name: "gpu_residency_pressure",
+        observed: if sxx > 1e-12 { sxy / sxx } else { f64::NAN },
+        anchored: anchors.gpu_residency_pressure,
+        samples: n_pressure,
+    };
+
+    vec![ctx, dispatch, dma_lat, bw, io, pressure]
 }
 
 #[cfg(test)]
@@ -886,6 +958,7 @@ mod tests {
             pcie_bw_gbs: 12.0,
             io_cycles_per_packet: 20.0,
             ns_per_cycle: 1.0 / 1.9,
+            gpu_residency_pressure: 0.35,
         };
         let mut events = vec![
             sim_ev(
@@ -988,6 +1061,47 @@ mod tests {
             ));
             t += 10_000.0;
         }
+        // Co-residency pressure: same-shape kernel spans (kernels: 2 so
+        // the dispatch-intercept fit ignores them) at low and high
+        // occupancy; pressured durations follow the knee model exactly.
+        for shape in 0..3u64 {
+            let base = 5_000.0 + shape as f64 * 1_000.0;
+            let packets = (300 + shape) as u32;
+            let bytes = 64 * u64::from(packets);
+            for (j, occ) in [40u8, 80, 100].into_iter().enumerate() {
+                let u = f64::from(occ) / 100.0;
+                let dur = if u <= 0.5 {
+                    base
+                } else {
+                    base * (1.0 + 0.35 * (u - 0.5) / 0.5)
+                };
+                let batch = 100 + shape * 10 + j as u64;
+                events.push(sim_ev(
+                    2,
+                    batch,
+                    t,
+                    t + dur,
+                    EventKind::KernelLaunch {
+                        queue: 0,
+                        user: 1,
+                        bytes,
+                        packets,
+                        kernels: 2,
+                    },
+                ));
+                events.push(sim_ev(
+                    2,
+                    batch,
+                    t + dur,
+                    t + dur,
+                    EventKind::SmOccupancy {
+                        queue: 0,
+                        occupancy_pct: occ,
+                    },
+                ));
+                t += 10_000.0;
+            }
+        }
         let fits = calibrate(&events, &anchors);
         for f in &fits {
             assert!(
@@ -1013,9 +1127,10 @@ mod tests {
                 pcie_bw_gbs: 12.0,
                 io_cycles_per_packet: 20.0,
                 ns_per_cycle: 0.5,
+                gpu_residency_pressure: 0.35,
             },
         );
-        assert_eq!(fits.len(), 5);
+        assert_eq!(fits.len(), 6);
         for f in fits {
             assert!(f.observed.is_nan());
             assert!(f.drift_pct().is_nan());

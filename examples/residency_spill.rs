@@ -3,10 +3,11 @@
 //!
 //! Four IPsec stages at batch 2048 each demand 16 SM slots for their
 //! persistent kernels — 64 slots against the HPCA'18 device complex's
-//! 2 × 24. The residency pass bin-packs two kernels (one per device) and
-//! spills the other two to launch-per-batch dispatch; the run completes
-//! with every packet accounted for and the co-residency pressure charged
-//! on the simulated timeline.
+//! 2 × 24. The residency pass (pressure-aware spread packing, which at
+//! this point agrees with first-fit) keeps two kernels resident (one
+//! per device) and spills the other two to launch-per-batch dispatch;
+//! the run completes with every packet accounted for and the
+//! co-residency pressure charged on the simulated timeline.
 //!
 //! The run prints the residency placement and per-mode throughput, and —
 //! like every deployment — exports a trace when `NFC_TELEMETRY` is set.

@@ -1,0 +1,167 @@
+//! Wide-word SIMD differential smoke: the SWAR/fixed-width kernels are
+//! a pure execution-path choice inside the lane sweep. With lanes on,
+//! forcing SIMD on and off must leave every observable — egress bytes,
+//! per-element statistics, simulated timings, controller decisions —
+//! identical under serial, parallel and adaptive execution. CI runs
+//! this as the simd-on differential gate.
+
+use nfc_core::{
+    ControllerConfig, Deployment, Duplication, ExecMode, Policy, RunOutcome, Sfc, TelemetryMode,
+};
+use nfc_hetero::GpuMode;
+use nfc_nf::acl::synth;
+use nfc_nf::Nf;
+use nfc_packet::traffic::{FlowSpec, PayloadPolicy, SizeDist, TrafficGenerator, TrafficSpec};
+use nfc_packet::Batch;
+
+/// Header-heavy chain: every stage has a wide-word kernel (batched ACL
+/// compare, 8-wide LPM resolve, SWAR TTL decrement in the NAT/forward
+/// rewrite), so a simd-on run actually exercises each ported kernel.
+fn header_chain() -> Sfc {
+    Sfc::new(
+        "fw-rt-nat",
+        vec![
+            Nf::firewall_with("fw", synth::generate(128, 1), true),
+            Nf::ipv4_forwarder("rt", 64, 3),
+            Nf::nat("nat", [203, 0, 113, 1]),
+        ],
+    )
+}
+
+fn skewed_traffic(seed: u64) -> TrafficGenerator {
+    let spec = TrafficSpec::udp(SizeDist::Fixed(256)).with_flows(FlowSpec {
+        count: 128,
+        ..FlowSpec::default().with_skew(1.0)
+    });
+    TrafficGenerator::new(spec, seed)
+}
+
+fn run_fixed(exec: ExecMode, simd: bool, seed: u64) -> (RunOutcome, Vec<Batch>) {
+    let policy = Policy::FixedRatio {
+        ratio: 0.5,
+        mode: GpuMode::Persistent,
+    };
+    let mut dep = Deployment::new(header_chain(), policy)
+        .with_batch_size(128)
+        .with_exec_mode(exec)
+        .with_duplication(Duplication::Cow)
+        .with_lanes(true)
+        .with_simd(simd);
+    dep.run_collect(&mut skewed_traffic(seed), 12)
+}
+
+fn adaptive_phases() -> Vec<TrafficGenerator> {
+    [0.0, 1.0]
+        .iter()
+        .enumerate()
+        .map(|(i, &ratio)| {
+            TrafficGenerator::new(
+                TrafficSpec::udp(SizeDist::Fixed(512))
+                    .with_rate_gbps(40.0)
+                    .with_payload(PayloadPolicy::MatchRatio {
+                        patterns: Nf::default_ids_signatures(),
+                        ratio,
+                    }),
+                41 + i as u64,
+            )
+        })
+        .collect()
+}
+
+fn run_adaptive(simd: bool) -> (Vec<RunOutcome>, nfc_core::ControllerReport, Vec<Batch>) {
+    // DPI ahead of a firewall: the payload stage keeps the per-packet
+    // path while the firewall sweeps lanes with batched compares,
+    // exercising the mixed case under live re-partitioning.
+    let sfc = Sfc::new("dpi-fw", vec![Nf::dpi("dpi"), Nf::firewall("fw", 128, 1)]);
+    let mut dep = Deployment::new(sfc, Policy::nfcompass())
+        .with_batch_size(128)
+        .with_lanes(true)
+        .with_simd(simd);
+    let cfg = ControllerConfig {
+        epoch_batches: 8,
+        ..ControllerConfig::default()
+    };
+    dep.run_adaptive_collect(&mut adaptive_phases(), 24, &cfg)
+}
+
+fn assert_outcome_bits(label: &str, off: &RunOutcome, on: &RunOutcome) {
+    assert_eq!(off.stage_stats, on.stage_stats, "{label}: element stats");
+    assert_eq!(off.egress_packets, on.egress_packets, "{label}");
+    assert_eq!(off.egress_bytes, on.egress_bytes, "{label}");
+    for (name, a, b) in [
+        (
+            "throughput",
+            off.report.throughput_gbps,
+            on.report.throughput_gbps,
+        ),
+        (
+            "mean latency",
+            off.report.mean_latency_ns,
+            on.report.mean_latency_ns,
+        ),
+        (
+            "p99 latency",
+            off.report.p99_latency_ns,
+            on.report.p99_latency_ns,
+        ),
+    ] {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{label}: simulated {name} must be bit-identical simd on/off"
+        );
+    }
+}
+
+#[test]
+fn simd_never_perturbs_serial_or_parallel_runs() {
+    for (label, exec) in [
+        ("serial", ExecMode::Serial),
+        ("parallel4", ExecMode::Parallel { threads: 4 }),
+    ] {
+        let off = run_fixed(exec, false, 17);
+        let on = run_fixed(exec, true, 17);
+        assert_eq!(off.1, on.1, "{label}: egress must be byte-identical");
+        assert_outcome_bits(label, &off.0, &on.0);
+    }
+}
+
+#[test]
+fn simd_never_perturbs_adaptive_runs() {
+    let off = run_adaptive(false);
+    let on = run_adaptive(true);
+    assert_eq!(off.2, on.2, "adaptive: egress must be byte-identical");
+    assert_eq!(
+        off.1, on.1,
+        "adaptive: controller report (triggers, swaps, timeline) must be identical simd on/off"
+    );
+    for (i, (a, b)) in off.0.iter().zip(on.0.iter()).enumerate() {
+        assert_outcome_bits(&format!("adaptive phase {i}"), a, b);
+    }
+}
+
+#[test]
+fn simd_never_perturbs_telemetry_traces() {
+    // SIMD on with telemetry recording: the digest (event counts and
+    // categories) must match the simd-off instrumented run, so traces
+    // stay comparable across the flag.
+    let collect = |simd: bool| {
+        let policy = Policy::FixedRatio {
+            ratio: 0.5,
+            mode: GpuMode::Persistent,
+        };
+        let mut dep = Deployment::new(header_chain(), policy)
+            .with_batch_size(128)
+            .with_lanes(true)
+            .with_simd(simd)
+            .with_telemetry(TelemetryMode::Memory);
+        dep.run_collect(&mut skewed_traffic(23), 8)
+    };
+    let (out_off, egress_off) = collect(false);
+    let (out_on, egress_on) = collect(true);
+    assert_eq!(egress_off, egress_on);
+    let d_off = out_off.telemetry.expect("digest");
+    let d_on = out_on.telemetry.expect("digest");
+    assert_eq!(d_off.events, d_on.events, "event counts differ");
+    assert_eq!(d_off.dropped, d_on.dropped);
+}
