@@ -26,7 +26,9 @@ use nfc_hetero::GpuMode;
 use nfc_nf::Nf;
 use nfc_packet::traffic::{SizeDist, TrafficGenerator, TrafficSpec};
 use nfc_packet::Batch;
-use nfc_telemetry::Recorder;
+use nfc_telemetry::{
+    DriftWatchdog, HealthState, Recorder, SketchKey, SketchSet, SloSpec, DEFAULT_SKETCH_ALPHA,
+};
 use serde_json::json;
 use std::time::Instant;
 
@@ -91,6 +93,7 @@ fn deployment(exec: ExecMode, dup: Duplication, lanes: bool, simd: bool) -> Depl
         .with_duplication(dup)
         .with_lanes(lanes)
         .with_simd(simd)
+        .without_slo()
 }
 
 /// Pre-generates the workload once so the timed region is the engine
@@ -144,6 +147,40 @@ fn disabled_hook_overhead_pct(events: u64, wall_s: f64) -> f64 {
     }
     let ns_per_probe = start.elapsed().as_secs_f64() * 1e9 / PROBES as f64;
     events as f64 * ns_per_probe / (wall_s * 1e9) * 100.0
+}
+
+/// Estimates the armed health plane's per-batch cost: times the exact
+/// accounting the runtime does for every completed batch (SLO window
+/// bookkeeping, e2e + per-stage sketch records, the drift watchdog) plus
+/// an amortized epoch close, scales by the batch count of the measured
+/// run, and expresses it as a percentage of the telemetry-off wall time.
+fn health_plane_overhead_pct(n_batches: u64, wall_s: f64) -> f64 {
+    let spec = SloSpec {
+        p99_latency_ns: 1.0,
+        epoch_batches: 16,
+        ..Default::default()
+    };
+    let mut state = HealthState::new(spec);
+    let mut watchdog = DriftWatchdog::new(0.5, 2);
+    let mut sketches = SketchSet::new(DEFAULT_SKETCH_ALPHA);
+    const PROBES: u64 = 200_000;
+    let start = Instant::now();
+    for i in 0..PROBES {
+        let t = (i % 97) as f64 + 1.0;
+        state.observe_batch(t * 100.0, 1024, t, t + 100.0);
+        sketches.record(SketchKey::chain("e2e_ns"), t * 100.0);
+        for s in 0..4u32 {
+            sketches.record(SketchKey::stage("stage_wall_ns", s, "cpu"), t);
+        }
+        watchdog.observe(t * 90.0, t * 100.0, &mut sketches);
+        if i % 16 == 0 {
+            black_box(state.epoch());
+            black_box(watchdog.epoch());
+        }
+    }
+    black_box(sketches.len());
+    let ns_per_batch = start.elapsed().as_secs_f64() * 1e9 / PROBES as f64;
+    n_batches as f64 * ns_per_batch / (wall_s * 1e9) * 100.0
 }
 
 fn engine_benches(c: &mut Criterion) {
@@ -256,6 +293,32 @@ fn emit_report(full: bool) {
         overhead_pct < 1.0,
         "disabled telemetry must stay under 1% of the hot path, got {overhead_pct:.4}%"
     );
+    // Health-plane rider: arming an SLO keeps egress byte-identical and
+    // the armed accounting (burn windows, sketches, drift watchdog)
+    // stays under 1% of the telemetry-off parallel wall time.
+    let mut armed = deployment(ExecMode::auto(), Duplication::Cow, true, true)
+        .with_telemetry(TelemetryMode::Memory)
+        .with_slo(SloSpec {
+            p99_latency_ns: 1.0,
+            epoch_batches: 8,
+            ..Default::default()
+        });
+    let mut armed_traffic = TrafficGenerator::new(TrafficSpec::udp(SizeDist::Fixed(PKT_BYTES)), 7);
+    let (armed_out, armed_egress) = armed.run_replay(&mut armed_traffic, &batches);
+    assert_eq!(
+        ref_egress, &armed_egress,
+        "SLO-armed egress differs from serial_deepcopy"
+    );
+    assert_eq!(
+        ref_out.stage_stats, armed_out.stage_stats,
+        "SLO-armed per-element stats differ from serial_deepcopy"
+    );
+    let health_pct = health_plane_overhead_pct(n_batches as u64, rows[2].1);
+    println!("health plane: armed accounting costs {health_pct:.4}% of parallel_cow");
+    assert!(
+        health_pct < 1.0,
+        "the armed health plane must stay under 1% of the hot path, got {health_pct:.4}%"
+    );
     let mut cfgs = serde_json::Value::Object(Default::default());
     for (label, secs, gbps, _, lanes, simd) in &rows {
         cfgs[*label] = json!({
@@ -282,6 +345,10 @@ fn emit_report(full: bool) {
             "events": digest.events,
             "instrumented_wall_s": tel_secs,
             "disabled_hook_overhead_pct": overhead_pct,
+        },
+        "health_plane": {
+            "egress_byte_identical": true,
+            "armed_overhead_pct": health_pct,
         },
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");

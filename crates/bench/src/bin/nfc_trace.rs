@@ -7,8 +7,10 @@
 //!   durations and the wall/sim timeline extents.
 //! * `validate <trace.json> [--require cat1,cat2,...]` — schema-check
 //!   every event, reject overlapping/non-monotonic simulated spans
-//!   within a `(track, name)` lane and spans ending before their start;
-//!   exits non-zero on any violation, for CI smoke tests.
+//!   within a `(track, name)` lane, spans ending before their start,
+//!   non-monotonic controller `epoch` markers, and overlapping live
+//!   swap windows on one track; exits non-zero on any violation, for
+//!   CI smoke tests.
 //! * `prom <trace.json>` — re-derive a Prometheus-style text snapshot
 //!   from the trace's events.
 //! * `controller <trace.json>` — the adaptive control plane's
@@ -30,10 +32,18 @@
 //! * `calibrate <trace.json> [--launch-per-batch]` — re-fit the
 //!   calibration constants from observed kernel/DMA/IO spans and
 //!   report drift vs. the paper anchors in `nfc-hetero`'s `calib`.
+//! * `health <trace.json> [--json] [--baseline health.json]` — the
+//!   health plane's SLO burn-rate verdicts and cost-model drift
+//!   watchdog state; `--baseline` gates the integer verdict/breach
+//!   counters against a committed snapshot for CI.
+//! * `whatif <trace.json> --speedup <element>=<k> [--json]` — causal
+//!   what-if projection: re-walk every batch's critical path with the
+//!   matched resource lanes sped up `k`x (waits kept, busy scaled) and
+//!   report the predicted chain speedup.
 
 use nfc_telemetry::{
-    attribution, calibrate, critical_paths, folded_stacks, folded_stacks_wall, AttributionReport,
-    Buckets, CalibAnchors, Event, EventKind, SimStamp,
+    attribution, calibrate, critical_paths, folded_stacks, folded_stacks_wall, whatif,
+    AttributionReport, Buckets, CalibAnchors, Event, EventKind, SimStamp, WhatIfReport,
 };
 use serde_json::{json, Value};
 use std::collections::BTreeMap;
@@ -212,6 +222,25 @@ fn typed_events(trace: &Trace) -> Vec<Event> {
             "epoch" => EventKind::Epoch {
                 epoch: arg_u64(ev, "epoch"),
             },
+            "slo_burn" => EventKind::SloBurn {
+                epoch: arg_u64(ev, "epoch"),
+                objective: match arg_str(ev, "objective") {
+                    "p99_latency" => "p99_latency",
+                    "throughput" => "throughput",
+                    "drops" => "drops",
+                    _ => "objective",
+                },
+                fast_burn: arg_f64(ev, "fast_burn"),
+                slow_burn: arg_f64(ev, "slow_burn"),
+                breached: arg_u64(ev, "breached") != 0,
+            },
+            "model_drift" => EventKind::ModelDrift {
+                epoch: arg_u64(ev, "epoch"),
+                predicted_ns: arg_f64(ev, "predicted_ns"),
+                observed_ns: arg_f64(ev, "observed_ns"),
+                drift: arg_f64(ev, "drift"),
+                raised: arg_u64(ev, "raised") != 0,
+            },
             n if n.starts_with("stage:") => EventKind::Stage {
                 branch: arg_u64(ev, "branch") as u32,
                 stage: arg_u64(ev, "stage") as u32,
@@ -357,6 +386,65 @@ fn check_sim_lanes(trace: &Trace, path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Rejects corrupt control-plane timelines: `epoch` markers must be
+/// strictly increasing per track (the controller's epoch counter is
+/// monotonic by construction), and the reconfiguration windows implied
+/// by applied `controller_decision` swaps (`[ts, ts + swap_ns]`) must
+/// not overlap on one track — two live swaps cannot be in flight on the
+/// same chain at once (the two-phase swap drains before it applies).
+fn check_control_plane(trace: &Trace, path: &str) -> Result<(), String> {
+    let mut epochs: BTreeMap<u64, Vec<(f64, u64)>> = BTreeMap::new();
+    let mut swaps: BTreeMap<u64, Vec<(f64, f64)>> = BTreeMap::new();
+    for ev in &trace.events {
+        if ev.get("pid").and_then(Value::as_u64) != Some(2) {
+            continue;
+        }
+        let tid = ev.get("tid").and_then(Value::as_u64).unwrap_or(0);
+        let ts = num_field(ev, "ts").unwrap_or(0.0);
+        match str_field(ev, "name") {
+            Some("epoch") => epochs
+                .entry(tid)
+                .or_default()
+                .push((ts, arg_u64(ev, "epoch"))),
+            Some("controller_decision") => {
+                let swap_ns = arg_f64(ev, "swap_ns");
+                let applied = (arg_f64(ev, "old_ratio") - arg_f64(ev, "new_ratio")).abs() > 1e-9
+                    || swap_ns > 0.0;
+                if applied && swap_ns > 0.0 {
+                    // ts is in us; swap_ns is charged in ns.
+                    swaps.entry(tid).or_default().push((ts, ts + swap_ns / 1e3));
+                }
+            }
+            _ => {}
+        }
+    }
+    for (tid, mut markers) in epochs {
+        markers.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for w in markers.windows(2) {
+            if w[1].1 <= w[0].1 {
+                return Err(format!(
+                    "{path}: non-monotonic epoch markers on track {tid}: epoch {} at \
+                     {:.3} us follows epoch {} at {:.3} us",
+                    w[1].1, w[1].0, w[0].1, w[0].0
+                ));
+            }
+        }
+    }
+    for (tid, mut windows) in swaps {
+        windows.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        for w in windows.windows(2) {
+            if w[1].0 < w[0].1 - 1e-9 {
+                return Err(format!(
+                    "{path}: overlapping swap windows on track {tid}: swap at {:.3} us \
+                     starts before the previous swap drains at {:.3} us",
+                    w[1].0, w[0].1
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 fn by_category(trace: &Trace) -> BTreeMap<String, u64> {
     let mut cats = BTreeMap::new();
     for ev in &trace.events {
@@ -417,6 +505,7 @@ fn cmd_validate(paths: &[String], require: &[String]) -> Result<(), String> {
             }
         }
         check_sim_lanes(&trace, path)?;
+        check_control_plane(&trace, path)?;
         for (cat, n) in by_category(&trace) {
             *union.entry(cat).or_insert(0) += n;
         }
@@ -566,12 +655,261 @@ fn cmd_attribution(path: &str, as_json: bool) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_critical(path: &str) -> Result<(), String> {
+/// Aggregated health-plane state re-read from a trace's `slo_burn` and
+/// `model_drift` instants. Integer fields are the CI gate: they are
+/// derived from the deterministic simulated timeline, so a committed
+/// baseline stays stable across machines.
+#[derive(Debug, Default)]
+struct HealthReport {
+    /// objective -> (verdicts, breaches, max fast burn, max slow burn).
+    objectives: BTreeMap<String, (u64, u64, f64, f64)>,
+    drift_verdicts: u64,
+    drift_raised: u64,
+    max_drift: f64,
+    first_raised_epoch: u64,
+}
+
+fn health_report(trace: &Trace) -> HealthReport {
+    let mut rep = HealthReport::default();
+    for ev in &trace.events {
+        match str_field(ev, "name") {
+            Some("slo_burn") => {
+                let o = rep
+                    .objectives
+                    .entry(arg_str(ev, "objective").to_string())
+                    .or_insert((0, 0, 0.0, 0.0));
+                o.0 += 1;
+                o.1 += arg_u64(ev, "breached");
+                o.2 = o.2.max(arg_f64(ev, "fast_burn"));
+                o.3 = o.3.max(arg_f64(ev, "slow_burn"));
+            }
+            Some("model_drift") => {
+                rep.drift_verdicts += 1;
+                rep.max_drift = rep.max_drift.max(arg_f64(ev, "drift"));
+                if arg_u64(ev, "raised") != 0 {
+                    rep.drift_raised += 1;
+                    if rep.first_raised_epoch == 0 {
+                        rep.first_raised_epoch = arg_u64(ev, "epoch");
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    rep
+}
+
+fn health_json(rep: &HealthReport) -> Value {
+    let mut slo = json!({});
+    for (name, (verdicts, breaches, fast, slow)) in &rep.objectives {
+        slo[name.as_str()] = json!({
+            "verdicts": verdicts,
+            "breaches": breaches,
+            "max_fast_burn": fast,
+            "max_slow_burn": slow,
+        });
+    }
+    json!({
+        "slo": slo,
+        "drift": {
+            "verdicts": rep.drift_verdicts,
+            "raised": rep.drift_raised,
+            "max_drift": rep.max_drift,
+            "first_raised_epoch": rep.first_raised_epoch,
+        },
+    })
+}
+
+fn cmd_health(path: &str, as_json: bool, baseline: Option<&str>) -> Result<(), String> {
+    let trace = load(path)?;
+    let rep = health_report(&trace);
+    if rep.objectives.is_empty() && rep.drift_verdicts == 0 {
+        return Err(format!(
+            "{path}: no health events (SLO unarmed or telemetry off)"
+        ));
+    }
+    if let Some(base_path) = baseline {
+        // The gate compares the integer verdict/breach counters exactly:
+        // they are simulated-time facts, so any change is a real
+        // behavioural change, not measurement noise.
+        let body = std::fs::read_to_string(base_path)
+            .map_err(|e| format!("cannot read {base_path}: {e}"))?;
+        let base: Value =
+            serde_json::from_str(&body).map_err(|e| format!("{base_path}: bad JSON: {e}"))?;
+        let cur = health_json(&rep);
+        let mut mismatches = Vec::new();
+        for (obj, stats) in &rep.objectives {
+            for key in ["verdicts", "breaches"] {
+                let want = base["slo"][obj.as_str()][key].as_u64();
+                let got = if key == "verdicts" { stats.0 } else { stats.1 };
+                if want != Some(got) {
+                    mismatches.push(format!("slo.{obj}.{key}: baseline {want:?}, trace {got}"));
+                }
+            }
+        }
+        for key in ["verdicts", "raised"] {
+            let want = base["drift"][key].as_u64();
+            let got = cur["drift"][key].as_u64().unwrap_or(0);
+            if want != Some(got) {
+                mismatches.push(format!("drift.{key}: baseline {want:?}, trace {got}"));
+            }
+        }
+        if !mismatches.is_empty() {
+            return Err(format!(
+                "{path}: health state diverged from {base_path}:\n  {}",
+                mismatches.join("\n  ")
+            ));
+        }
+    }
+    if as_json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&health_json(&rep)).expect("serializable")
+        );
+        return Ok(());
+    }
+    println!("trace     {path}");
+    for (obj, (verdicts, breaches, fast, slow)) in &rep.objectives {
+        println!(
+            "slo {obj:<12} verdicts {verdicts:>4}   breaches {breaches:>4}   \
+             max burn fast {fast:.2} / slow {slow:.2}"
+        );
+    }
+    if rep.drift_verdicts > 0 {
+        println!(
+            "drift              verdicts {:>4}   raised {:>6}   max drift {:.3}{}",
+            rep.drift_verdicts,
+            rep.drift_raised,
+            rep.max_drift,
+            if rep.drift_raised > 0 {
+                format!("   first raised @ epoch {}", rep.first_raised_epoch)
+            } else {
+                String::new()
+            }
+        );
+    }
+    if baseline.is_some() {
+        println!("OK — health state matches baseline");
+    }
+    Ok(())
+}
+
+fn whatif_json(rep: &WhatIfReport) -> Value {
+    json!({
+        "element": rep.element,
+        "factor": rep.factor,
+        "matched_resources": rep.matched_resources,
+        "batches": rep.batches,
+        "baseline_mean_e2e_ns": rep.baseline_mean_e2e_ns,
+        "predicted_mean_e2e_ns": rep.predicted_mean_e2e_ns,
+        "speedup": rep.speedup,
+        "epochs": rep.epochs.iter().map(|e| json!({
+            "epoch": e.epoch,
+            "seq": e.seq,
+            "baseline_ns": e.baseline_ns,
+            "predicted_ns": e.predicted_ns,
+        })).collect::<Vec<_>>(),
+    })
+}
+
+fn cmd_whatif(path: &str, speedup: &str, as_json: bool) -> Result<(), String> {
+    let (element, factor) = speedup
+        .split_once('=')
+        .and_then(|(e, k)| k.parse::<f64>().ok().map(|k| (e.trim(), k)))
+        .ok_or_else(|| format!("--speedup wants <element>=<factor>, got {speedup:?}"))?;
+    if !(factor.is_finite() && factor > 0.0) {
+        return Err(format!("--speedup factor must be positive, got {factor}"));
+    }
+    let trace = load(path)?;
+    let events = typed_events(&trace);
+    let rep = whatif(&events, element, factor);
+    if rep.batches == 0 {
+        return Err(format!("{path}: no attributed batches to project"));
+    }
+    if rep.matched_resources.is_empty() {
+        return Err(format!(
+            "{path}: no resource lane matches {element:?} (try `summary` for lane names)"
+        ));
+    }
+    if as_json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&whatif_json(&rep)).expect("serializable")
+        );
+        return Ok(());
+    }
+    println!("trace     {path}");
+    println!(
+        "what-if   {}x faster {:?}  (matched lanes: {})",
+        factor,
+        element,
+        rep.matched_resources.join(", ")
+    );
+    println!(
+        "baseline  mean e2e {:.2} us over {} batches",
+        rep.baseline_mean_e2e_ns / 1e3,
+        rep.batches
+    );
+    println!(
+        "predicted mean e2e {:.2} us  ->  chain speedup {:.3}x",
+        rep.predicted_mean_e2e_ns / 1e3,
+        rep.speedup
+    );
+    if !rep.epochs.is_empty() {
+        println!(
+            "{:>6} {:>8} {:>14} {:>14} {:>9}",
+            "epoch", "batch", "baseline(us)", "predicted(us)", "speedup"
+        );
+        for e in &rep.epochs {
+            let s = if e.predicted_ns > 0.0 {
+                e.baseline_ns / e.predicted_ns
+            } else {
+                1.0
+            };
+            println!(
+                "{:>6} {:>8} {:>14.2} {:>14.2} {:>8.3}x",
+                e.epoch,
+                e.seq,
+                e.baseline_ns / 1e3,
+                e.predicted_ns / 1e3,
+                s
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_critical(path: &str, as_json: bool) -> Result<(), String> {
     let trace = load(path)?;
     let events = typed_events(&trace);
     let paths = critical_paths(&events);
     if paths.is_empty() {
         return Err(format!("{path}: no attributed batches to walk"));
+    }
+    if as_json {
+        let rows: Vec<Value> = paths
+            .iter()
+            .map(|p| {
+                json!({
+                    "epoch": p.epoch,
+                    "seq": p.seq,
+                    "e2e_ns": p.e2e_ns,
+                    "busy_ns": p.busy_ns,
+                    "wait_ns": p.wait_ns,
+                    "segments": p.segments.iter().map(|s| json!({
+                        "name": s.name,
+                        "start_ns": s.start_ns,
+                        "busy_ns": s.busy_ns,
+                        "wait_ns": s.wait_ns,
+                    })).collect::<Vec<_>>(),
+                })
+            })
+            .collect();
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&Value::Array(rows)).expect("serializable")
+        );
+        return Ok(());
     }
     println!("trace     {path}");
     for p in &paths {
@@ -736,8 +1074,8 @@ fn cmd_calibrate(path: &str, launch_per_batch: bool) -> Result<(), String> {
 }
 
 const USAGE: &str = "usage: nfc-trace <summary|validate|prom|controller|attribution|critical-path|\
-flame|diff|calibrate> <trace.json>... [--require cat1,cat2] [--json] [--wall] \
-[--threshold pct] [--launch-per-batch]";
+flame|diff|calibrate|health|whatif> <trace.json>... [--require cat1,cat2] [--json] [--wall] \
+[--threshold pct] [--launch-per-batch] [--baseline health.json] [--speedup element=k]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -751,6 +1089,8 @@ fn main() -> ExitCode {
     let mut wall = false;
     let mut launch_per_batch = false;
     let mut threshold_pct = 10.0;
+    let mut baseline: Option<String> = None;
+    let mut speedup: Option<String> = None;
     let mut rest = args[1..].iter();
     while let Some(arg) = rest.next() {
         match arg.as_str() {
@@ -767,6 +1107,14 @@ fn main() -> ExitCode {
             "--json" => as_json = true,
             "--wall" => wall = true,
             "--launch-per-batch" => launch_per_batch = true,
+            "--baseline" => match rest.next() {
+                Some(p) => baseline = Some(p.clone()),
+                None => return fail("--baseline needs a committed health JSON path"),
+            },
+            "--speedup" => match rest.next() {
+                Some(s) => speedup = Some(s.clone()),
+                None => return fail("--speedup needs <element>=<factor>"),
+            },
             flag if flag.starts_with("--") => {
                 return fail(&format!("unknown flag {flag:?}\n{USAGE}"))
             }
@@ -782,8 +1130,15 @@ fn main() -> ExitCode {
         "prom" => paths.iter().try_for_each(|p| cmd_prom(p)),
         "controller" => paths.iter().try_for_each(|p| cmd_controller(p)),
         "attribution" => paths.iter().try_for_each(|p| cmd_attribution(p, as_json)),
-        "critical-path" => paths.iter().try_for_each(|p| cmd_critical(p)),
+        "critical-path" => paths.iter().try_for_each(|p| cmd_critical(p, as_json)),
         "flame" => paths.iter().try_for_each(|p| cmd_flame(p, wall)),
+        "health" => paths
+            .iter()
+            .try_for_each(|p| cmd_health(p, as_json, baseline.as_deref())),
+        "whatif" => match &speedup {
+            Some(s) => paths.iter().try_for_each(|p| cmd_whatif(p, s, as_json)),
+            None => Err("whatif needs --speedup <element>=<factor>".into()),
+        },
         "diff" => {
             if paths.len() != 2 {
                 return fail("diff needs exactly two paths: <baseline.json> <trace.json>");
@@ -869,6 +1224,150 @@ mod tests {
         let trace = parse(&wrap(&[stripped]), "t.json").expect("parses");
         let violation = check_event(&trace.events[0]).expect("rejected");
         assert!(violation.contains("occupancy_pct"), "{violation}");
+    }
+
+    fn epoch_line(tid: u64, ts: f64, epoch: u64) -> String {
+        format!(
+            "{{\"name\":\"epoch\",\"cat\":\"control\",\"ph\":\"i\",\"s\":\"t\",\"pid\":2,\
+             \"tid\":{tid},\"ts\":{ts},\"args\":{{\"wall_ns\":0,\"batch\":0,\"epoch\":{epoch}}}}}"
+        )
+    }
+
+    fn swap_line(tid: u64, ts: f64, swap_ns: f64) -> String {
+        format!(
+            "{{\"name\":\"controller_decision\",\"cat\":\"control\",\"ph\":\"i\",\"s\":\"t\",\
+             \"pid\":2,\"tid\":{tid},\"ts\":{ts},\"args\":{{\"wall_ns\":0,\"batch\":0,\
+             \"epoch\":1,\"stage\":\"dpi\",\"reason\":\"x\",\"old_ratio\":0.2,\
+             \"new_ratio\":0.6,\"swap_ns\":{swap_ns}}}}}"
+        )
+    }
+
+    #[test]
+    fn corrupt_trace_with_non_monotonic_epochs_is_rejected() {
+        let ok = parse(
+            &wrap(&[epoch_line(1, 10.0, 1), epoch_line(1, 20.0, 2)]),
+            "t.json",
+        )
+        .expect("parses");
+        assert!(check_control_plane(&ok, "t.json").is_ok());
+
+        // Same epoch twice: the counter went backwards or stalled.
+        let bad = parse(
+            &wrap(&[epoch_line(1, 10.0, 2), epoch_line(1, 20.0, 2)]),
+            "t.json",
+        )
+        .expect("parses");
+        let err = check_control_plane(&bad, "t.json").expect_err("rejected");
+        assert!(err.contains("non-monotonic epoch markers"), "{err}");
+
+        // A later marker with a smaller epoch (out-of-order writes).
+        let bad = parse(
+            &wrap(&[epoch_line(1, 10.0, 3), epoch_line(1, 20.0, 1)]),
+            "t.json",
+        )
+        .expect("parses");
+        assert!(check_control_plane(&bad, "t.json").is_err());
+
+        // Distinct tracks (co-deployed tenants) keep separate counters.
+        let multi = parse(
+            &wrap(&[epoch_line(1, 10.0, 5), epoch_line(2, 20.0, 1)]),
+            "t.json",
+        )
+        .expect("parses");
+        assert!(check_control_plane(&multi, "t.json").is_ok());
+    }
+
+    #[test]
+    fn corrupt_trace_with_overlapping_swap_windows_is_rejected() {
+        // Swap at 10 us draining 5000 ns holds the lane until 15 us.
+        let ok = parse(
+            &wrap(&[swap_line(1, 10.0, 5_000.0), swap_line(1, 15.5, 5_000.0)]),
+            "t.json",
+        )
+        .expect("parses");
+        assert!(check_control_plane(&ok, "t.json").is_ok());
+
+        let bad = parse(
+            &wrap(&[swap_line(1, 10.0, 5_000.0), swap_line(1, 12.0, 5_000.0)]),
+            "t.json",
+        )
+        .expect("parses");
+        let err = check_control_plane(&bad, "t.json").expect_err("rejected");
+        assert!(err.contains("overlapping swap windows"), "{err}");
+
+        // Overlap on different tracks is two tenants swapping — fine.
+        let multi = parse(
+            &wrap(&[swap_line(1, 10.0, 5_000.0), swap_line(2, 12.0, 5_000.0)]),
+            "t.json",
+        )
+        .expect("parses");
+        assert!(check_control_plane(&multi, "t.json").is_ok());
+    }
+
+    fn slo_line(ts: f64, epoch: u64, fast: f64, slow: f64, breached: u64) -> String {
+        format!(
+            "{{\"name\":\"slo_burn\",\"cat\":\"health\",\"ph\":\"i\",\"s\":\"t\",\"pid\":2,\
+             \"tid\":1,\"ts\":{ts},\"args\":{{\"wall_ns\":0,\"batch\":0,\"epoch\":{epoch},\
+             \"objective\":\"p99_latency\",\"fast_burn\":{fast},\"slow_burn\":{slow},\
+             \"breached\":{breached}}}}}"
+        )
+    }
+
+    fn drift_line(ts: f64, epoch: u64, drift: f64, raised: u64) -> String {
+        format!(
+            "{{\"name\":\"model_drift\",\"cat\":\"health\",\"ph\":\"i\",\"s\":\"t\",\"pid\":2,\
+             \"tid\":1,\"ts\":{ts},\"args\":{{\"wall_ns\":0,\"batch\":0,\"epoch\":{epoch},\
+             \"predicted_ns\":1000.0,\"observed_ns\":1800.0,\"drift\":{drift},\
+             \"raised\":{raised}}}}}"
+        )
+    }
+
+    #[test]
+    fn health_report_aggregates_and_gates_against_baseline() {
+        let body = wrap(&[
+            slo_line(10.0, 1, 0.5, 0.2, 0),
+            slo_line(20.0, 2, 3.0, 1.5, 1),
+            drift_line(10.0, 1, 0.1, 0),
+            drift_line(20.0, 2, 0.8, 1),
+            drift_line(30.0, 3, 0.9, 1),
+        ]);
+        let trace = parse(&body, "t.json").expect("parses");
+        let rep = health_report(&trace);
+        let p99 = rep.objectives.get("p99_latency").expect("objective");
+        assert_eq!((p99.0, p99.1), (2, 1));
+        assert!((p99.2 - 3.0).abs() < 1e-12 && (p99.3 - 1.5).abs() < 1e-12);
+        assert_eq!(rep.drift_verdicts, 3);
+        assert_eq!(rep.drift_raised, 2);
+        assert_eq!(rep.first_raised_epoch, 2);
+        assert!((rep.max_drift - 0.9).abs() < 1e-12);
+
+        // The JSON round-trips through the baseline gate's own fields.
+        let js = health_json(&rep);
+        assert_eq!(js["slo"]["p99_latency"]["breaches"].as_u64(), Some(1));
+        assert_eq!(js["drift"]["raised"].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn typed_events_roundtrip_health_instants() {
+        let trace = parse(
+            &wrap(&[slo_line(10.0, 1, 2.0, 1.0, 1), drift_line(10.0, 1, 0.5, 1)]),
+            "t.json",
+        )
+        .expect("parses");
+        let events = typed_events(&trace);
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            events[0].kind,
+            EventKind::SloBurn {
+                objective: "p99_latency",
+                breached: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            events[1].kind,
+            EventKind::ModelDrift { raised: true, .. }
+        ));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! fixed hand-off latency of [`ControllerConfig::refine_latency_epochs`]
 //! epochs — and its plan is adopted only if it beats the one in effect.
 
-use crate::detector::{ChangeDetector, Decision, TriggerReason};
+use crate::detector::{ChangeDetector, Decision, HealthSignal, TriggerReason};
 use crate::signature::{SignatureWindow, WorkloadSignature};
 
 /// Controller tuning. The defaults are deliberately conservative: a 30 %
@@ -155,6 +155,20 @@ impl Controller {
 
     /// Feeds one epoch signature; returns the action for this boundary.
     pub fn observe(&mut self, sig: WorkloadSignature) -> Action {
+        self.observe_with_signals(sig, &[])
+    }
+
+    /// Like [`Controller::observe`], additionally weighing the health
+    /// plane's externally-computed signals (SLO burn-rate breaches,
+    /// cost-model drift) against the same threshold, hysteresis, and
+    /// cooldown as the workload drift metrics. A disabled controller
+    /// ignores signals entirely, so the differential oracle is
+    /// unaffected by whatever the health plane reports.
+    pub fn observe_with_signals(
+        &mut self,
+        sig: WorkloadSignature,
+        signals: &[HealthSignal],
+    ) -> Action {
         self.epoch += 1;
         if !self.cfg.enabled {
             return Action::Hold;
@@ -171,7 +185,7 @@ impl Controller {
             self.reference = Some(self.window.mean());
             return Action::Hold;
         };
-        match self.detector.observe(&sig, reference) {
+        match self.detector.observe_with(&sig, reference, signals) {
             Decision::Hold => Action::Hold,
             Decision::Trigger(reason) => {
                 self.pending_refine =
@@ -259,6 +273,29 @@ mod tests {
         c.note_swap();
         for _ in 0..10 {
             assert_eq!(c.observe(sig(40_000.0)), Action::Hold);
+        }
+    }
+
+    #[test]
+    fn health_signals_trigger_through_the_controller() {
+        use crate::detector::HealthSignal;
+        let mut c = Controller::new(cfg());
+        let burn = [HealthSignal {
+            metric: "slo:p99_latency",
+            drift: 4.0,
+        }];
+        assert_eq!(c.observe(sig(10_000.0)), Action::Hold); // reference
+                                                            // Steady traffic, sustained SLO burn: the health signal alone
+                                                            // trips the hysteresis.
+        assert_eq!(c.observe_with_signals(sig(10_000.0), &burn), Action::Hold);
+        match c.observe_with_signals(sig(10_000.0), &burn) {
+            Action::FastRepartition(r) => assert_eq!(r.metric, "slo:p99_latency"),
+            other => panic!("sustained SLO burn must re-partition, got {other:?}"),
+        }
+        // A disabled controller ignores health signals entirely.
+        let mut d = Controller::new(ControllerConfig::disabled());
+        for _ in 0..10 {
+            assert_eq!(d.observe_with_signals(sig(10_000.0), &burn), Action::Hold);
         }
     }
 

@@ -41,6 +41,24 @@ pub enum Decision {
     Trigger(TriggerReason),
 }
 
+/// An externally-computed drift signal fed into the detector alongside
+/// the workload metrics: the health plane's SLO burn-rate breaches and
+/// cost-model drift verdicts arrive this way, so "p99 is burning
+/// budget" and "the model is off by 30%" share the same hysteresis and
+/// cooldown as "the traffic shifted".
+///
+/// `drift` is on the detector's relative-drift scale (compared against
+/// the same threshold as the workload metrics); callers normalize
+/// before feeding, e.g. the runtime forwards an SLO breach as its
+/// fast-window burn rate and a drift verdict as its relative residual.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthSignal {
+    /// Signal label (e.g. `slo:p99_latency`, `model_drift`).
+    pub metric: &'static str,
+    /// Drift magnitude on the detector's relative scale.
+    pub drift: f64,
+}
+
 /// Relative-drift change detector with hysteresis and cooldown.
 #[derive(Debug, Clone)]
 pub struct ChangeDetector {
@@ -107,12 +125,35 @@ impl ChangeDetector {
     /// Call [`ChangeDetector::swapped`] when the runtime actually adopts
     /// a new plan.
     pub fn observe(&mut self, cur: &WorkloadSignature, reference: &WorkloadSignature) -> Decision {
+        self.observe_with(cur, reference, &[])
+    }
+
+    /// Like [`ChangeDetector::observe`], but the worst drift is taken
+    /// over the workload metrics *and* the supplied health signals, so
+    /// SLO-burn and model-drift triggers share one streak and one
+    /// cooldown with workload-shift triggers (at most one re-partition
+    /// per cooldown window, whatever fired it).
+    pub fn observe_with(
+        &mut self,
+        cur: &WorkloadSignature,
+        reference: &WorkloadSignature,
+        signals: &[HealthSignal],
+    ) -> Decision {
         if self.cooldown_left > 0 {
             self.cooldown_left -= 1;
             self.streak = 0;
             return Decision::Hold;
         }
-        let worst = Self::drift(cur, reference);
+        let mut worst = Self::drift(cur, reference);
+        for s in signals {
+            if s.drift.is_finite() && s.drift > worst.drift {
+                worst = TriggerReason {
+                    stage: 0,
+                    metric: s.metric,
+                    drift: s.drift,
+                };
+            }
+        }
         if worst.drift > self.threshold {
             self.streak += 1;
         } else {
@@ -200,5 +241,48 @@ mod tests {
         let reference = sig(0.0);
         let worst = ChangeDetector::drift(&sig(100.0), &reference);
         assert!(worst.drift.is_finite());
+    }
+
+    #[test]
+    fn health_signals_share_streak_and_cooldown() {
+        let mut d = ChangeDetector::new(0.3, 2, 2);
+        let reference = sig(10_000.0);
+        let steady = sig(10_000.0);
+        let burn = [HealthSignal {
+            metric: "slo:p99_latency",
+            drift: 5.0,
+        }];
+        // Signals alone build the streak even with steady traffic.
+        assert_eq!(d.observe_with(&steady, &reference, &burn), Decision::Hold);
+        match d.observe_with(&steady, &reference, &burn) {
+            Decision::Trigger(r) => {
+                assert_eq!(r.metric, "slo:p99_latency");
+                assert_eq!(r.drift, 5.0);
+            }
+            Decision::Hold => panic!("sustained health signal must trigger"),
+        }
+        // The shared cooldown suppresses both signal- and workload-
+        // driven triggers after a swap.
+        d.swapped();
+        assert_eq!(d.observe_with(&steady, &reference, &burn), Decision::Hold);
+        assert_eq!(
+            d.observe_with(&sig(40_000.0), &reference, &burn),
+            Decision::Hold
+        );
+        // A quiet epoch (no signal, steady traffic) resets the streak.
+        assert_eq!(d.observe_with(&steady, &reference, &burn), Decision::Hold);
+        assert_eq!(d.observe_with(&steady, &reference, &[]), Decision::Hold);
+        assert_eq!(d.observe_with(&steady, &reference, &burn), Decision::Hold);
+        // The larger of workload drift and signal drift wins the label.
+        match d.observe_with(&sig(100_000.0), &reference, &burn) {
+            Decision::Trigger(r) => assert_eq!(r.metric, "cpu_ns"),
+            Decision::Hold => panic!("streak complete, must trigger"),
+        }
+        // Non-finite signals are ignored.
+        let nan = [HealthSignal {
+            metric: "model_drift",
+            drift: f64::NAN,
+        }];
+        assert_eq!(d.observe_with(&steady, &reference, &nan), Decision::Hold);
     }
 }

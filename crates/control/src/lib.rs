@@ -32,5 +32,5 @@ pub mod detector;
 pub mod signature;
 
 pub use controller::{Action, AdaptationRecord, Controller, ControllerConfig, ControllerReport};
-pub use detector::{ChangeDetector, Decision, TriggerReason};
+pub use detector::{ChangeDetector, Decision, HealthSignal, TriggerReason};
 pub use signature::{SignatureWindow, StageSignature, WorkloadSignature};

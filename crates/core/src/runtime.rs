@@ -29,8 +29,8 @@ use crate::sfc::Sfc;
 use crate::synthesizer::{synthesize, SynthesisReport};
 use nfc_click::{CompiledGraph, GraphStats, Offload};
 use nfc_control::{
-    Action, AdaptationRecord, Controller, ControllerConfig, ControllerReport, StageSignature,
-    WorkloadSignature,
+    Action, AdaptationRecord, Controller, ControllerConfig, ControllerReport, HealthSignal,
+    StageSignature, WorkloadSignature,
 };
 use nfc_hetero::{
     calib, residency, CoRunContext, CostModel, GpuMode, PipelineSim, PlatformConfig, ResourceId,
@@ -41,7 +41,8 @@ use nfc_nf::Nf;
 use nfc_packet::traffic::TrafficGenerator;
 use nfc_packet::Batch;
 use nfc_telemetry::{
-    EventKind, Recorder, Telemetry, TelemetryHandle, TelemetryMode, TelemetrySummary,
+    DriftWatchdog, EventKind, HealthState, Recorder, SketchKey, SketchSet, SloSpec, Telemetry,
+    TelemetryHandle, TelemetryMode, TelemetrySummary,
 };
 
 /// How a deployment schedules work.
@@ -164,7 +165,7 @@ impl PlatformResources {
         let io_rx = sim.add_resource("io-rx", 0.0);
         let io_tx = sim.add_resource("io-tx", 0.0);
         let gpu_queues = (0..model.platform().gpu.count)
-            .map(|i| sim.add_resource(format!("gpu{i}"), calib::GPU_CONTEXT_SWITCH_NS))
+            .map(|i| sim.add_resource(format!("gpu{i}"), model.gpu_ctx_switch_ns))
             .collect();
         let pcie_h2d = sim.add_resource("pcie-h2d", 0.0);
         let pcie_d2h = sim.add_resource("pcie-d2h", 0.0);
@@ -318,6 +319,15 @@ pub struct Deployment {
     /// first-fit packer for A/B comparison). Both obey the same
     /// never-oversubscribe spill rule.
     pub packer: residency::PackStrategy,
+    /// Service-level objective driving the live health plane (default
+    /// from the `NFC_SLO` environment variable; off when unset). When
+    /// set, the runtime streams per-batch latencies into mergeable
+    /// quantile sketches, evaluates multi-window SLO burn rates and the
+    /// cost-model drift watchdog at epoch boundaries, and feeds
+    /// breach/drift signals to the adaptive controller. The health plane
+    /// is purely observational: egress, statistics and the simulated
+    /// timeline are bit-identical with it on or off.
+    pub slo: Option<SloSpec>,
 }
 
 impl Deployment {
@@ -343,6 +353,7 @@ impl Deployment {
             lanes: None,
             simd: None,
             packer: residency::PackStrategy::default(),
+            slo: SloSpec::from_env(),
         }
     }
 
@@ -409,6 +420,22 @@ impl Deployment {
     /// Selects the SM-residency packer (see [`residency::PackStrategy`]).
     pub fn with_packer(mut self, packer: residency::PackStrategy) -> Self {
         self.packer = packer;
+        self
+    }
+
+    /// Arms the health plane with an explicit SLO, overriding the
+    /// `NFC_SLO` environment default. Health accounting is purely
+    /// observational: egress, statistics and the simulated timeline are
+    /// bit-identical with the plane on or off.
+    pub fn with_slo(mut self, spec: SloSpec) -> Self {
+        self.slo = Some(spec);
+        self
+    }
+
+    /// Disarms the health plane regardless of `NFC_SLO` (the
+    /// differential baseline configuration).
+    pub fn without_slo(mut self) -> Self {
+        self.slo = None;
         self
     }
 
@@ -737,7 +764,11 @@ impl Deployment {
                 }
                 since_epoch = 0;
                 let sig = prep.epoch_signature(batch_size, sim.backlog_ns(res.pcie_h2d, now));
-                let action = controller.observe(sig);
+                // Health signals queued since the last boundary (SLO
+                // breaches, raised drift) weigh in beside the workload
+                // drift, sharing its hysteresis and cooldown.
+                let signals = prep.take_health_signals();
+                let action = controller.observe_with_signals(sig, &signals);
                 report.epochs = controller.epoch();
                 // Epoch boundary marker: delimits per-epoch critical
                 // paths in the attribution layer.
@@ -1004,6 +1035,7 @@ impl Deployment {
             swap_spans: Vec::new(),
             residency,
             packer: self.packer,
+            health: self.slo.map(HealthPlane::new),
         }
     }
 
@@ -1271,6 +1303,13 @@ pub(crate) struct PreparedSfc {
     /// Packer strategy the deployment selected; re-used verbatim by
     /// every re-pack (re-adaptation, live repartitions).
     packer: residency::PackStrategy,
+    /// Live health plane (`None` when no SLO is armed): streaming
+    /// quantile sketches, multi-window SLO burn accounting, and the
+    /// cost-model drift watchdog. Strictly observational — it reads the
+    /// same timestamps the stats accumulator reads and only ever emits
+    /// telemetry instants and gauges, so egress, statistics and the
+    /// simulated timeline are bit-identical with the plane on or off.
+    health: Option<HealthPlane>,
 }
 
 /// Cumulative temporal-charge observation for one stage.
@@ -1282,6 +1321,66 @@ struct StageObs {
     cpu_ns: f64,
     kernel_ns: f64,
     gpu_packets: u64,
+}
+
+/// Health-plane state carried by a prepared SFC.
+///
+/// Sketches are recorded lock-free: each pool worker fills a private
+/// per-batch [`SketchSet`] shard inside the functional closure, and the
+/// shards are folded into the registry here in deterministic
+/// branch-major order after the join — no shared mutable state is ever
+/// touched concurrently. Epochs close every
+/// [`SloSpec::epoch_batches`] processed batches, independent of the
+/// adaptive controller's cadence; breach/drift signals accumulate in
+/// `pending` until the controller's next boundary drains them.
+struct HealthPlane {
+    /// Multi-window SLO burn-rate accounting.
+    state: HealthState,
+    /// Predicted-vs-observed latency residual watchdog.
+    watchdog: DriftWatchdog,
+    /// Merged sketch registry (chain e2e, drift ratios, per-stage times).
+    sketches: SketchSet,
+    /// Health epochs closed so far.
+    epoch: u64,
+    /// Batches (completed or dropped) since the last epoch boundary.
+    since_epoch: usize,
+    /// Current-epoch sum of model-predicted busy time, ns.
+    pred_sum: f64,
+    /// Current-epoch sum of observed end-to-end latency, ns.
+    obs_sum: f64,
+    /// Batches contributing to `pred_sum`/`obs_sum` this epoch.
+    drift_batches: u64,
+    /// Cumulative epochs with a raised drift verdict (gauge).
+    drift_raised: u64,
+    /// Signals awaiting the adaptive controller's next epoch boundary.
+    pending: Vec<HealthSignal>,
+}
+
+impl HealthPlane {
+    fn new(spec: SloSpec) -> Self {
+        HealthPlane {
+            state: HealthState::new(spec),
+            watchdog: DriftWatchdog::new(spec.drift_threshold, spec.drift_hysteresis_epochs),
+            sketches: SketchSet::new(nfc_telemetry::DEFAULT_SKETCH_ALPHA),
+            epoch: 0,
+            since_epoch: 0,
+            pred_sum: 0.0,
+            obs_sum: 0.0,
+            drift_batches: 0,
+            drift_raised: 0,
+            pending: Vec::new(),
+        }
+    }
+}
+
+/// Detector-facing label for a breached SLO objective.
+fn slo_signal_metric(objective: &'static str) -> &'static str {
+    match objective {
+        "p99_latency" => "slo:p99_latency",
+        "throughput" => "slo:throughput",
+        "drops" => "slo:drops",
+        _ => "slo:objective",
+    }
 }
 
 impl PreparedSfc {
@@ -1305,6 +1404,12 @@ impl PreparedSfc {
             .map(|s| sim.backlog_ns(s.cpu_res, arrival))
             .fold(sim.backlog_ns(res.io_rx, arrival), f64::max);
         if worst_backlog > sim.max_queue_ns {
+            if self.health.is_some() {
+                if let Some(h) = &mut self.health {
+                    h.state.observe_drop();
+                }
+                self.health_epoch_tick(sim, res, arrival);
+            }
             return BatchResult::Dropped { mean_arrival };
         }
         // Lineage tag: every event recorded while this batch is in
@@ -1364,8 +1469,16 @@ impl PreparedSfc {
             batch.shared_lanes();
         }
         let tel = &self.tel;
+        // Worker-local sketch shards: when the health plane is armed,
+        // each branch closure records its per-stage wall times into a
+        // private shard (lock-free by ownership) returned with the
+        // batch; the shards merge into the registry below in fixed
+        // branch order, so the merged sketches are deterministic in
+        // shape whatever thread interleaving occurred.
+        let health_on = self.health.is_some();
+        let sketch_alpha = nfc_telemetry::DEFAULT_SKETCH_ALPHA;
         let branch_refs: Vec<&mut Vec<StageExec>> = self.stages.iter_mut().collect();
-        let results: Vec<(Batch, Vec<StageCharge>)> =
+        let results: Vec<(Batch, Vec<StageCharge>, Option<SketchSet>)> =
             par_map_traced(self.exec_mode, branch_refs, tel, |bi, branch, rec| {
                 rec.set_batch(seq);
                 let mut cur = match dup {
@@ -1373,10 +1486,23 @@ impl PreparedSfc {
                     Duplication::DeepCopy => batch.deep_clone(),
                 };
                 let mut charges = Vec::with_capacity(branch.len());
+                let mut shard = health_on.then(|| SketchSet::new(sketch_alpha));
                 for (si, stage) in branch.iter_mut().enumerate() {
                     let packets = cur.len();
                     let t = rec.start();
+                    let wall = shard.is_some().then(std::time::Instant::now);
                     let (out, charge) = exec_stage_functional(stage, cur, rec);
+                    if let (Some(shard), Some(wall)) = (shard.as_mut(), wall) {
+                        let device = if charge.gpu_packets > 0 { "gpu" } else { "cpu" };
+                        shard.record(
+                            SketchKey::stage(
+                                "stage_wall_ns",
+                                ((bi as u32) << 8) | si as u32,
+                                device,
+                            ),
+                            wall.elapsed().as_nanos() as f64,
+                        );
+                    }
                     if rec.is_enabled() {
                         rec.wall_span(
                             t,
@@ -1391,7 +1517,7 @@ impl PreparedSfc {
                     cur = out;
                     charges.push(charge);
                 }
-                (cur, charges)
+                (cur, charges, shard)
             });
         // Temporal replay: sequential, in fixed branch-major stage order —
         // exactly the order the serial engine schedules in, so the
@@ -1404,9 +1530,12 @@ impl PreparedSfc {
         // populated while recording — the disabled path pays nothing.
         let mut hops: Vec<((f64, f64), bool)> = Vec::new();
         let mut flat = 0usize;
-        for (bi, (branch, (out, charges))) in self.stages.iter().zip(results).enumerate() {
+        for (bi, (branch, (out, charges, shard))) in self.stages.iter().zip(results).enumerate() {
+            if let (Some(h), Some(shard)) = (self.health.as_mut(), shard.as_ref()) {
+                h.sketches.merge_from(shard);
+            }
             let mut t = t0;
-            for (stage, charge) in branch.iter().zip(&charges) {
+            for (si, (stage, charge)) in branch.iter().zip(&charges).enumerate() {
                 let o = &mut self.obs[flat];
                 o.batches += 1;
                 o.packets += charge.in_packets as u64;
@@ -1436,6 +1565,15 @@ impl PreparedSfc {
                         }
                         _ => hops.push((rp.cpu, false)),
                     }
+                }
+                if let Some(h) = self.health.as_mut() {
+                    // Simulated per-stage latency (ready → released),
+                    // keyed by the same stage id as the wall shard.
+                    let device = if charge.gpu_packets > 0 { "gpu" } else { "cpu" };
+                    h.sketches.record(
+                        SketchKey::stage("stage_sim_ns", ((bi as u32) << 8) | si as u32, device),
+                        rp.end - t,
+                    );
                 }
                 t = rp.end;
             }
@@ -1477,11 +1615,130 @@ impl PreparedSfc {
             );
             sim.recorder_mut().set_batch(0);
         }
+        if self.health.is_some() {
+            if let Some(h) = &mut self.health {
+                let e2e = completed - mean_arrival;
+                h.state
+                    .observe_batch(e2e, out.total_bytes() as u64, mean_arrival, completed);
+                h.sketches.record(SketchKey::chain("e2e_ns"), e2e);
+            }
+            self.health_epoch_tick(sim, res, completed);
+        }
         BatchResult::Completed {
             mean_arrival,
             completed,
             out,
         }
+    }
+
+    /// Advances the health epoch counter by one processed batch and, at
+    /// the [`SloSpec::epoch_batches`] boundary, closes the epoch:
+    /// evaluates SLO burn rates and the drift watchdog, queues
+    /// controller signals for breaches/raises, and (while recording)
+    /// emits `health`-category instants and publishes the live gauges.
+    fn health_epoch_tick(&mut self, sim: &mut PipelineSim, res: &PlatformResources, now: f64) {
+        let Some(h) = &mut self.health else {
+            return;
+        };
+        h.since_epoch += 1;
+        if h.since_epoch < h.state.spec().epoch_batches.max(1) {
+            return;
+        }
+        h.since_epoch = 0;
+        h.epoch += 1;
+        let epoch = h.epoch;
+        let verdicts = h.state.epoch();
+        let drift = h.watchdog.epoch();
+        let recording = sim.recorder_mut().is_enabled();
+        let tx = res.io_tx.index() as u32;
+        for v in &verdicts {
+            if v.breached {
+                h.pending.push(HealthSignal {
+                    metric: slo_signal_metric(v.objective),
+                    drift: v.fast_burn,
+                });
+            }
+            if recording {
+                sim.recorder_mut().sim_instant(
+                    tx,
+                    now,
+                    EventKind::SloBurn {
+                        epoch,
+                        objective: v.objective,
+                        fast_burn: v.fast_burn,
+                        slow_burn: v.slow_burn,
+                        breached: v.breached,
+                    },
+                );
+                self.tel.set_gauge(
+                    &format!(
+                        "health_slo_burn{{objective=\"{}\",window=\"fast\"}}",
+                        v.objective
+                    ),
+                    v.fast_burn,
+                );
+                self.tel.set_gauge(
+                    &format!(
+                        "health_slo_burn{{objective=\"{}\",window=\"slow\"}}",
+                        v.objective
+                    ),
+                    v.slow_burn,
+                );
+            }
+        }
+        if let Some(d) = &drift {
+            if d.raised {
+                h.drift_raised += 1;
+                h.pending.push(HealthSignal {
+                    metric: "model_drift",
+                    drift: d.drift,
+                });
+            }
+            if recording {
+                let n = h.drift_batches.max(1) as f64;
+                sim.recorder_mut().sim_instant(
+                    tx,
+                    now,
+                    EventKind::ModelDrift {
+                        epoch,
+                        predicted_ns: h.pred_sum / n,
+                        observed_ns: h.obs_sum / n,
+                        drift: d.drift,
+                        raised: d.raised,
+                    },
+                );
+            }
+        }
+        h.pred_sum = 0.0;
+        h.obs_sum = 0.0;
+        h.drift_batches = 0;
+        if recording {
+            if let Some(s) = h.sketches.sketch(&SketchKey::chain("e2e_ns")) {
+                for q in [0.5, 0.95, 0.99, 0.999] {
+                    self.tel
+                        .set_gauge(&format!("health_e2e_ns{{quantile=\"{q}\"}}"), s.quantile(q));
+                }
+            }
+            if let Some(s) = h.sketches.sketch(&SketchKey::chain("drift_ratio")) {
+                for q in [0.5, 0.99] {
+                    self.tel.set_gauge(
+                        &format!("health_drift_ratio{{quantile=\"{q}\"}}"),
+                        s.quantile(q),
+                    );
+                }
+            }
+            self.tel
+                .set_gauge("health_model_drift_raised", h.drift_raised as f64);
+        }
+    }
+
+    /// Drains the breach/drift signals queued since the adaptive
+    /// controller's last epoch boundary. Empty when no SLO is armed.
+    pub(crate) fn take_health_signals(&mut self) -> Vec<HealthSignal> {
+        self.health
+            .as_mut()
+            .map(|h| std::mem::take(&mut h.pending))
+            .unwrap_or_default()
     }
 
     /// Computes the five-bucket latency decomposition for one completed
@@ -1556,6 +1813,21 @@ impl PreparedSfc {
         // Queueing is the residual, so the five buckets telescope to
         // the end-to-end latency exactly (modulo float rounding).
         let queue = (e2e - compute - transfer - merge_wait - drain).max(0.0);
+        // Drift watchdog: the model's prediction for this batch is the
+        // busy time it generated (compute + transfer); everything else
+        // (queueing, merge barriers, drain) is emergent platform
+        // behaviour the model must have budgeted for. A sustained
+        // observed/predicted ratio above the threshold means the cost
+        // constants no longer describe the platform.
+        if let Some(h) = &mut self.health {
+            let predicted = compute + transfer;
+            h.watchdog.observe(predicted, e2e, &mut h.sketches);
+            if predicted > 0.0 && e2e.is_finite() {
+                h.pred_sum += predicted;
+                h.obs_sum += e2e;
+                h.drift_batches += 1;
+            }
+        }
         let rec = sim.recorder_mut();
         let tx = res.io_tx.index() as u32;
         rec.sim_instant(

@@ -112,6 +112,13 @@ pub struct CostModel {
     platform: PlatformConfig,
     /// Dedicated CPU cores per NF instance (RSS-parallel workers).
     pub cores_per_nf: usize,
+    /// GPU context-switch penalty charged by the simulated GPU queues
+    /// when they change users, ns. Defaults to the calibrated
+    /// [`calib::GPU_CONTEXT_SWITCH_NS`]; overriding it perturbs the
+    /// *simulated platform* without touching the planner's predictions,
+    /// which is how the drift-watchdog tests inject a miscalibrated
+    /// model.
+    pub gpu_ctx_switch_ns: f64,
 }
 
 impl CostModel {
@@ -121,12 +128,19 @@ impl CostModel {
         CostModel {
             platform,
             cores_per_nf: calib::DEFAULT_CORES_PER_NF,
+            gpu_ctx_switch_ns: calib::GPU_CONTEXT_SWITCH_NS,
         }
     }
 
     /// Overrides the per-NF core allocation.
     pub fn with_cores_per_nf(mut self, cores: usize) -> Self {
         self.cores_per_nf = cores.max(1);
+        self
+    }
+
+    /// Overrides the simulated GPU context-switch penalty.
+    pub fn with_gpu_ctx_switch_ns(mut self, ns: f64) -> Self {
+        self.gpu_ctx_switch_ns = ns.max(0.0);
         self
     }
 

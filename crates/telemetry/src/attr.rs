@@ -332,6 +332,184 @@ pub fn critical_paths(events: &[Event]) -> Vec<EpochPath> {
         .collect()
 }
 
+/// One epoch's virtual-speedup estimate from [`whatif`]: the epoch's
+/// critical path re-telescoped with the target element sped up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhatIfEpoch {
+    /// Controller epoch index.
+    pub epoch: u64,
+    /// Lineage tag of the epoch's worst batch.
+    pub seq: u64,
+    /// The path's measured end-to-end latency.
+    pub baseline_ns: f64,
+    /// The path's predicted end-to-end latency under the speedup.
+    pub predicted_ns: f64,
+}
+
+/// Chain-level virtual-speedup estimate from [`whatif`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhatIfReport {
+    /// The element/resource substring that was virtually sped up.
+    pub element: String,
+    /// The speedup factor applied to matched busy time.
+    pub factor: f64,
+    /// Resource names that matched `element`.
+    pub matched_resources: Vec<String>,
+    /// Attributed batches the estimate aggregates over.
+    pub batches: u64,
+    /// Measured mean end-to-end batch latency.
+    pub baseline_mean_e2e_ns: f64,
+    /// Predicted mean end-to-end batch latency under the speedup.
+    pub predicted_mean_e2e_ns: f64,
+    /// Predicted end-to-end speedup (`baseline / predicted`).
+    pub speedup: f64,
+    /// Per-epoch worst-batch estimates (the critical paths).
+    pub epochs: Vec<WhatIfEpoch>,
+}
+
+/// Coz-style virtual-speedup ("what if") analysis: estimates the
+/// end-to-end effect of making one element `factor`× faster (or
+/// offloading it to a device that is `factor`× faster).
+///
+/// Every attributed batch's tagged `ResourceBusy` spans are walked with
+/// the same completion-frontier algorithm as [`critical_paths`], which
+/// splits its end-to-end latency into per-resource busy time plus
+/// dependency wait. Busy time on resources whose name contains
+/// `element` is divided by `factor`; wait time is kept unchanged
+/// (dependency waits are dominated by *other* resources, so holding
+/// them fixed is the conservative estimate — the same assumption coz
+/// makes when it slows everything else down instead). The chain-level
+/// speedup is the ratio of mean baseline to mean predicted latency
+/// over all attributed batches; per-epoch worst-batch paths are also
+/// reported for drill-down.
+pub fn whatif(events: &[Event], element: &str, factor: f64) -> WhatIfReport {
+    let factor = if factor.is_finite() && factor > 0.0 {
+        factor
+    } else {
+        1.0
+    };
+    let names = resource_names(events);
+    let matched_ids: std::collections::BTreeSet<u32> = names
+        .iter()
+        .filter(|(_, name)| name.contains(element))
+        .map(|(id, _)| *id)
+        .collect();
+    let matched_resources: Vec<String> = matched_ids
+        .iter()
+        .filter_map(|id| names.get(id).cloned())
+        .collect();
+
+    // Group every batch's busy spans in one pass.
+    let mut spans_by_batch: BTreeMap<u64, Vec<(f64, f64, u32)>> = BTreeMap::new();
+    for ev in events {
+        if let EventKind::ResourceBusy { resource, .. } = ev.kind {
+            if ev.batch != 0 {
+                if let Some(s) = ev.sim {
+                    spans_by_batch
+                        .entry(ev.batch)
+                        .or_default()
+                        .push((s.start_ns, s.end_ns, resource));
+                }
+            }
+        }
+    }
+    let mut ingress: BTreeMap<u64, f64> = BTreeMap::new();
+    for ev in events {
+        if let EventKind::BatchIngress { seq, .. } = ev.kind {
+            if let Some(s) = ev.sim {
+                ingress.insert(seq, s.start_ns);
+            }
+        }
+    }
+
+    // Frontier-walk one batch and return its predicted latency with
+    // matched busy time scaled by 1/factor.
+    let predict = |seq: u64, end_ns: f64, e2e_ns: f64| -> f64 {
+        let start = ingress.get(&seq).copied().unwrap_or(end_ns - e2e_ns);
+        let mut spans = match spans_by_batch.get(&seq) {
+            Some(s) => s.clone(),
+            None => return e2e_ns,
+        };
+        spans.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        let mut frontier = start;
+        let mut covered = 0.0; // busy + wait accounted by the walk
+        let mut predicted = 0.0;
+        for (s, e, resource) in spans {
+            if e <= frontier {
+                continue;
+            }
+            let wait = (s - frontier).max(0.0);
+            let busy = e - frontier.max(s);
+            covered += wait + busy;
+            predicted += wait;
+            predicted += if matched_ids.contains(&resource) {
+                busy / factor
+            } else {
+                busy
+            };
+            frontier = e;
+        }
+        // Any residual the spans do not cover (none in well-formed
+        // traces) is carried over unscaled.
+        predicted + (e2e_ns - covered).max(0.0)
+    };
+
+    let rows = batch_rows(events);
+    let mut baseline_sum = 0.0;
+    let mut predicted_sum = 0.0;
+    for row in &rows {
+        baseline_sum += row.e2e_ns;
+        predicted_sum += predict(row.seq, row.end_ns, row.e2e_ns);
+    }
+    let batches = rows.len() as u64;
+    let baseline_mean = if batches > 0 {
+        baseline_sum / batches as f64
+    } else {
+        0.0
+    };
+    let predicted_mean = if batches > 0 {
+        predicted_sum / batches as f64
+    } else {
+        0.0
+    };
+
+    let epochs = critical_paths(events)
+        .into_iter()
+        .map(|path| {
+            let mut predicted = 0.0;
+            for seg in &path.segments {
+                predicted += seg.wait_ns;
+                predicted += if matched_ids.contains(&seg.resource) {
+                    seg.busy_ns / factor
+                } else {
+                    seg.busy_ns
+                };
+            }
+            WhatIfEpoch {
+                epoch: path.epoch,
+                seq: path.seq,
+                baseline_ns: path.e2e_ns,
+                predicted_ns: predicted + (path.e2e_ns - path.busy_ns - path.wait_ns).max(0.0),
+            }
+        })
+        .collect();
+
+    WhatIfReport {
+        element: element.to_string(),
+        factor,
+        matched_resources,
+        batches,
+        baseline_mean_e2e_ns: baseline_mean,
+        predicted_mean_e2e_ns: predicted_mean,
+        speedup: if predicted_mean > 0.0 {
+            baseline_mean / predicted_mean
+        } else {
+            1.0
+        },
+        epochs,
+    }
+}
+
 /// Folded flame stacks over the simulated timeline: one line per
 /// `resource → busy|queued` frame with total nanoseconds, suitable for
 /// `flamegraph.pl` / speedscope folded-stack input.
@@ -899,6 +1077,79 @@ mod tests {
         let paths = critical_paths(&events);
         let epochs: Vec<(u64, u64)> = paths.iter().map(|p| (p.epoch, p.seq)).collect();
         assert_eq!(epochs, [(1, 1), (2, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn whatif_scales_matched_busy_and_keeps_waits() {
+        // Batch 7: ingress 100, hop on "cpu:heavy" [120,180] (wait 20,
+        // busy 60), hop on "cpu:light" [180,200] (busy 20), egress span
+        // on io-tx [210,230] (wait 10, busy 20). e2e = 130.
+        let buckets = Buckets {
+            compute_ns: 130.0,
+            ..Buckets::default()
+        };
+        let busy = |track: u32, s: f64, e: f64| {
+            sim_ev(
+                track,
+                7,
+                s,
+                e,
+                EventKind::ResourceBusy {
+                    resource: track,
+                    user: 1,
+                    queued_ns: 0.0,
+                },
+            )
+        };
+        let name = |track: u32, n: &str| {
+            sim_ev(
+                track,
+                0,
+                0.0,
+                0.0,
+                EventKind::ResourceName {
+                    resource: track,
+                    name: n.into(),
+                },
+            )
+        };
+        let events = vec![
+            name(2, "cpu:heavy"),
+            name(3, "cpu:light"),
+            name(1, "io-tx"),
+            sim_ev(
+                0,
+                7,
+                100.0,
+                100.0,
+                EventKind::BatchIngress {
+                    seq: 7,
+                    packets: 8,
+                    wire_bytes: 512,
+                },
+            ),
+            busy(2, 120.0, 180.0),
+            busy(3, 180.0, 200.0),
+            busy(1, 210.0, 230.0),
+            attr_ev(7, 230.0, buckets),
+        ];
+        let rep = whatif(&events, "heavy", 2.0);
+        assert_eq!(rep.matched_resources, vec!["cpu:heavy".to_string()]);
+        assert_eq!(rep.batches, 1);
+        assert!((rep.baseline_mean_e2e_ns - 130.0).abs() < 1e-9);
+        // Predicted: waits (20 + 10) + heavy busy 60/2 + light 20 +
+        // egress 20 = 100.
+        assert!((rep.predicted_mean_e2e_ns - 100.0).abs() < 1e-9, "{rep:?}");
+        assert!((rep.speedup - 1.3).abs() < 1e-9);
+        assert_eq!(rep.epochs.len(), 1);
+        assert!((rep.epochs[0].predicted_ns - 100.0).abs() < 1e-9);
+        // Speeding up an unmatched element changes nothing.
+        let noop = whatif(&events, "does-not-exist", 8.0);
+        assert!(noop.matched_resources.is_empty());
+        assert!((noop.speedup - 1.0).abs() < 1e-12);
+        // Degenerate factors clamp to the identity.
+        let degen = whatif(&events, "heavy", 0.0);
+        assert!((degen.speedup - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -281,13 +281,43 @@ pub enum EventKind {
         /// Epoch counter after the boundary.
         epoch: u64,
     },
+    /// Multi-window SLO burn state for one objective at an epoch
+    /// boundary (simulated-time instant, health plane).
+    SloBurn {
+        /// Health epoch the verdict closes.
+        epoch: u64,
+        /// Objective name (`p99_latency`, `throughput`, `drops`).
+        objective: &'static str,
+        /// Burn rate over the fast window.
+        fast_burn: f64,
+        /// Burn rate over the slow window.
+        slow_burn: f64,
+        /// True when both windows burn at or above the threshold.
+        breached: bool,
+    },
+    /// Cost-model drift verdict at an epoch boundary: the per-epoch
+    /// median of observed vs model-predicted batch latency
+    /// (simulated-time instant, health plane).
+    ModelDrift {
+        /// Health epoch the verdict closes.
+        epoch: u64,
+        /// Median model-predicted busy latency this epoch, ns.
+        predicted_ns: f64,
+        /// Median observed end-to-end latency this epoch, ns.
+        observed_ns: f64,
+        /// Relative drift: `max(0, median(observed/predicted) - 1)`.
+        drift: f64,
+        /// True when the drift exceeded the ceiling for the configured
+        /// number of consecutive epochs.
+        raised: bool,
+    },
 }
 
 impl EventKind {
     /// Coarse category, used as the Chrome-trace `cat` field and by
     /// `nfc-trace` for per-category summaries: one of `stage`,
     /// `element`, `batch`, `flow-cache`, `gpu`, `resource`,
-    /// `partition`, `control`, `worker`, `attr`.
+    /// `partition`, `control`, `worker`, `attr`, `health`.
     pub fn category(&self) -> &'static str {
         match self {
             EventKind::Stage { .. } => "stage",
@@ -307,6 +337,7 @@ impl EventKind {
             EventKind::BatchIngress { .. }
             | EventKind::BatchEgress { .. }
             | EventKind::BatchAttribution { .. } => "attr",
+            EventKind::SloBurn { .. } | EventKind::ModelDrift { .. } => "health",
         }
     }
 
@@ -338,6 +369,8 @@ impl EventKind {
             EventKind::BatchEgress { .. } => "batch_egress".to_string(),
             EventKind::BatchAttribution { .. } => "batch_attribution".to_string(),
             EventKind::Epoch { .. } => "epoch".to_string(),
+            EventKind::SloBurn { .. } => "slo_burn".to_string(),
+            EventKind::ModelDrift { .. } => "model_drift".to_string(),
         }
     }
 

@@ -256,6 +256,32 @@ fn args_json(ev: &Event) -> String {
         EventKind::Epoch { epoch } => {
             a.int("epoch", *epoch);
         }
+        EventKind::SloBurn {
+            epoch,
+            objective,
+            fast_burn,
+            slow_burn,
+            breached,
+        } => {
+            a.int("epoch", *epoch)
+                .str("objective", objective)
+                .num("fast_burn", *fast_burn)
+                .num("slow_burn", *slow_burn)
+                .int("breached", u64::from(*breached));
+        }
+        EventKind::ModelDrift {
+            epoch,
+            predicted_ns,
+            observed_ns,
+            drift,
+            raised,
+        } => {
+            a.int("epoch", *epoch)
+                .num("predicted_ns", *predicted_ns)
+                .num("observed_ns", *observed_ns)
+                .num("drift", *drift)
+                .int("raised", u64::from(*raised));
+        }
     }
     a.finish()
 }
@@ -360,6 +386,17 @@ pub fn prometheus_snapshot(sink: &MemorySink) -> String {
         out.push_str(&format!("nfc_{name}_sum {}\n", num(h.sum())));
         out.push_str(&format!("nfc_{name}_count {}\n", h.count()));
     }
+    // Gauges group into families by the name prefix before any `{`
+    // label block; one TYPE line per family, values last-write-wins.
+    let mut last_family = String::new();
+    for (name, v) in sink.gauges() {
+        let family = name.split('{').next().unwrap_or(name);
+        if family != last_family {
+            out.push_str(&format!("# TYPE nfc_{family} gauge\n"));
+            last_family = family.to_string();
+        }
+        out.push_str(&format!("nfc_{name} {}\n", num(*v)));
+    }
     out
 }
 
@@ -460,6 +497,51 @@ mod tests {
         assert!(body.contains("nfc_flow_cache_hits_total 42"));
         assert!(body.contains("nfc_batch_latency_ns{quantile=\"0.5\"} 2"));
         assert!(body.contains("nfc_batch_latency_ns_count 4"));
+    }
+
+    #[test]
+    fn prometheus_snapshot_gauge_schema_is_stable() {
+        // Golden schema for the health-plane gauges: families, label
+        // sets, and ordering are a published interface (dashboards
+        // scrape them), so pin the exact rendered lines.
+        let mut sink = MemorySink::with_capacity(16);
+        sink.set_gauge("health_drift_ratio{quantile=\"0.5\"}", 1.25);
+        sink.set_gauge("health_drift_ratio{quantile=\"0.99\"}", 1.5);
+        sink.set_gauge("health_e2e_ns{quantile=\"0.5\"}", 1000.0);
+        sink.set_gauge("health_e2e_ns{quantile=\"0.95\"}", 2000.0);
+        sink.set_gauge("health_e2e_ns{quantile=\"0.99\"}", 3000.0);
+        sink.set_gauge("health_e2e_ns{quantile=\"0.999\"}", 4000.0);
+        sink.set_gauge("health_model_drift_raised", 1.0);
+        sink.set_gauge(
+            "health_slo_burn{objective=\"p99_latency\",window=\"fast\"}",
+            2.0,
+        );
+        sink.set_gauge(
+            "health_slo_burn{objective=\"p99_latency\",window=\"slow\"}",
+            0.5,
+        );
+        // Last write wins.
+        sink.set_gauge("health_model_drift_raised", 0.0);
+        let body = prometheus_snapshot(&sink);
+        let golden = "\
+# TYPE nfc_health_drift_ratio gauge
+nfc_health_drift_ratio{quantile=\"0.5\"} 1.25
+nfc_health_drift_ratio{quantile=\"0.99\"} 1.5
+# TYPE nfc_health_e2e_ns gauge
+nfc_health_e2e_ns{quantile=\"0.5\"} 1000
+nfc_health_e2e_ns{quantile=\"0.95\"} 2000
+nfc_health_e2e_ns{quantile=\"0.99\"} 3000
+nfc_health_e2e_ns{quantile=\"0.999\"} 4000
+# TYPE nfc_health_model_drift_raised gauge
+nfc_health_model_drift_raised 0
+# TYPE nfc_health_slo_burn gauge
+nfc_health_slo_burn{objective=\"p99_latency\",window=\"fast\"} 2
+nfc_health_slo_burn{objective=\"p99_latency\",window=\"slow\"} 0.5
+";
+        assert!(
+            body.ends_with(golden),
+            "gauge section diverged from golden schema:\n{body}"
+        );
     }
 
     #[test]

@@ -37,20 +37,25 @@
 pub mod attr;
 pub mod event;
 pub mod export;
+pub mod health;
 pub mod hist;
 pub mod ring;
 pub mod sink;
+pub mod sketch;
 
 pub use attr::{
-    attribution, batch_rows, calibrate, critical_paths, folded_stacks, folded_stacks_wall,
+    attribution, batch_rows, calibrate, critical_paths, folded_stacks, folded_stacks_wall, whatif,
     AttributionReport, BatchRow, Buckets, CalibAnchors, CalibEstimate, EpochPath, PathSegment,
+    WhatIfEpoch, WhatIfReport,
 };
 pub use event::{wall_now_ns, Event, EventKind, SimStamp};
+pub use health::{DriftVerdict, DriftWatchdog, HealthState, SloSpec, SloVerdict, SLO_ENV};
 pub use hist::{LogHistogram, EXACT_CAP, SUB_BUCKET_BITS};
 pub use ring::{Recorder, DEFAULT_RING_CAPACITY};
 pub use sink::{
     HistogramSummary, MemorySink, Telemetry, TelemetryHandle, TelemetrySink, TelemetrySummary,
 };
+pub use sketch::{QuantileSketch, SketchKey, SketchSet, DEFAULT_SKETCH_ALPHA};
 
 /// Environment variable controlling the default telemetry mode (read by
 /// [`TelemetryMode::auto`]): unset/`0`/`off`/`false` → off; `1`/`on`/

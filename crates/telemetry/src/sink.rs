@@ -40,6 +40,7 @@ pub struct MemorySink {
     dropped_by_cat: BTreeMap<&'static str, u64>,
     counters: BTreeMap<&'static str, u64>,
     histograms: BTreeMap<&'static str, LogHistogram>,
+    gauges: BTreeMap<String, f64>,
 }
 
 impl MemorySink {
@@ -151,6 +152,19 @@ impl MemorySink {
                 self.observe_ns("attr_merge_wait_ns", *merge_wait_ns);
             }
             EventKind::Epoch { .. } => self.add_counter("controller_epochs", 1),
+            EventKind::SloBurn { breached, .. } => {
+                self.add_counter("slo_burn_verdicts", 1);
+                if *breached {
+                    self.add_counter("slo_breaches", 1);
+                }
+            }
+            EventKind::ModelDrift { drift, raised, .. } => {
+                self.add_counter("model_drift_verdicts", 1);
+                if *raised {
+                    self.add_counter("model_drift_raised", 1);
+                }
+                self.observe_ns("model_drift_pct", drift * 100.0);
+            }
         }
     }
 
@@ -177,6 +191,18 @@ impl MemorySink {
     /// Derived and observed histograms.
     pub fn histograms(&self) -> &BTreeMap<&'static str, LogHistogram> {
         &self.histograms
+    }
+
+    /// Sets a last-write-wins gauge. Names may carry Prometheus-style
+    /// labels, e.g. `health_e2e_ns{quantile="0.99"}`; everything before
+    /// the first `{` is the metric family.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Last-write-wins gauges, sorted by full labelled name.
+    pub fn gauges(&self) -> &BTreeMap<String, f64> {
+        &self.gauges
     }
 }
 
@@ -265,6 +291,18 @@ impl TelemetryHandle {
                 .lock()
                 .expect("telemetry sink")
                 .observe_ns(name, value_ns);
+        }
+    }
+
+    /// Sets a last-write-wins gauge on the session sink (used by the
+    /// health plane to publish live sketch quantiles and burn state).
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        if let Some(shared) = &self.0 {
+            shared
+                .sink
+                .lock()
+                .expect("telemetry sink")
+                .set_gauge(name, value);
         }
     }
 }
@@ -366,6 +404,8 @@ pub struct TelemetrySummary {
     pub counters: Vec<(String, u64)>,
     /// Histogram digests, sorted by name.
     pub histograms: Vec<(String, HistogramSummary)>,
+    /// Last-write-wins gauges (labelled names), sorted by name.
+    pub gauges: Vec<(String, f64)>,
     /// Path the trace/snapshot was written to, when exporting.
     pub export_path: Option<String>,
     /// The retained event stream itself, so in-process consumers (the
@@ -389,6 +429,7 @@ impl TelemetrySummary {
                 .iter()
                 .map(|(k, h)| (k.to_string(), HistogramSummary::of(h)))
                 .collect(),
+            gauges: sink.gauges().iter().map(|(k, v)| (k.clone(), *v)).collect(),
             export_path,
             trace: sink.events,
         }
@@ -401,6 +442,11 @@ impl TelemetrySummary {
             .find(|(k, _)| k == name)
             .map(|(_, v)| *v)
             .unwrap_or(0)
+    }
+
+    /// Looks up a gauge by its full labelled name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
     }
 }
 

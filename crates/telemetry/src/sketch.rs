@@ -1,0 +1,508 @@
+//! Mergeable, relative-error-bounded quantile sketches for the live
+//! health plane.
+//!
+//! [`QuantileSketch`] is a DDSketch-style log-bucketed sketch: a value
+//! `v > 0` lands in bucket `ceil(log_gamma v)` with
+//! `gamma = (1 + alpha) / (1 - alpha)`, so the mid-point representative
+//! returned for any quantile is within a relative error of `alpha` of
+//! the true sample. Buckets are sparse (`BTreeMap`), so memory scales
+//! with the *spread* of the data, not the sample count, and merging two
+//! sketches is a bucket-wise add — exactly associative and commutative,
+//! which is what lets each worker keep a private, lock-free sketch on
+//! the hot path and the engine merge the shards at batch/epoch
+//! boundaries without any ordering sensitivity.
+//!
+//! [`SketchSet`] is the keyed registry used by the runtime: one sketch
+//! per `(kind, stage, device)` triple, e.g. per-stage simulated
+//! latency, wall-clock stage latency per worker, end-to-end batch
+//! latency, and cost-model drift residuals.
+//!
+//! Unlike [`crate::hist::LogHistogram`] (which backs one-shot
+//! `SimReport` percentiles and keeps an exact mode for bit-identical
+//! short runs), these sketches are built for *live* paths: bounded
+//! relative error at every size, cheap merge, and no exact-mode state
+//! to invalidate.
+
+use std::collections::BTreeMap;
+
+/// Default relative-error bound (1%).
+pub const DEFAULT_SKETCH_ALPHA: f64 = 0.01;
+
+/// Values at or below this threshold are counted in the exact zero
+/// bucket instead of a log bucket.
+const ZERO_EPS: f64 = 1e-9;
+
+/// A mergeable log-bucketed quantile sketch with bounded relative
+/// error.
+#[derive(Debug, Clone)]
+pub struct QuantileSketch {
+    alpha: f64,
+    gamma_ln: f64,
+    zero_count: u64,
+    buckets: BTreeMap<i32, u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        QuantileSketch::new(DEFAULT_SKETCH_ALPHA)
+    }
+}
+
+impl QuantileSketch {
+    /// An empty sketch with relative-error bound `alpha` (clamped to a
+    /// sane `(0, 0.5]` range).
+    pub fn new(alpha: f64) -> Self {
+        let alpha = if alpha.is_finite() {
+            alpha.clamp(1e-4, 0.5)
+        } else {
+            DEFAULT_SKETCH_ALPHA
+        };
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        QuantileSketch {
+            alpha,
+            gamma_ln: gamma.ln(),
+            zero_count: 0,
+            buckets: BTreeMap::new(),
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: 0.0,
+        }
+    }
+
+    /// The configured relative-error bound.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Records one sample. Negative and non-finite values clamp to
+    /// zero (the exact zero bucket).
+    pub fn record(&mut self, v: f64) {
+        let v = if v.is_finite() { v.max(0.0) } else { 0.0 };
+        if v <= ZERO_EPS {
+            self.zero_count += 1;
+        } else {
+            let key = (v.ln() / self.gamma_ln).ceil() as i32;
+            *self.buckets.entry(key).or_insert(0) += 1;
+        }
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact mean (`0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Exact minimum (`0` when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum (`0` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Number of occupied log buckets (excluding the zero bucket).
+    pub fn bucket_len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The `q`-th quantile (`q` in `[0, 1]`), within `alpha` relative
+    /// error of the true sample at the same nearest-rank position.
+    /// Returns `0` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((self.count - 1) as f64 * q.clamp(0.0, 1.0)) as u64;
+        if rank < self.zero_count {
+            return 0.0;
+        }
+        let mut cum = self.zero_count;
+        for (&key, &n) in &self.buckets {
+            cum += n;
+            if cum > rank {
+                // Mid-point (in log space) representative of bucket
+                // `key`: 2 * gamma^key / (gamma + 1).
+                let gamma = self.gamma_ln.exp();
+                let rep = (f64::from(key) * self.gamma_ln).exp() * 2.0 / (gamma + 1.0);
+                return rep.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Batch quantile query.
+    pub fn quantiles(&self, qs: &[f64]) -> Vec<f64> {
+        qs.iter().map(|&q| self.quantile(q)).collect()
+    }
+
+    /// Merges another sketch into this one (bucket-wise add). Both
+    /// sketches must share the same `alpha`; mismatched resolutions
+    /// would silently change the error bound, so this panics in debug
+    /// builds and keeps `self`'s resolution otherwise.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        debug_assert!(
+            (self.alpha - other.alpha).abs() < 1e-12,
+            "merging sketches with different alpha ({} vs {})",
+            self.alpha,
+            other.alpha
+        );
+        if other.count == 0 {
+            return;
+        }
+        self.zero_count += other.zero_count;
+        for (&key, &n) in &other.buckets {
+            *self.buckets.entry(key).or_insert(0) += n;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Key for one sketch in a [`SketchSet`]: what is being measured
+/// (`kind`), for which flat stage index, on which device/bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SketchKey {
+    /// What is being measured (e.g. `"batch_e2e"`, `"stage_sim"`,
+    /// `"stage_wall"`, `"drift_ratio"`).
+    pub kind: &'static str,
+    /// Flat stage index, or `u32::MAX` for chain-level sketches.
+    pub stage: u32,
+    /// Device / bucket label (e.g. `"cpu"`, `"gpu"`, `"chain"`).
+    pub device: &'static str,
+}
+
+impl SketchKey {
+    /// A chain-level key (no stage, no device split).
+    pub fn chain(kind: &'static str) -> Self {
+        SketchKey {
+            kind,
+            stage: u32::MAX,
+            device: "chain",
+        }
+    }
+
+    /// A per-stage key.
+    pub fn stage(kind: &'static str, stage: u32, device: &'static str) -> Self {
+        SketchKey {
+            kind,
+            stage,
+            device,
+        }
+    }
+}
+
+/// A keyed registry of sketches, all sharing one `alpha`. Workers keep
+/// private `SketchSet` shards on the hot path and the engine merges
+/// them (in deterministic branch order) at batch/epoch boundaries.
+#[derive(Debug, Clone)]
+pub struct SketchSet {
+    alpha: f64,
+    map: BTreeMap<SketchKey, QuantileSketch>,
+}
+
+impl Default for SketchSet {
+    fn default() -> Self {
+        SketchSet::new(DEFAULT_SKETCH_ALPHA)
+    }
+}
+
+impl SketchSet {
+    /// An empty registry whose sketches use relative error `alpha`.
+    pub fn new(alpha: f64) -> Self {
+        SketchSet {
+            alpha,
+            map: BTreeMap::new(),
+        }
+    }
+
+    /// Records one sample under `key`, creating the sketch on first
+    /// use.
+    pub fn record(&mut self, key: SketchKey, v: f64) {
+        self.map
+            .entry(key)
+            .or_insert_with(|| QuantileSketch::new(self.alpha))
+            .record(v);
+    }
+
+    /// The sketch for `key`, if any samples were recorded.
+    pub fn sketch(&self, key: &SketchKey) -> Option<&QuantileSketch> {
+        self.map.get(key)
+    }
+
+    /// Iterates all `(key, sketch)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&SketchKey, &QuantileSketch)> {
+        self.map.iter()
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Merges every sketch from `other` into this registry
+    /// (bucket-wise; associative and commutative across shards).
+    pub fn merge_from(&mut self, other: &SketchSet) {
+        for (key, sk) in &other.map {
+            self.map
+                .entry(*key)
+                .or_insert_with(|| QuantileSketch::new(self.alpha))
+                .merge(sk);
+        }
+    }
+
+    /// Drops all recorded samples, keeping the configuration.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(n: usize, mul: f64, base: f64, span: f64) -> Vec<f64> {
+        (0..n).map(|i| base + (i as f64 * mul) % span).collect()
+    }
+
+    #[test]
+    fn quantiles_stay_within_alpha_of_exact() {
+        let vals = stream(50_000, 1525.7, 1e3, 1e8);
+        let mut sk = QuantileSketch::new(0.01);
+        for &v in &vals {
+            sk.record(v);
+        }
+        let mut sorted = vals.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.0, 0.5, 0.95, 0.99, 0.999, 1.0] {
+            let want = sorted[((sorted.len() - 1) as f64 * q) as usize];
+            let got = sk.quantile(q);
+            let rel = (got - want).abs() / want;
+            assert!(
+                rel <= sk.alpha() * 1.0001,
+                "q{q}: got {got}, want {want}, rel err {rel}"
+            );
+        }
+        assert_eq!(sk.count(), vals.len() as u64);
+        assert_eq!(sk.max(), sorted[sorted.len() - 1]);
+        assert_eq!(sk.min(), sorted[0]);
+    }
+
+    #[test]
+    fn merge_equals_concatenation_exactly() {
+        let a_vals = stream(10_000, 777.3, 1e3, 3e7);
+        let b_vals = stream(10_000, 331.9, 5e2, 9e7);
+        let mut a = QuantileSketch::new(0.01);
+        let mut b = QuantileSketch::new(0.01);
+        let mut concat = QuantileSketch::new(0.01);
+        for &v in &a_vals {
+            a.record(v);
+            concat.record(v);
+        }
+        for &v in &b_vals {
+            b.record(v);
+            concat.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        // Merge is exact at the bucket level: every quantile of the
+        // merged sketch equals the concatenated sketch's, bit for bit.
+        assert_eq!(merged.count(), concat.count());
+        assert_eq!(merged.min(), concat.min());
+        assert_eq!(merged.max(), concat.max());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(merged.quantile(q).to_bits(), concat.quantile(q).to_bits());
+        }
+        // Merging an empty sketch is a no-op.
+        let before = merged.count();
+        merged.merge(&QuantileSketch::new(0.01));
+        assert_eq!(merged.count(), before);
+    }
+
+    #[test]
+    fn zero_and_pathological_inputs_clamp() {
+        let mut sk = QuantileSketch::new(0.01);
+        sk.record(-5.0);
+        sk.record(f64::NAN);
+        sk.record(f64::INFINITY);
+        sk.record(0.0);
+        assert_eq!(sk.count(), 4);
+        assert_eq!(sk.max(), 0.0);
+        assert_eq!(sk.quantile(0.5), 0.0);
+        assert_eq!(sk.quantile(1.0), 0.0);
+        // Mixed zero and positive samples keep ranks consistent.
+        sk.record(100.0);
+        assert_eq!(sk.quantile(0.0), 0.0);
+        let p100 = sk.quantile(1.0);
+        assert!((p100 - 100.0).abs() / 100.0 <= sk.alpha());
+    }
+
+    #[test]
+    fn empty_sketch_reports_zeros() {
+        let sk = QuantileSketch::new(0.01);
+        assert_eq!(sk.count(), 0);
+        assert_eq!(sk.mean(), 0.0);
+        assert_eq!(sk.min(), 0.0);
+        assert_eq!(sk.max(), 0.0);
+        assert_eq!(sk.quantile(0.99), 0.0);
+        assert_eq!(sk.quantiles(&[0.0, 0.5, 1.0]), [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn sketch_set_routes_and_merges_by_key() {
+        let mut shard_a = SketchSet::new(0.01);
+        let mut shard_b = SketchSet::new(0.01);
+        let k_chain = SketchKey::chain("batch_e2e");
+        let k_stage = SketchKey::stage("stage_sim", 2, "gpu");
+        for i in 0..100 {
+            shard_a.record(k_chain, 1_000.0 + i as f64);
+            shard_b.record(k_chain, 2_000.0 + i as f64);
+            shard_b.record(k_stage, 50.0 + i as f64);
+        }
+        let mut merged = SketchSet::new(0.01);
+        merged.merge_from(&shard_a);
+        merged.merge_from(&shard_b);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged.sketch(&k_chain).unwrap().count(), 200);
+        assert_eq!(merged.sketch(&k_stage).unwrap().count(), 100);
+        assert!(merged.sketch(&SketchKey::chain("nope")).is_none());
+        merged.clear();
+        assert!(merged.is_empty());
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn sketch_of(vals: &[f64]) -> QuantileSketch {
+            let mut sk = QuantileSketch::new(DEFAULT_SKETCH_ALPHA);
+            for &v in vals {
+                sk.record(v);
+            }
+            sk
+        }
+
+        /// Bitwise equality of everything bucket-derived; the running
+        /// `sum` is a float accumulation whose rounding depends on add
+        /// order, so it only gets a tight relative tolerance.
+        fn assert_same(label: &str, a: &QuantileSketch, b: &QuantileSketch) {
+            assert_eq!(a.count(), b.count(), "{label}: count");
+            assert!(
+                (a.sum() - b.sum()).abs() <= 1e-12 * a.sum().abs().max(1.0),
+                "{label}: sum {} vs {}",
+                a.sum(),
+                b.sum()
+            );
+            assert_eq!(a.min().to_bits(), b.min().to_bits(), "{label}: min");
+            assert_eq!(a.max().to_bits(), b.max().to_bits(), "{label}: max");
+            for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                assert_eq!(
+                    a.quantile(q).to_bits(),
+                    b.quantile(q).to_bits(),
+                    "{label}: q{q}"
+                );
+            }
+        }
+
+        fn vals() -> impl Strategy<Value = Vec<f64>> {
+            proptest::collection::vec(1e-3f64..1e12, 0..300)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Merge is a bucket-wise add, so it is *exactly*
+            /// commutative and associative — the property that makes
+            /// per-worker shards order-insensitive.
+            #[test]
+            fn merge_is_commutative_and_associative(
+                a in vals(),
+                b in vals(),
+                c in vals(),
+            ) {
+                let (sa, sb, sc) = (sketch_of(&a), sketch_of(&b), sketch_of(&c));
+                let mut ab = sa.clone();
+                ab.merge(&sb);
+                let mut ba = sb.clone();
+                ba.merge(&sa);
+                assert_same("commutativity", &ab, &ba);
+
+                let mut ab_c = ab.clone();
+                ab_c.merge(&sc);
+                let mut bc = sb.clone();
+                bc.merge(&sc);
+                let mut a_bc = sa.clone();
+                a_bc.merge(&bc);
+                assert_same("associativity", &ab_c, &a_bc);
+            }
+
+            /// Any split of one stream into shards merges back to the
+            /// single-stream sketch, bit for bit.
+            #[test]
+            fn sharded_merge_equals_single_stream(
+                stream in proptest::collection::vec(1e-3f64..1e12, 1..300),
+                shards in 1usize..8,
+            ) {
+                let whole = sketch_of(&stream);
+                let mut merged = QuantileSketch::new(DEFAULT_SKETCH_ALPHA);
+                for chunk in stream.chunks(stream.len().div_ceil(shards)) {
+                    merged.merge(&sketch_of(chunk));
+                }
+                assert_same("sharded", &whole, &merged);
+            }
+
+            /// Every reported quantile is within `alpha` relative error
+            /// of the exact sample quantile.
+            #[test]
+            fn quantiles_are_within_alpha_of_exact(
+                stream in proptest::collection::vec(1e-3f64..1e12, 1..300),
+                q in 0.0f64..=1.0,
+            ) {
+                let sk = sketch_of(&stream);
+                let mut sorted = stream.clone();
+                sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+                let want = sorted[((sorted.len() - 1) as f64 * q) as usize];
+                let got = sk.quantile(q);
+                let rel = (got - want).abs() / want;
+                prop_assert!(
+                    rel <= sk.alpha() * 1.0001,
+                    "q{}: got {}, want {}, rel err {}", q, got, want, rel
+                );
+            }
+        }
+    }
+}
