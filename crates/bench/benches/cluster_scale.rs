@@ -1,0 +1,238 @@
+//! Cluster-scale benchmark: rack scaling and live shard rebalancing.
+//!
+//! Part 1 (scale-out): a four-firewall chain — re-organized by the
+//! analyzer into four parallel branches (the paper's Figure 13 b shape)
+//! — is offered a load that saturates one Table-I box. The same chain
+//! sharded across an 8-server rack, with every shard hand-off charged
+//! on the 40 GbE inter-server links, must sustain at least 3x the
+//! single-box aggregate throughput.
+//!
+//! Part 2 (adaptive rebalancing): a stateful NAT -> DPI chain on
+//! Zipf-skewed flows is hit by a payload flood (benign -> hostile).
+//! Hash sharding piles the hot flows onto few servers, and the cluster
+//! batch completion is gated by the hottest one. The live controller
+//! sheds ring vnodes from hot to cold (state migrated over the links,
+//! loss-free) and must beat the static shard map's aggregate throughput
+//! across the shift.
+//!
+//! Results are recorded in `BENCH_cluster.json` at the repository root.
+
+use criterion::{black_box, Criterion};
+use nfc_cluster::{ClusterDeployment, ClusterOutcome, ClusterSpec, RebalanceConfig};
+use nfc_core::{Policy, Sfc};
+use nfc_nf::Nf;
+use nfc_packet::traffic::{FlowSpec, PayloadPolicy, SizeDist, TrafficGenerator, TrafficSpec};
+use serde_json::json;
+
+const SCALE_BATCH: usize = 2048;
+const SCALE_RATE_GBPS: f64 = 200.0;
+const SCALE_PKT_BYTES: usize = 512;
+const SCALE_FW_RULES: usize = 8192;
+
+const FLOOD_BATCH: usize = 512;
+const FLOOD_RATE_GBPS: f64 = 32.0;
+const FLOOD_PKT_BYTES: usize = 256;
+const FLOOD_SERVERS: usize = 8;
+
+/// Four heavyweight read-only firewalls: the analyzer re-organizes
+/// them into four parallel singleton branches, and the deep ACLs make
+/// the chain compute-bound enough that one Table-I box saturates well
+/// below the offered load.
+fn branch_chain() -> Sfc {
+    Sfc::new(
+        "fw-x4",
+        (0..4)
+            .map(|i| Nf::firewall(format!("fw{i}"), SCALE_FW_RULES, 1))
+            .collect(),
+    )
+}
+
+fn stateful_chain() -> Sfc {
+    Sfc::new(
+        "nat-dpi",
+        vec![Nf::nat("nat", [192, 168, 0, 1]), Nf::dpi("dpi")],
+    )
+}
+
+/// Fixed offered load regardless of rack size: one box saturates, the
+/// rack absorbs.
+fn scale_traffic(seed: u64) -> TrafficGenerator {
+    TrafficGenerator::new(
+        TrafficSpec::udp(SizeDist::Fixed(SCALE_PKT_BYTES))
+            .with_rate_gbps(SCALE_RATE_GBPS)
+            .with_flows(FlowSpec {
+                count: 1024,
+                ..FlowSpec::default()
+            }),
+        seed,
+    )
+}
+
+/// Benign phase (nothing matches the IDS signatures) followed by a
+/// hostile phase (every payload matches, ~4.5x per-packet DPI cost).
+/// The Zipf skew concentrates the flood onto few flow hashes.
+fn flood_phases() -> Vec<TrafficGenerator> {
+    [0.0, 1.0]
+        .iter()
+        .enumerate()
+        .map(|(i, &ratio)| {
+            TrafficGenerator::new(
+                TrafficSpec::udp(SizeDist::Fixed(FLOOD_PKT_BYTES))
+                    .with_rate_gbps(FLOOD_RATE_GBPS)
+                    .with_flows(
+                        FlowSpec {
+                            count: 64,
+                            ..FlowSpec::default()
+                        }
+                        .with_skew(1.3),
+                    )
+                    .with_payload(PayloadPolicy::MatchRatio {
+                        patterns: Nf::default_ids_signatures(),
+                        ratio,
+                    }),
+                41 + i as u64,
+            )
+        })
+        .collect()
+}
+
+fn scale_run(n_servers: usize, n_batches: usize) -> ClusterOutcome {
+    let mut cluster = ClusterDeployment::build(
+        ClusterSpec::uniform(n_servers),
+        &branch_chain(),
+        Policy::nfcompass(),
+        |d| d.with_batch_size(SCALE_BATCH),
+    );
+    cluster.run(&mut scale_traffic(5), n_batches)
+}
+
+fn flood_run(rebalance: RebalanceConfig, batches_per_phase: usize) -> ClusterOutcome {
+    let spec = ClusterSpec::uniform(FLOOD_SERVERS).with_rebalance(rebalance);
+    let mut cluster = ClusterDeployment::build(spec, &stateful_chain(), Policy::nfcompass(), |d| {
+        d.with_batch_size(FLOOD_BATCH)
+    });
+    cluster.run_phased(&mut flood_phases(), batches_per_phase)
+}
+
+fn adaptive_config() -> RebalanceConfig {
+    RebalanceConfig {
+        epoch_batches: 4,
+        imbalance_threshold: 1.10,
+        hysteresis_epochs: 1,
+        cooldown_epochs: 0,
+        vnodes_per_move: 8,
+    }
+}
+
+fn cluster_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_scale");
+    g.sample_size(10);
+    g.bench_function("shard_4servers_x12batches", |b| {
+        b.iter(|| black_box(scale_run(4, 12)))
+    });
+    g.finish();
+}
+
+fn emit_report(full: bool) {
+    // Part 1: 8-server rack vs one box under the same saturating load.
+    let n_batches = if full { 64 } else { 24 };
+    let one = scale_run(1, n_batches);
+    let eight = scale_run(8, n_batches);
+    let speedup = eight.report.throughput_gbps / one.report.throughput_gbps;
+    println!(
+        "{:>7} {:>12} {:>14} {:>12}",
+        "servers", "agg Gbps", "p99 lat (us)", "drops"
+    );
+    for (n, o) in [(1usize, &one), (8, &eight)] {
+        println!(
+            "{n:>7} {:>12.2} {:>14.2} {:>12}",
+            o.report.throughput_gbps,
+            o.report.p99_latency_ns / 1e3,
+            o.report.dropped_batches
+        );
+    }
+    println!("scale-out speedup at 8 servers: {speedup:.2}x (bar: 3x)");
+    assert!(
+        speedup >= 3.0,
+        "8-server rack must sustain >= 3x one box, got {speedup:.2}x \
+         ({:.2} vs {:.2} Gbps)",
+        eight.report.throughput_gbps,
+        one.report.throughput_gbps
+    );
+
+    // Part 2: adaptive rebalancing vs the static shard map across the
+    // benign -> hostile flood.
+    let batches_per_phase = if full { 64 } else { 32 };
+    let adaptive = flood_run(adaptive_config(), batches_per_phase);
+    let static_map = flood_run(RebalanceConfig::disabled(), batches_per_phase);
+    println!(
+        "\n{:<22} {:>10} {:>14} {:>11} {:>14}",
+        "configuration", "agg Gbps", "p99 lat (us)", "rebalances", "migrated (KB)"
+    );
+    for (label, o) in [("static shard map", &static_map), ("adaptive", &adaptive)] {
+        println!(
+            "{label:<22} {:>10.2} {:>14.2} {:>11} {:>14.1}",
+            o.report.throughput_gbps,
+            o.report.p99_latency_ns / 1e3,
+            o.rebalances,
+            o.migrated_bytes as f64 / 1024.0
+        );
+    }
+    assert!(
+        adaptive.rebalances >= 1,
+        "the flood must trip the cluster controller"
+    );
+    assert!(
+        adaptive.report.throughput_gbps > static_map.report.throughput_gbps,
+        "adaptive {:.2} Gbps must beat the static shard map {:.2} Gbps",
+        adaptive.report.throughput_gbps,
+        static_map.report.throughput_gbps
+    );
+
+    let report = json!({
+        "benchmark": "cluster_scale",
+        "scale_out": {
+            "chain": format!(
+                "fw-x4 ({SCALE_FW_RULES}-rule ACLs) re-organized into 4 parallel branches"
+            ),
+            "traffic": format!("UDP {SCALE_PKT_BYTES}B @ {SCALE_RATE_GBPS} Gbps"),
+            "batch_size": SCALE_BATCH,
+            "batches": n_batches,
+            "one_box_gbps": one.report.throughput_gbps,
+            "rack8_gbps": eight.report.throughput_gbps,
+            "speedup": speedup,
+            "speedup_bar": 3.0,
+            "rack8_p99_us": eight.report.p99_latency_ns / 1e3,
+        },
+        "rebalancing": {
+            "chain": "NAT -> DPI (stateful)",
+            "traffic": format!(
+                "UDP {FLOOD_PKT_BYTES}B @ {FLOOD_RATE_GBPS} Gbps, Zipf 1.3, \
+                 match ratio 0.0 -> 1.0"
+            ),
+            "servers": FLOOD_SERVERS,
+            "batch_size": FLOOD_BATCH,
+            "batches_per_phase": batches_per_phase,
+            "static_gbps": static_map.report.throughput_gbps,
+            "adaptive_gbps": adaptive.report.throughput_gbps,
+            "adaptive_p99_us": adaptive.report.p99_latency_ns / 1e3,
+            "static_p99_us": static_map.report.p99_latency_ns / 1e3,
+            "rebalances": adaptive.rebalances,
+            "migrated_bytes": adaptive.migrated_bytes,
+        },
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cluster.json");
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&report).expect("serializes") + "\n",
+    )
+    .expect("write BENCH_cluster.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--bench");
+    let mut c = Criterion::default().configure_from_args();
+    cluster_benches(&mut c);
+    emit_report(full);
+}

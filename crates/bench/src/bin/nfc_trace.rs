@@ -8,9 +8,10 @@
 //! * `validate <trace.json> [--require cat1,cat2,...]` — schema-check
 //!   every event, reject overlapping/non-monotonic simulated spans
 //!   within a `(track, name)` lane, spans ending before their start,
-//!   non-monotonic controller `epoch` markers, and overlapping live
-//!   swap windows on one track; exits non-zero on any violation, for
-//!   CI smoke tests.
+//!   non-monotonic controller `epoch` markers, overlapping live swap
+//!   windows on one track, overlapping `link_transfer` spans per link
+//!   track, and cluster shard maps that fail to tile the 32-bit flow
+//!   space; exits non-zero on any violation, for CI smoke tests.
 //! * `prom <trace.json>` — re-derive a Prometheus-style text snapshot
 //!   from the trace's events.
 //! * `controller <trace.json>` — the adaptive control plane's
@@ -241,6 +242,25 @@ fn typed_events(trace: &Trace) -> Vec<Event> {
                 drift: arg_f64(ev, "drift"),
                 raised: arg_u64(ev, "raised") != 0,
             },
+            "shard_range" => EventKind::ShardRange {
+                epoch: arg_u64(ev, "epoch"),
+                server: arg_u64(ev, "server") as u32,
+                start: arg_u64(ev, "start"),
+                end: arg_u64(ev, "end"),
+            },
+            "link_transfer" => EventKind::LinkTransfer {
+                link: arg_u64(ev, "link") as u32,
+                packets: arg_u64(ev, "packets") as u32,
+                bytes: arg_u64(ev, "bytes"),
+            },
+            "cluster_rebalance" => EventKind::ClusterRebalance {
+                epoch: arg_u64(ev, "epoch"),
+                from: arg_u64(ev, "from") as u32,
+                to: arg_u64(ev, "to") as u32,
+                vnodes: arg_u64(ev, "vnodes") as u32,
+                migrated_bytes: arg_u64(ev, "migrated_bytes"),
+                swap_ns: arg_f64(ev, "swap_ns"),
+            },
             n if n.starts_with("stage:") => EventKind::Stage {
                 branch: arg_u64(ev, "branch") as u32,
                 stage: arg_u64(ev, "stage") as u32,
@@ -445,6 +465,78 @@ fn check_control_plane(trace: &Trace, path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Rejects corrupt cluster timelines: `link_transfer` spans must not
+/// overlap on one link track (each inter-server link serializes its
+/// transfers by construction), and every rebalance epoch's
+/// `shard_range` instants must tile the 32-bit flow-hash space exactly
+/// — no gaps, no overlaps, full coverage. A shard map leaving hashes
+/// unowned (or doubly owned) would lose or duplicate flows.
+fn check_cluster_plane(trace: &Trace, path: &str) -> Result<(), String> {
+    const FLOW_SPACE: u64 = 1 << 32;
+    let mut lanes: BTreeMap<u64, Vec<(f64, f64)>> = BTreeMap::new();
+    let mut maps: BTreeMap<u64, Vec<(u64, u64)>> = BTreeMap::new();
+    for ev in &trace.events {
+        if ev.get("pid").and_then(Value::as_u64) != Some(2) {
+            continue;
+        }
+        match str_field(ev, "name") {
+            Some("link_transfer") if str_field(ev, "ph") == Some("X") => {
+                let tid = ev.get("tid").and_then(Value::as_u64).unwrap_or(0);
+                let ts = num_field(ev, "ts").unwrap_or(0.0);
+                let dur = num_field(ev, "dur").unwrap_or(0.0);
+                if dur > 0.0 {
+                    lanes.entry(tid).or_default().push((ts, ts + dur));
+                }
+            }
+            Some("shard_range") => maps
+                .entry(arg_u64(ev, "epoch"))
+                .or_default()
+                .push((arg_u64(ev, "start"), arg_u64(ev, "end"))),
+            _ => {}
+        }
+    }
+    for (tid, mut spans) in lanes {
+        spans.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        for w in spans.windows(2) {
+            if w[1].0 < w[0].1 - 1e-9 {
+                return Err(format!(
+                    "{path}: overlapping link-busy spans on link track {tid}: transfer at \
+                     {:.3} us starts before the previous transfer ends at {:.3} us",
+                    w[1].0, w[0].1
+                ));
+            }
+        }
+    }
+    for (epoch, mut ranges) in maps {
+        ranges.sort_unstable();
+        let first = ranges[0].0;
+        if first != 0 {
+            return Err(format!(
+                "{path}: shard map for epoch {epoch} does not cover the flow space: \
+                 first range starts at {first}, not 0"
+            ));
+        }
+        for w in ranges.windows(2) {
+            if w[1].0 != w[0].1 {
+                let what = if w[1].0 < w[0].1 { "overlap" } else { "gap" };
+                return Err(format!(
+                    "{path}: shard map for epoch {epoch} has a {what}: range ending at {} \
+                     is followed by a range starting at {}",
+                    w[0].1, w[1].0
+                ));
+            }
+        }
+        let last = ranges.last().unwrap().1;
+        if last != FLOW_SPACE {
+            return Err(format!(
+                "{path}: shard map for epoch {epoch} does not cover the flow space: \
+                 last range ends at {last}, not 2^32"
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn by_category(trace: &Trace) -> BTreeMap<String, u64> {
     let mut cats = BTreeMap::new();
     for ev in &trace.events {
@@ -506,6 +598,7 @@ fn cmd_validate(paths: &[String], require: &[String]) -> Result<(), String> {
         }
         check_sim_lanes(&trace, path)?;
         check_control_plane(&trace, path)?;
+        check_cluster_plane(&trace, path)?;
         for (cat, n) in by_category(&trace) {
             *union.entry(cat).or_insert(0) += n;
         }
@@ -1302,6 +1395,105 @@ mod tests {
         )
         .expect("parses");
         assert!(check_control_plane(&multi, "t.json").is_ok());
+    }
+
+    fn link_line(tid: u64, ts: f64, dur: f64) -> String {
+        format!(
+            "{{\"name\":\"link_transfer\",\"cat\":\"cluster\",\"ph\":\"X\",\"pid\":2,\
+             \"tid\":{tid},\"ts\":{ts},\"dur\":{dur},\"args\":{{\"wall_ns\":0,\"batch\":0,\
+             \"link\":{tid},\"packets\":64,\"bytes\":96000}}}}"
+        )
+    }
+
+    fn shard_line(epoch: u64, server: u64, start: u64, end: u64) -> String {
+        format!(
+            "{{\"name\":\"shard_range\",\"cat\":\"cluster\",\"ph\":\"i\",\"s\":\"t\",\
+             \"pid\":2,\"tid\":1,\"ts\":10,\"args\":{{\"wall_ns\":0,\"batch\":0,\
+             \"epoch\":{epoch},\"server\":{server},\"start\":{start},\"end\":{end}}}}}"
+        )
+    }
+
+    #[test]
+    fn corrupt_trace_with_overlapping_link_spans_is_rejected() {
+        // A link serializes its transfers: back-to-back is fine,
+        // overlap means two transfers shared the wire.
+        let ok = parse(
+            &wrap(&[link_line(7, 10.0, 5.0), link_line(7, 15.0, 5.0)]),
+            "t.json",
+        )
+        .expect("parses");
+        assert!(check_cluster_plane(&ok, "t.json").is_ok());
+
+        let bad = parse(
+            &wrap(&[link_line(7, 10.0, 5.0), link_line(7, 12.0, 5.0)]),
+            "t.json",
+        )
+        .expect("parses");
+        let err = check_cluster_plane(&bad, "t.json").expect_err("rejected");
+        assert!(err.contains("overlapping link-busy spans"), "{err}");
+
+        // Distinct links carry concurrent transfers — that's the rack.
+        let multi = parse(
+            &wrap(&[link_line(7, 10.0, 5.0), link_line(8, 12.0, 5.0)]),
+            "t.json",
+        )
+        .expect("parses");
+        assert!(check_cluster_plane(&multi, "t.json").is_ok());
+    }
+
+    #[test]
+    fn corrupt_shard_maps_are_rejected() {
+        const FULL: u64 = 1 << 32;
+        // A complete two-server map tiles [0, 2^32) exactly.
+        let ok = parse(
+            &wrap(&[
+                shard_line(1, 0, 0, 1 << 31),
+                shard_line(1, 1, 1 << 31, FULL),
+            ]),
+            "t.json",
+        )
+        .expect("parses");
+        assert!(check_cluster_plane(&ok, "t.json").is_ok());
+
+        // A gap leaves flows unowned.
+        let bad = parse(
+            &wrap(&[shard_line(1, 0, 0, 1000), shard_line(1, 1, 2000, FULL)]),
+            "t.json",
+        )
+        .expect("parses");
+        let err = check_cluster_plane(&bad, "t.json").expect_err("gap rejected");
+        assert!(err.contains("gap"), "{err}");
+
+        // An overlap double-owns flows.
+        let bad = parse(
+            &wrap(&[shard_line(1, 0, 0, 2000), shard_line(1, 1, 1000, FULL)]),
+            "t.json",
+        )
+        .expect("parses");
+        let err = check_cluster_plane(&bad, "t.json").expect_err("overlap rejected");
+        assert!(err.contains("overlap"), "{err}");
+
+        // A truncated map does not reach 2^32.
+        let bad = parse(&wrap(&[shard_line(1, 0, 0, 5000)]), "t.json").expect("parses");
+        let err = check_cluster_plane(&bad, "t.json").expect_err("short map rejected");
+        assert!(err.contains("not 2^32"), "{err}");
+
+        // A map starting past zero strands the low hashes.
+        let bad = parse(&wrap(&[shard_line(1, 0, 5, FULL)]), "t.json").expect("parses");
+        let err = check_cluster_plane(&bad, "t.json").expect_err("late start rejected");
+        assert!(err.contains("not 0"), "{err}");
+
+        // Ranges from DIFFERENT epochs never cross-validate: two
+        // disjoint-epoch half-maps are two incomplete maps.
+        let bad = parse(
+            &wrap(&[
+                shard_line(1, 0, 0, 1 << 31),
+                shard_line(2, 1, 1 << 31, FULL),
+            ]),
+            "t.json",
+        )
+        .expect("parses");
+        assert!(check_cluster_plane(&bad, "t.json").is_err());
     }
 
     fn slo_line(ts: f64, epoch: u64, fast: f64, slow: f64, breached: u64) -> String {

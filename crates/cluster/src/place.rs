@@ -1,0 +1,208 @@
+//! Cluster-level SFC placement: min-cutting the chain across servers.
+//!
+//! Two placement modes, after Sallam et al.'s max-flow formulation of
+//! SFC placement (PAPERS.md):
+//!
+//! * [`PlacementMode::Shard`] — every server runs the *full* chain and
+//!   owns a consistent-hash shard of the flow space. This is the mode
+//!   that supports stateful stickiness and live rebalancing; the
+//!   placement question degenerates to "which flows go where".
+//! * [`PlacementMode::Segment`] — the chain itself is cut into
+//!   contiguous segments, one per server, by recursive min-cut
+//!   bisection over `graphpart::maxflow`: node costs are per-NF compute
+//!   weights scaled by each half's aggregate capacity, edge weights are
+//!   the inter-NF traffic priced through the [`LinkSpec`], and the
+//!   ingress/egress NFs are pinned to the first/last halves. The solver
+//!   therefore cuts where crossing traffic is cheapest, biased toward
+//!   the bigger half of a heterogeneous rack.
+
+use nfc_graphpart::maxflow::mfmc_assign;
+use nfc_hetero::LinkSpec;
+
+/// How the cluster maps one SFC onto N servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementMode {
+    /// Full chain on every server; flow-space sharding decides which
+    /// server processes which packet (supports live rebalancing).
+    #[default]
+    Shard,
+    /// Chain cut into contiguous per-server segments via min-cut;
+    /// batches traverse servers in segment order over the links.
+    Segment,
+}
+
+/// Per-NF placement weight: the compute cost the server pays for
+/// hosting the NF, and the wire bytes it forwards downstream.
+#[derive(Debug, Clone, Copy)]
+pub struct NfWeight {
+    /// Relative compute cost of the NF (any monotone busy-time proxy).
+    pub compute: f64,
+    /// Wire bytes per batch crossing the edge to the *next* NF (the
+    /// last NF's value prices chain egress and is not a cuttable edge).
+    pub edge_bytes: f64,
+}
+
+/// Assigns each NF (chain order) to a server in `0..servers` by
+/// recursive min-cut bisection, returning contiguous segments. With one
+/// server (or a single-NF chain) everything lands on server 0.
+///
+/// `capacities` weights the halves during bisection (e.g. core counts);
+/// it must have one entry per server.
+///
+/// # Panics
+///
+/// Panics if `servers == 0` or `capacities.len() != servers`.
+pub fn place_chain(
+    weights: &[NfWeight],
+    servers: usize,
+    capacities: &[f64],
+    link: &LinkSpec,
+) -> Vec<usize> {
+    assert!(servers > 0, "placement needs at least one server");
+    assert_eq!(capacities.len(), servers, "one capacity per server");
+    let mut assignment = vec![0usize; weights.len()];
+    if weights.is_empty() {
+        return assignment;
+    }
+    bisect(weights, 0, servers, capacities, link, 0, &mut assignment);
+    assignment
+}
+
+/// Recursively splits `nfs[lo_nf..]`' — represented by `weights` — over
+/// the server interval `[s_lo, s_lo + s_n)`, writing server ids into
+/// `assignment[nf_base..]`.
+fn bisect(
+    weights: &[NfWeight],
+    s_lo: usize,
+    s_n: usize,
+    capacities: &[f64],
+    link: &LinkSpec,
+    nf_base: usize,
+    assignment: &mut [usize],
+) {
+    if s_n == 1 || weights.len() <= 1 {
+        for (i, _) in weights.iter().enumerate() {
+            assignment[nf_base + i] = s_lo;
+        }
+        if weights.len() == 1 && s_n > 1 {
+            assignment[nf_base] = s_lo;
+        }
+        return;
+    }
+    let half_a = s_n / 2;
+    let cap_a: f64 = capacities[s_lo..s_lo + half_a].iter().sum();
+    let cap_b: f64 = capacities[s_lo + half_a..s_lo + s_n].iter().sum();
+    let cut = cut_point(weights, cap_a.max(1e-9), cap_b.max(1e-9), link);
+    bisect(
+        &weights[..cut],
+        s_lo,
+        half_a,
+        capacities,
+        link,
+        nf_base,
+        assignment,
+    );
+    bisect(
+        &weights[cut..],
+        s_lo + half_a,
+        s_n - half_a,
+        capacities,
+        link,
+        nf_base + cut,
+        assignment,
+    );
+}
+
+/// One min-cut bisection of a chain between two capacity pools: returns
+/// the boundary index (`0..=n`) — NFs `[0, cut)` go to side A. The
+/// ingress NF is pinned to A and the egress NF to B; with the pins a
+/// min cut of a chain crosses exactly one edge, and any stray
+/// non-contiguity from unary pressure is normalized to the first B
+/// assignment.
+fn cut_point(weights: &[NfWeight], cap_a: f64, cap_b: f64, link: &LinkSpec) -> usize {
+    let n = weights.len();
+    if n <= 1 {
+        return n;
+    }
+    // Per-unit compute is cheaper on the bigger half; per-byte link
+    // price converts crossing traffic into the same nanosecond currency.
+    let unary: Vec<(f64, f64)> = weights
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            if i == 0 {
+                (w.compute / cap_a, f64::INFINITY) // pin ingress to A
+            } else if i == n - 1 {
+                (f64::INFINITY, w.compute / cap_b) // pin egress to B
+            } else {
+                (w.compute / cap_a, w.compute / cap_b)
+            }
+        })
+        .collect();
+    let ns_per_byte = 8.0 / link.bandwidth_gbps + link.per_packet_ns / 1500.0;
+    let edges: Vec<(usize, usize, f64)> = (0..n - 1)
+        .map(|i| (i, i + 1, weights[i].edge_bytes.max(0.0) * ns_per_byte))
+        .collect();
+    let side_b = mfmc_assign(&unary, &edges);
+    side_b.iter().position(|&b| b).unwrap_or(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(compute: f64, edge_bytes: f64) -> NfWeight {
+        NfWeight {
+            compute,
+            edge_bytes,
+        }
+    }
+
+    #[test]
+    fn one_server_takes_the_whole_chain() {
+        let chain = vec![w(1.0, 100.0); 4];
+        assert_eq!(
+            place_chain(&chain, 1, &[1.0], &LinkSpec::rack_40g()),
+            [0; 4]
+        );
+    }
+
+    #[test]
+    fn cut_lands_on_the_lightest_traffic_edge() {
+        // Equal compute, one edge that sheds 90 % of the traffic (a
+        // dropper): the min cut must cross *after* it.
+        let chain = vec![
+            w(1.0, 1500.0),
+            w(1.0, 150.0),
+            w(1.0, 1500.0),
+            w(1.0, 1500.0),
+        ];
+        let got = place_chain(&chain, 2, &[1.0, 1.0], &LinkSpec::rack_40g());
+        assert_eq!(got, [0, 0, 1, 1], "cut should follow the shed edge");
+    }
+
+    #[test]
+    fn segments_are_contiguous_and_in_server_order() {
+        let chain: Vec<NfWeight> = (0..8).map(|i| w(1.0 + i as f64, 1000.0)).collect();
+        let got = place_chain(&chain, 4, &[1.0; 4], &LinkSpec::rack_10g());
+        let mut last = 0usize;
+        for &s in &got {
+            assert!(s >= last, "segments must be monotone: {got:?}");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn heterogeneous_capacity_biases_the_cut() {
+        // Side B has 4x the capacity: the bigger half should absorb
+        // more of the (uniform-traffic) chain than the smaller half.
+        let chain = vec![w(10.0, 1500.0); 6];
+        let even = place_chain(&chain, 2, &[1.0, 1.0], &LinkSpec::rack_40g());
+        let skewed = place_chain(&chain, 2, &[1.0, 4.0], &LinkSpec::rack_40g());
+        let count_a = |v: &[usize]| v.iter().filter(|&&s| s == 0).count();
+        assert!(
+            count_a(&skewed) <= count_a(&even),
+            "bigger half absorbs at least as much: even {even:?}, skewed {skewed:?}"
+        );
+    }
+}

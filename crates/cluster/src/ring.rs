@@ -1,0 +1,289 @@
+//! Weighted consistent-hash ring over the 32-bit flow-hash space.
+//!
+//! Flow-space sharding must keep stateful NFs (NAT, LB, flow caches)
+//! *sticky*: every packet of a flow lands on the server holding that
+//! flow's state. A consistent-hash ring gives that plus two properties
+//! the cluster controller depends on:
+//!
+//! * **balance** — with enough virtual nodes per server, each server
+//!   owns a near-equal share of the hash space (proptested for
+//!   arbitrary server counts);
+//! * **minimal disruption** — adding or removing a server only moves
+//!   the flows whose arcs that server's vnodes gain or lose; every
+//!   other flow keeps its owner (proptested on resize).
+//!
+//! Ownership is *predecessor* based: the owner of hash `h` is the vnode
+//! with the largest position `<= h`, wrapping past zero — so the ring
+//! tiles `[0, 2^32)` into half-open `[start, end)` arcs, the exact shape
+//! `nfc-trace validate` checks shard maps against.
+
+/// Total size of the flow-hash space (`2^32`; hashes are `u32`).
+pub const FLOW_SPACE: u64 = 1 << 32;
+
+/// One contiguous arc of the flow-hash space: `[start, end)` owned by
+/// `server`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRange {
+    /// Inclusive arc start.
+    pub start: u64,
+    /// Exclusive arc end (`<= 2^32`).
+    pub end: u64,
+    /// Owning server index.
+    pub server: u32,
+}
+
+/// A virtual node: a deterministic position on the ring plus its owner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct VNode {
+    pos: u32,
+    server: u32,
+    replica: u32,
+}
+
+/// Consistent-hash ring sharding the `u32` flow-hash space across
+/// cluster servers.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Vnodes sorted by `(pos, server, replica)`; never empty.
+    vnodes: Vec<VNode>,
+    /// Replicas per server at construction/add time.
+    vnodes_per_server: u32,
+    /// Servers ever added (ids are stable; removed ids are retired).
+    next_server: u32,
+}
+
+/// 64-bit finalizer (splitmix64 tail): decorrelates the structured
+/// `(server, replica)` input into a ring position.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d049bb133111eb);
+    x ^= x >> 31;
+    x
+}
+
+fn vnode_pos(server: u32, replica: u32) -> u32 {
+    (mix64(((u64::from(server)) << 32) | u64::from(replica)) >> 32) as u32
+}
+
+impl HashRing {
+    /// Ring with `servers` servers, each holding `vnodes_per_server`
+    /// virtual nodes (min 1 each).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is zero.
+    pub fn new(servers: usize, vnodes_per_server: usize) -> Self {
+        assert!(servers > 0, "a ring needs at least one server");
+        let mut ring = HashRing {
+            vnodes: Vec::new(),
+            vnodes_per_server: vnodes_per_server.max(1) as u32,
+            next_server: 0,
+        };
+        for _ in 0..servers {
+            ring.add_server();
+        }
+        ring
+    }
+
+    /// Servers currently owning at least the chance of an arc (distinct
+    /// ids with live vnodes).
+    pub fn server_count(&self) -> usize {
+        let mut ids: Vec<u32> = self.vnodes.iter().map(|v| v.server).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Adds a server, returning its stable id.
+    pub fn add_server(&mut self) -> u32 {
+        let id = self.next_server;
+        self.next_server += 1;
+        for replica in 0..self.vnodes_per_server {
+            self.vnodes.push(VNode {
+                pos: vnode_pos(id, replica),
+                server: id,
+                replica,
+            });
+        }
+        self.vnodes
+            .sort_unstable_by_key(|v| (v.pos, v.server, v.replica));
+        id
+    }
+
+    /// Retires `server`, dropping its vnodes. Its arcs fall to the ring
+    /// predecessors; nothing else moves.
+    ///
+    /// # Panics
+    ///
+    /// Panics when removing the last server.
+    pub fn remove_server(&mut self, server: u32) {
+        self.vnodes.retain(|v| v.server != server);
+        assert!(!self.vnodes.is_empty(), "cannot remove the last server");
+    }
+
+    /// Owner of flow hash `h`: the vnode with the largest position
+    /// `<= h`, wrapping past zero.
+    pub fn server_for(&self, h: u32) -> u32 {
+        // partition_point gives the count of vnodes with pos <= h; its
+        // predecessor is the owner, wrapping to the last vnode.
+        let idx = self.vnodes.partition_point(|v| v.pos <= h);
+        let owner = if idx == 0 { self.vnodes.len() } else { idx } - 1;
+        self.vnodes[owner].server
+    }
+
+    /// Moves up to `count` vnodes from `from` to `to`, preferring the
+    /// widest arcs (the deterministic "shed the hottest span" choice).
+    /// Returns `(vnodes moved, hash-space span moved)` — `(0, 0)` when
+    /// `from` has nothing to give.
+    pub fn move_vnodes(&mut self, from: u32, to: u32, count: usize) -> (usize, u64) {
+        if from == to || count == 0 {
+            return (0, 0);
+        }
+        // Never strip a server bare: stickiness requires every live
+        // server keep at least one vnode.
+        let owned: Vec<usize> = (0..self.vnodes.len())
+            .filter(|&i| self.vnodes[i].server == from)
+            .collect();
+        if owned.len() <= 1 {
+            return (0, 0);
+        }
+        let mut by_width: Vec<(u64, usize)> =
+            owned.iter().map(|&i| (self.arc_width(i), i)).collect();
+        by_width.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let n = count.min(owned.len() - 1);
+        let mut moved = 0u64;
+        for &(width, i) in by_width.iter().take(n) {
+            self.vnodes[i].server = to;
+            moved += width;
+        }
+        // Re-sort: ownership changed but positions did not, so order is
+        // stable; keep the (pos, server, replica) invariant anyway.
+        self.vnodes
+            .sort_unstable_by_key(|v| (v.pos, v.server, v.replica));
+        (n, moved)
+    }
+
+    /// Width of the arc `[vnodes[i].pos, successor.pos)`, wrapping.
+    fn arc_width(&self, i: usize) -> u64 {
+        let pos = u64::from(self.vnodes[i].pos);
+        let next = u64::from(self.vnodes[(i + 1) % self.vnodes.len()].pos);
+        if self.vnodes.len() == 1 {
+            FLOW_SPACE
+        } else if next > pos {
+            next - pos
+        } else {
+            FLOW_SPACE - pos + next
+        }
+    }
+
+    /// The shard map in effect: half-open arcs tiling `[0, 2^32)`
+    /// exactly, in ascending `start` order. Zero-width arcs (vnodes
+    /// sharing a position) are omitted.
+    pub fn shard_map(&self) -> Vec<ShardRange> {
+        let mut map = Vec::with_capacity(self.vnodes.len() + 1);
+        // The span before the first vnode wraps: it belongs to the last
+        // vnode (the predecessor of hash 0 going backwards).
+        let first = u64::from(self.vnodes[0].pos);
+        if first > 0 {
+            map.push(ShardRange {
+                start: 0,
+                end: first,
+                server: self.vnodes[self.vnodes.len() - 1].server,
+            });
+        }
+        for (i, v) in self.vnodes.iter().enumerate() {
+            let start = u64::from(v.pos);
+            let end = if i + 1 < self.vnodes.len() {
+                u64::from(self.vnodes[i + 1].pos)
+            } else {
+                FLOW_SPACE
+            };
+            if end > start {
+                map.push(ShardRange {
+                    start,
+                    end,
+                    server: v.server,
+                });
+            }
+        }
+        map
+    }
+
+    /// Share of the hash space each *live* server owns, as
+    /// `(server, fraction)` pairs in ascending server order.
+    pub fn shares(&self) -> Vec<(u32, f64)> {
+        let mut acc: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+        for r in self.shard_map() {
+            *acc.entry(r.server).or_insert(0) += r.end - r.start;
+        }
+        acc.into_iter()
+            .map(|(s, w)| (s, w as f64 / FLOW_SPACE as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_tiles_the_flow_space_exactly() {
+        for n in [1, 2, 3, 8, 17] {
+            let ring = HashRing::new(n, 64);
+            let map = ring.shard_map();
+            assert_eq!(map[0].start, 0);
+            assert_eq!(map.last().unwrap().end, FLOW_SPACE);
+            for w in map.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "gap or overlap at {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn server_for_agrees_with_the_shard_map() {
+        let ring = HashRing::new(5, 16);
+        for r in ring.shard_map() {
+            for h in [r.start, (r.start + r.end - 1) / 2, r.end - 1] {
+                assert_eq!(ring.server_for(h as u32), r.server, "hash {h} inside {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_server_owns_everything() {
+        let ring = HashRing::new(1, 8);
+        assert_eq!(ring.shares(), vec![(0, 1.0)]);
+        assert_eq!(ring.server_for(0), 0);
+        assert_eq!(ring.server_for(u32::MAX), 0);
+    }
+
+    #[test]
+    fn move_vnodes_shifts_span_between_servers() {
+        let mut ring = HashRing::new(2, 32);
+        let before: std::collections::BTreeMap<u32, f64> = ring.shares().into_iter().collect();
+        let (n, moved) = ring.move_vnodes(0, 1, 4);
+        assert_eq!(n, 4);
+        assert!(moved > 0);
+        let after: std::collections::BTreeMap<u32, f64> = ring.shares().into_iter().collect();
+        let delta = moved as f64 / FLOW_SPACE as f64;
+        assert!((after[&1] - before[&1] - delta).abs() < 1e-12);
+        assert!((before[&0] - after[&0] - delta).abs() < 1e-12);
+    }
+
+    #[test]
+    fn move_never_strips_a_server_bare() {
+        let mut ring = HashRing::new(2, 3);
+        // Ask for more vnodes than server 0 can give up.
+        ring.move_vnodes(0, 1, 99);
+        assert_eq!(ring.server_count(), 2, "server 0 must keep one vnode");
+    }
+
+    #[test]
+    fn noop_moves_move_nothing() {
+        let mut ring = HashRing::new(3, 8);
+        assert_eq!(ring.move_vnodes(1, 1, 4), (0, 0));
+        assert_eq!(ring.move_vnodes(0, 2, 0), (0, 0));
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the consistent-hash ring (satellite of the
+//! cluster PR): balance for arbitrary server counts, and minimal
+//! disruption on resize — the two properties stateful-NF stickiness
+//! rests on.
+
+use nfc_cluster::{HashRing, FLOW_SPACE};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// With 64 vnodes per server the ring stays balanced for ANY server
+    /// count: every server owns some arc, the map tiles the flow space
+    /// exactly, and no server owns more than 3x its fair share.
+    #[test]
+    fn ring_balance_bound_holds_for_arbitrary_server_counts(n in 1usize..40) {
+        let ring = HashRing::new(n, 64);
+        let map = ring.shard_map();
+        prop_assert_eq!(map[0].start, 0);
+        prop_assert_eq!(map.last().unwrap().end, FLOW_SPACE);
+        for w in map.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start, "gap or overlap in shard map");
+        }
+        let shares = ring.shares();
+        prop_assert_eq!(shares.len(), n, "every server must own an arc");
+        let fair = 1.0 / n as f64;
+        for (s, share) in shares {
+            prop_assert!(share > 0.0, "server {} owns nothing", s);
+            prop_assert!(
+                share <= 3.0 * fair,
+                "server {} owns {:.4}, more than 3x fair share {:.4}",
+                s, share, fair
+            );
+        }
+    }
+
+    /// Adding a server only moves flows TO the new server: any hash
+    /// whose owner changes must now map to the newcomer.
+    #[test]
+    fn adding_a_server_disrupts_minimally(
+        n in 1usize..16,
+        hashes in proptest::collection::vec(any::<u32>(), 64),
+    ) {
+        let before = HashRing::new(n, 32);
+        let mut after = before.clone();
+        let newcomer = after.add_server();
+        for h in hashes {
+            let (old, new) = (before.server_for(h), after.server_for(h));
+            prop_assert!(
+                new == old || new == newcomer,
+                "hash {:#x} moved {} -> {} instead of to new server {}",
+                h, old, new, newcomer
+            );
+        }
+    }
+
+    /// Removing a server only moves the flows it owned: any hash whose
+    /// owner changes must have belonged to the removed server.
+    #[test]
+    fn removing_a_server_disrupts_minimally(
+        n in 2usize..16,
+        victim_pick in any::<u32>(),
+        hashes in proptest::collection::vec(any::<u32>(), 64),
+    ) {
+        let before = HashRing::new(n, 32);
+        let victim = victim_pick % n as u32;
+        let mut after = before.clone();
+        after.remove_server(victim);
+        for h in hashes {
+            let (old, new) = (before.server_for(h), after.server_for(h));
+            prop_assert_ne!(new, victim, "retired server still owns {:#x}", h);
+            prop_assert!(
+                new == old || old == victim,
+                "hash {:#x} moved {} -> {} without belonging to victim {}",
+                h, old, new, victim
+            );
+        }
+    }
+}

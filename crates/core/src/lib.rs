@@ -66,5 +66,7 @@ pub use multi::MultiDeployment;
 pub use nfc_control::{Action, AdaptationRecord, Controller, ControllerConfig, ControllerReport};
 pub use nfc_telemetry::{TelemetryMode, TelemetrySummary};
 pub use orchestrator::ReorgSfc;
-pub use runtime::{Deployment, Policy, ResidencyReport, RunOutcome};
+pub use runtime::{
+    BatchResult, Deployment, PlatformResources, Policy, PreparedSfc, ResidencyReport, RunOutcome,
+};
 pub use sfc::Sfc;

@@ -319,6 +319,16 @@ pub struct Deployment {
     /// first-fit packer for A/B comparison). Both obey the same
     /// never-oversubscribe spill rule.
     pub packer: residency::PackStrategy,
+    /// Re-calibrated co-residency pressure coefficient. `None` (the
+    /// default) keeps the compiled-in
+    /// [`calib::GPU_RESIDENCY_PRESSURE`] anchor and the stock spread
+    /// packer — byte-identical to earlier releases. `Some(p)` — fed
+    /// from `nfc-trace calibrate`'s re-fitted `gpu_residency_pressure`
+    /// — makes `p` both the charged co-residency cost *and* the packing
+    /// objective: kernels are placed by marginal pressure-weighted cost
+    /// ([`residency::pack_with_pressure`]), so a recalibrated machine
+    /// genuinely changes pack order.
+    pub residency_pressure: Option<f64>,
     /// Service-level objective driving the live health plane (default
     /// from the `NFC_SLO` environment variable; off when unset). When
     /// set, the runtime streams per-batch latencies into mergeable
@@ -353,6 +363,7 @@ impl Deployment {
             lanes: None,
             simd: None,
             packer: residency::PackStrategy::default(),
+            residency_pressure: None,
             slo: SloSpec::from_env(),
         }
     }
@@ -420,6 +431,17 @@ impl Deployment {
     /// Selects the SM-residency packer (see [`residency::PackStrategy`]).
     pub fn with_packer(mut self, packer: residency::PackStrategy) -> Self {
         self.packer = packer;
+        self
+    }
+
+    /// Overrides the co-residency pressure coefficient with a
+    /// re-calibrated value (typically `nfc-trace calibrate`'s re-fitted
+    /// `gpu_residency_pressure`). The coefficient becomes both the
+    /// charged kernel-time multiplier and the spread packer's placement
+    /// objective; without the override the compiled-in anchor and the
+    /// stock packer are used, byte-for-byte.
+    pub fn with_residency_pressure(mut self, pressure: f64) -> Self {
+        self.residency_pressure = Some(pressure.max(0.0));
         self
     }
 
@@ -846,8 +868,10 @@ impl Deployment {
     /// warm-up, profiling, allocation) against a — possibly shared —
     /// simulator. `extra_corun` adds co-located NFs from *other* tenants
     /// to every stage's interference context; `user_base` keeps workload
-    /// tags unique across tenants.
-    pub(crate) fn prepare(
+    /// tags unique across tenants (and across servers in a cluster).
+    /// Public for the multi-tenant and cluster drivers (`nfc-cluster`);
+    /// single-box callers should use the `run*` entry points.
+    pub fn prepare(
         &mut self,
         sim: &mut PipelineSim,
         _res: &PlatformResources,
@@ -994,7 +1018,13 @@ impl Deployment {
         // Persistent kernels are bin-packed into SM slots; plans whose
         // kernels do not fit are degraded per stage to launch-per-batch
         // instead of being adopted oversubscribed.
-        let residency = apply_residency(&mut stages, &self.model, mode, self.packer);
+        let residency = apply_residency(
+            &mut stages,
+            &self.model,
+            mode,
+            self.packer,
+            self.residency_pressure,
+        );
         let stage_offloads: Vec<(String, f64)> = stages
             .iter()
             .flat_map(|b| b.iter())
@@ -1035,6 +1065,7 @@ impl Deployment {
             swap_spans: Vec::new(),
             residency,
             packer: self.packer,
+            res_pressure: self.residency_pressure,
             health: self.slo.map(HealthPlane::new),
         }
     }
@@ -1189,6 +1220,7 @@ fn apply_residency(
     model: &CostModel,
     mode: GpuMode,
     packer: residency::PackStrategy,
+    pressure: Option<f64>,
 ) -> ResidencyReport {
     let gpu = model.platform().gpu;
     let mut report = ResidencyReport {
@@ -1214,16 +1246,26 @@ fn apply_residency(
             demands.push(residency::slot_demand(packets));
         }
     }
-    let pack = residency::pack(&demands, &gpu, packer);
+    // With a recalibrated coefficient the pack objective and the charged
+    // multiplier both use it; without, the stock packer and the
+    // compiled-in anchor apply, byte-for-byte.
+    let pack = match pressure {
+        Some(p) => residency::pack_with_pressure(&demands, &gpu, packer, p),
+        None => residency::pack(&demands, &gpu, packer),
+    };
     for (k, &fi) in idx.iter().enumerate() {
         match pack.placements[k] {
             residency::Placement::Resident { device, slots } => {
                 let used = pack.device_slots_used(device);
                 let occupancy_pct = (used * 100 / gpu.sm_count.max(1)).min(100) as u8;
+                let util = pack.device_utilization(device);
                 flat[fi].residency = Some(ResidencySlot {
                     device,
                     occupancy_pct,
-                    pressure: residency::pressure_multiplier(pack.device_utilization(device)),
+                    pressure: match pressure {
+                        Some(p) => residency::pressure_multiplier_with(p, util),
+                        None => residency::pressure_multiplier(util),
+                    },
                 });
                 report
                     .resident
@@ -1239,7 +1281,7 @@ fn apply_residency(
 }
 
 /// Result of pushing one batch through a prepared SFC.
-pub(crate) enum BatchResult {
+pub enum BatchResult {
     /// Batch completed; record `(mean_arrival, completed)` with the
     /// output batch.
     Completed {
@@ -1259,9 +1301,10 @@ pub(crate) enum BatchResult {
 
 /// An SFC prepared for execution: re-organized, synthesized, profiled and
 /// allocated, with its stages bound to simulator resources. Produced by
-/// [`Deployment::prepare`]; shared-platform multi-tenant runs drive
-/// several of these against one simulator.
-pub(crate) struct PreparedSfc {
+/// [`Deployment::prepare`]; shared-platform multi-tenant runs and the
+/// `nfc-cluster` rack driver drive several of these against one
+/// simulator.
+pub struct PreparedSfc {
     stages: Vec<Vec<StageExec>>,
     width: usize,
     effective_length: usize,
@@ -1303,6 +1346,9 @@ pub(crate) struct PreparedSfc {
     /// Packer strategy the deployment selected; re-used verbatim by
     /// every re-pack (re-adaptation, live repartitions).
     packer: residency::PackStrategy,
+    /// Recalibrated pressure coefficient carried from the deployment so
+    /// every re-pack keeps the same objective (`None` = stock anchor).
+    res_pressure: Option<f64>,
     /// Live health plane (`None` when no SLO is armed): streaming
     /// quantile sketches, multi-window SLO burn accounting, and the
     /// cost-model drift watchdog. Strictly observational — it reads the
@@ -1386,7 +1432,7 @@ fn slo_signal_metric(objective: &'static str) -> &'static str {
 impl PreparedSfc {
     /// Pushes one batch through the prepared SFC, scheduling its costs on
     /// the shared simulator.
-    pub(crate) fn process_batch(
+    pub fn process_batch(
         &mut self,
         sim: &mut PipelineSim,
         res: &PlatformResources,
@@ -1734,11 +1780,39 @@ impl PreparedSfc {
 
     /// Drains the breach/drift signals queued since the adaptive
     /// controller's last epoch boundary. Empty when no SLO is armed.
-    pub(crate) fn take_health_signals(&mut self) -> Vec<HealthSignal> {
+    pub fn take_health_signals(&mut self) -> Vec<HealthSignal> {
         self.health
             .as_mut()
             .map(|h| std::mem::take(&mut h.pending))
             .unwrap_or_default()
+    }
+
+    /// Total stateful-NF state held by this prepared chain, in bytes —
+    /// what a shard migration must ship over the inter-server link when
+    /// flow ownership moves off this server.
+    pub fn state_bytes(&self) -> usize {
+        self.stages
+            .iter()
+            .flat_map(|b| b.iter())
+            .map(|s| s.run.state_bytes())
+            .sum()
+    }
+
+    /// Bumps every stage flow-cache generation so no stale per-flow
+    /// verdict survives a shard-ownership change (the cluster rebalance
+    /// analogue of the invalidation [`PreparedSfc::repartition`] does
+    /// for plan swaps). Invalidation events are recorded through the
+    /// chain's telemetry handle; a no-op when no stage caches.
+    pub fn invalidate_flow_caches(&mut self) {
+        let mut rec = self.tel.recorder();
+        for branch in self.stages.iter_mut() {
+            for stage in branch.iter_mut() {
+                if let Some(cache) = stage.flow_cache.as_mut() {
+                    cache.invalidate(&stage.run, &mut rec);
+                }
+            }
+        }
+        self.tel.absorb(rec);
     }
 
     /// Computes the five-bucket latency decomposition for one completed
@@ -1858,7 +1932,7 @@ impl PreparedSfc {
     /// allocation — the mid-run adaptation the paper motivates with
     /// "fast-switching network traffics". Consumes `warmup` batches
     /// functionally (they are not scheduled or counted).
-    pub(crate) fn readapt(
+    pub fn readapt(
         &mut self,
         policy: Policy,
         delta: f64,
@@ -1891,12 +1965,18 @@ impl PreparedSfc {
         self.tel.absorb(rec);
         // Fresh plans mean fresh slot demands: re-pack, re-granting or
         // spilling each stage against the policy's requested mode.
-        self.residency = apply_residency(&mut self.stages, &self.model, mode, self.packer);
+        self.residency = apply_residency(
+            &mut self.stages,
+            &self.model,
+            mode,
+            self.packer,
+            self.res_pressure,
+        );
     }
 
     /// Mean offload ratio per stage (branch-major), refreshed after
     /// re-adaptation.
-    pub(crate) fn current_offloads(&self) -> Vec<(String, f64)> {
+    pub fn current_offloads(&self) -> Vec<(String, f64)> {
         self.stages
             .iter()
             .flat_map(|b| b.iter())
@@ -1916,7 +1996,7 @@ impl PreparedSfc {
     /// next [`PreparedSfc::epoch_signature`] and re-profiling read
     /// windowed deltas, never cumulative state (and never reset live
     /// counters — resetting would perturb the differential oracle).
-    pub(crate) fn snapshot_window(&mut self) {
+    pub fn snapshot_window(&mut self) {
         self.obs_base = self.obs.clone();
         self.stats_base = self
             .stages
@@ -1943,11 +2023,7 @@ impl PreparedSfc {
     /// fill and packet size from the traffic actually seen, live content
     /// factors read from the elements, the SM-occupancy proxy, the DMA
     /// backlog sampled at the boundary, and the flow-cache hit rate.
-    pub(crate) fn epoch_signature(
-        &self,
-        batch_size: usize,
-        dma_backlog_ns: f64,
-    ) -> WorkloadSignature {
+    pub fn epoch_signature(&self, batch_size: usize, dma_backlog_ns: f64) -> WorkloadSignature {
         let mut sigs = Vec::with_capacity(self.obs.len());
         for (flat, stage) in self.stages.iter().flat_map(|b| b.iter()).enumerate() {
             let o = self.obs[flat];
@@ -2012,7 +2088,7 @@ impl PreparedSfc {
     /// when the warm re-partition kept the carried plan), and recorded as
     /// an [`EventKind::ControllerDecision`] telemetry instant.
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn repartition(
+    pub fn repartition(
         &mut self,
         sim: &mut PipelineSim,
         res: &PlatformResources,
@@ -2131,14 +2207,20 @@ impl PreparedSfc {
             // Adopted plans shift slot demands; re-pack against the
             // policy's requested mode so spilled stages can win their
             // residency back (and newly heavy ones spill).
-            self.residency = apply_residency(&mut self.stages, &self.model, self.mode, self.packer);
+            self.residency = apply_residency(
+                &mut self.stages,
+                &self.model,
+                self.mode,
+                self.packer,
+                self.res_pressure,
+            );
         }
         any
     }
 
     /// Finalizes the run into a [`RunOutcome`] with the given temporal
     /// report.
-    pub(crate) fn into_outcome(self, report: SimReport) -> RunOutcome {
+    pub fn into_outcome(self, report: SimReport) -> RunOutcome {
         RunOutcome {
             report,
             egress_packets: self.egress_packets,
@@ -2677,6 +2759,44 @@ mod tests {
         };
         assert!(peak(&out_spread) < peak(&out_ffd));
         assert!(out_spread.report.throughput_gbps >= out_ffd.report.throughput_gbps);
+    }
+
+    #[test]
+    fn recalibrated_residency_pressure_changes_pack_order() {
+        // Three IPsec kernels at batch 1024 demand 8 SM slots each.
+        // With a recalibrated coefficient of zero, crossing the pressure
+        // knee is free and the cost-greedy packer piles all 24 slots on
+        // device 0; at the 0.35 anchor value the second kernel moves to
+        // device 1 (16/8 split). Either way egress is byte-identical —
+        // the coefficient only moves kernels between devices.
+        let run = |pressure: Option<f64>| {
+            let mut dep = Deployment::new(
+                ipsec_chain(3),
+                Policy::GpuOnly {
+                    mode: GpuMode::Persistent,
+                },
+            )
+            .with_batch_size(1024);
+            if let Some(p) = pressure {
+                dep = dep.with_residency_pressure(p);
+            }
+            dep.run_collect(&mut traffic(256, 42), 10)
+        };
+        let (out_zero, egress_zero) = run(Some(0.0));
+        let (out_anchor, egress_anchor) = run(Some(0.35));
+        let (out_default, egress_default) = run(None);
+        assert_eq!(out_zero.residency.device_slots_used(0), 24);
+        assert_eq!(out_zero.residency.device_slots_used(1), 0);
+        assert_eq!(out_anchor.residency.device_slots_used(0), 16);
+        assert_eq!(out_anchor.residency.device_slots_used(1), 8);
+        assert_ne!(out_zero.residency.resident, out_anchor.residency.resident);
+        // The override never changes the resident set or packet bytes.
+        for out in [&out_zero, &out_anchor, &out_default] {
+            assert_eq!(out.residency.resident.len(), 3);
+            assert!(out.residency.spilled.is_empty());
+        }
+        assert_eq!(egress_zero, egress_anchor);
+        assert_eq!(egress_zero, egress_default);
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //! * [`residency`] — the SM-slot model for persistent kernels: slot
 //!   demands, first-fit-decreasing placement across the devices, and the
 //!   co-residency pressure charged when a device's slots saturate.
+//! * [`link`] — the inter-server link cost model (bandwidth, latency,
+//!   per-packet serialization) charged by the cluster layer the same
+//!   way PCIe is charged inside one box.
 //! * [`sim`] — a deterministic pipeline simulator: batches flow through
 //!   stages bound to serially-reusable resources (CPU cores, GPU command
 //!   queues, PCIe links), yielding throughput and latency distributions.
@@ -31,12 +34,14 @@
 pub mod calib;
 pub mod cost;
 pub mod interference;
+pub mod link;
 pub mod platform;
 pub mod residency;
 pub mod sim;
 
 pub use cost::{CostModel, ElementLoad, GpuMode};
 pub use interference::CoRunContext;
+pub use link::LinkSpec;
 pub use platform::PlatformConfig;
 pub use residency::{PackStrategy, Placement, ResidencyPlan};
 pub use sim::{PipelineSim, ResourceId, SimReport, Stage};

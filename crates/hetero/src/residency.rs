@@ -37,10 +37,21 @@ pub fn slot_demand(gpu_packets_per_batch: usize) -> usize {
 /// the oversubscription beyond it, reaching
 /// `1 + `[`calib::GPU_RESIDENCY_PRESSURE`] at a fully packed device.
 pub fn pressure_multiplier(utilization: f64) -> f64 {
+    pressure_multiplier_with(calib::GPU_RESIDENCY_PRESSURE, utilization)
+}
+
+/// [`pressure_multiplier`] with an explicit pressure coefficient instead
+/// of the compiled-in [`calib::GPU_RESIDENCY_PRESSURE`] anchor. The
+/// calibrate loop (`nfc-trace calibrate`) re-fits the coefficient from
+/// observed `sm_occupancy`-joined kernel spans; feeding the re-fitted
+/// value back in here (via `Deployment::with_residency_pressure`) makes
+/// both the charged co-residency cost and the packing objective track
+/// the measured machine rather than the paper's anchor.
+pub fn pressure_multiplier_with(pressure: f64, utilization: f64) -> f64 {
     if utilization <= 0.5 {
         1.0
     } else {
-        1.0 + calib::GPU_RESIDENCY_PRESSURE * (utilization.min(1.0) - 0.5) / 0.5
+        1.0 + pressure.max(0.0) * (utilization.min(1.0) - 0.5) / 0.5
     }
 }
 
@@ -195,6 +206,85 @@ pub fn spread_pack(demands: &[usize], gpu: &GpuSpec) -> ResidencyPlan {
     }
 }
 
+/// Packs `demands` with the chosen strategy under an explicit,
+/// recalibrated pressure coefficient. [`PackStrategy::Ffd`] ignores the
+/// coefficient (FFD's objective is fit, not pressure). For
+/// [`PackStrategy::Spread`] the placement objective becomes the
+/// coefficient itself: kernels are admitted exactly as FFD admits them
+/// (same never-oversubscribe spill rule), then re-placed largest-first,
+/// each on the device with the smallest *marginal pressure-weighted
+/// cost*
+///
+/// ```text
+/// Δ(dev) = (used+d)·m((used+d)/cap) − used·m(used/cap)
+/// ```
+///
+/// where `m` is [`pressure_multiplier_with`] at the given coefficient
+/// (ties to the lowest device index). At `pressure = 0` every placement
+/// costs its own slots and the pack collapses onto device 0 like FFD; as
+/// the coefficient grows, crossing the 50% knee gets progressively more
+/// expensive and the pack spreads earlier — so a recalibrated
+/// coefficient genuinely changes pack order. If cost-greedy placement
+/// strands a kernel FFD had room for, the FFD placement is returned
+/// wholesale (never spill more than FFD), mirroring [`spread_pack`].
+pub fn pack_with_pressure(
+    demands: &[usize],
+    gpu: &GpuSpec,
+    strategy: PackStrategy,
+    pressure: f64,
+) -> ResidencyPlan {
+    match strategy {
+        PackStrategy::Ffd => bin_pack(demands, gpu),
+        PackStrategy::Spread => spread_pack_with_pressure(demands, gpu, pressure),
+    }
+}
+
+fn spread_pack_with_pressure(demands: &[usize], gpu: &GpuSpec, pressure: f64) -> ResidencyPlan {
+    let ffd = bin_pack(demands, gpu);
+    let capacity = gpu.sm_count;
+    let n_dev = gpu.count.max(1);
+    let mut order: Vec<usize> = (0..demands.len())
+        .filter(|&i| matches!(ffd.placements[i], Placement::Resident { .. }))
+        .collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(demands[i]));
+    let cap = capacity.max(1) as f64;
+    let cost = |used: usize| {
+        let u = used as f64;
+        u * pressure_multiplier_with(pressure, u / cap)
+    };
+    let mut used = vec![0usize; n_dev];
+    let mut placements = vec![Placement::Spill; demands.len()];
+    for &i in &order {
+        let d = demands[i];
+        let mut best: Option<(usize, f64)> = None;
+        for (dev, &u) in used.iter().enumerate() {
+            if u + d > capacity {
+                continue;
+            }
+            let delta = cost(u + d) - cost(u);
+            if best.map(|(_, b)| delta < b - 1e-12).unwrap_or(true) {
+                best = Some((dev, delta));
+            }
+        }
+        let Some((dev, _)) = best else {
+            // Cost-greedy placement stranded a kernel FFD had room for:
+            // keep FFD's placement wholesale rather than spill more.
+            return ffd;
+        };
+        used[dev] += d;
+        placements[i] = Placement::Resident {
+            device: dev,
+            slots: d,
+        };
+    }
+    let free = used.iter().map(|&u| capacity - u).collect();
+    ResidencyPlan {
+        placements,
+        free,
+        capacity,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -341,6 +431,76 @@ mod tests {
             spread_pack(&demands, &g).placements
         );
         assert_eq!(PackStrategy::default(), PackStrategy::Spread);
+    }
+
+    #[test]
+    fn recalibrated_pressure_changes_pack_order() {
+        // Three 8-slot kernels on 2×24-SM devices. With a zero pressure
+        // coefficient crossing the knee is free, so cost-greedy packing
+        // collapses onto device 0 (8, 16, 24 slots). At the 0.35 anchor
+        // the second placement would cross the 50% knee on device 0
+        // (Δ = 16·1.1167 − 8 ≈ 9.87 > 8), so it moves to device 1.
+        let g = gpu();
+        let tight = pack_with_pressure(&[8, 8, 8], &g, PackStrategy::Spread, 0.0);
+        assert!(tight
+            .placements
+            .iter()
+            .all(|p| matches!(p, Placement::Resident { device: 0, .. })));
+        let spread = pack_with_pressure(&[8, 8, 8], &g, PackStrategy::Spread, 0.35);
+        assert_eq!(
+            spread.placements[1],
+            Placement::Resident {
+                device: 1,
+                slots: 8
+            }
+        );
+        assert_ne!(tight.placements, spread.placements);
+        // FFD ignores the coefficient entirely.
+        for p in [0.0, 0.35, 2.0] {
+            assert_eq!(
+                pack_with_pressure(&[8, 8, 8], &g, PackStrategy::Ffd, p).placements,
+                bin_pack(&[8, 8, 8], &g).placements
+            );
+        }
+    }
+
+    #[test]
+    fn pressure_aware_pack_keeps_ffd_spill_rule() {
+        // Same resident count as FFD (and no device over capacity) for
+        // random demand mixes across a range of coefficients.
+        let g = gpu();
+        let mut state = 0x5bd1_e995_u64;
+        for round in 0..300 {
+            let mut demands = Vec::new();
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let n = 1 + (state >> 33) as usize % 8;
+            for _ in 0..n {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                demands.push(1 + (state >> 40) as usize % 24);
+            }
+            let p = [0.0, 0.2, 0.35, 1.0][round % 4];
+            let ffd = bin_pack(&demands, &g);
+            let plan = pack_with_pressure(&demands, &g, PackStrategy::Spread, p);
+            assert_eq!(plan.resident(), ffd.resident(), "demands {demands:?} p={p}");
+            for d in 0..g.count {
+                assert!(plan.device_slots_used(d) <= plan.capacity);
+            }
+        }
+    }
+
+    #[test]
+    fn pressure_multiplier_with_generalizes_the_anchor() {
+        for u in [0.0, 0.3, 0.5, 0.75, 1.0] {
+            assert_eq!(
+                pressure_multiplier(u),
+                pressure_multiplier_with(calib::GPU_RESIDENCY_PRESSURE, u)
+            );
+        }
+        assert_eq!(pressure_multiplier_with(0.0, 1.0), 1.0);
+        assert!((pressure_multiplier_with(0.8, 1.0) - 1.8).abs() < 1e-12);
+        // Negative fits are clamped: a refit can never make co-residency
+        // a discount.
+        assert_eq!(pressure_multiplier_with(-0.5, 1.0), 1.0);
     }
 
     #[test]

@@ -311,13 +311,54 @@ pub enum EventKind {
         /// number of consecutive epochs.
         raised: bool,
     },
+    /// One contiguous range of the 32-bit flow-hash space owned by a
+    /// cluster server under the shard map in effect (simulated-time
+    /// instant, cluster plane). A full map emission covers `[0, 2^32)`
+    /// exactly — `nfc-trace validate` rejects maps with holes or
+    /// overlapping ranges per epoch.
+    ShardRange {
+        /// Rebalance epoch the map belongs to (0 = initial map).
+        epoch: u64,
+        /// Owning server index within the cluster.
+        server: u32,
+        /// Inclusive range start in the flow-hash space.
+        start: u64,
+        /// Exclusive range end (may be `2^32`, hence `u64`).
+        end: u64,
+    },
+    /// An inter-server link carried a batch shard (simulated-time span
+    /// on the link's resource track, cluster plane).
+    LinkTransfer {
+        /// Link resource id the transfer occupied.
+        link: u32,
+        /// Packets shipped over the link.
+        packets: u32,
+        /// Wire bytes shipped over the link.
+        bytes: u64,
+    },
+    /// The cluster controller moved shard ownership between servers via
+    /// the two-phase epoch swap (simulated-time instant, cluster plane).
+    ClusterRebalance {
+        /// Rebalance epoch after the move.
+        epoch: u64,
+        /// Server that gave up flow ownership.
+        from: u32,
+        /// Server that took it over.
+        to: u32,
+        /// Virtual ring nodes moved.
+        vnodes: u32,
+        /// Stateful-NF bytes migrated over the link model.
+        migrated_bytes: u64,
+        /// Reconfiguration time charged on the simulated timeline, ns.
+        swap_ns: f64,
+    },
 }
 
 impl EventKind {
     /// Coarse category, used as the Chrome-trace `cat` field and by
     /// `nfc-trace` for per-category summaries: one of `stage`,
     /// `element`, `batch`, `flow-cache`, `gpu`, `resource`,
-    /// `partition`, `control`, `worker`, `attr`, `health`.
+    /// `partition`, `control`, `worker`, `attr`, `health`, `cluster`.
     pub fn category(&self) -> &'static str {
         match self {
             EventKind::Stage { .. } => "stage",
@@ -338,6 +379,9 @@ impl EventKind {
             | EventKind::BatchEgress { .. }
             | EventKind::BatchAttribution { .. } => "attr",
             EventKind::SloBurn { .. } | EventKind::ModelDrift { .. } => "health",
+            EventKind::ShardRange { .. }
+            | EventKind::LinkTransfer { .. }
+            | EventKind::ClusterRebalance { .. } => "cluster",
         }
     }
 
@@ -371,6 +415,9 @@ impl EventKind {
             EventKind::Epoch { .. } => "epoch".to_string(),
             EventKind::SloBurn { .. } => "slo_burn".to_string(),
             EventKind::ModelDrift { .. } => "model_drift".to_string(),
+            EventKind::ShardRange { .. } => "shard_range".to_string(),
+            EventKind::LinkTransfer { .. } => "link_transfer".to_string(),
+            EventKind::ClusterRebalance { .. } => "cluster_rebalance".to_string(),
         }
     }
 
@@ -385,6 +432,7 @@ impl EventKind {
                 | EventKind::ResourceBusy { .. }
                 | EventKind::KernelLaunch { .. }
                 | EventKind::Dma { .. }
+                | EventKind::LinkTransfer { .. }
         )
     }
 }
@@ -436,6 +484,30 @@ mod tests {
             .category(),
         ];
         assert_eq!(cats, ["stage", "element", "flow-cache", "gpu", "partition"]);
+        let cluster = [
+            EventKind::ShardRange {
+                epoch: 0,
+                server: 0,
+                start: 0,
+                end: 1 << 32,
+            },
+            EventKind::LinkTransfer {
+                link: 3,
+                packets: 64,
+                bytes: 4096,
+            },
+            EventKind::ClusterRebalance {
+                epoch: 1,
+                from: 0,
+                to: 1,
+                vnodes: 2,
+                migrated_bytes: 1024,
+                swap_ns: 5_000.0,
+            },
+        ];
+        assert!(cluster.iter().all(|k| k.category() == "cluster"));
+        assert!(cluster[1].is_span());
+        assert!(!cluster[0].is_span() && !cluster[2].is_span());
     }
 
     #[test]

@@ -282,6 +282,41 @@ fn args_json(ev: &Event) -> String {
                 .num("drift", *drift)
                 .int("raised", u64::from(*raised));
         }
+        EventKind::ShardRange {
+            epoch,
+            server,
+            start,
+            end,
+        } => {
+            a.int("epoch", *epoch)
+                .int("server", u64::from(*server))
+                .int("start", *start)
+                .int("end", *end);
+        }
+        EventKind::LinkTransfer {
+            link,
+            packets,
+            bytes,
+        } => {
+            a.int("link", u64::from(*link))
+                .int("packets", u64::from(*packets))
+                .int("bytes", *bytes);
+        }
+        EventKind::ClusterRebalance {
+            epoch,
+            from,
+            to,
+            vnodes,
+            migrated_bytes,
+            swap_ns,
+        } => {
+            a.int("epoch", *epoch)
+                .int("from", u64::from(*from))
+                .int("to", u64::from(*to))
+                .int("vnodes", u64::from(*vnodes))
+                .int("migrated_bytes", *migrated_bytes)
+                .num("swap_ns", *swap_ns);
+        }
     }
     a.finish()
 }

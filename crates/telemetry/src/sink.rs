@@ -165,6 +165,24 @@ impl MemorySink {
                 }
                 self.observe_ns("model_drift_pct", drift * 100.0);
             }
+            EventKind::ShardRange { .. } => self.add_counter("cluster_shard_ranges", 1),
+            EventKind::LinkTransfer { packets, bytes, .. } => {
+                self.add_counter("cluster_link_transfers", 1);
+                self.add_counter("cluster_link_packets", u64::from(*packets));
+                self.add_counter("cluster_link_bytes", *bytes);
+                if let Some(sim) = ev.sim {
+                    self.observe_ns("cluster_link_sim_ns", sim.dur_ns());
+                }
+            }
+            EventKind::ClusterRebalance {
+                migrated_bytes,
+                swap_ns,
+                ..
+            } => {
+                self.add_counter("cluster_rebalances", 1);
+                self.add_counter("cluster_migrated_bytes", *migrated_bytes);
+                self.observe_ns("cluster_swap_ns", *swap_ns);
+            }
         }
     }
 

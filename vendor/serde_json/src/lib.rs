@@ -514,12 +514,19 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Consume a contiguous run of unescaped bytes at
+                    // once. `"` and `\` never occur inside multi-byte
+                    // UTF-8 sequences, so byte scanning is safe and the
+                    // run is validated in one pass (a per-character
+                    // `from_utf8` over the remaining input made parsing
+                    // quadratic on multi-megabyte traces).
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| Error::new("invalid UTF-8"))?;
-                    let c = rest.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(run);
                 }
             }
         }
