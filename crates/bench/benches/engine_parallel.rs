@@ -27,7 +27,8 @@ use nfc_nf::Nf;
 use nfc_packet::traffic::{SizeDist, TrafficGenerator, TrafficSpec};
 use nfc_packet::Batch;
 use nfc_telemetry::{
-    DriftWatchdog, HealthState, Recorder, SketchKey, SketchSet, SloSpec, DEFAULT_SKETCH_ALPHA,
+    DriftWatchdog, FlowSampler, HealthState, Recorder, SketchKey, SketchSet, SloSpec,
+    DEFAULT_SKETCH_ALPHA,
 };
 use serde_json::json;
 use std::time::Instant;
@@ -94,6 +95,7 @@ fn deployment(exec: ExecMode, dup: Duplication, lanes: bool, simd: bool) -> Depl
         .with_lanes(lanes)
         .with_simd(simd)
         .without_slo()
+        .without_flow_trace()
 }
 
 /// Pre-generates the workload once so the timed region is the engine
@@ -181,6 +183,27 @@ fn health_plane_overhead_pct(n_batches: u64, wall_s: f64) -> f64 {
     black_box(sketches.len());
     let ns_per_batch = start.elapsed().as_secs_f64() * 1e9 / PROBES as f64;
     n_batches as f64 * ns_per_batch / (wall_s * 1e9) * 100.0
+}
+
+/// Estimates the armed flow-forensics cost on the hot path: times the
+/// per-packet sampling decision (a modulo against the flow hash — the
+/// only work unsampled packets pay), scales by the packet count of the
+/// measured run, and expresses it as a percentage of the trace-off wall
+/// time. Sampled flows additionally pay one event append per touchpoint,
+/// but at 1/256 that term is two orders of magnitude smaller.
+fn flow_plane_overhead_pct(packets: u64, wall_s: f64) -> f64 {
+    let sampler = FlowSampler::new(256);
+    const PROBES: u64 = 4_000_000;
+    let start = Instant::now();
+    let mut hits = 0u64;
+    for i in 0..PROBES {
+        if sampler.sampled(black_box(i as u32).wrapping_mul(0x9e37_79b9)) {
+            hits += 1;
+        }
+    }
+    black_box(hits);
+    let ns_per_probe = start.elapsed().as_secs_f64() * 1e9 / PROBES as f64;
+    packets as f64 * ns_per_probe / (wall_s * 1e9) * 100.0
 }
 
 fn engine_benches(c: &mut Criterion) {
@@ -319,6 +342,28 @@ fn emit_report(full: bool) {
         health_pct < 1.0,
         "the armed health plane must stay under 1% of the hot path, got {health_pct:.4}%"
     );
+    // Flow-forensics rider: arming 1/256 deterministic flow tracing
+    // keeps egress byte-identical, and the per-packet sampling decision
+    // costs under 1% of the telemetry-off parallel wall time.
+    let mut traced = deployment(ExecMode::auto(), Duplication::Cow, true, true)
+        .with_telemetry(TelemetryMode::Memory)
+        .with_flow_trace(256);
+    let mut traced_traffic = TrafficGenerator::new(TrafficSpec::udp(SizeDist::Fixed(PKT_BYTES)), 7);
+    let (traced_out, traced_egress) = traced.run_replay(&mut traced_traffic, &batches);
+    assert_eq!(
+        ref_egress, &traced_egress,
+        "flow-traced egress differs from serial_deepcopy"
+    );
+    assert_eq!(
+        ref_out.stage_stats, traced_out.stage_stats,
+        "flow-traced per-element stats differ from serial_deepcopy"
+    );
+    let flow_pct = flow_plane_overhead_pct((n_batches * BATCH_SIZE) as u64, rows[2].1);
+    println!("flow plane: 1/256 sampling costs {flow_pct:.4}% of parallel_cow");
+    assert!(
+        flow_pct < 1.0,
+        "the armed flow plane must stay under 1% of the hot path, got {flow_pct:.4}%"
+    );
     let mut cfgs = serde_json::Value::Object(Default::default());
     for (label, secs, gbps, _, lanes, simd) in &rows {
         cfgs[*label] = json!({
@@ -349,6 +394,11 @@ fn emit_report(full: bool) {
         "health_plane": {
             "egress_byte_identical": true,
             "armed_overhead_pct": health_pct,
+        },
+        "flow_plane": {
+            "egress_byte_identical": true,
+            "sampling_rate": 256,
+            "armed_overhead_pct": flow_pct,
         },
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");

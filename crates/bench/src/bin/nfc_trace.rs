@@ -41,6 +41,13 @@
 //!   what-if projection: re-walk every batch's critical path with the
 //!   matched resource lanes sped up `k`x (waits kept, busy scaled) and
 //!   report the predicted chain speedup.
+//! * `flow <trace.json> [key] [--json]` — with a key (decimal or
+//!   0x-hex RSS hash), the stitched cross-server timeline of that
+//!   sampled flow, hop by hop (the hop deltas telescope to the e2e
+//!   latency exactly); without a key, the flow-plane digest whose
+//!   `--json` form is the committed baseline `diff` gates against.
+//! * `sessions <trace.json> [--json]` — built/teardown/deny totals of
+//!   the structured connection records cut by `SessionLog` elements.
 
 use nfc_telemetry::{
     attribution, calibrate, critical_paths, folded_stacks, folded_stacks_wall, whatif,
@@ -120,6 +127,15 @@ fn parse(body: &str, path: &str) -> Result<Trace, String> {
 fn load(path: &str) -> Result<Trace, String> {
     let body = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     parse(&body, path)
+}
+
+/// Parses a flow key (the RSS hash) as decimal or `0x`-prefixed hex.
+fn parse_flow_key(s: &str) -> Option<u64> {
+    let key = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u32::from_str_radix(hex, 16).ok()?,
+        None => s.parse::<u32>().ok()?,
+    };
+    Some(u64::from(key))
 }
 
 fn str_field<'a>(ev: &'a Value, key: &str) -> Option<&'a str> {
@@ -266,6 +282,44 @@ fn typed_events(trace: &Trace) -> Vec<Event> {
                 stage: arg_u64(ev, "stage") as u32,
                 name: arg_str(ev, "nf").to_string(),
                 packets: arg_u64(ev, "packets") as u32,
+            },
+            n if n.starts_with("flow_") => EventKind::FlowPoint {
+                flow: arg_u64(ev, "flow") as u32,
+                point: match &n[5..] {
+                    "ingress" => "ingress",
+                    "lanes" => "lanes",
+                    "cache_hit" => "cache_hit",
+                    "cache_miss" => "cache_miss",
+                    "stage" => "stage",
+                    "kernel" => "kernel",
+                    "shard" => "shard",
+                    "migrate" => "migrate",
+                    "merge" => "merge",
+                    "egress" => "egress",
+                    _ => "point",
+                },
+                server: arg_u64(ev, "server") as u32,
+                packets: arg_u64(ev, "packets") as u32,
+            },
+            n if n.starts_with("session_") => EventKind::Session {
+                state: match &n[8..] {
+                    "built" => "built",
+                    "teardown" => "teardown",
+                    "deny" => "deny",
+                    _ => "state",
+                },
+                flow: arg_u64(ev, "flow") as u32,
+                packets: arg_u64(ev, "packets"),
+                bytes: arg_u64(ev, "bytes"),
+            },
+            "flight_dump" => EventKind::FlightDump {
+                reason: match arg_str(ev, "reason") {
+                    "slo_burn" => "slo_burn",
+                    "model_drift" => "model_drift",
+                    "manual" => "manual",
+                    _ => "reason",
+                },
+                events: arg_u64(ev, "events") as u32,
             },
             _ => continue,
         };
@@ -537,6 +591,181 @@ fn check_cluster_plane(trace: &Trace, path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Rejects corrupt flow-forensics timelines. Three invariants hold by
+/// construction, so any violation means the trace (or the stitcher's
+/// input) is corrupt:
+///
+/// 1. Flow points for one `(flow, track)` lane are emitted in
+///    simulated-time order — the runtime stamps them as the replay
+///    clock advances, never backwards.
+/// 2. A session `teardown`/`deny` record always follows a `built` for
+///    the same flow: connections cannot die before they exist.
+/// 3. A `migrate` point is a handover marker stamped on the
+///    destination's ingress track the instant the flow's next batch
+///    lands there, so it must be immediately followed — on the same
+///    `(flow, track)` lane, at the same instant — by a `shard` point
+///    carrying the same server id. Anything else means the handover
+///    leaked. (Points on the *old* server may legitimately postdate
+///    the migrate: batches dispatched before the move drain there
+///    while the new owner is already receiving.)
+fn check_flow_plane(trace: &Trace, path: &str) -> Result<(), String> {
+    let mut lanes: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+    let mut handover: BTreeMap<(u64, u64), (f64, u64)> = BTreeMap::new();
+    let mut sessions: BTreeMap<u64, Vec<(f64, String)>> = BTreeMap::new();
+    for ev in &trace.events {
+        if ev.get("pid").and_then(Value::as_u64) != Some(2) {
+            continue;
+        }
+        let name = str_field(ev, "name").unwrap_or_default();
+        let ts = num_field(ev, "ts").unwrap_or(0.0);
+        if let Some(point) = name.strip_prefix("flow_") {
+            let flow = arg_u64(ev, "flow");
+            let server = arg_u64(ev, "server");
+            let tid = ev.get("tid").and_then(Value::as_u64).unwrap_or(0);
+            let last = lanes.entry((flow, tid)).or_insert(f64::NEG_INFINITY);
+            if ts < *last - 1e-9 {
+                return Err(format!(
+                    "{path}: flow {flow:#010x} timeline not time-ordered on track {tid}: \
+                     {name} at {ts:.3} us precedes the prior point at {:.3} us",
+                    *last
+                ));
+            }
+            *last = ts;
+            if let Some((mig_ts, mig_server)) = handover.remove(&(flow, tid)) {
+                if point != "shard" || server != mig_server || (ts - mig_ts).abs() > 1e-9 {
+                    return Err(format!(
+                        "{path}: flow {flow:#010x} migrate handover on track {tid} leaked: \
+                         expected shard on server {mig_server} at {mig_ts:.3} us, \
+                         got {name} on server {server} at {ts:.3} us"
+                    ));
+                }
+            }
+            if point == "migrate" {
+                handover.insert((flow, tid), (ts, server));
+            }
+        } else if let Some(state) = name.strip_prefix("session_") {
+            sessions
+                .entry(arg_u64(ev, "flow"))
+                .or_default()
+                .push((ts, state.to_string()));
+        }
+    }
+    if let Some(((flow, tid), (ts, server))) = handover.into_iter().next() {
+        return Err(format!(
+            "{path}: flow {flow:#010x} migrate to server {server} at {ts:.3} us on track {tid} \
+             has no handover shard"
+        ));
+    }
+    for (flow, mut recs) in sessions {
+        recs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        if let Some((ts, state)) = recs.iter().find(|(_, s)| s != "built") {
+            let built_before = recs.iter().any(|(t, s)| s == "built" && t <= ts);
+            if !built_before {
+                return Err(format!(
+                    "{path}: session {state} for flow {flow:#010x} at {ts:.3} us \
+                     has no preceding built record"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Aggregated flow/session-plane state re-read from a trace. The
+/// integer fields are all derived from the deterministic simulated
+/// timeline, so a committed JSON snapshot (`flow --json`) is a stable
+/// CI baseline for `diff`.
+#[derive(Debug, Default)]
+struct FlowReport {
+    /// touchpoint -> stamped instants.
+    points: BTreeMap<String, u64>,
+    /// Distinct sampled flow hashes seen on the flow plane.
+    flows: std::collections::BTreeSet<u64>,
+    /// session state -> (records, packets, bytes).
+    sessions: BTreeMap<String, (u64, u64, u64)>,
+    /// Distinct flow hashes with at least one session record.
+    session_flows: std::collections::BTreeSet<u64>,
+    /// Flight-recorder dumps and the events they carried.
+    dumps: u64,
+    dump_events: u64,
+}
+
+fn flow_report(trace: &Trace) -> FlowReport {
+    let mut rep = FlowReport::default();
+    for ev in &trace.events {
+        let name = str_field(ev, "name").unwrap_or_default();
+        if let Some(point) = name.strip_prefix("flow_") {
+            *rep.points.entry(point.to_string()).or_insert(0) += 1;
+            rep.flows.insert(arg_u64(ev, "flow"));
+        } else if let Some(state) = name.strip_prefix("session_") {
+            let s = rep.sessions.entry(state.to_string()).or_insert((0, 0, 0));
+            s.0 += 1;
+            s.1 += arg_u64(ev, "packets");
+            s.2 += arg_u64(ev, "bytes");
+            rep.session_flows.insert(arg_u64(ev, "flow"));
+        } else if name == "flight_dump" {
+            rep.dumps += 1;
+            rep.dump_events += arg_u64(ev, "events");
+        }
+    }
+    rep
+}
+
+fn flow_report_json(rep: &FlowReport) -> Value {
+    let mut points = json!({});
+    for (p, n) in &rep.points {
+        points[p.as_str()] = json!(n);
+    }
+    let mut sessions = json!({});
+    for (s, (records, packets, bytes)) in &rep.sessions {
+        sessions[s.as_str()] = json!({
+            "records": records, "packets": packets, "bytes": bytes,
+        });
+    }
+    json!({
+        "kind": "flow",
+        "points": points,
+        "flows": rep.flows.len(),
+        "sessions": sessions,
+        "session_flows": rep.session_flows.len(),
+        "dumps": rep.dumps,
+        "dump_events": rep.dump_events,
+    })
+}
+
+/// One stitched row of a sampled flow's timeline: simulated instant
+/// (us), touchpoint, server, track and packet count.
+struct FlowRow {
+    ts_us: f64,
+    point: String,
+    server: u64,
+    track: u64,
+    packets: u64,
+}
+
+/// Collects and time-orders every flow point stamped for `key`,
+/// across tracks, servers and migrations — the stitched causal
+/// timeline `flow <key>` renders.
+fn flow_timeline(trace: &Trace, key: u64) -> Vec<FlowRow> {
+    let mut rows: Vec<FlowRow> = trace
+        .events
+        .iter()
+        .filter(|ev| arg_u64(ev, "flow") == key)
+        .filter_map(|ev| {
+            let point = str_field(ev, "name")?.strip_prefix("flow_")?;
+            Some(FlowRow {
+                ts_us: num_field(ev, "ts").unwrap_or(0.0),
+                point: point.to_string(),
+                server: arg_u64(ev, "server"),
+                track: ev.get("tid").and_then(Value::as_u64).unwrap_or(0),
+                packets: arg_u64(ev, "packets"),
+            })
+        })
+        .collect();
+    rows.sort_by(|a, b| a.ts_us.total_cmp(&b.ts_us));
+    rows
+}
+
 fn by_category(trace: &Trace) -> BTreeMap<String, u64> {
     let mut cats = BTreeMap::new();
     for ev in &trace.events {
@@ -575,6 +804,196 @@ fn cmd_summary(path: &str) -> Result<(), String> {
     for (cat, n) in &cats {
         println!("{cat:<12} {n}");
     }
+    // Per-plane digest: one line per observability plane present in
+    // the trace, so `summary` answers "what did this run record"
+    // without a per-plane subcommand round-trip.
+    let health = health_report(&trace);
+    let flow = flow_report(&trace);
+    let rebalances = trace
+        .events
+        .iter()
+        .filter(|ev| str_field(ev, "name") == Some("cluster_rebalance"))
+        .count();
+    let transfers = trace
+        .events
+        .iter()
+        .filter(|ev| str_field(ev, "name") == Some("link_transfer"))
+        .count();
+    if rebalances + transfers > 0
+        || !health.objectives.is_empty()
+        || health.drift_verdicts > 0
+        || !flow.points.is_empty()
+        || !flow.sessions.is_empty()
+        || flow.dumps > 0
+    {
+        println!("-- planes --");
+    }
+    if rebalances + transfers > 0 {
+        println!("cluster   {transfers} link transfer(s), {rebalances} rebalance(s)");
+    }
+    if !health.objectives.is_empty() || health.drift_verdicts > 0 {
+        let (verdicts, breaches) = health
+            .objectives
+            .values()
+            .fold((0, 0), |acc, v| (acc.0 + v.0, acc.1 + v.1));
+        println!(
+            "health    {verdicts} SLO verdict(s) ({breaches} breached), \
+             drift raised {} of {}",
+            health.drift_raised, health.drift_verdicts
+        );
+    }
+    if !flow.points.is_empty() || flow.dumps > 0 {
+        let stamps: u64 = flow.points.values().sum();
+        println!(
+            "flow      {} sampled flow(s), {stamps} point(s), {} flight dump(s)",
+            flow.flows.len(),
+            flow.dumps
+        );
+    }
+    if !flow.sessions.is_empty() {
+        let per_state = |s: &str| flow.sessions.get(s).map_or(0, |v| v.0);
+        println!(
+            "session   {} flow(s): built {}, teardown {}, deny {}",
+            flow.session_flows.len(),
+            per_state("built"),
+            per_state("teardown"),
+            per_state("deny")
+        );
+    }
+    Ok(())
+}
+
+/// `flow <trace> <key>` — the stitched cross-server timeline of one
+/// sampled flow; `flow <trace>` — the flow-plane digest (`--json`
+/// emits the baseline `diff` consumes).
+fn cmd_flow(path: &str, key: Option<u64>, as_json: bool) -> Result<(), String> {
+    let trace = load(path)?;
+    let Some(key) = key else {
+        let rep = flow_report(&trace);
+        if rep.points.is_empty() && rep.sessions.is_empty() {
+            return Err(format!(
+                "{path}: no flow-plane events (NFC_FLOW_TRACE unarmed or telemetry off)"
+            ));
+        }
+        if as_json {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&flow_report_json(&rep)).expect("serializable")
+            );
+        } else {
+            println!("trace     {path}");
+            println!(
+                "flows     {} sampled, {} flight dump(s)",
+                rep.flows.len(),
+                rep.dumps
+            );
+            for (point, n) in &rep.points {
+                println!("  {point:<12} {n}");
+            }
+        }
+        return Ok(());
+    };
+    let rows = flow_timeline(&trace, key);
+    if rows.is_empty() {
+        return Err(format!(
+            "{path}: no flow points for flow {key:#010x} (not sampled, or key mistyped)"
+        ));
+    }
+    if as_json {
+        let out: Vec<Value> = rows
+            .iter()
+            .map(|r| {
+                json!({
+                    "ts_us": r.ts_us,
+                    "point": r.point,
+                    "server": r.server,
+                    "track": r.track,
+                    "packets": r.packets,
+                })
+            })
+            .collect();
+        let e2e_us = rows.last().unwrap().ts_us - rows[0].ts_us;
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&json!({
+                "flow": key,
+                "e2e_us": e2e_us,
+                "points": out,
+            }))
+            .expect("serializable")
+        );
+        return Ok(());
+    }
+    println!("trace     {path}");
+    println!("flow      {key:#010x}   {} point(s)", rows.len());
+    println!(
+        "{:>12}  {:<12} {:>6}  {:<14} {:>7}  {:>10}",
+        "ts(us)", "point", "server", "lane", "pkts", "hop(us)"
+    );
+    // Each hop is the delta to the previous touchpoint, so the hops
+    // telescope: their sum IS the end-to-end latency, exactly.
+    let mut prev: Option<f64> = None;
+    let mut hop_sum = 0.0;
+    for r in &rows {
+        let lane = trace
+            .thread_names
+            .get(&r.track)
+            .map(String::as_str)
+            .unwrap_or("?");
+        let hop = prev.map(|p| r.ts_us - p).unwrap_or(0.0);
+        hop_sum += hop;
+        println!(
+            "{:>12.3}  {:<12} {:>6}  {:<14} {:>7}  {:>10.3}",
+            r.ts_us, r.point, r.server, lane, r.packets, hop
+        );
+        prev = Some(r.ts_us);
+    }
+    let e2e = rows.last().unwrap().ts_us - rows[0].ts_us;
+    let servers: std::collections::BTreeSet<u64> = rows.iter().map(|r| r.server).collect();
+    println!(
+        "e2e       {e2e:.3} us over {} hop(s) across {} server(s) (hop sum {hop_sum:.3} us)",
+        rows.len() - 1,
+        servers.len()
+    );
+    Ok(())
+}
+
+/// `sessions <trace>` — summarizes the structured connection records
+/// cut by `SessionLog` elements.
+fn cmd_sessions(path: &str, as_json: bool) -> Result<(), String> {
+    let trace = load(path)?;
+    let rep = flow_report(&trace);
+    if rep.sessions.is_empty() {
+        return Err(format!(
+            "{path}: no session records (no SessionLog in the chain or telemetry off)"
+        ));
+    }
+    if as_json {
+        let mut sessions = json!({});
+        for (s, (records, packets, bytes)) in &rep.sessions {
+            sessions[s.as_str()] = json!({
+                "records": records, "packets": packets, "bytes": bytes,
+            });
+        }
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&json!({
+                "flows": rep.session_flows.len(),
+                "sessions": sessions,
+            }))
+            .expect("serializable")
+        );
+        return Ok(());
+    }
+    println!("trace     {path}");
+    println!("flows     {}", rep.session_flows.len());
+    println!(
+        "{:<10} {:>8} {:>12} {:>14}",
+        "state", "records", "packets", "bytes"
+    );
+    for (state, (records, packets, bytes)) in &rep.sessions {
+        println!("{state:<10} {records:>8} {packets:>12} {bytes:>14}");
+    }
     Ok(())
 }
 
@@ -599,6 +1018,7 @@ fn cmd_validate(paths: &[String], require: &[String]) -> Result<(), String> {
         check_sim_lanes(&trace, path)?;
         check_control_plane(&trace, path)?;
         check_cluster_plane(&trace, path)?;
+        check_flow_plane(&trace, path)?;
         for (cat, n) in by_category(&trace) {
             *union.entry(cat).or_insert(0) += n;
         }
@@ -1074,12 +1494,99 @@ fn diff_metrics(baseline: &Value, rep: &AttributionReport) -> Vec<(String, f64, 
     rows
 }
 
+/// Flow-plane metrics compared by `diff` when the baseline carries
+/// `"kind": "flow"`: every counter named in the baseline vs. the
+/// trace's re-derived [`FlowReport`]. All are deterministic
+/// simulated-timeline integers, so the committed baseline is
+/// machine-independent.
+fn diff_flow_metrics(baseline: &Value, rep: &FlowReport) -> Vec<(String, f64, f64)> {
+    let mut rows = vec![
+        (
+            "flows".to_string(),
+            baseline["flows"].as_f64().unwrap_or(f64::NAN),
+            rep.flows.len() as f64,
+        ),
+        (
+            "dumps".to_string(),
+            baseline["dumps"].as_f64().unwrap_or(f64::NAN),
+            rep.dumps as f64,
+        ),
+    ];
+    if let Some(points) = baseline["points"].as_object() {
+        for (name, want) in points {
+            rows.push((
+                format!("points.{name}"),
+                want.as_f64().unwrap_or(f64::NAN),
+                rep.points.get(name).copied().unwrap_or(0) as f64,
+            ));
+        }
+    }
+    if let Some(sessions) = baseline["sessions"].as_object() {
+        for (state, want) in sessions {
+            rows.push((
+                format!("sessions.{state}"),
+                want["records"].as_f64().unwrap_or(f64::NAN),
+                rep.sessions.get(state).map_or(0, |v| v.0) as f64,
+            ));
+        }
+    }
+    rows
+}
+
 fn cmd_diff(baseline_path: &str, trace_path: &str, threshold_pct: f64) -> Result<(), String> {
     let body = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("cannot read {baseline_path}: {e}"))?;
     let baseline: Value =
         serde_json::from_str(&body).map_err(|e| format!("{baseline_path}: bad JSON: {e}"))?;
     let trace = load(trace_path)?;
+    // A `"kind": "flow"` baseline (the output of `flow --json`) gates
+    // the forensics plane's counters instead of batch attribution:
+    // divergence in either direction is a regression, because *losing*
+    // flow points or session records silently blinds postmortems.
+    if baseline.get("kind").and_then(Value::as_str) == Some("flow") {
+        let rep = flow_report(&trace);
+        if rep.points.is_empty() && rep.sessions.is_empty() {
+            return Err(format!("{trace_path}: no flow-plane events to diff"));
+        }
+        println!("baseline  {baseline_path} (flow plane)");
+        println!("trace     {trace_path}");
+        println!(
+            "{:<20} {:>12} {:>12} {:>9}",
+            "metric", "baseline", "current", "delta"
+        );
+        let mut diverged = Vec::new();
+        for (name, old, new) in diff_flow_metrics(&baseline, &rep) {
+            if !old.is_finite() {
+                return Err(format!("{baseline_path}: baseline missing metric {name}"));
+            }
+            let delta_pct = if old.abs() > 1e-9 {
+                (new - old) / old * 100.0
+            } else if new.abs() <= 1e-9 {
+                0.0
+            } else {
+                f64::INFINITY
+            };
+            let bad = (new - old).abs() > old.abs() * threshold_pct / 100.0 + 1.0;
+            println!(
+                "{name:<20} {old:>12.0} {new:>12.0} {:>8.2}%{}",
+                delta_pct,
+                if bad { "  << DIVERGED" } else { "" }
+            );
+            if bad {
+                diverged.push(name);
+            }
+        }
+        return if diverged.is_empty() {
+            println!("OK — no flow-plane metric diverged more than {threshold_pct}%");
+            Ok(())
+        } else {
+            Err(format!(
+                "{} flow-plane metric(s) diverged more than {threshold_pct}%: {}",
+                diverged.len(),
+                diverged.join(", ")
+            ))
+        };
+    }
     let rep = attribution(&typed_events(&trace));
     if rep.batches == 0 {
         return Err(format!("{trace_path}: no batch_attribution events"));
@@ -1167,8 +1674,9 @@ fn cmd_calibrate(path: &str, launch_per_batch: bool) -> Result<(), String> {
 }
 
 const USAGE: &str = "usage: nfc-trace <summary|validate|prom|controller|attribution|critical-path|\
-flame|diff|calibrate|health|whatif> <trace.json>... [--require cat1,cat2] [--json] [--wall] \
-[--threshold pct] [--launch-per-batch] [--baseline health.json] [--speedup element=k]";
+flame|diff|calibrate|health|whatif|flow|sessions> <trace.json>... [--require cat1,cat2] [--json] \
+[--wall] [--threshold pct] [--launch-per-batch] [--baseline health.json] [--speedup element=k] \
+[flow key: decimal or 0x-hex after the trace path]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -1238,6 +1746,20 @@ fn main() -> ExitCode {
             }
             cmd_diff(&paths[0], &paths[1], threshold_pct)
         }
+        "flow" => {
+            if paths.len() > 2 {
+                return fail("flow wants <trace.json> [key]");
+            }
+            let key = match paths.get(1) {
+                Some(k) => match parse_flow_key(k) {
+                    Some(key) => Some(key),
+                    None => return fail(&format!("bad flow key {k:?} (decimal or 0x-hex u32)")),
+                },
+                None => None,
+            };
+            cmd_flow(&paths[0], key, as_json)
+        }
+        "sessions" => paths.iter().try_for_each(|p| cmd_sessions(p, as_json)),
         "calibrate" => paths
             .iter()
             .try_for_each(|p| cmd_calibrate(p, launch_per_batch)),
@@ -1589,6 +2111,191 @@ mod tests {
         assert_eq!(rep.packets, 64);
         assert!((rep.mean_e2e_ns - 1000.0).abs() < 1e-9);
         assert!((rep.mean.total() - 1000.0).abs() < 1e-9);
+    }
+
+    fn flow_line(flow: u64, point: &str, server: u64, tid: u64, ts: f64, packets: u64) -> String {
+        format!(
+            "{{\"name\":\"flow_{point}\",\"cat\":\"flow\",\"ph\":\"i\",\"s\":\"t\",\"pid\":2,\
+             \"tid\":{tid},\"ts\":{ts},\"args\":{{\"wall_ns\":0,\"batch\":1,\"flow\":{flow},\
+             \"point\":\"{point}\",\"server\":{server},\"packets\":{packets}}}}}"
+        )
+    }
+
+    fn session_line(state: &str, flow: u64, ts: f64, packets: u64, bytes: u64) -> String {
+        format!(
+            "{{\"name\":\"session_{state}\",\"cat\":\"session\",\"ph\":\"i\",\"s\":\"t\",\
+             \"pid\":2,\"tid\":1,\"ts\":{ts},\"args\":{{\"wall_ns\":0,\"batch\":1,\
+             \"state\":\"{state}\",\"flow\":{flow},\"packets\":{packets},\"bytes\":{bytes}}}}}"
+        )
+    }
+
+    #[test]
+    fn corrupt_flow_timelines_are_rejected() {
+        // In-order points on one lane, plus a clean migrate handover
+        // (a same-instant shard on the destination track follows the
+        // migrate, and the old server drains a late point), validate.
+        let ok = parse(
+            &wrap(&[
+                flow_line(7, "ingress", 0, 1, 10.0, 4),
+                flow_line(7, "stage", 0, 1, 20.0, 4),
+                flow_line(7, "migrate", 1, 5, 25.0, 0),
+                flow_line(7, "shard", 1, 5, 25.0, 4),
+                flow_line(7, "egress", 0, 1, 27.0, 4),
+                flow_line(7, "egress", 1, 5, 30.0, 4),
+            ]),
+            "t.json",
+        )
+        .expect("parses");
+        assert!(check_flow_plane(&ok, "t.json").is_ok());
+
+        // Time going backwards on one (flow, track) lane is corrupt.
+        let bad = parse(
+            &wrap(&[
+                flow_line(7, "stage", 0, 1, 20.0, 4),
+                flow_line(7, "ingress", 0, 1, 10.0, 4),
+            ]),
+            "t.json",
+        )
+        .expect("parses");
+        let err = check_flow_plane(&bad, "t.json").expect_err("rejected");
+        assert!(err.contains("not time-ordered"), "{err}");
+
+        // A migrate not answered by a same-instant shard on its own
+        // track (wrong server, wrong point, or drifted instant) means
+        // the two-phase swap leaked state.
+        let bad = parse(
+            &wrap(&[
+                flow_line(7, "migrate", 1, 5, 25.0, 0),
+                flow_line(7, "shard", 2, 5, 25.0, 4),
+            ]),
+            "t.json",
+        )
+        .expect("parses");
+        let err = check_flow_plane(&bad, "t.json").expect_err("rejected");
+        assert!(err.contains("handover"), "{err}");
+
+        // A migrate that is the lane's last word never handed the flow
+        // over at all.
+        let bad =
+            parse(&wrap(&[flow_line(7, "migrate", 1, 5, 25.0, 0)]), "t.json").expect("parses");
+        let err = check_flow_plane(&bad, "t.json").expect_err("rejected");
+        assert!(err.contains("no handover shard"), "{err}");
+    }
+
+    #[test]
+    fn session_records_without_a_built_are_rejected() {
+        let ok = parse(
+            &wrap(&[
+                session_line("built", 9, 10.0, 0, 0),
+                session_line("teardown", 9, 20.0, 12, 9000),
+            ]),
+            "t.json",
+        )
+        .expect("parses");
+        assert!(check_flow_plane(&ok, "t.json").is_ok());
+
+        let bad = parse(&wrap(&[session_line("deny", 9, 10.0, 0, 0)]), "t.json").expect("parses");
+        let err = check_flow_plane(&bad, "t.json").expect_err("rejected");
+        assert!(err.contains("no preceding built"), "{err}");
+    }
+
+    #[test]
+    fn flow_timeline_stitches_across_tracks_and_telescopes() {
+        // The same flow touches three tracks on two servers; the
+        // stitcher orders by simulated time and the consecutive hop
+        // deltas sum to the end-to-end latency exactly.
+        let trace = parse(
+            &wrap(&[
+                flow_line(0xbeef, "shard", 1, 9, 15.0, 8),
+                flow_line(0xbeef, "ingress", 0, 1, 10.0, 8),
+                flow_line(0xbeef, "stage", 1, 3, 22.5, 8),
+                flow_line(0xbeef, "egress", 1, 9, 41.0, 8),
+                flow_line(0xdead, "ingress", 0, 1, 12.0, 2), // other flow
+            ]),
+            "t.json",
+        )
+        .expect("parses");
+        let rows = flow_timeline(&trace, 0xbeef);
+        assert_eq!(rows.len(), 4);
+        let points: Vec<&str> = rows.iter().map(|r| r.point.as_str()).collect();
+        assert_eq!(points, ["ingress", "shard", "stage", "egress"]);
+        let hop_sum: f64 = rows.windows(2).map(|w| w[1].ts_us - w[0].ts_us).sum();
+        let e2e = rows.last().unwrap().ts_us - rows[0].ts_us;
+        assert!((hop_sum - e2e).abs() < 1e-12);
+        assert!((e2e - 31.0).abs() < 1e-12);
+
+        // The plane digest counts both flows and all touchpoints.
+        let rep = flow_report(&trace);
+        assert_eq!(rep.flows.len(), 2);
+        assert_eq!(rep.points.values().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn flow_diff_gates_divergence_in_both_directions() {
+        let body = wrap(&[
+            flow_line(7, "ingress", 0, 1, 10.0, 4),
+            flow_line(7, "egress", 0, 1, 30.0, 4),
+            session_line("built", 7, 12.0, 0, 0),
+        ]);
+        let trace = parse(&body, "t.json").expect("parses");
+        let rep = flow_report(&trace);
+        let baseline = flow_report_json(&rep);
+        assert_eq!(baseline["kind"].as_str(), Some("flow"));
+        // Identical trace: nothing diverges.
+        assert!(diff_flow_metrics(&baseline, &rep)
+            .iter()
+            .all(|(_, old, new)| (new - old).abs() <= old.abs() * 0.1 + 1.0));
+        // A baseline expecting 40 ingress points against a trace with
+        // 1 is a divergence even though the count went *down*.
+        let fat = json!({"kind": "flow", "flows": 1, "dumps": 0,
+                         "points": {"ingress": 40}, "sessions": {}});
+        let rows = diff_flow_metrics(&fat, &rep);
+        let ingress = rows.iter().find(|(n, _, _)| n == "points.ingress").unwrap();
+        assert!((ingress.2 - ingress.1).abs() > ingress.1.abs() * 0.1 + 1.0);
+    }
+
+    #[test]
+    fn typed_events_roundtrip_flow_plane() {
+        let dump = "{\"name\":\"flight_dump\",\"cat\":\"flow\",\"ph\":\"i\",\"s\":\"t\",\
+                    \"pid\":2,\"tid\":1,\"ts\":50,\"args\":{\"wall_ns\":0,\"batch\":0,\
+                    \"reason\":\"slo_burn\",\"events\":42}}"
+            .to_string();
+        let trace = parse(
+            &wrap(&[
+                flow_line(7, "cache_hit", 0, 1, 10.0, 4),
+                session_line("teardown", 7, 20.0, 12, 9000),
+                dump,
+            ]),
+            "t.json",
+        )
+        .expect("parses");
+        let events = typed_events(&trace);
+        assert_eq!(events.len(), 3);
+        assert!(matches!(
+            events[0].kind,
+            EventKind::FlowPoint {
+                flow: 7,
+                point: "cache_hit",
+                packets: 4,
+                ..
+            }
+        ));
+        assert!(matches!(
+            events[1].kind,
+            EventKind::Session {
+                state: "teardown",
+                packets: 12,
+                bytes: 9000,
+                ..
+            }
+        ));
+        assert!(matches!(
+            events[2].kind,
+            EventKind::FlightDump {
+                reason: "slo_burn",
+                events: 42,
+            }
+        ));
     }
 
     #[test]

@@ -218,6 +218,46 @@ pub enum FlowVerdict {
     Drop,
 }
 
+/// Lifecycle of one firewall-style session record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// First packet of a permitted flow established the session.
+    Built,
+    /// The session ended (TCP FIN/RST observed, or table eviction).
+    Teardown,
+    /// The flow matched a deny rule; the record carries the traffic
+    /// counted up to (and including) the denied packet.
+    Deny,
+}
+
+impl SessionState {
+    /// Stable lowercase label used as the telemetry `state` field.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SessionState::Built => "built",
+            SessionState::Teardown => "teardown",
+            SessionState::Deny => "deny",
+        }
+    }
+}
+
+/// One structured connection record cut by a session-logging element
+/// (NetScreen/ASA-style built/teardown/deny semantics). Elements have
+/// no telemetry access, so records are buffered inside the element and
+/// drained by the runtime via [`Element::take_session_records`], which
+/// converts them into `session`-category events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionRecord {
+    /// What happened to the session.
+    pub state: SessionState,
+    /// RSS hash of the session's flow (the telemetry join key).
+    pub flow: u32,
+    /// Packets the session had carried when the record was cut.
+    pub packets: u64,
+    /// Wire bytes the session had carried when the record was cut.
+    pub bytes: u64,
+}
+
 /// Per-run context handed to elements.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RunCtx {
@@ -346,6 +386,15 @@ pub trait Element: std::fmt::Debug + Send {
     /// packets whose flow missed the cache.
     fn flow_verdict(&self, _pkt: &Packet) -> Option<FlowVerdict> {
         None
+    }
+
+    /// Drains buffered [`SessionRecord`]s (session-logging elements
+    /// only). The runtime calls this after each stage execution and
+    /// turns the records into `session` telemetry events; records left
+    /// undrained are bounded by the element's internal buffer cap.
+    /// Draining must not change packet-visible behaviour.
+    fn take_session_records(&mut self) -> Vec<SessionRecord> {
+        Vec::new()
     }
 }
 

@@ -588,6 +588,16 @@ impl CompiledGraph {
             .for_each_element_mut(|el| el.begin_profile_window());
     }
 
+    /// Drains buffered session records from every element (see
+    /// [`Element::take_session_records`]), in topological node order so
+    /// the record stream is deterministic.
+    pub fn take_session_records(&mut self) -> Vec<crate::element::SessionRecord> {
+        let mut records = Vec::new();
+        self.graph
+            .for_each_element_mut(|el| records.append(&mut el.take_session_records()));
+        records
+    }
+
     /// Pushes a batch into `entry` and runs the graph to quiescence,
     /// returning all egress batches in deterministic (topological, then
     /// port) order.

@@ -46,7 +46,7 @@ pub mod graph;
 
 pub use element::{
     Element, ElementActions, ElementClass, ElementSignature, FlowVerdict, KernelClass, Offload,
-    WorkProfile,
+    SessionRecord, SessionState, WorkProfile,
 };
 pub use graph::{
     CompiledGraph, Edge, ElementGraph, FlowHop, FlowPath, GraphError, GraphStats, NodeId, LANES_ENV,

@@ -335,7 +335,8 @@ impl ClusterDeployment {
         server: usize,
     ) -> (PlatformResources, PreparedSfc, ServerLinks) {
         let res = PlatformResources::register(sim, dep.model());
-        let prep = dep.prepare(sim, &res, traffic, &[], user_base, handle);
+        let mut prep = dep.prepare(sim, &res, traffic, &[], user_base, handle);
+        prep.set_server(server as u32);
         let links = ServerLinks {
             rx: sim.add_resource(format!("link{server}-rx"), 0.0),
             tx: sim.add_resource(format!("link{server}-tx"), 0.0),
@@ -412,6 +413,9 @@ impl ClusterDeployment {
         to: u32,
         now: f64,
         epoch: u64,
+        flow_owners: &mut [(u32, u32)],
+        pending_migrates: &mut Vec<u32>,
+        link_busy: &mut [f64],
     ) -> (usize, u64) {
         let n = preps.len() as u32;
         if from >= n || to >= n {
@@ -429,10 +433,12 @@ impl ClusterDeployment {
         let mut swap_end = now;
         if state > 0 {
             let pkts = state.div_ceil(MIGRATION_MTU);
-            let (_, e1) =
+            let (s1, e1) =
                 Self::charge_link(sim, &spec.link, links[from as usize].tx, now, pkts, state);
-            let (_, e2) =
+            let (s2, e2) =
                 Self::charge_link(sim, &spec.link, links[to as usize].rx, e1, pkts, state);
+            link_busy[from as usize * 2 + 1] += e1 - s1;
+            link_busy[to as usize * 2] += e2 - s2;
             swap_end = e2;
         }
         preps[from as usize].invalidate_flow_caches();
@@ -453,6 +459,23 @@ impl ClusterDeployment {
             );
         }
         Self::emit_shard_map(sim, links, ring, epoch, swap_end);
+        // Sampled flows whose ring owner just changed get a `migrate`
+        // point queued here and stamped on the *destination* server's
+        // track when their next batch lands there. Deferring keeps each
+        // per-track timeline exactly time-ordered: the rebalance
+        // decision instant interleaves arbitrarily with per-server
+        // delivery times, so stamping at decision (or transfer-end)
+        // time would let the marker postdate the flow's next hand-off.
+        // The transfer span itself lives in `cluster_rebalance::swap_ns`.
+        for (hash, owner) in flow_owners.iter_mut() {
+            let new_owner = ring.server_for(*hash);
+            if new_owner != *owner {
+                *owner = new_owner;
+                if !pending_migrates.contains(hash) {
+                    pending_migrates.push(*hash);
+                }
+            }
+        }
         (vnodes, state as u64)
     }
 
@@ -468,6 +491,7 @@ impl ClusterDeployment {
         let handle = tel.handle();
         let mut sim = PipelineSim::new();
         sim.set_recorder(handle.recorder());
+        let recording = sim.recorder_mut().is_enabled();
         let mut user_base = 1u64;
         let mut res = Vec::with_capacity(n);
         let mut preps = Vec::with_capacity(n);
@@ -498,6 +522,15 @@ impl ClusterDeployment {
         let mut now = 0f64;
         let mut traffic_clock = 0u64;
         let mut b = 0usize;
+        // Forensics/observability bookkeeping: current ring owner of
+        // every sampled flow seen (for `migrate` stamps), per-link busy
+        // time, and distinct flows landed per server (for the cluster
+        // gauges). All recording-gated: the off path never touches them.
+        let mut flow_owners: Vec<(u32, u32)> = Vec::new();
+        let mut pending_migrates: Vec<u32> = Vec::new();
+        let mut link_busy: Vec<f64> = vec![0.0; 2 * n];
+        let mut server_flows: Vec<std::collections::HashSet<u32>> =
+            (0..n).map(|_| std::collections::HashSet::new()).collect();
         for (pi, traffic) in phases.iter_mut().enumerate() {
             if pi > 0 {
                 traffic.advance_to(traffic_clock);
@@ -515,6 +548,9 @@ impl ClusterDeployment {
                         to,
                         now,
                         rebalance_epoch,
+                        &mut flow_owners,
+                        &mut pending_migrates,
+                        &mut link_busy,
                     );
                     if vn > 0 {
                         rebalances += 1;
@@ -575,7 +611,7 @@ impl ClusterDeployment {
                         // the server before the wire delivers them.
                         let part_last =
                             part.iter().last().map(|p| p.meta.arrival_ns).unwrap_or(0) as f64;
-                        let (_, delivered) = Self::charge_link(
+                        let (rx_start, delivered) = Self::charge_link(
                             &mut sim,
                             &self.spec.link,
                             links[s].rx,
@@ -583,11 +619,47 @@ impl ClusterDeployment {
                             part.len(),
                             part.total_bytes(),
                         );
+                        link_busy[s * 2] += delivered - rx_start;
                         let delivered_ns = delivered.ceil() as u64;
                         for i in 0..part.len() {
                             if let Some(p) = part.get_mut(i) {
                                 if p.meta.arrival_ns < delivered_ns {
                                     p.meta.arrival_ns = delivered_ns;
+                                }
+                            }
+                        }
+                        if recording {
+                            // Stamp the shard hand-off for sampled flows at
+                            // the instant the wire delivered them, and keep
+                            // the owner map current so a later ring move can
+                            // stamp `migrate` on the destination track.
+                            let mut sampled: Vec<(u32, u32)> = Vec::new();
+                            for p in part.iter() {
+                                server_flows[s].insert(p.meta.flow_hash);
+                                if preps[s].flow_sampled(p.meta.flow_hash) {
+                                    match sampled.iter_mut().find(|(h, _)| *h == p.meta.flow_hash) {
+                                        Some((_, c)) => *c += 1,
+                                        None => sampled.push((p.meta.flow_hash, 1)),
+                                    }
+                                }
+                            }
+                            let track = links[s].rx.index() as u32;
+                            for (hash, count) in sampled {
+                                // A queued ring move materializes as a
+                                // `migrate` point the instant the flow's
+                                // next batch lands on its new owner.
+                                if let Some(i) = pending_migrates.iter().position(|&h| h == hash) {
+                                    pending_migrates.swap_remove(i);
+                                    preps[s].stamp_flow_point(
+                                        &mut sim, track, delivered, hash, "migrate", 0,
+                                    );
+                                }
+                                preps[s].stamp_flow_point(
+                                    &mut sim, track, delivered, hash, "shard", count,
+                                );
+                                match flow_owners.iter_mut().find(|(h, _)| *h == hash) {
+                                    Some((_, owner)) => *owner = s as u32,
+                                    None => flow_owners.push((hash, s as u32)),
                                 }
                             }
                         }
@@ -598,7 +670,7 @@ impl ClusterDeployment {
                                 out,
                             } => {
                                 // Egress hand-off back to the rack fabric.
-                                let (_, e) = Self::charge_link(
+                                let (tx_start, e) = Self::charge_link(
                                     &mut sim,
                                     &self.spec.link,
                                     links[s].tx,
@@ -606,6 +678,7 @@ impl ClusterDeployment {
                                     out.len(),
                                     out.total_bytes(),
                                 );
+                                link_busy[s * 2 + 1] += e - tx_start;
                                 server_stats[s].record_completion(
                                     part_arrival,
                                     e,
@@ -668,6 +741,9 @@ impl ClusterDeployment {
                             mv.to,
                             now,
                             rebalance_epoch,
+                            &mut flow_owners,
+                            &mut pending_migrates,
+                            &mut link_busy,
                         );
                         if vn > 0 {
                             rebalances += 1;
@@ -682,6 +758,26 @@ impl ClusterDeployment {
                 b += 1;
             }
             traffic_clock = traffic_clock.max(traffic.now_ns());
+        }
+        if recording {
+            // Cluster-plane gauges: how hot each NIC link ran over the
+            // whole run, and how many distinct flows each shard owns.
+            let span = now.max(1.0);
+            for (s, link) in links.iter().enumerate() {
+                for (slot, res_id) in [(s * 2, link.rx), (s * 2 + 1, link.tx)] {
+                    handle.set_gauge(
+                        &format!(
+                            "cluster_link_busy_ratio{{link=\"{}\"}}",
+                            sim.resource_name(res_id)
+                        ),
+                        link_busy[slot] / span,
+                    );
+                }
+                handle.set_gauge(
+                    &format!("cluster_shard_flows{{server=\"{s}\"}}"),
+                    server_flows[s].len() as f64,
+                );
+            }
         }
         if let Some(rec) = sim.take_recorder() {
             handle.absorb(rec);

@@ -247,3 +247,131 @@ proptest! {
         prop_assert_eq!(outcome.egress_packets, static_out.egress_packets);
     }
 }
+
+/// Cluster deployment with per-flow tracing armed at rate 1 (every
+/// flow sampled — the most aggressive differential).
+fn traced(d: Deployment) -> Deployment {
+    configure(d)
+        .with_telemetry(nfc_core::TelemetryMode::Memory)
+        .with_flow_trace(1)
+}
+
+/// Same telemetry mode, tracing disarmed: the only delta vs [`traced`]
+/// is the flow-forensics plane itself.
+fn untraced(d: Deployment) -> Deployment {
+    configure(d)
+        .with_telemetry(nfc_core::TelemetryMode::Memory)
+        .without_flow_trace()
+}
+
+#[test]
+fn forced_migration_of_sampled_flows_stitches_one_contiguous_timeline() {
+    // A forced vnode move mid-run migrates sampled flows between
+    // servers; the flow plane must record the hand-over as a `migrate`
+    // point answered by a same-instant `shard` on the destination's
+    // track, with every later dispatch landing on the destination —
+    // one contiguous timeline whose hop deltas telescope exactly to
+    // the end-to-end latency. (In-flight batches dispatched before the
+    // move may still drain on the old owner after the hand-over.)
+    let spec = ClusterSpec::uniform(4).with_rebalance(RebalanceConfig {
+        epoch_batches: 8,
+        imbalance_threshold: f64::INFINITY, // forced moves only
+        hysteresis_epochs: 1,
+        cooldown_epochs: 0,
+        vnodes_per_move: 16,
+    });
+    let mut cluster = ClusterDeployment::build(spec, &sfc(), Policy::nfcompass(), traced);
+    let n_batches = 40;
+    let (outcome, _) =
+        cluster.run_with_moves(&mut traffic(17), n_batches, &[(12, 0, 1), (24, 2, 3)]);
+    assert_eq!(outcome.report.dropped_batches, 0);
+    let digest = outcome.telemetry.expect("memory telemetry digest");
+    let mut flows: HashMap<u32, Vec<(f64, &'static str, u32)>> = HashMap::new();
+    for ev in &digest.trace {
+        if let nfc_telemetry::EventKind::FlowPoint {
+            flow,
+            point,
+            server,
+            ..
+        } = ev.kind
+        {
+            let at = ev.sim.expect("flow points are sim instants").start_ns;
+            flows.entry(flow).or_default().push((at, point, server));
+        }
+    }
+    assert!(!flows.is_empty(), "rate-1 sampling saw no flows");
+    let mut migrated_checked = 0;
+    for (flow, mut points) in flows {
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
+        // Telescoping holds for every sampled flow, migrated or not.
+        let e2e = points.last().unwrap().0 - points[0].0;
+        let hop_sum: f64 = points.windows(2).map(|w| w[1].0 - w[0].0).sum();
+        assert!(
+            (hop_sum - e2e).abs() < 1e-9,
+            "flow {flow:#010x}: hops {hop_sum} != e2e {e2e}"
+        );
+        let migrates: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.1 == "migrate")
+            .map(|(i, _)| i)
+            .collect();
+        let [mi] = migrates[..] else { continue };
+        let dest = points[mi].2;
+        assert!(
+            mi > 0,
+            "flow {flow:#010x}: a migrate implies an earlier sampled dispatch"
+        );
+        let (at, point, server) = points[mi + 1];
+        assert!(
+            point == "shard" && server == dest && (at - points[mi].0).abs() < 1e-9,
+            "flow {flow:#010x}: migrate not answered by a same-instant shard on the \
+             destination, got {point} on server {server}"
+        );
+        assert!(
+            points[..mi].iter().any(|p| p.2 != dest),
+            "flow {flow:#010x} 'migrated' without changing servers"
+        );
+        assert!(
+            points[mi..]
+                .iter()
+                .filter(|p| p.1 == "shard")
+                .all(|p| p.2 == dest),
+            "flow {flow:#010x} dispatched off the destination after migrating"
+        );
+        migrated_checked += 1;
+    }
+    assert!(
+        migrated_checked > 0,
+        "forced moves must migrate at least one sampled flow with traffic on both sides"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Differential: for ANY forced-migration schedule and seed, the
+    /// cluster's egress (payloads, counters, rebalance accounting) is
+    /// bit-identical with flow tracing armed at rate 1 and disarmed —
+    /// forensics is purely observational even across migrations.
+    #[test]
+    fn flow_tracing_on_off_is_bit_identical_under_any_migration_schedule(
+        moves in proptest::collection::vec((0usize..30, 0u32..4, 0u32..4), 1..4),
+        seed in 1u64..200,
+    ) {
+        let run = |armed: bool| {
+            let cfg: fn(Deployment) -> Deployment = if armed { traced } else { untraced };
+            let spec = ClusterSpec::uniform(3);
+            let mut cluster = ClusterDeployment::build(spec, &sfc(), Policy::nfcompass(), cfg);
+            cluster.run_with_moves(&mut traffic(seed), 30, &moves)
+        };
+        let (out_on, egress_on) = run(true);
+        let (out_off, egress_off) = run(false);
+        prop_assert_eq!(egress_on, egress_off, "tracing must not touch egress");
+        prop_assert_eq!(out_on.egress_packets, out_off.egress_packets);
+        prop_assert_eq!(out_on.egress_bytes, out_off.egress_bytes);
+        prop_assert_eq!(out_on.rebalances, out_off.rebalances);
+        prop_assert_eq!(out_on.migrated_bytes, out_off.migrated_bytes);
+        prop_assert_eq!(out_on.shard_map, out_off.shard_map);
+    }
+}

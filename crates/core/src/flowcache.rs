@@ -152,6 +152,15 @@ impl StageFlowCache {
         });
     }
 
+    /// Pure membership probe: whether `key` currently has a cached
+    /// verdict. Touches no counters and no CLOCK referenced bits, so
+    /// probing is invisible to the cache's replacement behaviour and to
+    /// [`CacheCounters`] — the flow-forensics plane uses it to stamp
+    /// `cache_hit`/`cache_miss` points without perturbing the run.
+    pub fn probe(&self, key: &FlowKey) -> bool {
+        self.table.peek(u64::from(key.hash()), key).is_some()
+    }
+
     /// Live cached flows.
     pub fn len(&self) -> usize {
         self.table.len()

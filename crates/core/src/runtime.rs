@@ -39,10 +39,11 @@ use nfc_hetero::{
 use nfc_nf::flowcache::CacheCounters;
 use nfc_nf::Nf;
 use nfc_packet::traffic::TrafficGenerator;
-use nfc_packet::Batch;
+use nfc_packet::{Batch, FlowKey};
 use nfc_telemetry::{
-    DriftWatchdog, EventKind, HealthState, Recorder, SketchKey, SketchSet, SloSpec, Telemetry,
-    TelemetryHandle, TelemetryMode, TelemetrySummary,
+    wall_now_ns, DriftWatchdog, Event, EventKind, FlightRecorder, FlowSampler, HealthState,
+    Recorder, SimStamp, SketchKey, SketchSet, SloSpec, Telemetry, TelemetryHandle, TelemetryMode,
+    TelemetrySummary,
 };
 
 /// How a deployment schedules work.
@@ -338,6 +339,21 @@ pub struct Deployment {
     /// is purely observational: egress, statistics and the simulated
     /// timeline are bit-identical with it on or off.
     pub slo: Option<SloSpec>,
+    /// Flow-forensics sampling rate (default from the `NFC_FLOW_TRACE`
+    /// environment variable; `0` disarms). When armed, flows whose RSS
+    /// hash satisfies `hash % rate == 0` are stamped with a
+    /// `flow`-category instant at every pipeline touchpoint (ingress,
+    /// lane gather, cache hit/miss, stage, kernel, merge, egress — plus
+    /// shard/migrate points under the cluster layer), and a bounded
+    /// flight recorder mirrors flow and health events for
+    /// breach-triggered postmortem dumps. Sampling is a pure function
+    /// of the hash and the plane is purely observational: egress,
+    /// statistics and the simulated timeline are bit-identical armed or
+    /// disarmed.
+    pub flow_trace: u32,
+    /// Flight-recorder dump path stem override (`<stem>.<reason>.json`).
+    /// `None` keeps the `NFC_FLIGHT` environment default.
+    pub flight_stem: Option<String>,
 }
 
 impl Deployment {
@@ -365,6 +381,8 @@ impl Deployment {
             packer: residency::PackStrategy::default(),
             residency_pressure: None,
             slo: SloSpec::from_env(),
+            flow_trace: FlowSampler::from_env().rate(),
+            flight_stem: None,
         }
     }
 
@@ -458,6 +476,31 @@ impl Deployment {
     /// differential baseline configuration).
     pub fn without_slo(mut self) -> Self {
         self.slo = None;
+        self
+    }
+
+    /// Arms per-flow forensics at the given sampling rate (flows whose
+    /// RSS hash satisfies `hash % rate == 0` are traced), overriding
+    /// the `NFC_FLOW_TRACE` environment default. Purely observational:
+    /// egress, statistics and the simulated timeline are bit-identical
+    /// armed or disarmed.
+    pub fn with_flow_trace(mut self, rate: u32) -> Self {
+        self.flow_trace = rate;
+        self
+    }
+
+    /// Disarms flow forensics regardless of `NFC_FLOW_TRACE` (the
+    /// differential baseline configuration).
+    pub fn without_flow_trace(mut self) -> Self {
+        self.flow_trace = 0;
+        self
+    }
+
+    /// Overrides the flight-recorder dump path stem (dumps land at
+    /// `<stem>.<reason>.json`), bypassing the `NFC_FLIGHT` environment
+    /// default — hermetic test and CI configuration.
+    pub fn with_flight_stem(mut self, stem: impl Into<String>) -> Self {
+        self.flight_stem = Some(stem.into());
         self
     }
 
@@ -1008,6 +1051,13 @@ impl Deployment {
                 }
             }
         }
+        // Session records cut during warm-up belong to no recorded
+        // batch; discard them so the first live batch drains clean.
+        for branch in stages.iter_mut() {
+            for stage in branch.iter_mut() {
+                stage.run.take_session_records();
+            }
+        }
         let mut rec = tel.recorder();
         for branch in stages.iter_mut() {
             for stage in branch.iter_mut() {
@@ -1067,6 +1117,14 @@ impl Deployment {
             packer: self.packer,
             res_pressure: self.residency_pressure,
             health: self.slo.map(HealthPlane::new),
+            sampler: FlowSampler::new(self.flow_trace),
+            flight: (self.flow_trace != 0).then(|| match &self.flight_stem {
+                Some(stem) => {
+                    FlightRecorder::new(nfc_telemetry::DEFAULT_FLIGHT_CAPACITY, stem.clone())
+                }
+                None => FlightRecorder::from_env(),
+            }),
+            server: 0,
         }
     }
 
@@ -1356,6 +1414,17 @@ pub struct PreparedSfc {
     /// telemetry instants and gauges, so egress, statistics and the
     /// simulated timeline are bit-identical with the plane on or off.
     health: Option<HealthPlane>,
+    /// Deterministic per-flow sampler driving the forensics plane
+    /// (disarmed = zero rate, one branch per touchpoint).
+    sampler: FlowSampler,
+    /// Always-on bounded ring of recent flow-tagged and health events,
+    /// dumped to a postmortem trace on an SLO breach or drift raise
+    /// (`Some` only while the sampler is armed).
+    flight: Option<FlightRecorder>,
+    /// Server id stamped into this chain's flow points (0 for a
+    /// standalone deployment; the cluster layer sets the shard's id so
+    /// cross-server timelines stitch).
+    server: u32,
 }
 
 /// Cumulative temporal-charge observation for one stage.
@@ -1419,6 +1488,84 @@ impl HealthPlane {
     }
 }
 
+/// Emits one flow-forensics instant on the main recorder and mirrors a
+/// copy into the flight-recorder ring (when armed). A free function so
+/// call sites can split-borrow `PreparedSfc` fields while iterating
+/// stages.
+#[allow(clippy::too_many_arguments)]
+fn stamp_flow_point(
+    rec: &mut Recorder,
+    flight: &mut Option<FlightRecorder>,
+    seq: u64,
+    track: u32,
+    at: f64,
+    flow: u32,
+    point: &'static str,
+    server: u32,
+    packets: u32,
+) {
+    let kind = EventKind::FlowPoint {
+        flow,
+        point,
+        server,
+        packets,
+    };
+    rec.sim_instant(track, at, kind.clone());
+    if let Some(f) = flight.as_mut() {
+        f.record(Event {
+            wall_ns: wall_now_ns(),
+            wall_dur_ns: 0,
+            sim: Some(SimStamp {
+                start_ns: at,
+                end_ns: at,
+            }),
+            track,
+            batch: seq,
+            kind,
+        });
+    }
+}
+
+/// Mirrors one health-plane instant into the flight-recorder ring so a
+/// later dump carries the breach evidence alongside the flow stamps.
+fn mirror_health_event(flight: &mut Option<FlightRecorder>, track: u32, at: f64, kind: EventKind) {
+    if let Some(f) = flight.as_mut() {
+        f.record(Event {
+            wall_ns: wall_now_ns(),
+            wall_dur_ns: 0,
+            sim: Some(SimStamp {
+                start_ns: at,
+                end_ns: at,
+            }),
+            track,
+            batch: 0,
+            kind,
+        });
+    }
+}
+
+/// Dumps the flight ring as a postmortem trace for `reason` (first
+/// occurrence per reason only) and emits a `flight_dump` instant naming
+/// the file's evidence size on the main recorder.
+fn trigger_flight_dump(
+    flight: &mut Option<FlightRecorder>,
+    sim: &mut PipelineSim,
+    track: u32,
+    at: f64,
+    reason: &'static str,
+) {
+    let Some(f) = flight.as_mut() else { return };
+    let events = f.len() as u32;
+    match f.dump(reason) {
+        Ok(Some(_)) => {
+            sim.recorder_mut()
+                .sim_instant(track, at, EventKind::FlightDump { reason, events });
+        }
+        Ok(None) => {}
+        Err(e) => eprintln!("flight-recorder dump ({reason}) failed: {e}"),
+    }
+}
+
 /// Detector-facing label for a breached SLO objective.
 fn slo_signal_metric(objective: &'static str) -> &'static str {
     match objective {
@@ -1479,6 +1626,56 @@ impl PreparedSfc {
                 },
             );
         }
+        // Flow forensics: sampled flows present in this batch, keyed by
+        // RSS hash with a representative FlowKey for cache probes. The
+        // disarmed path costs the one `armed()` branch; the armed path
+        // pays one hash-mod per packet plus key extraction for sampled
+        // packets only.
+        let forensics = recording && self.sampler.armed();
+        let mut flows: Vec<(FlowKey, u32)> = Vec::new();
+        if forensics {
+            for p in batch.iter() {
+                if self.sampler.sampled(p.meta.flow_hash) {
+                    if let Ok(key) = FlowKey::of(p) {
+                        match flows.iter_mut().find(|(k, _)| k.hash() == key.hash()) {
+                            Some((_, n)) => *n += 1,
+                            None => flows.push((key, 1)),
+                        }
+                    }
+                }
+            }
+        }
+        // Pure pre-dispatch cache probes (no counters, no CLOCK bits
+        // touched): whether each sampled flow will hit each cached
+        // stage. Stamped during temporal replay at the stage's start.
+        let mut cache_probes: Vec<Vec<(u32, u32, bool)>> = Vec::new();
+        if forensics && !flows.is_empty() {
+            for branch in &self.stages {
+                for stage in branch {
+                    cache_probes.push(match stage.flow_cache.as_ref() {
+                        Some(cache) => flows
+                            .iter()
+                            .map(|(k, n)| (k.hash(), *n, cache.probe(k)))
+                            .collect(),
+                        None => Vec::new(),
+                    });
+                }
+            }
+            let rx = res.io_rx.index() as u32;
+            for (k, n) in &flows {
+                stamp_flow_point(
+                    sim.recorder_mut(),
+                    &mut self.flight,
+                    seq,
+                    rx,
+                    mean_arrival,
+                    k.hash(),
+                    "ingress",
+                    self.server,
+                    *n,
+                );
+            }
+        }
         // Ingress I/O.
         let io_span = sim.schedule_span(res.io_rx, arrival, self.model.io_batch_ns(batch.len()), 0);
         let t0 = io_span.1;
@@ -1513,6 +1710,32 @@ impl PreparedSfc {
                 .is_some_and(|s| s.run.lanes())
         {
             batch.shared_lanes();
+        }
+        if forensics
+            && !flows.is_empty()
+            && self
+                .stages
+                .first()
+                .and_then(|b| b.first())
+                .is_some_and(|s| s.run.lanes())
+        {
+            // Columnar header lanes will be gathered for this batch
+            // (here for shared CoW branches, inside the first stage
+            // otherwise) — the flow's headers now live in SoA columns.
+            let rx = res.io_rx.index() as u32;
+            for (k, n) in &flows {
+                stamp_flow_point(
+                    sim.recorder_mut(),
+                    &mut self.flight,
+                    seq,
+                    rx,
+                    t0,
+                    k.hash(),
+                    "lanes",
+                    self.server,
+                    *n,
+                );
+            }
         }
         let tel = &self.tel;
         // Worker-local sketch shards: when the health plane is armed,
@@ -1621,6 +1844,55 @@ impl PreparedSfc {
                         rp.end - t,
                     );
                 }
+                if forensics && !flows.is_empty() {
+                    // Per-flow stamps on this stage's timeline: the
+                    // pre-dispatch cache probe at replay start, the
+                    // element verdict at stage release, and the kernel
+                    // span end when the stage offloaded.
+                    let track = stage.cpu_res.index() as u32;
+                    for &(flow, n, hit) in
+                        cache_probes.get(flat - 1).map(Vec::as_slice).unwrap_or(&[])
+                    {
+                        let point = if hit { "cache_hit" } else { "cache_miss" };
+                        stamp_flow_point(
+                            sim.recorder_mut(),
+                            &mut self.flight,
+                            seq,
+                            track,
+                            t,
+                            flow,
+                            point,
+                            self.server,
+                            n,
+                        );
+                    }
+                    for (k, n) in &flows {
+                        if let Some([_, kernel, _]) = rp.gpu {
+                            stamp_flow_point(
+                                sim.recorder_mut(),
+                                &mut self.flight,
+                                seq,
+                                track,
+                                kernel.1,
+                                k.hash(),
+                                "kernel",
+                                self.server,
+                                *n,
+                            );
+                        }
+                        stamp_flow_point(
+                            sim.recorder_mut(),
+                            &mut self.flight,
+                            seq,
+                            track,
+                            rp.end,
+                            k.hash(),
+                            "stage",
+                            self.server,
+                            *n,
+                        );
+                    }
+                }
                 t = rp.end;
             }
             if bi == 0 {
@@ -1644,6 +1916,41 @@ impl PreparedSfc {
         let completed = egress_span.1;
         self.egress_packets += out.len() as u64;
         self.egress_bytes += out.total_bytes() as u64;
+        if forensics && !flows.is_empty() {
+            let tx = res.io_tx.index() as u32;
+            if merge_span.is_some() {
+                for (k, n) in &flows {
+                    stamp_flow_point(
+                        sim.recorder_mut(),
+                        &mut self.flight,
+                        seq,
+                        tx,
+                        t_done,
+                        k.hash(),
+                        "merge",
+                        self.server,
+                        *n,
+                    );
+                }
+            }
+            // Egress recounts the flow from the egress batch, so an
+            // enforced drop shows up as a shrunk (or zero) packet count
+            // against the flow's ingress stamp.
+            for (k, _) in &flows {
+                let n_out = out.iter().filter(|p| p.meta.flow_hash == k.hash()).count() as u32;
+                stamp_flow_point(
+                    sim.recorder_mut(),
+                    &mut self.flight,
+                    seq,
+                    tx,
+                    completed,
+                    k.hash(),
+                    "egress",
+                    self.server,
+                    n_out,
+                );
+            }
+        }
         if recording {
             self.attribute_batch(
                 sim,
@@ -1705,17 +2012,18 @@ impl PreparedSfc {
                 });
             }
             if recording {
-                sim.recorder_mut().sim_instant(
-                    tx,
-                    now,
-                    EventKind::SloBurn {
-                        epoch,
-                        objective: v.objective,
-                        fast_burn: v.fast_burn,
-                        slow_burn: v.slow_burn,
-                        breached: v.breached,
-                    },
-                );
+                let kind = EventKind::SloBurn {
+                    epoch,
+                    objective: v.objective,
+                    fast_burn: v.fast_burn,
+                    slow_burn: v.slow_burn,
+                    breached: v.breached,
+                };
+                sim.recorder_mut().sim_instant(tx, now, kind.clone());
+                mirror_health_event(&mut self.flight, tx, now, kind);
+                if v.breached {
+                    trigger_flight_dump(&mut self.flight, sim, tx, now, "slo_burn");
+                }
                 self.tel.set_gauge(
                     &format!(
                         "health_slo_burn{{objective=\"{}\",window=\"fast\"}}",
@@ -1742,17 +2050,18 @@ impl PreparedSfc {
             }
             if recording {
                 let n = h.drift_batches.max(1) as f64;
-                sim.recorder_mut().sim_instant(
-                    tx,
-                    now,
-                    EventKind::ModelDrift {
-                        epoch,
-                        predicted_ns: h.pred_sum / n,
-                        observed_ns: h.obs_sum / n,
-                        drift: d.drift,
-                        raised: d.raised,
-                    },
-                );
+                let kind = EventKind::ModelDrift {
+                    epoch,
+                    predicted_ns: h.pred_sum / n,
+                    observed_ns: h.obs_sum / n,
+                    drift: d.drift,
+                    raised: d.raised,
+                };
+                sim.recorder_mut().sim_instant(tx, now, kind.clone());
+                mirror_health_event(&mut self.flight, tx, now, kind);
+                if d.raised {
+                    trigger_flight_dump(&mut self.flight, sim, tx, now, "model_drift");
+                }
             }
         }
         h.pred_sum = 0.0;
@@ -1784,6 +2093,68 @@ impl PreparedSfc {
         self.health
             .as_mut()
             .map(|h| std::mem::take(&mut h.pending))
+            .unwrap_or_default()
+    }
+
+    /// Whether the forensics sampler traces the flow with this RSS hash
+    /// (false when disarmed) — the cluster layer asks before stamping
+    /// shard/migration points.
+    pub fn flow_sampled(&self, hash: u32) -> bool {
+        self.sampler.sampled(hash)
+    }
+
+    /// Sets the server id stamped into this chain's flow points so
+    /// cross-server timelines stitch (the cluster layer assigns shard
+    /// ids; standalone deployments stay at 0).
+    pub fn set_server(&mut self, server: u32) {
+        self.server = server;
+    }
+
+    /// Emits one flow-forensics instant (and its flight-ring mirror)
+    /// from outside the batch pipeline — the cluster layer's hook for
+    /// shard-routing and migration points.
+    pub fn stamp_flow_point(
+        &mut self,
+        sim: &mut PipelineSim,
+        track: u32,
+        at: f64,
+        flow: u32,
+        point: &'static str,
+        packets: u32,
+    ) {
+        if !sim.recorder_mut().is_enabled() || !self.sampler.armed() {
+            return;
+        }
+        let seq = sim.recorder_mut().batch();
+        stamp_flow_point(
+            sim.recorder_mut(),
+            &mut self.flight,
+            seq,
+            track,
+            at,
+            flow,
+            point,
+            self.server,
+            packets,
+        );
+    }
+
+    /// On-demand flight-recorder dump (reason `manual` by convention):
+    /// writes the retained ring as a postmortem trace and returns the
+    /// path, or `None` when the recorder is disarmed, empty, or this
+    /// reason already dumped.
+    pub fn dump_flight(&mut self, reason: &'static str) -> Option<String> {
+        self.flight
+            .as_mut()
+            .and_then(|f| f.dump(reason).ok().flatten())
+    }
+
+    /// Flight-recorder dump files written so far, in order (empty when
+    /// the forensics plane is disarmed).
+    pub fn flight_dumps(&self) -> Vec<String> {
+        self.flight
+            .as_ref()
+            .map(|f| f.dumps().to_vec())
             .unwrap_or_default()
     }
 
@@ -1953,6 +2324,13 @@ impl PreparedSfc {
                 for stage in branch.iter_mut() {
                     cur = stage.run.push_merged(stage.nf.entry(), cur);
                 }
+            }
+        }
+        // Discard session records cut by the re-profiling batches (they
+        // are consumed functionally, outside the recorded timeline).
+        for branch in self.stages.iter_mut() {
+            for stage in branch.iter_mut() {
+                stage.run.take_session_records();
             }
         }
         let mode = self.mode;
@@ -2325,6 +2703,21 @@ fn exec_stage_functional(
             None,
         ),
     };
+    // Drain structured session records cut by session-logging elements
+    // into `session`-category events (wall instants: sessions are
+    // observations about traffic, not scheduled work). Elements bound
+    // their own buffers, so the disabled path pays nothing here beyond
+    // the recording branch.
+    if rec.is_enabled() {
+        for r in run.take_session_records() {
+            rec.instant(EventKind::Session {
+                state: r.state.label(),
+                flow: r.flow,
+                packets: r.packets,
+                bytes: r.bytes,
+            });
+        }
+    }
     let (new_splits, new_merges) = lineage_delta.unwrap_or_else(|| {
         (
             out.lineage.splits.saturating_sub(in_splits),
@@ -3133,5 +3526,184 @@ mod forced_branch_tests {
             (o.egress_packets, o.report.throughput_gbps.to_bits())
         };
         assert_eq!(run(None), run(Some(vec![vec![0, 1]])));
+    }
+}
+
+#[cfg(test)]
+mod flow_forensics_tests {
+    use super::*;
+    use nfc_packet::traffic::{SizeDist, TrafficSpec};
+
+    fn traffic(seed: u64) -> TrafficGenerator {
+        TrafficGenerator::new(TrafficSpec::udp(SizeDist::Fixed(512)), seed)
+    }
+
+    fn chain() -> Sfc {
+        Sfc::new(
+            "fw-nat",
+            vec![Nf::firewall("fw", 100, 1), Nf::nat("nat", [203, 0, 113, 1])],
+        )
+    }
+
+    /// Differential: arming per-flow tracing at the most aggressive
+    /// rate (every flow sampled) must not change a single functional
+    /// or temporal fact — egress bytes, per-element statistics, flow-
+    /// cache counters — under serial, parallel and adaptive policies.
+    #[test]
+    fn flow_tracing_on_off_is_bit_identical() {
+        for policy in [Policy::CpuOnly, Policy::nfcompass(), Policy::NbaAdaptive] {
+            let run = |rate: u32| {
+                let mut dep = Deployment::new(chain(), policy)
+                    .with_batch_size(128)
+                    .with_telemetry(TelemetryMode::Memory);
+                dep = if rate != 0 {
+                    dep.with_flow_trace(rate)
+                } else {
+                    dep.without_flow_trace()
+                };
+                dep.run_collect(&mut traffic(7), 12)
+            };
+            let (out_on, egress_on) = run(1);
+            let (out_off, egress_off) = run(0);
+            assert_eq!(egress_on, egress_off, "{policy:?}: traced egress differs");
+            assert_eq!(out_on.egress_packets, out_off.egress_packets);
+            assert_eq!(out_on.egress_bytes, out_off.egress_bytes);
+            assert_eq!(out_on.stage_stats, out_off.stage_stats);
+            assert_eq!(out_on.flow_cache, out_off.flow_cache);
+            assert_eq!(
+                out_on.report.throughput_gbps.to_bits(),
+                out_off.report.throughput_gbps.to_bits(),
+                "{policy:?}: tracing perturbed the simulated timeline"
+            );
+            // The armed run must actually have recorded flow points —
+            // a silently dead plane would pass the differential.
+            let traced = out_on.telemetry.expect("telemetry digest");
+            assert!(
+                traced
+                    .trace
+                    .iter()
+                    .any(|ev| matches!(ev.kind, EventKind::FlowPoint { .. })),
+                "{policy:?}: no FlowPoint events recorded at rate 1"
+            );
+        }
+    }
+
+    /// A sampled flow's stitched timeline must telescope: ingress is
+    /// the earliest point, egress the latest, and the sum of the
+    /// consecutive hop deltas IS the end-to-end latency, exactly.
+    #[test]
+    fn sampled_flow_timeline_telescopes_to_e2e() {
+        let mut dep = Deployment::new(chain(), Policy::nfcompass())
+            .with_batch_size(128)
+            .with_telemetry(TelemetryMode::Memory)
+            .with_flow_trace(1);
+        let out = dep.run(&mut traffic(7), 8);
+        let digest = out.telemetry.expect("telemetry digest");
+        let mut flows: std::collections::BTreeMap<u32, Vec<(f64, &'static str)>> =
+            Default::default();
+        for ev in &digest.trace {
+            if let EventKind::FlowPoint { flow, point, .. } = ev.kind {
+                let at = ev.sim.expect("flow points are sim instants").start_ns;
+                flows.entry(flow).or_default().push((at, point));
+            }
+        }
+        assert!(!flows.is_empty(), "rate-1 sampling saw no flows");
+        let mut checked = 0;
+        for (flow, mut points) in flows {
+            points.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let first = points.first().unwrap();
+            let last = points.last().unwrap();
+            if points.len() < 2 {
+                continue;
+            }
+            assert_eq!(first.1, "ingress", "flow {flow:#010x} starts at ingress");
+            assert_eq!(last.1, "egress", "flow {flow:#010x} ends at egress");
+            let e2e = last.0 - first.0;
+            let hop_sum: f64 = points.windows(2).map(|w| w[1].0 - w[0].0).sum();
+            assert!(
+                (hop_sum - e2e).abs() < 1e-9,
+                "flow {flow:#010x}: hops {hop_sum} != e2e {e2e}"
+            );
+            checked += 1;
+        }
+        assert!(checked > 0, "no multi-point flow timelines to check");
+    }
+
+    /// An injected SLO breach must write a flight-recorder postmortem
+    /// containing the flow events leading up to the offending epoch.
+    #[test]
+    fn slo_breach_dumps_flight_recorder_with_flow_events() {
+        let dir = std::env::temp_dir().join(format!("nfc_flight_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let stem = dir.join("flight").to_string_lossy().into_owned();
+        let sfc = Sfc::new("dpi", vec![Nf::dpi("dpi"), Nf::dpi("dpi2")]);
+        let mut dep = Deployment::new(sfc, Policy::CpuOnly)
+            .with_batch_size(256)
+            .with_telemetry(TelemetryMode::Memory)
+            .with_flow_trace(1)
+            .with_flight_stem(stem.clone())
+            .with_slo(SloSpec {
+                p99_latency_ns: 1.0,
+                epoch_batches: 8,
+                ..Default::default()
+            });
+        let out = dep.run(
+            &mut TrafficGenerator::new(TrafficSpec::udp(SizeDist::Fixed(1500)), 42),
+            40,
+        );
+        let digest = out.telemetry.expect("telemetry digest");
+        let dump_ev = digest
+            .trace
+            .iter()
+            .find_map(|ev| match ev.kind {
+                EventKind::FlightDump { reason, events } => Some((reason, events)),
+                _ => None,
+            })
+            .expect("breach must emit a FlightDump event");
+        assert_eq!(dump_ev.0, "slo_burn");
+        assert!(dump_ev.1 > 0, "dump must carry ring events");
+        let path = format!("{stem}.slo_burn.json");
+        let body = std::fs::read_to_string(&path).expect("dump file written");
+        assert!(
+            body.contains("\"flow_"),
+            "postmortem must contain flow events"
+        );
+        assert!(
+            body.contains("slo_burn"),
+            "postmortem must contain the breach verdict"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The on-demand dump path works without any breach, and the
+    /// `manual` reason is kept distinct from breach-triggered dumps.
+    #[test]
+    fn manual_flight_dump_writes_postmortem() {
+        let dir = std::env::temp_dir().join(format!("nfc_manual_flight_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let stem = dir.join("flight").to_string_lossy().into_owned();
+        let dep = Deployment::new(chain(), Policy::CpuOnly)
+            .with_batch_size(128)
+            .with_telemetry(TelemetryMode::Memory)
+            .with_flow_trace(1)
+            .with_flight_stem(stem.clone());
+        let tel = Telemetry::new(dep.telemetry.clone());
+        let handle = tel.handle();
+        let mut sim = PipelineSim::new();
+        sim.set_recorder(handle.recorder());
+        let res = PlatformResources::register(&mut sim, &dep.model);
+        let mut user_base = 1u64;
+        let mut dep = dep;
+        let mut gen = traffic(7);
+        let mut prep = dep.prepare(&mut sim, &res, &mut gen, &[], &mut user_base, &handle);
+        for _ in 0..4 {
+            let batch = gen.batch(128);
+            prep.process_batch(&mut sim, &res, batch);
+        }
+        let path = prep.dump_flight("manual").expect("ring has events");
+        assert!(path.ends_with(".manual.json"), "{path}");
+        assert!(std::path::Path::new(&path).exists());
+        assert_eq!(prep.flight_dumps(), vec![path.clone()]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -11,7 +11,7 @@ use crate::acl::{synth, AclTable, Action};
 use crate::dfa::Dfa;
 use crate::elements::{
     FirewallFilter, IdsMatch, IdsMode, IpLookup, IpsecEncrypt, IpsecSa, Ipv6Lookup, LoadBalancer,
-    MacRewrite, Nat, Probe, Proxy, WanOptimizer,
+    MacRewrite, Nat, Probe, Proxy, SessionLog, WanOptimizer,
 };
 use crate::lpm::{Dir24_8, RouteV4, RouteV6, WaldvogelV6};
 use nfc_click::element::config_hash;
@@ -201,6 +201,27 @@ impl Nf {
         let cl = g.add(Self::header_classifier());
         let fw = g.add(FirewallFilter::new(acl, enforce));
         g.connect(cl, 0, fw).expect("valid wiring");
+        Nf::from_graph(name, NfKind::Firewall, g)
+    }
+
+    /// A session-logging firewall (NetScreen/ASA-style built / teardown
+    /// / deny records): tracks up to `capacity` concurrent flows in a
+    /// CLOCK table and cuts a structured record per session lifecycle
+    /// transition, drained by the runtime into `session` telemetry
+    /// events. `deny_rules` (possibly empty) classifies flows against an
+    /// ACL; denies are recorded, not enforced, matching the paper's
+    /// never-drop firewall setup (Table II: firewall Drop = N).
+    pub fn session_log(
+        name: impl Into<String>,
+        capacity: usize,
+        deny_rules: Vec<crate::acl::Rule>,
+    ) -> Self {
+        let deny =
+            (!deny_rules.is_empty()).then(|| Arc::new(AclTable::new(deny_rules, Action::Allow)));
+        let mut g = ElementGraph::new();
+        let cl = g.add(Self::header_classifier());
+        let sl = g.add(SessionLog::new(capacity, deny));
+        g.connect(cl, 0, sl).expect("valid wiring");
         Nf::from_graph(name, NfKind::Firewall, g)
     }
 

@@ -14,10 +14,10 @@ use crate::flowcache::ClockTable;
 use crate::lpm::{Dir24_8, WaldvogelV6};
 use nfc_click::element::{
     config_hash, Element, ElementActions, ElementClass, ElementSignature, FlowVerdict, KernelClass,
-    Offload, RunCtx, WorkProfile,
+    Offload, RunCtx, SessionRecord, SessionState, WorkProfile,
 };
-use nfc_packet::headers::MacAddr;
-use nfc_packet::{checksum, Batch, FiveTuple, Packet};
+use nfc_packet::headers::{tcp_flags, MacAddr};
+use nfc_packet::{checksum, Batch, FiveTuple, FlowKey, Packet};
 use std::collections::HashMap;
 use std::net::{IpAddr, Ipv4Addr};
 use std::sync::Arc;
@@ -861,6 +861,246 @@ impl Element for FirewallFilter {
 }
 
 // ---------------------------------------------------------------------
+// Session logging
+// ---------------------------------------------------------------------
+
+/// Connection state tracked for one session in the [`SessionLog`] table.
+#[derive(Debug, Clone, Copy, Default)]
+struct SessionEntry {
+    packets: u64,
+    bytes: u64,
+    denied: bool,
+    closed: bool,
+}
+
+/// Stateful session-logging firewall element (NetScreen/ASA-style
+/// built / teardown / deny records).
+///
+/// Tracks every 5-tuple flow in a [`ClockTable`] and cuts a structured
+/// [`SessionRecord`] when a session is **built** (first packet of a
+/// flow), **torn down** (TCP FIN or RST observed), or **denied** (the
+/// flow matched a deny rule in the optional ACL). Records carry
+/// packet/byte totals and are buffered inside the element — the
+/// runtime drains them via [`Element::take_session_records`] and turns
+/// each one into a `session`-category telemetry event.
+///
+/// With `enforce = false` (the default, matching the paper's
+/// never-drop firewall measurement setup) denied flows are recorded
+/// but forwarded, so egress is bit-identical with and without the
+/// element's observability consumers armed. Sessions evicted from the
+/// CLOCK table lose their teardown record (the table has no
+/// remove-on-close; closed entries are reused in place and a later
+/// packet of the same flow reopens the session with a fresh `built`).
+#[derive(Debug, Clone)]
+pub struct SessionLog {
+    table: ClockTable<FlowKey, SessionEntry>,
+    deny: Option<Arc<AclTable>>,
+    records: Vec<SessionRecord>,
+    dropped_records: u64,
+    enforce: bool,
+    cfg: u64,
+}
+
+impl SessionLog {
+    /// Most records buffered between runtime drains; beyond this the
+    /// oldest are dropped (counted in [`SessionLog::dropped_records`]).
+    pub const MAX_RECORDS: usize = 4096;
+
+    /// Creates a session log tracking up to `capacity` concurrent
+    /// sessions, optionally classifying flows against a deny ACL.
+    pub fn new(capacity: usize, deny: Option<Arc<AclTable>>) -> Self {
+        let cfg = match &deny {
+            Some(acl) => acl.config_hash() ^ capacity as u64,
+            None => config_hash(&capacity.to_le_bytes()),
+        };
+        SessionLog {
+            table: ClockTable::with_capacity(capacity),
+            deny,
+            records: Vec::new(),
+            dropped_records: 0,
+            enforce: false,
+            cfg,
+        }
+    }
+
+    /// Makes deny-classified flows actually drop (changes the action
+    /// profile from read-header to read-header+drop).
+    pub fn enforcing(mut self) -> Self {
+        self.enforce = true;
+        self
+    }
+
+    /// Sessions currently tracked.
+    pub fn table_size(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Records dropped because the buffer overflowed between drains.
+    pub fn dropped_records(&self) -> u64 {
+        self.dropped_records
+    }
+
+    fn push_record(&mut self, state: SessionState, flow: u32, packets: u64, bytes: u64) {
+        if self.records.len() == Self::MAX_RECORDS {
+            self.records.remove(0);
+            self.dropped_records += 1;
+        }
+        self.records.push(SessionRecord {
+            state,
+            flow,
+            packets,
+            bytes,
+        });
+    }
+
+    /// Whether this packet's flow matches a deny rule.
+    fn denied(&self, pkt: &Packet) -> bool {
+        match &self.deny {
+            Some(acl) => pkt
+                .five_tuple()
+                .map(|t| acl.classify(&t).action == Action::Deny)
+                .unwrap_or(false),
+            None => false,
+        }
+    }
+}
+
+impl Element for SessionLog {
+    fn name(&self) -> &str {
+        "session-log"
+    }
+
+    fn class(&self) -> ElementClass {
+        // Stateful: per-flow counters make the element ineligible for
+        // the flow cache, so every packet takes the slow path and the
+        // record stream is identical with the cache on or off.
+        ElementClass::Stateful
+    }
+
+    fn actions(&self) -> ElementActions {
+        let a = ElementActions::read_header();
+        if self.enforce {
+            a.with_drop()
+        } else {
+            a
+        }
+    }
+
+    fn process(&mut self, mut batch: Batch, _ctx: &mut RunCtx) -> Vec<Batch> {
+        let mut deny_flags = self.enforce.then(|| Vec::with_capacity(batch.len()));
+        let mut cuts: Vec<(SessionState, u32, u64, u64)> = Vec::new();
+        for p in batch.iter() {
+            // Non-IP / non-UDP-TCP packets carry no session key; they
+            // pass through uncounted (and unenforced).
+            let Ok(key) = FlowKey::of(p) else {
+                if let Some(flags) = deny_flags.as_mut() {
+                    flags.push(false);
+                }
+                continue;
+            };
+            let flow = key.hash();
+            let hash = u64::from(flow);
+            let wire = p.len() as u64;
+            let fin = p
+                .tcp()
+                .map(|t| t.flags & (tcp_flags::FIN | tcp_flags::RST) != 0)
+                .unwrap_or(false);
+            let denied_now = self.denied(p);
+            let entry_denied;
+            match self.table.get_mut(hash, &key) {
+                Some(entry) if !entry.closed => {
+                    entry.packets += 1;
+                    entry.bytes += wire;
+                    entry_denied = entry.denied;
+                    // Denied sessions already cut their one deny record;
+                    // later packets are counted silently.
+                    if fin && !entry.denied {
+                        entry.closed = true;
+                        cuts.push((SessionState::Teardown, flow, entry.packets, entry.bytes));
+                    }
+                }
+                Some(entry) => {
+                    // A packet after teardown reopens the session with a
+                    // fresh built (the table has no remove; closed
+                    // entries are reused in place).
+                    entry_denied = denied_now;
+                    entry.packets = 1;
+                    entry.bytes = wire;
+                    entry.denied = denied_now;
+                    entry.closed = fin && !denied_now;
+                    cuts.push((SessionState::Built, flow, 1, wire));
+                    if denied_now {
+                        cuts.push((SessionState::Deny, flow, 1, wire));
+                    } else if fin {
+                        // Degenerate single-packet session: built and
+                        // torn down by the same packet.
+                        cuts.push((SessionState::Teardown, flow, 1, wire));
+                    }
+                }
+                None => {
+                    entry_denied = denied_now;
+                    self.table.insert(
+                        hash,
+                        key,
+                        SessionEntry {
+                            packets: 1,
+                            bytes: wire,
+                            denied: denied_now,
+                            closed: fin && !denied_now,
+                        },
+                    );
+                    cuts.push((SessionState::Built, flow, 1, wire));
+                    if denied_now {
+                        // Deny follows its built so the validator's
+                        // "teardown/deny after built" invariant holds.
+                        cuts.push((SessionState::Deny, flow, 1, wire));
+                    } else if fin {
+                        cuts.push((SessionState::Teardown, flow, 1, wire));
+                    }
+                }
+            }
+            if let Some(flags) = deny_flags.as_mut() {
+                flags.push(entry_denied);
+            }
+        }
+        for (state, flow, packets, bytes) in cuts {
+            self.push_record(state, flow, packets, bytes);
+        }
+        if let Some(flags) = deny_flags {
+            let mut i = 0;
+            batch.retain(|_| {
+                let d = flags[i];
+                i += 1;
+                !d
+            });
+        }
+        vec![batch]
+    }
+
+    fn clone_box(&self) -> Box<dyn Element> {
+        Box::new(self.clone())
+    }
+
+    fn signature(&self) -> ElementSignature {
+        ElementSignature::new("session-log", self.cfg ^ self.enforce as u64)
+    }
+
+    fn base_cost(&self) -> f64 {
+        // One CLOCK-table probe plus counter bumps per packet.
+        80.0
+    }
+
+    fn state_bytes(&self) -> usize {
+        // FlowKey + SessionEntry + table slot overhead per session.
+        self.table.len() * 72
+    }
+
+    fn take_session_records(&mut self) -> Vec<SessionRecord> {
+        std::mem::take(&mut self.records)
+    }
+}
+
+// ---------------------------------------------------------------------
 // NAT
 // ---------------------------------------------------------------------
 
@@ -1441,6 +1681,93 @@ mod tests {
 
     fn one(p: Packet) -> Batch {
         [p].into_iter().collect()
+    }
+
+    #[test]
+    fn session_log_cuts_built_teardown_and_deny_records() {
+        let deny_rule = Rule {
+            src: (0, 0),
+            dst: (0, 0),
+            sport: (0, u16::MAX),
+            dport: (6666, 6666),
+            proto: None,
+            action: Action::Deny,
+        };
+        let mut el = SessionLog::new(
+            1024,
+            Some(Arc::new(AclTable::new(vec![deny_rule], Action::Allow))),
+        );
+
+        // UDP flow: two packets, one session, one built record.
+        let udp = || Packet::ipv4_udp([10, 0, 0, 1], [172, 16, 0, 9], 4444, 80, b"abc");
+        el.process(one(udp()), &mut ctx());
+        el.process(one(udp()), &mut ctx());
+        let recs = el.take_session_records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].state, SessionState::Built);
+        assert_eq!(recs[0].packets, 1);
+        assert_eq!(recs[0].bytes, udp().len() as u64);
+        // Drained: the buffer is empty until something new happens.
+        assert!(el.take_session_records().is_empty());
+
+        // TCP flow: data, data, FIN → teardown carries totals; a packet
+        // after teardown reopens the session with a fresh built.
+        let tcp = |flags| Packet::ipv4_tcp([10, 0, 0, 2], [172, 16, 0, 9], 5555, 443, b"xy", flags);
+        el.process(one(tcp(tcp_flags::ACK)), &mut ctx());
+        el.process(one(tcp(tcp_flags::ACK)), &mut ctx());
+        el.process(one(tcp(tcp_flags::FIN | tcp_flags::ACK)), &mut ctx());
+        el.process(one(tcp(tcp_flags::SYN)), &mut ctx());
+        let recs = el.take_session_records();
+        let states: Vec<_> = recs.iter().map(|r| r.state).collect();
+        assert_eq!(
+            states,
+            vec![
+                SessionState::Built,
+                SessionState::Teardown,
+                SessionState::Built
+            ]
+        );
+        assert_eq!(recs[1].packets, 3, "teardown carries session totals");
+        assert_eq!(recs[1].bytes, 3 * tcp(0).len() as u64);
+        assert_eq!(recs[2].packets, 1, "reopen restarts the counters");
+
+        // Denied flow: deny follows its built; later packets of the
+        // denied flow are counted silently (one deny per flow).
+        let bad = || Packet::ipv4_udp([10, 0, 0, 3], [172, 16, 0, 9], 7777, 6666, b"zz");
+        el.process(one(bad()), &mut ctx());
+        el.process(one(bad()), &mut ctx());
+        let recs = el.take_session_records();
+        let states: Vec<_> = recs.iter().map(|r| r.state).collect();
+        assert_eq!(states, vec![SessionState::Built, SessionState::Deny]);
+        assert_eq!(recs[0].flow, recs[1].flow);
+        assert_eq!(el.table_size(), 3);
+        assert!(el.state_bytes() > 0);
+    }
+
+    #[test]
+    fn session_log_forwards_everything_unless_enforcing() {
+        let deny_all = Arc::new(AclTable::new(vec![Rule::any(Action::Deny)], Action::Allow));
+        let mut passive = SessionLog::new(64, Some(Arc::clone(&deny_all)));
+        let mut enforcing = SessionLog::new(64, Some(deny_all)).enforcing();
+        let batch = || -> Batch {
+            (0..4)
+                .map(|i| {
+                    Packet::ipv4_udp([10, 0, 0, i], [172, 16, 0, 9], 1000 + i as u16, 80, b"p")
+                })
+                .collect()
+        };
+        // Passive (the paper's never-drop setup): egress is the ingress.
+        let out = passive.process(batch(), &mut ctx());
+        assert_eq!(out[0].len(), 4);
+        assert!(!passive.actions().may_drop);
+        // Enforcing: denied flows drop, and the action profile says so.
+        let out = enforcing.process(batch(), &mut ctx());
+        assert!(out[0].is_empty());
+        assert!(enforcing.actions().may_drop);
+        // Non-IP-session packets (no 5-tuple key) always pass.
+        let raw: Batch = [Packet::from_bytes(vec![0u8; 64])].into_iter().collect();
+        let out = enforcing.process(raw, &mut ctx());
+        assert_eq!(out[0].len(), 1);
     }
 
     #[test]

@@ -352,13 +352,52 @@ pub enum EventKind {
         /// Reconfiguration time charged on the simulated timeline, ns.
         swap_ns: f64,
     },
+    /// A sampled flow touched one pipeline touchpoint (simulated-time
+    /// instant, flow forensics plane). Emitted only for flows selected
+    /// by the deterministic [`FlowSampler`](crate::FlowSampler);
+    /// `nfc-trace flow <key>` stitches the instants into one causal
+    /// per-flow timeline, including across servers and migrations.
+    FlowPoint {
+        /// RSS hash of the sampled flow: the sampler's decision input
+        /// and the stitch key (`FlowKey` displays it as `[{hash:08x}]`).
+        flow: u32,
+        /// Touchpoint name: `ingress`, `lanes`, `cache_hit`,
+        /// `cache_miss`, `stage`, `kernel`, `shard`, `migrate`, `merge`
+        /// or `egress`.
+        point: &'static str,
+        /// Server owning the flow at this touchpoint (0 on one box).
+        server: u32,
+        /// Packets of the sampled flow observed at the touchpoint.
+        packets: u32,
+    },
+    /// A structured firewall-style connection record cut by a
+    /// `SessionLog` NF element (wall-clock instant, session plane).
+    Session {
+        /// Record kind: `built`, `teardown` or `deny`.
+        state: &'static str,
+        /// RSS hash of the session's flow.
+        flow: u32,
+        /// Packets the session had carried when the record was cut.
+        packets: u64,
+        /// Wire bytes the session had carried when the record was cut.
+        bytes: u64,
+    },
+    /// The flight recorder wrote its bounded ring to a postmortem dump
+    /// file (simulated-time instant, flow plane).
+    FlightDump {
+        /// Dump trigger: `slo_burn`, `model_drift` or `manual`.
+        reason: &'static str,
+        /// Events written to the dump file.
+        events: u32,
+    },
 }
 
 impl EventKind {
     /// Coarse category, used as the Chrome-trace `cat` field and by
     /// `nfc-trace` for per-category summaries: one of `stage`,
     /// `element`, `batch`, `flow-cache`, `gpu`, `resource`,
-    /// `partition`, `control`, `worker`, `attr`, `health`, `cluster`.
+    /// `partition`, `control`, `worker`, `attr`, `health`, `cluster`,
+    /// `flow`, `session`.
     pub fn category(&self) -> &'static str {
         match self {
             EventKind::Stage { .. } => "stage",
@@ -382,6 +421,8 @@ impl EventKind {
             EventKind::ShardRange { .. }
             | EventKind::LinkTransfer { .. }
             | EventKind::ClusterRebalance { .. } => "cluster",
+            EventKind::FlowPoint { .. } | EventKind::FlightDump { .. } => "flow",
+            EventKind::Session { .. } => "session",
         }
     }
 
@@ -418,6 +459,9 @@ impl EventKind {
             EventKind::ShardRange { .. } => "shard_range".to_string(),
             EventKind::LinkTransfer { .. } => "link_transfer".to_string(),
             EventKind::ClusterRebalance { .. } => "cluster_rebalance".to_string(),
+            EventKind::FlowPoint { point, .. } => format!("flow_{point}"),
+            EventKind::Session { state, .. } => format!("session_{state}"),
+            EventKind::FlightDump { .. } => "flight_dump".to_string(),
         }
     }
 
@@ -508,6 +552,35 @@ mod tests {
         assert!(cluster.iter().all(|k| k.category() == "cluster"));
         assert!(cluster[1].is_span());
         assert!(!cluster[0].is_span() && !cluster[2].is_span());
+    }
+
+    #[test]
+    fn flow_and_session_events_are_instants() {
+        let flow = EventKind::FlowPoint {
+            flow: 0xdead_beef,
+            point: "ingress",
+            server: 0,
+            packets: 3,
+        };
+        assert_eq!(flow.category(), "flow");
+        assert_eq!(flow.label(), "flow_ingress");
+        assert!(!flow.is_span());
+        let sess = EventKind::Session {
+            state: "built",
+            flow: 1,
+            packets: 0,
+            bytes: 0,
+        };
+        assert_eq!(sess.category(), "session");
+        assert_eq!(sess.label(), "session_built");
+        assert!(!sess.is_span());
+        let dump = EventKind::FlightDump {
+            reason: "slo_burn",
+            events: 42,
+        };
+        assert_eq!(dump.category(), "flow");
+        assert_eq!(dump.label(), "flight_dump");
+        assert!(!dump.is_span());
     }
 
     #[test]

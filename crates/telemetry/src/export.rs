@@ -317,6 +317,31 @@ fn args_json(ev: &Event) -> String {
                 .int("migrated_bytes", *migrated_bytes)
                 .num("swap_ns", *swap_ns);
         }
+        EventKind::FlowPoint {
+            flow,
+            point,
+            server,
+            packets,
+        } => {
+            a.int("flow", u64::from(*flow))
+                .str("point", point)
+                .int("server", u64::from(*server))
+                .int("packets", u64::from(*packets));
+        }
+        EventKind::Session {
+            state,
+            flow,
+            packets,
+            bytes,
+        } => {
+            a.str("state", state)
+                .int("flow", u64::from(*flow))
+                .int("packets", *packets)
+                .int("bytes", *bytes);
+        }
+        EventKind::FlightDump { reason, events } => {
+            a.str("reason", reason).int("events", u64::from(*events));
+        }
     }
     a.finish()
 }
@@ -536,10 +561,13 @@ mod tests {
 
     #[test]
     fn prometheus_snapshot_gauge_schema_is_stable() {
-        // Golden schema for the health-plane gauges: families, label
-        // sets, and ordering are a published interface (dashboards
-        // scrape them), so pin the exact rendered lines.
+        // Golden schema for the cluster- and health-plane gauges:
+        // families, label sets, and ordering are a published interface
+        // (dashboards scrape them), so pin the exact rendered lines.
         let mut sink = MemorySink::with_capacity(16);
+        sink.set_gauge("cluster_link_busy_ratio{link=\"link0-rx\"}", 0.25);
+        sink.set_gauge("cluster_link_busy_ratio{link=\"link0-tx\"}", 0.125);
+        sink.set_gauge("cluster_shard_flows{server=\"0\"}", 48.0);
         sink.set_gauge("health_drift_ratio{quantile=\"0.5\"}", 1.25);
         sink.set_gauge("health_drift_ratio{quantile=\"0.99\"}", 1.5);
         sink.set_gauge("health_e2e_ns{quantile=\"0.5\"}", 1000.0);
@@ -559,6 +587,11 @@ mod tests {
         sink.set_gauge("health_model_drift_raised", 0.0);
         let body = prometheus_snapshot(&sink);
         let golden = "\
+# TYPE nfc_cluster_link_busy_ratio gauge
+nfc_cluster_link_busy_ratio{link=\"link0-rx\"} 0.25
+nfc_cluster_link_busy_ratio{link=\"link0-tx\"} 0.125
+# TYPE nfc_cluster_shard_flows gauge
+nfc_cluster_shard_flows{server=\"0\"} 48
 # TYPE nfc_health_drift_ratio gauge
 nfc_health_drift_ratio{quantile=\"0.5\"} 1.25
 nfc_health_drift_ratio{quantile=\"0.99\"} 1.5

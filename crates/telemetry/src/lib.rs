@@ -37,6 +37,7 @@
 pub mod attr;
 pub mod event;
 pub mod export;
+pub mod flow;
 pub mod health;
 pub mod hist;
 pub mod ring;
@@ -49,6 +50,10 @@ pub use attr::{
     WhatIfEpoch, WhatIfReport,
 };
 pub use event::{wall_now_ns, Event, EventKind, SimStamp};
+pub use flow::{
+    FlightRecorder, FlowSampler, DEFAULT_FLIGHT_CAPACITY, DEFAULT_FLIGHT_STEM, FLIGHT_ENV,
+    FLOW_TRACE_ENV,
+};
 pub use health::{DriftVerdict, DriftWatchdog, HealthState, SloSpec, SloVerdict, SLO_ENV};
 pub use hist::{LogHistogram, EXACT_CAP, SUB_BUCKET_BITS};
 pub use ring::{Recorder, DEFAULT_RING_CAPACITY};

@@ -183,6 +183,16 @@ impl MemorySink {
                 self.add_counter("cluster_migrated_bytes", *migrated_bytes);
                 self.observe_ns("cluster_swap_ns", *swap_ns);
             }
+            EventKind::FlowPoint { .. } => self.add_counter("flow_points", 1),
+            EventKind::Session { state, bytes, .. } => {
+                match *state {
+                    "built" => self.add_counter("sessions_built", 1),
+                    "teardown" => self.add_counter("sessions_teardown", 1),
+                    _ => self.add_counter("sessions_denied", 1),
+                }
+                self.add_counter("session_bytes", *bytes);
+            }
+            EventKind::FlightDump { .. } => self.add_counter("flight_dumps", 1),
         }
     }
 

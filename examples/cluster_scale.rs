@@ -19,6 +19,13 @@
 //!    preserved), while the static shard map just eats the imbalance.
 //!
 //! Run with: `cargo run --release -p nfc-cluster --example cluster_scale`
+//!
+//! `--hostile` skips the scale sweep and runs only the flood act — the
+//! shape CI uses for the flow-forensics smoke: with `NFC_FLOW_TRACE`,
+//! `NFC_SLO` and `NFC_FLIGHT` set, the hostile phase samples per-flow
+//! timelines across shard migrations, logs session records from the
+//! chain's `SessionLog` stage, and dumps a flight-recorder postmortem
+//! when the flood burns through the SLO.
 
 use nfc_cluster::{ClusterDeployment, ClusterSpec, RebalanceConfig};
 use nfc_core::{Deployment, Policy, Sfc};
@@ -94,6 +101,14 @@ fn flood_phases(n_servers: usize) -> Vec<TrafficGenerator> {
 }
 
 fn main() {
+    let hostile_only = std::env::args().any(|a| a == "--hostile");
+    if !hostile_only {
+        scale_sweep();
+    }
+    hostile_flood();
+}
+
+fn scale_sweep() {
     println!("=== act 1: scale sweep (shard mode, 40 GbE rack links) ===");
     println!(
         "{:>7} {:>13} {:>12} {:>14} {:>7} {:>12}",
@@ -115,12 +130,21 @@ fn main() {
             outcome.report.dropped_batches
         );
     }
+    println!();
+}
 
-    println!("\n=== act 2: hostile-DPI flood on 8 servers (benign -> hostile) ===");
+fn hostile_flood() {
+    println!("=== act 2: hostile-DPI flood on 8 servers (benign -> hostile) ===");
     let n = 8usize;
+    // The SessionLog tail turns the flood into structured session
+    // records (built/teardown per flow) alongside the NAT and DPI work.
     let stateful = Sfc::new(
         "nat-dpi",
-        vec![Nf::nat("nat", [192, 168, 0, 1]), Nf::dpi("dpi")],
+        vec![
+            Nf::nat("nat", [192, 168, 0, 1]),
+            Nf::dpi("dpi"),
+            Nf::session_log("slog", 4096, vec![]),
+        ],
     );
     let configure = |d: Deployment| d.with_batch_size(FLOOD_BATCH_SIZE);
     let run = |rebalance: RebalanceConfig| {
